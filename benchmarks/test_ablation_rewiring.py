@@ -1,0 +1,89 @@
+"""Ablation: hill-climbing rewiring toward structural targets.
+
+Section 2.2's proposed Datagen extension: "the generation of graphs
+with a target average clustering coefficient, but also to decide
+whether the assortativity is positive or negative, while preserving
+the degree distribution of the graph [...] a post processing step
+where the graph is iteratively rewired until the desired values are
+achieved, in a hill climbing fashion."
+
+The bench sweeps clustering targets and both assortativity signs over
+one Datagen graph and verifies the defining invariant (degrees
+preserved) plus monotone improvement toward every target.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.datagen import Datagen, DatagenConfig, rewire_to_target
+from repro.graph.properties import (
+    average_clustering_coefficient,
+    degree_assortativity,
+)
+
+CLUSTERING_TARGETS = [0.02, 0.10, 0.20]
+
+
+@pytest.mark.benchmark(group="ablation-rewiring")
+def test_ablation_rewiring(benchmark):
+    base = Datagen(
+        DatagenConfig(num_persons=3000, decay=0.8, window_size=12, seed=31)
+    ).generate()
+    base_clustering = average_clustering_coefficient(base)
+    base_assortativity = degree_assortativity(base)
+
+    def sweep():
+        results = {}
+        for target in CLUSTERING_TARGETS:
+            results[("cc", target)] = rewire_to_target(
+                base, target_clustering=target, max_swaps=12000, seed=7
+            )
+        for sign in (+1, -1):
+            results[("sign", sign)] = rewire_to_target(
+                base, assortativity_sign=sign, max_swaps=12000, seed=7
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"base graph: avg-clustering={base_clustering:.4f} "
+        f"assortativity={base_assortativity:+.4f}",
+        f"{'target':<22}{'achieved':>10}{'accepted':>10}{'converged':>11}",
+    ]
+    for key, result in results.items():
+        kind, value = key
+        achieved = (
+            result.final_clustering if kind == "cc" else result.final_assortativity
+        )
+        label = f"clustering={value}" if kind == "cc" else f"assort sign {value:+d}"
+        lines.append(
+            f"{label:<22}{achieved:>10.4f}{result.swaps_accepted:>10}"
+            f"{str(result.converged):>11}"
+        )
+    print_table("Ablation: rewiring toward structural targets", lines)
+
+    base_degrees = base.degrees()
+    for key, result in results.items():
+        # The defining invariant: every vertex degree preserved.
+        assert result.graph.degrees() == base_degrees
+        kind, value = key
+        if kind == "cc":
+            # Strictly closer to the target than the base graph.
+            assert abs(result.final_clustering - value) < abs(
+                base_clustering - value
+            )
+        else:
+            # Moved toward the requested sign (or already there: the
+            # Datagen base is negative, so sign -1 converges with zero
+            # swaps — the hill climber does no useless work).
+            if value > 0:
+                assert result.final_assortativity > base_assortativity
+            else:
+                assert result.final_assortativity < 0
+                assert result.converged
+
+    # Larger swap budgets reach closer to an ambitious target.
+    short = rewire_to_target(base, target_clustering=0.3, max_swaps=1500, seed=7)
+    long = rewire_to_target(base, target_clustering=0.3, max_swaps=15000, seed=7)
+    assert abs(long.final_clustering - 0.3) <= abs(short.final_clustering - 0.3)

@@ -1,0 +1,77 @@
+"""Figure 3: scalability of Datagen.
+
+Regenerates the paper's Figure 3: generation time against edge count
+(100M to 5000M edges) on the paper's two systems — the single more
+modern machine and the 4-node cluster. The small sizes *really run*
+through the block runtime (real edge generation, simulated hardware);
+the paper-scale points apply the identical cost formulas analytically.
+
+Shape assertions: the single node wins while generation is CPU-bound;
+the cluster overtakes once it becomes I/O-bound; the single node
+generates 1.3B edges in "about 3 hours".
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.datagen import (
+    CLUSTER_4_NODES,
+    SINGLE_NODE,
+    Datagen,
+    DatagenConfig,
+    estimate_generation_time,
+)
+
+PAPER_SCALE_EDGES = [100e6, 200e6, 500e6, 1000e6, 1300e6, 2000e6, 5000e6]
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_datagen_scalability(benchmark):
+    # Executed part: really generate a graph through both hardware
+    # profiles' block runtimes and check the output is identical.
+    config = DatagenConfig(num_persons=4000, seed=23, block_size=512)
+
+    def run_both():
+        graph_single, report_single = Datagen(config).generate_on(SINGLE_NODE)
+        graph_cluster, report_cluster = Datagen(config).generate_on(
+            CLUSTER_4_NODES
+        )
+        return graph_single, graph_cluster, report_single, report_cluster
+
+    graph_single, graph_cluster, report_single, report_cluster = (
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+    )
+    assert graph_single == graph_cluster  # determinism across hardware
+    assert report_single.num_edges == report_cluster.num_edges
+
+    # Analytic part: the paper's full 100M-5000M sweep.
+    lines = [f"{'Edges':>8} {'Single [s]':>12} {'Cluster [s]':>12}  winner"]
+    crossover_seen = False
+    previous_winner = None
+    for edges in PAPER_SCALE_EDGES:
+        single = estimate_generation_time(edges, SINGLE_NODE)["total"]
+        cluster = estimate_generation_time(edges, CLUSTER_4_NODES)["total"]
+        winner = "single" if single < cluster else "cluster"
+        if previous_winner == "single" and winner == "cluster":
+            crossover_seen = True
+        previous_winner = winner
+        lines.append(f"{edges / 1e6:>7.0f}M {single:>12.0f} {cluster:>12.0f}  {winner}")
+    print_table("Figure 3: Datagen generation time vs edge count", lines)
+
+    # Shape: single node wins small, cluster wins large, one crossover.
+    small_single = estimate_generation_time(100e6, SINGLE_NODE)["total"]
+    small_cluster = estimate_generation_time(100e6, CLUSTER_4_NODES)["total"]
+    assert small_single < small_cluster
+    large_single = estimate_generation_time(5000e6, SINGLE_NODE)["total"]
+    large_cluster = estimate_generation_time(5000e6, CLUSTER_4_NODES)["total"]
+    assert large_cluster < large_single
+    assert crossover_seen
+
+    # Absolute anchor: 1.3B edges in about 3 hours on the single node.
+    anchor = estimate_generation_time(1.3e9, SINGLE_NODE)["total"]
+    assert 1.5 * 3600 < anchor < 4.5 * 3600
+
+    # I/O-boundedness grows with size (the paper's explanation).
+    small = estimate_generation_time(100e6, SINGLE_NODE)
+    large = estimate_generation_time(5000e6, SINGLE_NODE)
+    assert large["io"] / large["total"] > small["io"] / small["total"]

@@ -1,0 +1,83 @@
+"""Figure 5: thousands of traversed edges per second (kTEPS) for CONN.
+
+Regenerates the paper's Figure 5: CONN performance of every platform
+on the three benchmark graphs, in kTEPS. "The size of the processed
+graph is included in this metric, which reveals the influence of the
+graph characteristics on performance."
+
+Shape assertions:
+
+* Giraph reaches an order of magnitude more kTEPS on the SNB graph
+  than on the Patents graph (the paper: 6272 vs 364 kTEPS);
+* GraphX trails Giraph by roughly 3x;
+* missing values appear exactly where Figure 4 reported failures.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from benchmarks.test_figure4_platform_runtimes import PAPER_PLATFORMS
+from repro.core.report import ReportGenerator
+from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
+from repro.platforms.registry import create_platform
+
+
+def run_conn_suite(benchmark_graphs, distributed_spec, single_node_spec):
+    """CONN-only run across the paper's platforms and graphs."""
+    from repro.core.benchmark import BenchmarkCore
+    from repro.core.validation import OutputValidator
+
+    platforms = [
+        create_platform(
+            name, single_node_spec if name == "neo4j" else distributed_spec
+        )
+        for name in PAPER_PLATFORMS
+    ]
+    core = BenchmarkCore(platforms, benchmark_graphs, validator=OutputValidator())
+    return core.run(
+        BenchmarkRunSpec(algorithms=[Algorithm.CONN], params=AlgorithmParams())
+    )
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_conn_kteps(
+    benchmark, benchmark_graphs, distributed_spec, single_node_spec
+):
+    suite = benchmark.pedantic(
+        run_conn_suite,
+        args=(benchmark_graphs, distributed_spec, single_node_spec),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table(
+        "Figure 5: kTEPS for all implementations of CONN "
+        "(missing values indicate failures)",
+        ReportGenerator().kteps_matrix(suite, Algorithm.CONN).splitlines(),
+    )
+
+    def conn_kteps(platform, graph):
+        result = suite.lookup(platform, graph, Algorithm.CONN)
+        return result.kteps if result.succeeded else None
+
+    # Giraph is an order of magnitude faster (per edge) on the social
+    # SNB graph than on Patents — the paper's 6272 vs 364 contrast.
+    giraph_snb = conn_kteps("giraph", "snb-1000*")
+    giraph_patents = conn_kteps("giraph", "patents*")
+    assert giraph_snb > 5 * giraph_patents
+
+    # GraphX trails Giraph on every graph it completes.
+    for graph in benchmark_graphs:
+        graphx = conn_kteps("graphx", graph)
+        giraph = conn_kteps("giraph", graph)
+        if graphx is not None:
+            assert graphx < giraph
+
+    # MapReduce has the lowest rate everywhere.
+    for graph in benchmark_graphs:
+        mapreduce = conn_kteps("mapreduce", graph)
+        assert mapreduce < conn_kteps("giraph", graph)
+
+    # Neo4j's missing value on the largest graph matches Figure 4.
+    assert conn_kteps("neo4j", "snb-1000*") is None
+    assert conn_kteps("neo4j", "patents*") is not None

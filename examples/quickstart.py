@@ -1,0 +1,51 @@
+"""Quickstart: benchmark two platforms on one graph and print the report.
+
+This is the paper's Section 2.3 workflow end to end:
+
+1. *Add graphs* — here, a Graph500-style R-MAT graph from the catalog;
+2. *Configure the platform* — cluster specs stand in for the testbed;
+3. *Choose the workload* — all five algorithms;
+4. *Run the benchmark* — report lands on stdout and on disk.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.benchmark import BenchmarkCore
+from repro.core.cost import ClusterSpec
+from repro.core.report import ReportGenerator
+from repro.core.validation import OutputValidator
+from repro.datasets import load_dataset
+from repro.platforms.registry import create_platform
+
+
+def main() -> None:
+    # 1. Add graphs.
+    graphs = {"graph500-10": load_dataset("graph500-10")}
+
+    # 2. Configure the platforms (the paper's two testbeds).
+    distributed = ClusterSpec.paper_distributed()
+    single_node = ClusterSpec.paper_single_node()
+    platforms = [
+        create_platform("giraph", distributed),
+        create_platform("neo4j", single_node),
+    ]
+
+    # 3 + 4. Choose the workload (default: everything) and run.
+    core = BenchmarkCore(platforms, graphs, validator=OutputValidator())
+    suite = core.run()
+
+    generator = ReportGenerator(
+        configuration={
+            "distributed-cluster": distributed.name,
+            "single-node": single_node.name,
+        }
+    )
+    print(generator.render(suite))
+    path = generator.write(suite, "quickstart-report.txt")
+    print(f"\nreport also written to {path}")
+
+
+if __name__ == "__main__":
+    main()

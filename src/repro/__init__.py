@@ -1,0 +1,19 @@
+"""Graphalytics reproduction: a big data benchmark for graph-processing platforms.
+
+This package reimplements, in pure Python, the benchmark described in
+Capotă et al., *Graphalytics: A Big Data Benchmark for Graph-Processing
+Platforms* (2015): the benchmarking harness, the LDBC-style data
+generator, the five workload algorithms, and executable simulations of
+the four benchmarked platforms (MapReduce, Giraph-style Pregel,
+GraphX-style RDD processing, Neo4j-style graph database) plus the
+Virtuoso-style column store used in the paper's DBMS experiment.
+
+See ``DESIGN.md`` for the full system inventory and the per-experiment
+index mapping paper tables/figures to benchmark modules.
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import render_report, run_benchmark
+
+__all__ = ["run_benchmark", "render_report", "__version__"]

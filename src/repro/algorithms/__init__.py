@@ -1,0 +1,27 @@
+"""Reference implementations of the five Graphalytics algorithms.
+
+Section 3.2 of the paper defines the workload: general statistics
+(STATS), breadth-first search (BFS), connected components (CONN),
+community detection (CD, after Leung et al.), and graph evolution
+(EVO, forest-fire model after Leskovec et al.).
+
+These single-threaded reference implementations define the *correct*
+answer for each algorithm; the Output Validator compares every
+platform's output against them.
+"""
+
+from repro.algorithms.stats import GraphStats, stats
+from repro.algorithms.bfs import bfs
+from repro.algorithms.conn import connected_components
+from repro.algorithms.cd import community_detection
+from repro.algorithms.evo import forest_fire_evolution, forest_fire_links
+
+__all__ = [
+    "GraphStats",
+    "stats",
+    "bfs",
+    "connected_components",
+    "community_detection",
+    "forest_fire_evolution",
+    "forest_fire_links",
+]

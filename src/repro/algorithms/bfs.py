@@ -1,0 +1,53 @@
+"""BFS: breadth-first search from a seed vertex.
+
+The paper: "The breadth-first search (BFS) algorithm traverses the
+graph starting from a seed vertex, visiting first all the neighbors of
+a vertex before moving to the neighbors of the neighbors."
+
+The Graphalytics output convention is a per-vertex distance map:
+unreachable vertices are assigned :data:`UNREACHABLE` (matching the
+"infinity" marker real drivers emit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.graph import Graph
+
+__all__ = ["bfs", "UNREACHABLE"]
+
+#: Distance assigned to vertices the traversal never reaches.
+UNREACHABLE = -1
+
+
+def bfs(graph: Graph, source: int) -> dict[int, int]:
+    """Hop distance from ``source`` to every vertex.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; directed graphs are traversed along out-edges.
+    source:
+        Seed vertex; must exist in the graph.
+
+    Returns
+    -------
+    dict
+        ``{vertex: distance}`` for every vertex in the graph, with
+        :data:`UNREACHABLE` for vertices not reachable from the seed.
+    """
+    if not graph.has_vertex(source):
+        raise ValueError(f"source vertex {source} not in graph")
+    distances = {int(v): UNREACHABLE for v in graph.vertices}
+    distances[int(source)] = 0
+    frontier = deque([int(source)])
+    while frontier:
+        vertex = frontier.popleft()
+        next_distance = distances[vertex] + 1
+        for neighbor in graph.neighbors(vertex):
+            neighbor = int(neighbor)
+            if distances[neighbor] == UNREACHABLE:
+                distances[neighbor] = next_distance
+                frontier.append(neighbor)
+    return distances

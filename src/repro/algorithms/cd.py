@@ -1,0 +1,122 @@
+"""CD: community detection via label propagation.
+
+The paper: "The community detection (CD) algorithm detects groups of
+nodes that are connected to each other stronger than they are
+connected to the rest of the graph [12]" — reference [12] being Leung
+et al., *Towards real-time community detection in large networks*
+(Phys. Rev. E 79, 2009), i.e. label propagation with hop attenuation
+and node preference.
+
+To make outputs comparable across the simulated platforms (a
+requirement of the Output Validator), the reproduction fixes the
+nondeterminism of classic label propagation: updates are synchronous
+(all vertices update from the previous iteration's labels) and ties
+are broken toward the smallest label. Every platform implements this
+same synchronous rule, so CD outputs validate exactly.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+__all__ = ["community_detection", "propagation_step"]
+
+#: Default hop-attenuation factor (delta in Leung et al.).
+DEFAULT_HOP_ATTENUATION = 0.1
+#: Default node-preference exponent (m in Leung et al.); weights a
+#: neighbor's vote by degree**m.
+DEFAULT_NODE_PREFERENCE = 0.1
+
+
+def propagation_step(
+    graph: Graph,
+    labels: dict[int, int],
+    scores: dict[int, float],
+    degrees: dict[int, int],
+    hop_attenuation: float,
+    node_preference: float,
+) -> tuple[dict[int, int], dict[int, float], int]:
+    """One synchronous Leung et al. update; returns (labels, scores, changes).
+
+    Each vertex collects, per candidate label, the sum over neighbors
+    carrying that label of ``score(neighbor) * degree(neighbor)**m``,
+    adopts the strongest label (ties to smallest label), and sets its
+    own score to the maximum score among neighbors voting for the
+    adopted label minus the hop attenuation ``delta``.
+    """
+    undirected = graph.to_undirected()
+    new_labels: dict[int, int] = {}
+    new_scores: dict[int, float] = {}
+    changes = 0
+    for vertex in undirected.vertices:
+        vertex = int(vertex)
+        neighbors = undirected.neighbors(vertex)
+        if len(neighbors) == 0:
+            new_labels[vertex] = labels[vertex]
+            new_scores[vertex] = scores[vertex]
+            continue
+        weight_by_label: dict[int, float] = {}
+        best_score_by_label: dict[int, float] = {}
+        for neighbor in neighbors:
+            neighbor = int(neighbor)
+            label = labels[neighbor]
+            vote = scores[neighbor] * degrees[neighbor] ** node_preference
+            weight_by_label[label] = weight_by_label.get(label, 0.0) + vote
+            previous_best = best_score_by_label.get(label, float("-inf"))
+            if scores[neighbor] > previous_best:
+                best_score_by_label[label] = scores[neighbor]
+        # Strongest label; ties break toward the smaller label id so
+        # that every platform implementation agrees.
+        best_label = min(
+            weight_by_label,
+            key=lambda lbl: (-weight_by_label[lbl], lbl),
+        )
+        if best_label == labels[vertex]:
+            new_labels[vertex] = labels[vertex]
+            new_scores[vertex] = scores[vertex]
+        else:
+            new_labels[vertex] = best_label
+            new_scores[vertex] = best_score_by_label[best_label] - hop_attenuation
+            changes += 1
+    return new_labels, new_scores, changes
+
+
+def community_detection(
+    graph: Graph,
+    max_iterations: int = 10,
+    hop_attenuation: float = DEFAULT_HOP_ATTENUATION,
+    node_preference: float = DEFAULT_NODE_PREFERENCE,
+) -> dict[int, int]:
+    """Assign a community label to each vertex.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (treated as undirected).
+    max_iterations:
+        Upper bound on propagation rounds; the algorithm also stops
+        early once no vertex changes label.
+    hop_attenuation:
+        Score decay per hop (prevents one label flooding the graph).
+    node_preference:
+        Exponent weighting votes by neighbor degree.
+
+    Returns
+    -------
+    dict
+        ``{vertex: community label}``; labels are vertex ids (each
+        community is named after one of its members).
+    """
+    if max_iterations < 0:
+        raise ValueError("max_iterations must be >= 0")
+    undirected = graph.to_undirected()
+    labels = {int(v): int(v) for v in undirected.vertices}
+    scores = {int(v): 1.0 for v in undirected.vertices}
+    degrees = undirected.degrees()
+    for _iteration in range(max_iterations):
+        labels, scores, changes = propagation_step(
+            undirected, labels, scores, degrees, hop_attenuation, node_preference
+        )
+        if changes == 0:
+            break
+    return labels

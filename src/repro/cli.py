@@ -1,0 +1,239 @@
+"""Command-line interface: the benchmark's entry point.
+
+The paper's user workflow (Section 2.3) is: add graphs, configure the
+platform, choose the workload, run the benchmark ("Graphalytics
+includes a Unix shell script that triggers the execution of the
+benchmark. After the execution completes, the benchmark report is
+available in the local file system."). The installed ``graphalytics``
+command implements that workflow:
+
+* ``graphalytics run`` — execute a benchmark over catalog datasets
+  and write the report;
+* ``graphalytics datagen`` — generate a synthetic graph to files;
+* ``graphalytics characterize`` — print a Table 1 row for a dataset;
+* ``graphalytics quality`` — the Section 3.5 code-quality report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.benchmark import BenchmarkCore
+from repro.core.cost import ClusterSpec
+from repro.core.report import ReportGenerator
+from repro.core.results_db import ResultsDatabase
+from repro.core.validation import OutputValidator
+from repro.core.config import load_benchmark_config
+from repro.core.workload import Algorithm, BenchmarkRunSpec
+from repro.core.quality import analyze_tree
+from repro.datagen.datagen import Datagen, DatagenConfig
+from repro.datasets.catalog import load_dataset
+from repro.graph.io import write_edge_list
+from repro.graph.properties import graph_characteristics
+from repro.platforms.registry import available_platforms, create_platform_fleet
+
+__all__ = ["main"]
+
+#: Default graph selection of ``graphalytics run``.
+_DEFAULT_GRAPHS = "graph500-12,patents"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="graphalytics",
+        description="Graphalytics benchmark for graph-processing platforms",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run the benchmark and write a report")
+    run.add_argument(
+        "--config",
+        default=None,
+        help="benchmark configuration file ([benchmark] section); "
+        "explicit flags override its entries",
+    )
+    run.add_argument(
+        "--platforms",
+        default=None,
+        help=f"comma-separated platform names (default: all: "
+        f"{','.join(available_platforms())})",
+    )
+    run.add_argument(
+        "--graphs",
+        default=_DEFAULT_GRAPHS,
+        help="comma-separated catalog names (e.g. graph500-12,snb-5000,patents)",
+    )
+    run.add_argument("--algorithms", default=None,
+                     help="comma-separated subset of STATS,BFS,CONN,CD,EVO")
+    run.add_argument("--time-limit", type=float, default=None,
+                     help="simulated-seconds budget per run")
+    run.add_argument("--no-validate", action="store_true",
+                     help="skip output validation")
+    run.add_argument("--report", default="graphalytics-report.txt",
+                     help="report output path")
+    run.add_argument("--html", default=None,
+                     help="also write an HTML report to this path")
+    run.add_argument("--results-db", default=None,
+                     help="optional JSONL results database to append to")
+
+    datagen = commands.add_parser("datagen", help="generate a synthetic graph")
+    datagen.add_argument("--persons", type=int, default=10000)
+    datagen.add_argument("--distribution", default="facebook",
+                         choices=["facebook", "zeta", "geometric", "weibull"])
+    datagen.add_argument("--seed", type=int, default=0)
+    datagen.add_argument("--output", required=True, help="edge-list output path")
+
+    characterize = commands.add_parser(
+        "characterize", help="print dataset characteristics (Table 1 row)"
+    )
+    characterize.add_argument("dataset", help="catalog name, e.g. patents")
+
+    quality = commands.add_parser(
+        "quality", help="static code-quality report (Section 3.5)"
+    )
+    quality.add_argument("--root", default="src", help="source tree to analyze")
+
+    leaderboard = commands.add_parser(
+        "leaderboard",
+        help="rank platforms from a results database (the public results vision)",
+    )
+    leaderboard.add_argument("--results-db", required=True)
+    leaderboard.add_argument("--graph", required=True)
+    leaderboard.add_argument("--algorithm", required=True)
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config_spec = None
+    config_time_limit = None
+    if args.config:
+        config_spec, config_time_limit = load_benchmark_config(args.config)
+
+    if args.platforms:
+        platform_names = [name.strip() for name in args.platforms.split(",")]
+    elif config_spec is not None and config_spec.platforms is not None:
+        platform_names = config_spec.platforms
+    else:
+        platform_names = available_platforms()
+
+    if args.graphs != _DEFAULT_GRAPHS or config_spec is None or (
+        config_spec.graphs is None
+    ):
+        graph_names = [name.strip() for name in args.graphs.split(",")]
+    else:
+        graph_names = config_spec.graphs
+
+    algorithms = None
+    if args.algorithms:
+        algorithms = [
+            Algorithm.from_name(name) for name in args.algorithms.split(",")
+        ]
+    elif config_spec is not None:
+        algorithms = config_spec.algorithms
+
+    time_limit = (
+        args.time_limit if args.time_limit is not None else config_time_limit
+    )
+    validate = not args.no_validate
+    if config_spec is not None and not config_spec.validate_outputs:
+        validate = False
+
+    distributed = ClusterSpec.paper_distributed()
+    platforms = create_platform_fleet(distributed, names=platform_names)
+    graphs = {name: load_dataset(name) for name in graph_names}
+    core = BenchmarkCore(
+        platforms,
+        graphs,
+        validator=OutputValidator() if validate else None,
+        time_limit_seconds=time_limit,
+    )
+    suite = core.run(BenchmarkRunSpec(algorithms=algorithms))
+    generator = ReportGenerator(
+        configuration={
+            "platforms": ",".join(sorted(p.name for p in platforms)),
+            "graphs": ",".join(sorted(graphs)),
+            "cluster": distributed.name,
+        }
+    )
+    path = generator.write(suite, args.report)
+    print(generator.render(suite))
+    print(f"\nreport written to {path}")
+    if args.html:
+        html_path = generator.write_html(suite, args.html)
+        print(f"HTML report written to {html_path}")
+    if args.results_db:
+        written = ResultsDatabase(args.results_db).submit(suite)
+        print(f"{written} results appended to {args.results_db}")
+    return 0 if not suite.failures() or suite.successes() else 1
+
+
+def _command_datagen(args: argparse.Namespace) -> int:
+    config = DatagenConfig(
+        num_persons=args.persons,
+        degree_distribution=args.distribution,
+        seed=args.seed,
+    )
+    graph = Datagen(config).generate()
+    count = write_edge_list(graph, args.output)
+    print(
+        f"generated {graph.num_vertices} persons, {count} knows edges "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _command_characterize(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    row = graph_characteristics(graph, args.dataset)
+    print(f"{'dataset':<14}{'nodes':>9}{'edges':>10}{'GlCC':>9}{'AvgCC':>9}{'Asrt':>9}")
+    print(
+        f"{row.name:<14}{row.num_vertices:>9}{row.num_edges:>10}"
+        f"{row.global_clustering:>9.4f}{row.average_clustering:>9.4f}"
+        f"{row.assortativity:>9.4f}"
+    )
+    return 0
+
+
+def _command_quality(args: argparse.Namespace) -> int:
+    report = analyze_tree(args.root)
+    print(report.summary())
+    worst = sorted(report.files, key=lambda f: f.max_complexity, reverse=True)[:5]
+    print("most complex files:")
+    for file_report in worst:
+        print(f"  {file_report.path}: max complexity {file_report.max_complexity}")
+    for file_report in report.files:
+        for finding in file_report.findings:
+            print(f"  {file_report.path}:{finding.line}: [{finding.rule}] "
+                  f"{finding.message}")
+    return 0
+
+
+def _command_leaderboard(args: argparse.Namespace) -> int:
+    db = ResultsDatabase(args.results_db)
+    ranking = db.leaderboard(args.graph, args.algorithm.upper())
+    if not ranking:
+        print(f"no successful {args.algorithm} results for {args.graph}")
+        return 1
+    print(f"{args.algorithm.upper()} on {args.graph}:")
+    for rank, (platform, runtime) in enumerate(ranking, start=1):
+        print(f"  {rank}. {platform:<12} {runtime:9.1f} s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``graphalytics`` command."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "datagen": _command_datagen,
+        "characterize": _command_characterize,
+        "quality": _command_quality,
+        "leaderboard": _command_leaderboard,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

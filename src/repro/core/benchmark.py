@@ -1,0 +1,236 @@
+"""The Benchmark Core (paper Figure 2).
+
+"The Benchmark Core module implements the benchmark harness that binds
+together Graphalytics." It executes every selected (platform, graph,
+algorithm) combination, catches platform failures (reported as
+Figure 4's missing values), validates outputs, applies the configured
+time limit (the paper's MapReduce runs on Graph500 hit exactly such a
+limit), gathers monitor samples, and hands results to the report
+generator and results database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import PlatformFailure, ValidationFailure
+from repro.core.metrics import kteps
+from repro.core.monitor import SystemMonitor, UtilizationSample
+from repro.core.platform_api import Platform, PlatformRun
+from repro.core.validation import OutputValidator
+from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
+from repro.graph.graph import Graph
+
+__all__ = ["BenchmarkResult", "BenchmarkSuiteResult", "BenchmarkCore"]
+
+#: Result status values.
+SUCCESS = "success"
+FAILED = "failed"
+INVALID = "invalid"
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one (platform, graph, algorithm) execution."""
+
+    platform: str
+    graph_name: str
+    algorithm: Algorithm
+    status: str
+    runtime_seconds: float | None = None
+    kteps: float | None = None
+    failure_reason: str | None = None
+    run: PlatformRun | None = None
+    samples: list[UtilizationSample] = field(default_factory=list)
+    #: Per-repetition runtimes when the run spec asks for several;
+    #: ``runtime_seconds`` is then their arithmetic mean.
+    repetition_runtimes: list[float] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether this execution completed and validated."""
+        return self.status == SUCCESS
+
+
+@dataclass
+class BenchmarkSuiteResult:
+    """All results of one benchmark invocation."""
+
+    results: list[BenchmarkResult] = field(default_factory=list)
+
+    def lookup(
+        self, platform: str, graph_name: str, algorithm: Algorithm
+    ) -> BenchmarkResult | None:
+        """The result for one (platform, graph, algorithm), if any."""
+        for result in self.results:
+            if (
+                result.platform == platform
+                and result.graph_name == graph_name
+                and result.algorithm == algorithm
+            ):
+                return result
+        return None
+
+    def successes(self) -> list[BenchmarkResult]:
+        """All successful results."""
+        return [r for r in self.results if r.succeeded]
+
+    def failures(self) -> list[BenchmarkResult]:
+        """All failed or invalid results."""
+        return [r for r in self.results if not r.succeeded]
+
+    def runtime_table(self) -> dict[tuple[str, str, str], float | None]:
+        """``{(algorithm, graph, platform): runtime or None}`` (Figure 4)."""
+        return {
+            (r.algorithm.value, r.graph_name, r.platform): r.runtime_seconds
+            if r.succeeded
+            else None
+            for r in self.results
+        }
+
+
+class BenchmarkCore:
+    """Runs the full benchmark matrix.
+
+    Parameters
+    ----------
+    platforms:
+        Platform driver instances (already bound to cluster specs).
+    graphs:
+        ``{name: Graph}`` — the configured datasets.
+    validator:
+        Output validator; pass ``None`` to skip validation entirely.
+    time_limit_seconds:
+        Simulated-runtime budget per execution; runs exceeding it are
+        recorded as ``time-limit`` failures (the paper's "due to time
+        constraints, MapReduce was not able to complete some
+        algorithms").
+    """
+
+    def __init__(
+        self,
+        platforms: list[Platform],
+        graphs: dict[str, Graph],
+        validator: OutputValidator | None = None,
+        time_limit_seconds: float | None = None,
+    ):
+        names = [p.name for p in platforms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate platform names: {names}")
+        self.platforms = platforms
+        self.graphs = graphs
+        self.validator = validator
+        self.time_limit_seconds = time_limit_seconds
+        self.monitor = SystemMonitor()
+
+    def run(self, spec: BenchmarkRunSpec | None = None) -> BenchmarkSuiteResult:
+        """Execute the benchmark for a run spec (default: everything)."""
+        spec = spec or BenchmarkRunSpec()
+        suite = BenchmarkSuiteResult()
+        for platform in self.platforms:
+            if not spec.selects_platform(platform.name):
+                continue
+            supported = set(platform.supported_algorithms())
+            for graph_name, graph in sorted(self.graphs.items()):
+                if not spec.selects_graph(graph_name):
+                    continue
+                handle = None
+                for algorithm in Algorithm:
+                    if not spec.selects_algorithm(algorithm):
+                        continue
+                    if algorithm not in supported:
+                        continue
+                    if handle is None:
+                        # ETL once per (platform, graph); ETL failures
+                        # fail every algorithm on that combination.
+                        try:
+                            handle = platform.upload_graph(graph_name, graph)
+                        except PlatformFailure as failure:
+                            suite.results.extend(
+                                self._etl_failures(
+                                    platform, graph_name, spec, supported, failure
+                                )
+                            )
+                            break
+                    suite.results.append(
+                        self._run_one(platform, handle, graph, algorithm, spec)
+                    )
+                if handle is not None:
+                    platform.delete_graph(handle)
+        return suite
+
+    def _etl_failures(
+        self,
+        platform: Platform,
+        graph_name: str,
+        spec: BenchmarkRunSpec,
+        supported: set[Algorithm],
+        failure: PlatformFailure,
+    ) -> list[BenchmarkResult]:
+        return [
+            BenchmarkResult(
+                platform=platform.name,
+                graph_name=graph_name,
+                algorithm=algorithm,
+                status=FAILED,
+                failure_reason=f"ETL: {failure.reason}",
+            )
+            for algorithm in Algorithm
+            if spec.selects_algorithm(algorithm) and algorithm in supported
+        ]
+
+    def _run_one(
+        self,
+        platform: Platform,
+        handle,
+        graph: Graph,
+        algorithm: Algorithm,
+        spec: BenchmarkRunSpec,
+    ) -> BenchmarkResult:
+        base = BenchmarkResult(
+            platform=platform.name,
+            graph_name=handle.name,
+            algorithm=algorithm,
+            status=FAILED,
+        )
+        repetitions = max(spec.repetitions, 1)
+        runtimes: list[float] = []
+        run = None
+        try:
+            for _repetition in range(repetitions):
+                run = platform.run_algorithm(handle, algorithm, spec.params)
+                runtimes.append(run.simulated_seconds)
+        except PlatformFailure as failure:
+            base.failure_reason = failure.reason
+            return base
+        base.repetition_runtimes = runtimes
+        runtime = sum(runtimes) / len(runtimes)
+        if self.time_limit_seconds is not None and runtime > self.time_limit_seconds:
+            base.failure_reason = "time-limit"
+            base.run = run
+            return base
+        if self.validator is not None and spec.validate_outputs:
+            try:
+                self.validator.validate(graph, algorithm, spec.params, run.output)
+            except ValidationFailure as invalid:
+                base.status = INVALID
+                base.failure_reason = str(invalid)
+                base.run = run
+                return base
+        base.status = SUCCESS
+        base.runtime_seconds = runtime
+        base.kteps = kteps(self._edges_traversed(graph, algorithm), runtime)
+        base.run = run
+        base.samples = self.monitor.samples_from_profile(run.profile)
+        return base
+
+    @staticmethod
+    def _edges_traversed(graph: Graph, algorithm: Algorithm) -> float:
+        """Edges the algorithm traverses, for the TEPS metrics.
+
+        Following the paper's usage ("the size of the processed graph
+        is included in this metric"), iterative whole-graph algorithms
+        traverse every edge in both directions once per effective
+        pass; the metric normalizes by the graph's edge count.
+        """
+        return 2.0 * graph.to_undirected().num_edges

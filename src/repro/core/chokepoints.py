@@ -1,0 +1,114 @@
+"""Choke-point analysis of run profiles (paper Section 2.1).
+
+The paper's choke-point methodology identifies four low-level
+technical challenges; this module quantifies each one from a run's
+:class:`~repro.core.cost.RunProfile`, so that workloads can be checked
+for actually stressing them ("the technical experts again assess in
+how far these scenarios cover the identified choke points"):
+
+* **excessive network utilization** — share of simulated time spent
+  moving bytes between workers, and total traffic;
+* **large graph memory footprint** — peak worker memory against the
+  budget;
+* **poor access locality** — random (cache-missing) accesses versus
+  sequential operations;
+* **skewed execution intensity** — per-round max/mean worker load,
+  plus the convergence tail: the fraction of rounds with almost no
+  active vertices, where barrier latency dominates useful work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import RunProfile
+
+__all__ = ["ChokePointReport", "analyze_profile"]
+
+
+@dataclass(frozen=True)
+class ChokePointReport:
+    """Quantified choke-point indicators for one run."""
+
+    # Excessive network utilization
+    total_remote_bytes: float
+    network_time_share: float
+    # Large graph memory footprint
+    peak_memory_bytes: float
+    memory_budget_share: float
+    # Poor access locality
+    random_accesses: float
+    sequential_ops: float
+    random_access_share: float
+    # Skewed execution intensity
+    mean_skew: float
+    max_skew: float
+    #: Skew of the round doing the most work — robust to the noisy
+    #: near-empty tail rounds, it isolates the hub-concentration
+    #: effect ("skewed execution intensity").
+    busiest_round_skew: float
+    tail_rounds: int
+    tail_round_share: float
+    barrier_time_share: float
+
+    def dominant(self) -> str:
+        """The single most-stressed choke point for this run."""
+        scores = {
+            "network": self.network_time_share,
+            "memory": self.memory_budget_share,
+            "locality": self.random_access_share,
+            "skew": max(self.mean_skew - 1.0, 0.0) + self.barrier_time_share,
+        }
+        return max(scores, key=scores.get)
+
+
+def analyze_profile(
+    profile: RunProfile, tail_threshold: float = 0.01
+) -> ChokePointReport:
+    """Compute the choke-point indicators of one run profile.
+
+    Parameters
+    ----------
+    profile:
+        The run's cost profile.
+    tail_threshold:
+        A round belongs to the convergence tail when its active-vertex
+        count is below this fraction of the run's maximum (the paper's
+        "many of such final iterations with little work").
+    """
+    rounds = profile.rounds
+    total_time = profile.simulated_seconds
+    network_time = sum(r.network_seconds for r in rounds)
+    barrier_time = sum(r.barrier_seconds for r in rounds)
+
+    sequential_ops = sum(sum(r.ops_per_worker) for r in rounds)
+    random_accesses = profile.total_random_accesses
+    accesses = sequential_ops + random_accesses
+
+    skews = [r.skew for r in rounds if r.total_ops > 0]
+    busiest = max(rounds, key=lambda r: r.total_ops, default=None)
+    busiest_skew = busiest.skew if busiest is not None else 1.0
+    max_active = max((r.active_vertices for r in rounds), default=0)
+    tail_rounds = sum(
+        1
+        for r in rounds
+        if max_active > 0 and r.active_vertices < tail_threshold * max_active
+    )
+
+    budget = profile.cluster.memory_bytes_per_worker
+
+    return ChokePointReport(
+        total_remote_bytes=profile.total_remote_bytes,
+        network_time_share=network_time / total_time if total_time else 0.0,
+        peak_memory_bytes=profile.peak_memory,
+        memory_budget_share=profile.peak_memory / budget if budget else 0.0,
+        random_accesses=random_accesses,
+        sequential_ops=sequential_ops,
+        random_access_share=random_accesses / accesses if accesses else 0.0,
+        mean_skew=sum(skews) / len(skews) if skews else 1.0,
+        max_skew=max(skews, default=1.0),
+        busiest_round_skew=busiest_skew,
+        tail_rounds=tail_rounds,
+        tail_round_share=tail_rounds / len(rounds) if rounds else 0.0,
+        barrier_time_share=barrier_time / total_time if total_time else 0.0,
+    )

@@ -1,0 +1,193 @@
+"""Configuration files for graphs and benchmark runs (Section 2.3).
+
+The paper's user workflow: "We also provide configuration files
+associated with these graphs. Alternatively, users can generate
+synthetic graphs using Datagen. In this case, users must write their
+own configuration files. [...] If users want to run a subset of the
+algorithms, they must define a run."
+
+Graph configuration (INI format)::
+
+    [graph]
+    name = patents
+    edge_file = graphs/patents.e
+    vertex_file = graphs/patents.v   ; optional
+    directed = false
+
+    [bfs]
+    source = 420
+
+Preconfigured catalog graphs reference the generator instead of a
+file (the repository ships these under ``configs/``)::
+
+    [graph]
+    name = patents
+    catalog = patents
+
+Benchmark configuration::
+
+    [benchmark]
+    platforms = giraph, mapreduce
+    graphs = patents, snb-1000
+    algorithms = BFS, CONN
+    time_limit_seconds = 10000
+    validate = true
+"""
+
+from __future__ import annotations
+
+import configparser
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import ConfigurationError
+from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
+
+__all__ = ["GraphConfig", "load_graph_config", "load_benchmark_config",
+           "save_graph_config"]
+
+
+@dataclass
+class GraphConfig:
+    """One dataset's configuration file."""
+
+    name: str
+    #: Edge-list file, or ``None`` for catalog-backed graphs.
+    edge_file: str | None = None
+    vertex_file: str | None = None
+    #: Catalog name (e.g. ``graph500-12``) for generator-backed graphs.
+    catalog: str | None = None
+    directed: bool = False
+    params: AlgorithmParams = field(default_factory=AlgorithmParams)
+
+    def load(self, base_dir: str | Path | None = None):
+        """Materialize the configured graph.
+
+        File-backed configs read their edge (and optional vertex)
+        files, resolved against ``base_dir``; catalog-backed configs
+        generate deterministically.
+        """
+        from repro.datasets.catalog import load_dataset
+        from repro.graph.io import read_edge_list
+
+        if self.catalog is not None:
+            return load_dataset(self.catalog)
+        base = Path(base_dir) if base_dir is not None else Path(".")
+        vertex_path = (
+            base / self.vertex_file if self.vertex_file else None
+        )
+        return read_edge_list(
+            base / self.edge_file,
+            directed=self.directed,
+            vertex_path=vertex_path,
+        )
+
+
+def _parse_bool(value: str, context: str) -> bool:
+    lowered = value.strip().lower()
+    if lowered in ("true", "yes", "1"):
+        return True
+    if lowered in ("false", "no", "0"):
+        return False
+    raise ConfigurationError(f"{context}: expected a boolean, got {value!r}")
+
+
+def load_graph_config(path: str | Path) -> GraphConfig:
+    """Parse a graph configuration file."""
+    path = Path(path)
+    parser = configparser.ConfigParser(inline_comment_prefixes=(";", "#"))
+    read = parser.read(path)
+    if not read:
+        raise ConfigurationError(f"cannot read graph config {path}")
+    if "graph" not in parser:
+        raise ConfigurationError(f"{path}: missing [graph] section")
+    section = parser["graph"]
+    if "name" not in section:
+        raise ConfigurationError(f"{path}: [graph] needs 'name'")
+    if ("edge_file" in section) == ("catalog" in section):
+        raise ConfigurationError(
+            f"{path}: [graph] needs exactly one of 'edge_file' or 'catalog'"
+        )
+
+    params = AlgorithmParams()
+    if "bfs" in parser and "source" in parser["bfs"]:
+        try:
+            params = params.with_source(int(parser["bfs"]["source"]))
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: invalid BFS source") from exc
+
+    return GraphConfig(
+        name=section["name"],
+        edge_file=section.get("edge_file") or None,
+        vertex_file=section.get("vertex_file") or None,
+        catalog=section.get("catalog") or None,
+        directed=_parse_bool(section.get("directed", "false"), str(path)),
+        params=params,
+    )
+
+
+def save_graph_config(config: GraphConfig, path: str | Path) -> Path:
+    """Write a graph configuration file."""
+    parser = configparser.ConfigParser()
+    parser["graph"] = {
+        "name": config.name,
+        "directed": str(config.directed).lower(),
+    }
+    if config.edge_file:
+        parser["graph"]["edge_file"] = config.edge_file
+    if config.catalog:
+        parser["graph"]["catalog"] = config.catalog
+    if config.vertex_file:
+        parser["graph"]["vertex_file"] = config.vertex_file
+    if config.params.bfs_source is not None:
+        parser["bfs"] = {"source": str(config.params.bfs_source)}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        parser.write(handle)
+    return path
+
+
+def load_benchmark_config(path: str | Path) -> tuple[BenchmarkRunSpec, float | None]:
+    """Parse a benchmark run configuration.
+
+    Returns the run spec plus the optional time limit (which the
+    Benchmark Core takes as a separate argument).
+    """
+    path = Path(path)
+    parser = configparser.ConfigParser(inline_comment_prefixes=(";", "#"))
+    read = parser.read(path)
+    if not read:
+        raise ConfigurationError(f"cannot read benchmark config {path}")
+    if "benchmark" not in parser:
+        raise ConfigurationError(f"{path}: missing [benchmark] section")
+    section = parser["benchmark"]
+
+    def split_list(key: str) -> list[str] | None:
+        raw = section.get(key)
+        if raw is None or not raw.strip():
+            return None
+        return [item.strip() for item in raw.split(",") if item.strip()]
+
+    algorithms = None
+    algorithm_names = split_list("algorithms")
+    if algorithm_names is not None:
+        try:
+            algorithms = [Algorithm.from_name(name) for name in algorithm_names]
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: {exc}") from exc
+
+    time_limit = None
+    if "time_limit_seconds" in section:
+        try:
+            time_limit = float(section["time_limit_seconds"])
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: invalid time limit") from exc
+
+    spec = BenchmarkRunSpec(
+        platforms=split_list("platforms"),
+        graphs=split_list("graphs"),
+        algorithms=algorithms,
+        validate_outputs=_parse_bool(section.get("validate", "true"), str(path)),
+    )
+    return spec, time_limit

@@ -1,0 +1,406 @@
+"""Simulated-hardware cost model shared by all platform simulations.
+
+The paper benchmarks JVM platforms on a real cluster (Section 3.3: 10
+compute machines with 24 GiB RAM and dual Xeon E5620 CPUs for the
+distributed platforms; one 192 GiB machine for Neo4j). This
+reproduction replaces the testbed with a cost model: every platform
+simulation *really executes* its algorithm, and while doing so charges
+a :class:`CostMeter` for compute operations, network messages, disk
+transfers, random memory accesses, and synchronization barriers. The
+meter converts those charges into simulated seconds under a
+:class:`ClusterSpec`, and records a per-round :class:`RunProfile` that
+the choke-point analysis (Section 2.1) consumes:
+
+* *excessive network utilization* → remote bytes per round;
+* *large graph memory footprint* → tracked peak memory per worker,
+  with a hard budget whose violation platforms surface as failures
+  (Figure 4's missing values);
+* *poor access locality* → random accesses charged at cache-miss cost
+  versus sequential operations at pipeline cost;
+* *skewed execution intensity* → per-worker compute distribution per
+  round (time per round is the *maximum* over workers, so stragglers
+  dominate, exactly as with real BSP barriers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ClusterSpec",
+    "MemoryBudgetExceeded",
+    "RoundRecord",
+    "RunProfile",
+    "CostMeter",
+]
+
+
+class MemoryBudgetExceeded(Exception):
+    """Raised by the meter when a worker exceeds its memory budget.
+
+    Platform drivers catch this and convert it into a
+    :class:`~repro.core.errors.PlatformFailure` so the Benchmark Core
+    records a failure instead of crashing.
+    """
+
+    def __init__(self, worker: int, used: float, budget: float):
+        self.worker = worker
+        self.used = used
+        self.budget = budget
+        super().__init__(
+            f"worker {worker} needs {used / 2**30:.2f} GiB, "
+            f"budget is {budget / 2**30:.2f} GiB"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The (simulated) machines a platform runs on.
+
+    Attributes
+    ----------
+    num_workers:
+        Compute machines participating in the computation.
+    cores_per_worker:
+        Cores used per machine.
+    cpu_ops_per_second:
+        Simple-operation throughput per core (edge scans, message
+        handling); roughly instructions-per-second divided by the
+        instructions one such operation costs.
+    random_access_seconds:
+        Cost of one cache-missing random memory access (the paper's
+        "poor access locality" choke point: RAM latency vs CPU speed).
+    memory_bytes_per_worker:
+        RAM budget per machine; exceeding it is a platform failure.
+    network_bandwidth:
+        Per-machine network bandwidth, bytes/second.
+    barrier_seconds:
+        Cost of one global synchronization barrier (the term that
+        dominates the "many final iterations with little work" choke
+        point).
+    disk_bandwidth:
+        Per-machine disk bandwidth, bytes/second.
+    startup_seconds:
+        Fixed job submission/scheduling overhead per algorithm run.
+    """
+
+    name: str
+    num_workers: int
+    cores_per_worker: int
+    cpu_ops_per_second: float
+    random_access_seconds: float
+    memory_bytes_per_worker: float
+    network_bandwidth: float
+    barrier_seconds: float
+    disk_bandwidth: float
+    startup_seconds: float
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.cores_per_worker < 1:
+            raise ValueError("cores_per_worker must be >= 1")
+
+    @property
+    def worker_ops_per_second(self) -> float:
+        """Aggregate simple-operation throughput of one worker."""
+        return self.cores_per_worker * self.cpu_ops_per_second
+
+    def scaled(self, throughput: float, memory: float | None = None) -> "ClusterSpec":
+        """Scale the testbed down alongside scaled-down graphs.
+
+        Dividing every throughput (CPU, network, disk) and the memory
+        budget by the same factor as the graph sizes preserves the
+        paper's *relative* platform behaviour while keeping runs cheap:
+        simulated times stay comparable to the paper's absolute
+        numbers. Latency-like constants (barriers, startup) are left
+        untouched — they do not shrink when data does.
+
+        ``memory`` may differ from ``throughput`` so that benchmark
+        configurations can place the out-of-memory failure thresholds
+        at their scaled graph sizes.
+        """
+        if throughput <= 0:
+            raise ValueError("throughput scale must be positive")
+        memory = throughput if memory is None else memory
+        if memory <= 0:
+            raise ValueError("memory scale must be positive")
+        return ClusterSpec(
+            name=f"{self.name}/s{throughput:g}",
+            num_workers=self.num_workers,
+            cores_per_worker=self.cores_per_worker,
+            cpu_ops_per_second=self.cpu_ops_per_second / throughput,
+            random_access_seconds=self.random_access_seconds * throughput,
+            memory_bytes_per_worker=self.memory_bytes_per_worker / memory,
+            network_bandwidth=self.network_bandwidth / throughput,
+            barrier_seconds=self.barrier_seconds,
+            disk_bandwidth=self.disk_bandwidth / throughput,
+            startup_seconds=self.startup_seconds,
+        )
+
+    @classmethod
+    def paper_distributed(cls) -> "ClusterSpec":
+        """The paper's 10-worker cluster (24 GiB, dual Xeon E5620)."""
+        return cls(
+            name="cluster-10",
+            num_workers=10,
+            cores_per_worker=8,
+            cpu_ops_per_second=25e6,
+            random_access_seconds=1e-7,
+            memory_bytes_per_worker=24 * 2 ** 30,
+            network_bandwidth=117e6,  # ~1 GbE
+            barrier_seconds=0.3,
+            disk_bandwidth=130e6,
+            startup_seconds=10.0,
+        )
+
+    @classmethod
+    def paper_single_node(cls) -> "ClusterSpec":
+        """The paper's Neo4j machine (192 GiB, dual Xeon E5-2450 v2)."""
+        return cls(
+            name="single-192g",
+            num_workers=1,
+            cores_per_worker=16,
+            cpu_ops_per_second=40e6,
+            random_access_seconds=1e-7,
+            memory_bytes_per_worker=192 * 2 ** 30,
+            network_bandwidth=float("inf"),
+            barrier_seconds=0.0,
+            disk_bandwidth=500e6,
+            startup_seconds=2.0,
+        )
+
+
+@dataclass
+class RoundRecord:
+    """Charges accumulated during one synchronization round.
+
+    A "round" is a Pregel superstep, a MapReduce job phase, an RDD
+    stage, or — for single-node platforms — the whole traversal.
+    """
+
+    name: str
+    ops_per_worker: list[float]
+    random_accesses_per_worker: list[float]
+    local_messages: int = 0
+    remote_messages: int = 0
+    remote_bytes: float = 0.0
+    disk_read_bytes: float = 0.0
+    disk_write_bytes: float = 0.0
+    active_vertices: int = 0
+    barrier: bool = True
+    compute_seconds: float = 0.0
+    network_seconds: float = 0.0
+    disk_seconds: float = 0.0
+    barrier_seconds: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated time of this round."""
+        return (
+            self.compute_seconds
+            + self.network_seconds
+            + self.disk_seconds
+            + self.barrier_seconds
+        )
+
+    @property
+    def total_ops(self) -> float:
+        """Sequential operations summed over workers."""
+        return sum(self.ops_per_worker)
+
+    @property
+    def skew(self) -> float:
+        """max/mean per-worker compute — 1.0 is perfectly balanced."""
+        total = self.total_ops + sum(self.random_accesses_per_worker)
+        workers = len(self.ops_per_worker)
+        if total == 0 or workers == 0:
+            return 1.0
+        per_worker = [
+            ops + rand
+            for ops, rand in zip(self.ops_per_worker, self.random_accesses_per_worker)
+        ]
+        mean = total / workers
+        return max(per_worker) / mean if mean > 0 else 1.0
+
+
+@dataclass
+class RunProfile:
+    """Everything one algorithm run cost, round by round."""
+
+    cluster: ClusterSpec
+    rounds: list[RoundRecord] = field(default_factory=list)
+    peak_memory_per_worker: list[float] = field(default_factory=list)
+    startup_seconds: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated runtime, startup included."""
+        return self.startup_seconds + sum(record.seconds for record in self.rounds)
+
+    @property
+    def total_remote_bytes(self) -> float:
+        """Network traffic summed over rounds."""
+        return sum(record.remote_bytes for record in self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages (local + remote) summed over rounds."""
+        return sum(
+            record.local_messages + record.remote_messages for record in self.rounds
+        )
+
+    @property
+    def total_random_accesses(self) -> float:
+        """Cache-missing accesses summed over rounds."""
+        return sum(
+            sum(record.random_accesses_per_worker) for record in self.rounds
+        )
+
+    @property
+    def peak_memory(self) -> float:
+        """Highest per-worker memory peak of the run."""
+        return max(self.peak_memory_per_worker, default=0.0)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self.rounds)
+
+
+class CostMeter:
+    """Accumulates charges and converts them into simulated time.
+
+    Typical engine usage::
+
+        meter = CostMeter(spec)
+        meter.charge_startup()
+        meter.begin_round("superstep-0")
+        meter.charge_compute(worker, ops)
+        meter.charge_message(src_worker, dst_worker, payload_bytes)
+        meter.end_round(active_vertices=n)
+        profile = meter.profile
+    """
+
+    #: Serialized bytes per message envelope on top of the payload.
+    MESSAGE_OVERHEAD_BYTES = 16.0
+
+    def __init__(self, spec: ClusterSpec, enforce_memory: bool = True):
+        self.spec = spec
+        self.enforce_memory = enforce_memory
+        self.profile = RunProfile(
+            cluster=spec,
+            peak_memory_per_worker=[0.0] * spec.num_workers,
+        )
+        self._current: RoundRecord | None = None
+        self._memory = [0.0] * spec.num_workers
+
+    # -- rounds ----------------------------------------------------------
+
+    def charge_startup(self) -> None:
+        """Fixed job-submission overhead (charged once per run)."""
+        self.profile.startup_seconds += self.spec.startup_seconds
+
+    @property
+    def in_round(self) -> bool:
+        """Whether a round is currently open (charges are accepted)."""
+        return self._current is not None
+
+    def begin_round(self, name: str, barrier: bool = True) -> None:
+        """Open a new round; charges accumulate until end_round."""
+        if self._current is not None:
+            raise RuntimeError("previous round not ended")
+        self._current = RoundRecord(
+            name=name,
+            ops_per_worker=[0.0] * self.spec.num_workers,
+            random_accesses_per_worker=[0.0] * self.spec.num_workers,
+            barrier=barrier,
+        )
+
+    def end_round(self, active_vertices: int = 0) -> RoundRecord:
+        """Close the round, converting charges into simulated time."""
+        record = self._require_round()
+        spec = self.spec
+        record.active_vertices = active_vertices
+        record.compute_seconds = max(
+            ops / spec.worker_ops_per_second for ops in record.ops_per_worker
+        ) + max(
+            rand * spec.random_access_seconds
+            for rand in record.random_accesses_per_worker
+        )
+        record.network_seconds = (
+            record.remote_bytes / (spec.num_workers * spec.network_bandwidth)
+            if record.remote_bytes
+            else 0.0
+        )
+        record.disk_seconds = (
+            (record.disk_read_bytes + record.disk_write_bytes)
+            / (spec.num_workers * spec.disk_bandwidth)
+        )
+        record.barrier_seconds = spec.barrier_seconds if record.barrier else 0.0
+        self.profile.rounds.append(record)
+        self._current = None
+        return record
+
+    def _require_round(self) -> RoundRecord:
+        if self._current is None:
+            raise RuntimeError("no round in progress; call begin_round first")
+        return self._current
+
+    # -- charges ---------------------------------------------------------
+
+    def charge_compute(self, worker: int, ops: float) -> None:
+        """Sequential/pipelined work (edge scans, message handling)."""
+        self._require_round().ops_per_worker[worker] += ops
+
+    def charge_random_access(self, worker: int, count: float) -> None:
+        """Cache-missing accesses (pointer chasing, hash probes)."""
+        self._require_round().random_accesses_per_worker[worker] += count
+
+    def charge_message(
+        self, src_worker: int, dst_worker: int, payload_bytes: float, count: int = 1
+    ) -> None:
+        """A message between workers; local delivery costs no network."""
+        record = self._require_round()
+        if src_worker == dst_worker:
+            record.local_messages += count
+        else:
+            record.remote_messages += count
+            record.remote_bytes += count * (payload_bytes + self.MESSAGE_OVERHEAD_BYTES)
+
+    def charge_shuffle(self, num_bytes: float, count: int = 0) -> None:
+        """Bulk data redistribution between workers (MapReduce shuffle,
+        RDD wide dependency). The bytes are charged as remote traffic
+        without per-message envelopes — engines that shuffle serialize
+        in bulk."""
+        record = self._require_round()
+        record.remote_messages += count
+        record.remote_bytes += num_bytes
+
+    def charge_disk_read(self, worker: int, num_bytes: float) -> None:
+        """Bytes read from disk during this round."""
+        self._require_round().disk_read_bytes += num_bytes
+
+    def charge_disk_write(self, worker: int, num_bytes: float) -> None:
+        """Bytes written to disk during this round."""
+        self._require_round().disk_write_bytes += num_bytes
+
+    # -- memory ----------------------------------------------------------
+
+    def allocate_memory(self, worker: int, num_bytes: float) -> None:
+        """Raise the worker's live memory; raises on budget violation."""
+        self._memory[worker] += num_bytes
+        peak = self.profile.peak_memory_per_worker
+        peak[worker] = max(peak[worker], self._memory[worker])
+        if self.enforce_memory and self._memory[worker] > self.spec.memory_bytes_per_worker:
+            raise MemoryBudgetExceeded(
+                worker, self._memory[worker], self.spec.memory_bytes_per_worker
+            )
+
+    def release_memory(self, worker: int, num_bytes: float) -> None:
+        """Lower the worker's live memory (floors at zero)."""
+        self._memory[worker] = max(0.0, self._memory[worker] - num_bytes)
+
+    def memory_in_use(self, worker: int) -> float:
+        """The worker's current live memory in bytes."""
+        return self._memory[worker]

@@ -1,0 +1,50 @@
+"""Exception hierarchy of the benchmark harness."""
+
+from __future__ import annotations
+
+__all__ = [
+    "GraphalyticsError",
+    "PlatformFailure",
+    "ValidationFailure",
+    "ConfigurationError",
+]
+
+
+class GraphalyticsError(Exception):
+    """Base class for all benchmark errors."""
+
+
+class PlatformFailure(GraphalyticsError):
+    """A platform failed to process a workload.
+
+    Figure 4 of the paper reports such failures as missing values
+    ("Missing values indicate failures"); the Benchmark Core catches
+    this exception and records the failure rather than aborting the
+    whole benchmark.
+
+    Parameters
+    ----------
+    platform:
+        Name of the failing platform.
+    reason:
+        Failure category, e.g. ``out-of-memory`` or ``timeout``.
+    detail:
+        Human-readable explanation for the report.
+    """
+
+    def __init__(self, platform: str, reason: str, detail: str = ""):
+        self.platform = platform
+        self.reason = reason
+        self.detail = detail
+        message = f"{platform}: {reason}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class ValidationFailure(GraphalyticsError):
+    """A platform produced output that disagrees with the reference."""
+
+
+class ConfigurationError(GraphalyticsError):
+    """Invalid benchmark, graph, or platform configuration."""

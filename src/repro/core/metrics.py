@@ -1,0 +1,39 @@
+"""Performance metrics: runtime and traversed edges per second.
+
+Figure 5 of the paper reports CONN performance in kTEPS (thousands of
+traversed edges per second): "The size of the processed graph is
+included in this metric, which reveals the influence of the graph
+characteristics on performance." Section 3.4 reports the DBMS BFS
+rate in MTEPS.
+
+Following Graphalytics (and Graph500) practice, TEPS divides the
+number of edges the algorithm traversed by the measured runtime.
+"""
+
+from __future__ import annotations
+
+__all__ = ["teps", "kteps", "mteps"]
+
+
+def teps(edges_traversed: float, seconds: float) -> float:
+    """Traversed edges per second.
+
+    Raises ``ValueError`` for non-positive runtimes — a zero runtime
+    means the measurement is broken, not that the platform is
+    infinitely fast.
+    """
+    if seconds <= 0:
+        raise ValueError(f"runtime must be positive, got {seconds}")
+    if edges_traversed < 0:
+        raise ValueError("edges_traversed must be non-negative")
+    return edges_traversed / seconds
+
+
+def kteps(edges_traversed: float, seconds: float) -> float:
+    """Thousands of traversed edges per second (Figure 5's unit)."""
+    return teps(edges_traversed, seconds) / 1e3
+
+
+def mteps(edges_traversed: float, seconds: float) -> float:
+    """Millions of traversed edges per second (Section 3.4's unit)."""
+    return teps(edges_traversed, seconds) / 1e6

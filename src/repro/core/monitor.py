@@ -1,0 +1,123 @@
+"""The System Monitor (paper Figure 2).
+
+"The System Monitor is responsible for gathering resource utilization
+statistics from the SUT." For the simulated platforms the SUT's
+resource usage is fully described by the run's
+:class:`~repro.core.cost.RunProfile`; the monitor turns it into a
+per-round utilization time series (CPU, network, memory) like the one
+a real monitor would sample, plus real-process statistics (wall time,
+resident memory of the benchmarking process itself).
+"""
+
+from __future__ import annotations
+
+import csv
+import resource
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.cost import RunProfile
+
+__all__ = ["UtilizationSample", "SystemMonitor"]
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """Resource utilization during one round of a run."""
+
+    round_name: str
+    timestamp: float
+    cpu_utilization: float
+    network_bytes: float
+    active_vertices: int
+    skew: float
+
+
+class SystemMonitor:
+    """Collects utilization samples from run profiles and the host."""
+
+    def __init__(self):
+        self._start_wall = time.perf_counter()
+        self._start_cpu = time.process_time()
+
+    # -- simulated SUT ---------------------------------------------------
+
+    def samples_from_profile(self, profile: RunProfile) -> list[UtilizationSample]:
+        """One utilization sample per round of a simulated run.
+
+        CPU utilization is the mean worker busy fraction within the
+        round: with BSP barriers, stragglers leave other workers idle,
+        so utilization is (mean work) / (max work) — directly exposing
+        the skewed-execution-intensity choke point.
+        """
+        samples: list[UtilizationSample] = []
+        clock = 0.0
+        for record in profile.rounds:
+            per_worker = [
+                ops + rand
+                for ops, rand in zip(
+                    record.ops_per_worker, record.random_accesses_per_worker
+                )
+            ]
+            busiest = max(per_worker) if per_worker else 0.0
+            mean = sum(per_worker) / len(per_worker) if per_worker else 0.0
+            utilization = (mean / busiest) if busiest > 0 else 0.0
+            clock += record.seconds
+            samples.append(
+                UtilizationSample(
+                    round_name=record.name,
+                    timestamp=clock,
+                    cpu_utilization=utilization,
+                    network_bytes=record.remote_bytes,
+                    active_vertices=record.active_vertices,
+                    skew=record.skew,
+                )
+            )
+        return samples
+
+    def write_csv(
+        self, samples: list[UtilizationSample], path: str | Path
+    ) -> Path:
+        """Export a utilization time series as CSV (for plotting).
+
+        This is the monitor's report artifact: one row per round with
+        the columns a resource-utilization plot needs.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "round",
+                    "timestamp_s",
+                    "cpu_utilization",
+                    "network_bytes",
+                    "active_vertices",
+                    "skew",
+                ]
+            )
+            for sample in samples:
+                writer.writerow(
+                    [
+                        sample.round_name,
+                        f"{sample.timestamp:.6f}",
+                        f"{sample.cpu_utilization:.4f}",
+                        f"{sample.network_bytes:.0f}",
+                        sample.active_vertices,
+                        f"{sample.skew:.4f}",
+                    ]
+                )
+        return path
+
+    # -- real host ---------------------------------------------------------
+
+    def host_statistics(self) -> dict[str, float]:
+        """Wall/CPU time and peak RSS of the benchmarking process."""
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return {
+            "wall_seconds": time.perf_counter() - self._start_wall,
+            "cpu_seconds": time.process_time() - self._start_cpu,
+            "max_rss_bytes": float(usage.ru_maxrss * 1024),
+        }

@@ -1,0 +1,144 @@
+"""The platform driver API.
+
+The paper: "From a high-level perspective, adding a new platform to
+Graphalytics consists of implementing the algorithms, adding a dataset
+loading method, providing a workload processing interface, and logging
+the information required for results reporting."
+
+This module defines that contract. A platform driver implements:
+
+* :meth:`Platform.upload_graph` — the dataset loading method (ETL);
+  its cost is reported separately and *not* included in algorithm
+  runtimes ("The runtime measures the complete execution of an
+  algorithm, from job submission to result availability, but does not
+  include ETL");
+* :meth:`Platform.run_algorithm` — the workload processing interface;
+* the returned :class:`PlatformRun` — the logged information
+  (simulated runtime, per-round profile, output).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.core.cost import ClusterSpec, MemoryBudgetExceeded, RunProfile
+from repro.core.errors import PlatformFailure
+from repro.core.workload import Algorithm, AlgorithmParams
+from repro.graph.graph import Graph
+
+__all__ = ["GraphHandle", "PlatformRun", "Platform"]
+
+
+@dataclass
+class GraphHandle:
+    """A graph as loaded into a platform (the result of ETL)."""
+
+    name: str
+    platform: str
+    graph: Graph
+    #: Wall-clock seconds the (real) load took.
+    etl_seconds: float = 0.0
+    #: Simulated seconds the load costs on the platform's cluster —
+    #: the paper's "Comparing ETL times of different platforms is
+    #: left as future work", implemented (see benchmarks).
+    etl_simulated_seconds: float = 0.0
+    storage_bytes: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class PlatformRun:
+    """Everything a driver logs about one algorithm execution."""
+
+    platform: str
+    graph_name: str
+    algorithm: Algorithm
+    output: object
+    profile: RunProfile
+    wall_seconds: float
+
+    @property
+    def simulated_seconds(self) -> float:
+        """The benchmark's "runtime" metric (simulated makespan)."""
+        return self.profile.simulated_seconds
+
+
+class Platform(abc.ABC):
+    """Base class of all platform drivers.
+
+    Subclasses set :attr:`name` and implement :meth:`_load` and
+    :meth:`_execute`; the base class wraps them with timing and
+    converts memory-budget violations into
+    :class:`~repro.core.errors.PlatformFailure` so the Benchmark Core
+    records failures as Figure 4's "missing values".
+    """
+
+    #: Registry name, e.g. ``"giraph"``.
+    name: str = ""
+    #: Whether the platform runs on one machine (its driver then has a
+    #: built-in default cluster spec and rejects multi-worker specs).
+    single_machine: bool = False
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+
+    # -- public API --------------------------------------------------
+
+    def upload_graph(self, name: str, graph: Graph) -> GraphHandle:
+        """ETL a graph into the platform's storage representation."""
+        start = time.perf_counter()
+        try:
+            handle = self._load(name, graph)
+        except MemoryBudgetExceeded as exc:
+            raise PlatformFailure(self.name, "out-of-memory", str(exc)) from exc
+        handle.etl_seconds = time.perf_counter() - start
+        return handle
+
+    def run_algorithm(
+        self,
+        handle: GraphHandle,
+        algorithm: Algorithm,
+        params: AlgorithmParams | None = None,
+    ) -> PlatformRun:
+        """Execute one algorithm; returns the logged run record."""
+        if handle.platform != self.name:
+            raise ValueError(
+                f"graph {handle.name!r} was loaded into {handle.platform!r}, "
+                f"not {self.name!r}"
+            )
+        params = params or AlgorithmParams()
+        start = time.perf_counter()
+        try:
+            output, profile = self._execute(handle, algorithm, params)
+        except MemoryBudgetExceeded as exc:
+            raise PlatformFailure(self.name, "out-of-memory", str(exc)) from exc
+        wall = time.perf_counter() - start
+        return PlatformRun(
+            platform=self.name,
+            graph_name=handle.name,
+            algorithm=algorithm,
+            output=output,
+            profile=profile,
+            wall_seconds=wall,
+        )
+
+    def delete_graph(self, handle: GraphHandle) -> None:
+        """Release platform storage for a graph (default: no-op)."""
+
+    def supported_algorithms(self) -> list[Algorithm]:
+        """Algorithms this driver implements (default: all five)."""
+        return list(Algorithm)
+
+    # -- driver hooks -------------------------------------------------
+
+    @abc.abstractmethod
+    def _load(self, name: str, graph: Graph) -> GraphHandle:
+        """Build the platform-specific graph representation."""
+
+    @abc.abstractmethod
+    def _execute(
+        self, handle: GraphHandle, algorithm: Algorithm, params: AlgorithmParams
+    ) -> tuple[object, RunProfile]:
+        """Run one algorithm, returning (output, cost profile)."""

@@ -1,0 +1,121 @@
+"""The Output Validator (paper Figure 2).
+
+"The Output Validator checks the outcome of the benchmark to ensure
+correctness." Every platform's output is compared against the
+single-threaded reference implementations in :mod:`repro.algorithms`:
+
+* BFS, CONN, CD, EVO are deterministic under the benchmark's
+  specifications, so outputs must match *exactly*;
+* STATS counts must match exactly and the mean local clustering
+  coefficient must match within floating-point tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms import (
+    bfs,
+    community_detection,
+    connected_components,
+    forest_fire_links,
+    stats,
+)
+from repro.algorithms.stats import GraphStats
+from repro.core.errors import ValidationFailure
+from repro.core.workload import Algorithm, AlgorithmParams
+from repro.graph.graph import Graph
+
+__all__ = ["OutputValidator"]
+
+
+class OutputValidator:
+    """Validates platform outputs against reference implementations."""
+
+    def __init__(self, clustering_tolerance: float = 1e-9):
+        self.clustering_tolerance = clustering_tolerance
+
+    def reference_output(
+        self, graph: Graph, algorithm: Algorithm, params: AlgorithmParams
+    ):
+        """Compute the ground-truth output for a workload."""
+        if algorithm is Algorithm.STATS:
+            return stats(graph)
+        if algorithm is Algorithm.BFS:
+            return bfs(graph, params.resolve_bfs_source(graph))
+        if algorithm is Algorithm.CONN:
+            return connected_components(graph)
+        if algorithm is Algorithm.CD:
+            return community_detection(
+                graph,
+                max_iterations=params.cd_max_iterations,
+                hop_attenuation=params.cd_hop_attenuation,
+                node_preference=params.cd_node_preference,
+            )
+        if algorithm is Algorithm.EVO:
+            return forest_fire_links(
+                graph,
+                params.evo_new_vertices,
+                p_forward=params.evo_p_forward,
+                max_hops=params.evo_max_hops,
+                seed=params.evo_seed,
+            )
+        raise ValueError(f"unknown algorithm {algorithm}")
+
+    def validate(
+        self,
+        graph: Graph,
+        algorithm: Algorithm,
+        params: AlgorithmParams,
+        output,
+    ) -> None:
+        """Raise :class:`ValidationFailure` if output is incorrect."""
+        reference = self.reference_output(graph, algorithm, params)
+        if algorithm is Algorithm.STATS:
+            self._validate_stats(output, reference)
+            return
+        if output != reference:
+            difference = self._describe_difference(output, reference)
+            raise ValidationFailure(
+                f"{algorithm.value} output disagrees with reference: {difference}"
+            )
+
+    def _validate_stats(self, output, reference: GraphStats) -> None:
+        if not isinstance(output, GraphStats):
+            raise ValidationFailure(
+                f"STATS output must be GraphStats, got {type(output).__name__}"
+            )
+        if output.num_vertices != reference.num_vertices:
+            raise ValidationFailure(
+                f"STATS vertex count {output.num_vertices} != "
+                f"{reference.num_vertices}"
+            )
+        if output.num_edges != reference.num_edges:
+            raise ValidationFailure(
+                f"STATS edge count {output.num_edges} != {reference.num_edges}"
+            )
+        if not math.isclose(
+            output.mean_local_clustering,
+            reference.mean_local_clustering,
+            rel_tol=self.clustering_tolerance,
+            abs_tol=self.clustering_tolerance,
+        ):
+            raise ValidationFailure(
+                f"STATS mean clustering {output.mean_local_clustering} != "
+                f"{reference.mean_local_clustering}"
+            )
+
+    @staticmethod
+    def _describe_difference(output, reference) -> str:
+        """Short human-readable diff for the failure message."""
+        if not isinstance(output, dict) or not isinstance(reference, dict):
+            return f"got {type(output).__name__}"
+        missing = set(reference) - set(output)
+        extra = set(output) - set(reference)
+        if missing:
+            return f"{len(missing)} keys missing (e.g. {sorted(missing)[:3]})"
+        if extra:
+            return f"{len(extra)} unexpected keys (e.g. {sorted(extra)[:3]})"
+        wrong = [k for k in reference if output[k] != reference[k]]
+        sample = {k: (output[k], reference[k]) for k in sorted(wrong)[:3]}
+        return f"{len(wrong)} wrong values (got, expected): {sample}"

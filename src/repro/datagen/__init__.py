@@ -1,0 +1,64 @@
+"""LDBC SNB Datagen-style social network generator.
+
+Section 2.2 of the paper proposes generating Graphalytics datasets
+with the LDBC Social Network Benchmark data generator (Datagen, an
+evolution of S3G2), extended with:
+
+* pluggable degree distributions (Facebook-like, Zeta, Geometric, and
+  empirical) — see :mod:`repro.datagen.distributions`;
+* structural post-processing toward a target average clustering
+  coefficient and assortativity sign, via degree-preserving
+  hill-climbing rewiring — see :mod:`repro.datagen.rewiring`;
+* a deterministic, block-parallel runtime with a hardware cost model
+  reproducing the paper's cluster-vs-single-node scalability study
+  (Figure 3) — see :mod:`repro.datagen.runtime`.
+
+Only the person-knows-person projection of the social network is
+generated, exactly as the paper does for Graphalytics.
+"""
+
+from repro.datagen.distributions import (
+    DegreeDistribution,
+    EmpiricalDistribution,
+    FacebookDistribution,
+    GeometricDistribution,
+    WeibullDistribution,
+    ZetaDistribution,
+    distribution_from_name,
+)
+from repro.datagen.persons import Person, generate_persons
+from repro.datagen.knows import KnowsGenerator, correlation_dimensions
+from repro.datagen.rewiring import RewiringResult, rewire_to_target
+from repro.datagen.runtime import (
+    CLUSTER_4_NODES,
+    SINGLE_NODE,
+    BlockRuntime,
+    GenerationReport,
+    HardwareProfile,
+    estimate_generation_time,
+)
+from repro.datagen.datagen import Datagen, DatagenConfig
+
+__all__ = [
+    "DegreeDistribution",
+    "EmpiricalDistribution",
+    "FacebookDistribution",
+    "GeometricDistribution",
+    "WeibullDistribution",
+    "ZetaDistribution",
+    "distribution_from_name",
+    "Person",
+    "generate_persons",
+    "KnowsGenerator",
+    "correlation_dimensions",
+    "RewiringResult",
+    "rewire_to_target",
+    "BlockRuntime",
+    "GenerationReport",
+    "HardwareProfile",
+    "SINGLE_NODE",
+    "CLUSTER_4_NODES",
+    "estimate_generation_time",
+    "Datagen",
+    "DatagenConfig",
+]

@@ -1,0 +1,185 @@
+"""Datagen facade: configuration plus end-to-end generation.
+
+Ties together the degree-distribution plugins, person generation,
+windowed knows-edge generation, the block-parallel runtime, and the
+structural rewiring post-process into the single entry point users
+(and the benchmark harness) call.
+
+Example
+-------
+>>> from repro.datagen import Datagen, DatagenConfig
+>>> config = DatagenConfig(num_persons=2000, degree_distribution="zeta",
+...                        distribution_params={"alpha": 1.7}, seed=7)
+>>> graph = Datagen(config).generate()
+>>> graph.num_vertices
+2000
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.distributions import DegreeDistribution, distribution_from_name
+from repro.datagen.knows import KnowsGenerator
+from repro.datagen.persons import Person, generate_persons
+from repro.datagen.rewiring import rewire_to_target
+from repro.datagen.runtime import BlockRuntime, GenerationReport, HardwareProfile, TaskResult
+from repro.graph.graph import Graph, GraphBuilder
+
+__all__ = ["DatagenConfig", "Datagen"]
+
+
+@dataclass
+class DatagenConfig:
+    """Configuration of one Datagen invocation.
+
+    Attributes
+    ----------
+    num_persons:
+        Social network size (vertices of the person-knows-person
+        graph).
+    degree_distribution:
+        Plugin name (``facebook``, ``zeta``, ``geometric``,
+        ``empirical``) or a :class:`DegreeDistribution` instance.
+    distribution_params:
+        Keyword arguments for the named plugin.
+    window_size, decay, block_size:
+        Knobs of the windowed edge generation (see
+        :class:`~repro.datagen.knows.KnowsGenerator`).
+    target_clustering, target_assortativity, assortativity_sign,
+    rewiring_swaps:
+        Structural post-processing targets (see
+        :func:`~repro.datagen.rewiring.rewire_to_target`); all
+        disabled by default.
+    seed:
+        Determinism seed for the whole pipeline.
+    """
+
+    num_persons: int = 1000
+    degree_distribution: str | DegreeDistribution = "facebook"
+    distribution_params: dict = field(default_factory=dict)
+    window_size: int = 32
+    decay: float = 0.5
+    block_size: int = 4096
+    degree_homophily: bool = False
+    dimension_shares: tuple[float, ...] = (0.45, 0.45, 0.10)
+    target_clustering: float | None = None
+    target_assortativity: float | None = None
+    assortativity_sign: int = 0
+    rewiring_swaps: int = 20000
+    seed: int = 0
+
+    def resolve_distribution(self) -> DegreeDistribution:
+        """Instantiate the configured degree-distribution plugin."""
+        if isinstance(self.degree_distribution, DegreeDistribution):
+            return self.degree_distribution
+        return distribution_from_name(self.degree_distribution, **self.distribution_params)
+
+
+class Datagen:
+    """The data generator: deterministic person-knows-person graphs."""
+
+    def __init__(self, config: DatagenConfig):
+        if config.num_persons < 1:
+            raise ValueError("num_persons must be >= 1")
+        self.config = config
+
+    def generate_persons(self) -> list[Person]:
+        """Stage 1: persons with correlated attributes and target degrees."""
+        config = self.config
+        distribution = config.resolve_distribution()
+        rng = np.random.default_rng(config.seed)
+        degrees = distribution.sample(config.num_persons, rng)
+        # A person cannot know more persons than exist.
+        degrees = np.minimum(degrees, config.num_persons - 1)
+        return generate_persons(config.num_persons, degrees, seed=config.seed)
+
+    def _knows_generator(self) -> KnowsGenerator:
+        config = self.config
+        return KnowsGenerator(
+            window_size=config.window_size,
+            decay=config.decay,
+            block_size=config.block_size,
+            seed=config.seed,
+            degree_homophily=config.degree_homophily,
+            dimension_shares=config.dimension_shares,
+        )
+
+    def generate(self) -> Graph:
+        """Full pipeline on the local machine; returns the graph."""
+        persons = self.generate_persons()
+        graph = self._knows_generator().generate(persons)
+        return self._post_process(graph)
+
+    def generate_on(self, profile: HardwareProfile) -> tuple[Graph, GenerationReport]:
+        """Full pipeline through the block runtime of a hardware profile.
+
+        The resulting graph is identical to :meth:`generate`'s (block
+        decomposition, not scheduling, determines the output); the
+        report carries the simulated cost on the given hardware.
+        """
+        persons = self.generate_persons()
+        generator = self._knows_generator()
+
+        jobs = []
+        for dim_index in range(generator.num_dimensions):
+            blocks = generator.dimension_blocks(persons, dim_index)
+            tasks = [
+                _make_block_task(generator, block, dim_index, block_index)
+                for block_index, block in enumerate(blocks)
+            ]
+            jobs.append(tasks)
+
+        runtime = BlockRuntime(profile)
+        report = runtime.run(jobs)
+
+        builder = GraphBuilder(directed=False)
+        for person in persons:
+            builder.add_vertex(person.person_id)
+        for result in report.task_results:
+            builder.add_edges(result.edges)
+        graph = self._post_process(builder.build())
+        return graph, report
+
+    def _post_process(self, graph: Graph) -> Graph:
+        """Stage 3: optional structural rewiring toward targets."""
+        config = self.config
+        wants_rewiring = (
+            config.target_clustering is not None
+            or config.target_assortativity is not None
+            or config.assortativity_sign != 0
+        )
+        if not wants_rewiring:
+            return graph
+        result = rewire_to_target(
+            graph,
+            target_clustering=config.target_clustering,
+            target_assortativity=config.target_assortativity,
+            assortativity_sign=config.assortativity_sign,
+            max_swaps=config.rewiring_swaps,
+            seed=config.seed,
+        )
+        return result.graph
+
+
+def _make_block_task(
+    generator: KnowsGenerator,
+    block: list[Person],
+    dim_index: int,
+    block_index: int,
+):
+    """Bind one block into a runtime task (early-bound arguments)."""
+
+    def task() -> TaskResult:
+        edges = generator.generate_block(block, dim_index, block_index)
+        # Work ≈ candidate pairs scanned within the window.
+        cpu_work = float(len(block) * generator.window_size)
+        return TaskResult(
+            task_id=(dim_index, block_index),
+            edges=edges,
+            cpu_work=cpu_work,
+        )
+
+    return task

@@ -1,0 +1,118 @@
+"""Person generation with correlated attributes.
+
+Datagen (and its ancestor S3G2) generates social-network persons whose
+attributes are *structurally correlated*: where you studied, what you
+are interested in, and where you live are drawn from skewed
+distributions, and friendships are then made preferentially between
+persons with similar attributes (see :mod:`repro.datagen.knows`).
+
+Attribute values are plain integers (ids into dictionaries); the
+reproduction only needs their correlation structure, not their textual
+form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Person", "generate_persons"]
+
+#: Sizes of the attribute dictionaries. Skewed popularity within each
+#: dictionary follows a Zipf-like law, as in S3G2.
+NUM_UNIVERSITIES = 200
+NUM_INTERESTS = 500
+NUM_LOCATIONS = 100
+
+
+@dataclass(frozen=True)
+class Person:
+    """A social-network person (the person-knows-person projection).
+
+    Attributes
+    ----------
+    person_id:
+        Dense id, also the vertex id in the generated graph.
+    university, interest, location:
+        Correlation attributes (dictionary ids).
+    birthday:
+        Day index in ``[0, 365 * 40)``; used as a secondary sort key so
+        persons at the same university still differ.
+    target_degree:
+        Number of ``knows`` edges this person should end up with,
+        assigned by the degree-distribution plugin.
+    """
+
+    person_id: int
+    university: int
+    interest: int
+    location: int
+    birthday: int
+    target_degree: int
+
+
+def _zipf_choice(rng: np.random.Generator, n_values: int, size: int,
+                 exponent: float = 1.2) -> np.ndarray:
+    """Skewed categorical draw: value v with probability ∝ (v+1)^-exponent."""
+    weights = (np.arange(1, n_values + 1, dtype=np.float64)) ** (-exponent)
+    weights /= weights.sum()
+    return rng.choice(n_values, size=size, p=weights)
+
+
+def generate_persons(
+    num_persons: int,
+    target_degrees: np.ndarray,
+    seed: int = 0,
+) -> list[Person]:
+    """Generate persons with correlated attributes.
+
+    Parameters
+    ----------
+    num_persons:
+        Number of persons; ids are ``0..num_persons-1``.
+    target_degrees:
+        Per-person target degree array of length ``num_persons`` (from
+        a :class:`~repro.datagen.distributions.DegreeDistribution`).
+    seed:
+        Determinism seed; the same seed always yields the same
+        persons, which is what makes Datagen runs reproducible.
+
+    Notes
+    -----
+    Interests are correlated with universities (students of the same
+    university share interests more often than chance), mirroring how
+    S3G2 propagates correlations along attribute dependency chains.
+    """
+    target_degrees = np.asarray(target_degrees, dtype=np.int64)
+    if target_degrees.shape != (num_persons,):
+        raise ValueError(
+            f"target_degrees must have shape ({num_persons},), "
+            f"got {target_degrees.shape}"
+        )
+    if np.any(target_degrees < 0):
+        raise ValueError("target degrees must be non-negative")
+    rng = np.random.default_rng(seed)
+    universities = _zipf_choice(rng, NUM_UNIVERSITIES, num_persons)
+    locations = _zipf_choice(rng, NUM_LOCATIONS, num_persons)
+    birthdays = rng.integers(0, 365 * 40, size=num_persons)
+
+    # Interests correlate with university: with probability 0.6 the
+    # interest is a deterministic function of the university (its
+    # "dominant interest"); otherwise it is an independent skewed draw.
+    dominant_interest = (universities * 7) % NUM_INTERESTS
+    independent = _zipf_choice(rng, NUM_INTERESTS, num_persons)
+    correlated_mask = rng.random(num_persons) < 0.6
+    interests = np.where(correlated_mask, dominant_interest, independent)
+
+    return [
+        Person(
+            person_id=i,
+            university=int(universities[i]),
+            interest=int(interests[i]),
+            location=int(locations[i]),
+            birthday=int(birthdays[i]),
+            target_degree=int(target_degrees[i]),
+        )
+        for i in range(num_persons)
+    ]

@@ -1,0 +1,32 @@
+"""Dataset catalog: the benchmark's preconfigured graphs.
+
+The paper's harness ships "a database for Datasets, which includes
+preconfigured graphs ready to be used with Graphalytics". This
+package provides:
+
+* deterministic synthetic stand-ins for the five SNAP graphs of
+  Table 1 (Amazon, Youtube, LiveJournal, Patents, Wikipedia), built
+  to match each graph's structural signature at a reduced scale
+  (:mod:`repro.datasets.standins`);
+* the benchmark graphs of Section 3.3 — Graph500 (R-MAT) and SNB
+  (Datagen) at configurable scale — via the catalog
+  (:mod:`repro.datasets.catalog`).
+"""
+
+from repro.datasets.standins import (
+    TABLE1_PAPER_VALUES,
+    StandinSpec,
+    standin_graph,
+    standin_names,
+)
+from repro.datasets.catalog import graph500_graph, load_dataset, snb_graph
+
+__all__ = [
+    "TABLE1_PAPER_VALUES",
+    "StandinSpec",
+    "standin_graph",
+    "standin_names",
+    "graph500_graph",
+    "snb_graph",
+    "load_dataset",
+]

@@ -1,0 +1,69 @@
+"""The dataset catalog: named graphs ready for benchmarking.
+
+Provides the benchmark graphs of Section 3.3 — Graph500-style R-MAT
+graphs and SNB-style Datagen graphs — plus the Table 1 stand-ins,
+resolvable by name:
+
+* ``graph500-<scale>`` — R-MAT with ``2**scale`` vertices, edge
+  factor 16 (the paper benchmarks scale 23; reduced scales here);
+* ``snb-<persons>`` — Datagen person-knows-person graph;
+* ``amazon``, ``youtube``, ``livejournal``, ``patents``,
+  ``wikipedia`` — the Table 1 stand-ins.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.datagen import Datagen, DatagenConfig
+from repro.datasets.standins import standin_graph, standin_names
+from repro.graph.generators import rmat_graph
+from repro.graph.graph import Graph
+
+__all__ = ["graph500_graph", "snb_graph", "load_dataset"]
+
+
+def graph500_graph(scale: int, seed: int = 500) -> Graph:
+    """Graph500-style R-MAT graph at the given scale."""
+    return rmat_graph(scale, edge_factor=16, seed=seed)
+
+
+def snb_graph(num_persons: int, seed: int = 1000) -> Graph:
+    """SNB-style social network (person-knows-person projection).
+
+    Uses Datagen's default Facebook-like degree distribution, as the
+    LDBC SNB generator does.
+    """
+    config = DatagenConfig(
+        num_persons=num_persons,
+        degree_distribution="facebook",
+        distribution_params={"median_degree": 18.0},
+        window_size=32,
+        decay=0.6,
+        seed=seed,
+    )
+    return Datagen(config).generate()
+
+
+def load_dataset(name: str, seed: int | None = None) -> Graph:
+    """Resolve a catalog name to a graph.
+
+    Examples: ``graph500-15``, ``snb-20000``, ``patents``.
+    """
+    if name in standin_names():
+        return standin_graph(name) if seed is None else standin_graph(name, seed=seed)
+    if name.startswith("graph500-"):
+        scale = _suffix_int(name, "graph500-")
+        return graph500_graph(scale) if seed is None else graph500_graph(scale, seed)
+    if name.startswith("snb-"):
+        persons = _suffix_int(name, "snb-")
+        return snb_graph(persons) if seed is None else snb_graph(persons, seed)
+    raise ValueError(
+        f"unknown dataset {name!r}; expected one of {standin_names()}, "
+        f"'graph500-<scale>', or 'snb-<persons>'"
+    )
+
+
+def _suffix_int(name: str, prefix: str) -> int:
+    suffix = name[len(prefix):]
+    if not suffix.isdigit():
+        raise ValueError(f"dataset {name!r}: expected an integer after {prefix!r}")
+    return int(suffix)

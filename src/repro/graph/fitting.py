@@ -1,0 +1,200 @@
+"""Degree-distribution model fitting.
+
+Section 2.2 of the paper analyzes the degree distributions of real
+graphs by fitting Zeta, Geometric, Weibull, and Poisson models and
+observing that the best-fitting model varies per graph. This module
+provides maximum-likelihood fits for those four models over integer
+degree samples, plus AIC-based model selection.
+
+All models are treated as discrete distributions over degrees. The
+Weibull model is discretized by binning its continuous CDF onto
+integers, which is the standard approach for fitting Weibull shapes to
+degree data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize, special, stats
+
+__all__ = [
+    "DegreeFit",
+    "fit_zeta",
+    "fit_geometric",
+    "fit_poisson",
+    "fit_weibull",
+    "fit_degree_distribution",
+    "expected_frequencies",
+]
+
+_MODELS = ("zeta", "geometric", "poisson", "weibull")
+
+
+@dataclass(frozen=True)
+class DegreeFit:
+    """Result of fitting one model to a degree sample.
+
+    Attributes
+    ----------
+    model:
+        One of ``zeta``, ``geometric``, ``poisson``, ``weibull``.
+    params:
+        Fitted parameters, keyed by name (e.g. ``{"alpha": 1.7}``).
+    log_likelihood:
+        Total log-likelihood of the sample under the fitted model.
+    aic:
+        Akaike information criterion (lower is better).
+    n:
+        Sample size.
+    """
+
+    model: str
+    params: dict[str, float] = field(default_factory=dict)
+    log_likelihood: float = float("-inf")
+    aic: float = float("inf")
+    n: int = 0
+
+    def pmf(self, degrees: np.ndarray) -> np.ndarray:
+        """Model probability mass at the given integer degrees."""
+        return _model_pmf(self.model, self.params, np.asarray(degrees))
+
+
+def _validate_degrees(degrees) -> np.ndarray:
+    sample = np.asarray(degrees, dtype=np.int64)
+    if sample.size == 0:
+        raise ValueError("cannot fit a distribution to an empty degree sample")
+    if np.any(sample < 0):
+        raise ValueError("degrees must be non-negative")
+    return sample
+
+
+def _model_pmf(model: str, params: dict[str, float], k: np.ndarray) -> np.ndarray:
+    k = np.asarray(k, dtype=np.float64)
+    if model == "zeta":
+        alpha = params["alpha"]
+        out = np.zeros_like(k)
+        valid = k >= 1
+        out[valid] = k[valid] ** (-alpha) / special.zeta(alpha, 1)
+        return out
+    if model == "geometric":
+        p = params["p"]
+        out = np.zeros_like(k)
+        valid = k >= 1
+        out[valid] = (1 - p) ** (k[valid] - 1) * p
+        return out
+    if model == "poisson":
+        return stats.poisson.pmf(k, params["mu"])
+    if model == "weibull":
+        shape, scale = params["shape"], params["scale"]
+        # Discretize: P(K = k) = F(k + 1) - F(k), support k >= 0.
+        upper = stats.weibull_min.cdf(k + 1.0, shape, scale=scale)
+        lower = stats.weibull_min.cdf(k, shape, scale=scale)
+        return np.clip(upper - lower, 0.0, 1.0)
+    raise ValueError(f"unknown model {model!r}")
+
+
+def _finish(model: str, params: dict[str, float], sample: np.ndarray) -> DegreeFit:
+    pmf = _model_pmf(model, params, sample)
+    with np.errstate(divide="ignore"):
+        log_pmf = np.log(pmf)
+    log_pmf[~np.isfinite(log_pmf)] = -50.0  # zero-probability penalty
+    log_likelihood = float(np.sum(log_pmf))
+    aic = 2.0 * len(params) - 2.0 * log_likelihood
+    return DegreeFit(
+        model=model,
+        params=params,
+        log_likelihood=log_likelihood,
+        aic=aic,
+        n=int(sample.size),
+    )
+
+
+def fit_zeta(degrees) -> DegreeFit:
+    """MLE fit of the Zeta (discrete power law) model, support k>=1.
+
+    Degrees below 1 are excluded from the likelihood, as the Zeta model
+    has no mass there.
+    """
+    sample = _validate_degrees(degrees)
+    positive = sample[sample >= 1]
+    if positive.size == 0:
+        raise ValueError("zeta model requires degrees >= 1")
+    log_sum = float(np.sum(np.log(positive)))
+    n = positive.size
+
+    def negative_log_likelihood(alpha: float) -> float:
+        if alpha <= 1.0001:
+            return np.inf
+        return n * np.log(special.zeta(alpha, 1)) + alpha * log_sum
+
+    result = optimize.minimize_scalar(
+        negative_log_likelihood, bounds=(1.0001, 10.0), method="bounded"
+    )
+    return _finish("zeta", {"alpha": float(result.x)}, positive)
+
+
+def fit_geometric(degrees) -> DegreeFit:
+    """MLE fit of the Geometric model (support k>=1): p = 1/mean."""
+    sample = _validate_degrees(degrees)
+    positive = sample[sample >= 1]
+    if positive.size == 0:
+        raise ValueError("geometric model requires degrees >= 1")
+    p = float(1.0 / np.mean(positive))
+    p = min(max(p, 1e-9), 1.0)
+    return _finish("geometric", {"p": p}, positive)
+
+
+def fit_poisson(degrees) -> DegreeFit:
+    """MLE fit of the Poisson model: mu = mean degree."""
+    sample = _validate_degrees(degrees)
+    return _finish("poisson", {"mu": float(np.mean(sample))}, sample)
+
+
+def fit_weibull(degrees) -> DegreeFit:
+    """Fit a discretized Weibull model via continuous MLE on k + 0.5.
+
+    The half-unit shift avoids the zero-support problem for degree 0
+    while matching the discretized pmf used for the likelihood.
+    """
+    sample = _validate_degrees(degrees)
+    shifted = sample.astype(np.float64) + 0.5
+    shape, _loc, scale = stats.weibull_min.fit(shifted, floc=0.0)
+    return _finish("weibull", {"shape": float(shape), "scale": float(scale)}, sample)
+
+
+def fit_degree_distribution(degrees, models=_MODELS) -> dict[str, DegreeFit]:
+    """Fit all requested models; returns ``{model: DegreeFit}``.
+
+    The best model (lowest AIC) can be obtained with::
+
+        fits = fit_degree_distribution(sample)
+        best = min(fits.values(), key=lambda f: f.aic)
+    """
+    fitters = {
+        "zeta": fit_zeta,
+        "geometric": fit_geometric,
+        "poisson": fit_poisson,
+        "weibull": fit_weibull,
+    }
+    unknown = set(models) - set(fitters)
+    if unknown:
+        raise ValueError(f"unknown models: {sorted(unknown)}")
+    fits: dict[str, DegreeFit] = {}
+    for model in models:
+        try:
+            fits[model] = fitters[model](degrees)
+        except ValueError:
+            # A model whose support excludes the whole sample simply
+            # doesn't participate in selection.
+            continue
+    if not fits:
+        raise ValueError("no model could be fitted to the sample")
+    return fits
+
+
+def expected_frequencies(fit: DegreeFit, degrees: np.ndarray) -> np.ndarray:
+    """Expected count per degree value, for Figure 1 style comparisons."""
+    degrees = np.asarray(degrees)
+    return fit.n * fit.pmf(degrees)

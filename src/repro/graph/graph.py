@@ -1,0 +1,386 @@
+"""Core graph data structure.
+
+The :class:`Graph` class is the canonical in-memory representation used
+throughout the reproduction: a frozen, CSR-backed (compressed sparse
+row) graph with integer vertex identifiers. Graphs are built through
+:class:`GraphBuilder` (or the convenience constructors
+:meth:`Graph.from_edges` and :meth:`Graph.from_adjacency`) and are
+immutable afterwards, which makes it safe to share one graph instance
+between the benchmark harness and several simulated platforms.
+
+Vertex identifiers are arbitrary non-negative integers; they do not
+need to be dense. Internally vertices are mapped to dense indices so
+that adjacency can be stored in two numpy arrays (offsets + targets),
+which keeps even multi-million-edge graphs comfortably in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Graph", "GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable accumulator used to construct a :class:`Graph`.
+
+    The builder deduplicates edges and ignores self-loops by default,
+    mirroring how Graphalytics preprocesses its datasets (the benchmark
+    operates on simple graphs).
+
+    Parameters
+    ----------
+    directed:
+        Whether the resulting graph is directed. In an undirected
+        graph, ``add_edge(u, v)`` and ``add_edge(v, u)`` are the same
+        edge.
+    allow_self_loops:
+        Keep self-loops instead of silently dropping them.
+    """
+
+    def __init__(self, directed: bool = False, allow_self_loops: bool = False):
+        self.directed = directed
+        self.allow_self_loops = allow_self_loops
+        self._vertices: set[int] = set()
+        self._edges: set[tuple[int, int]] = set()
+
+    def add_vertex(self, vertex: int) -> None:
+        """Register a vertex (possibly isolated)."""
+        if vertex < 0:
+            raise ValueError(f"vertex ids must be non-negative, got {vertex}")
+        self._vertices.add(int(vertex))
+
+    def add_vertices(self, vertices: Iterable[int]) -> None:
+        """Register many vertices at once."""
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_edge(self, source: int, target: int) -> bool:
+        """Add an edge; returns ``True`` if it was new.
+
+        Self-loops are dropped (returning ``False``) unless the builder
+        was created with ``allow_self_loops=True``.
+        """
+        source = int(source)
+        target = int(target)
+        if source < 0 or target < 0:
+            raise ValueError("vertex ids must be non-negative")
+        if source == target and not self.allow_self_loops:
+            return False
+        self._vertices.add(source)
+        self._vertices.add(target)
+        key = (source, target)
+        if not self.directed and source > target:
+            key = (target, source)
+        if key in self._edges:
+            return False
+        self._edges.add(key)
+        return True
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Add many edges; returns the number of new edges."""
+        added = 0
+        for source, target in edges:
+            if self.add_edge(source, target):
+                added += 1
+        return added
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the edge is already present in the builder."""
+        key = (source, target)
+        if not self.directed and source > target:
+            key = (target, source)
+        return key in self._edges
+
+    def remove_edge(self, source: int, target: int) -> bool:
+        """Remove an edge if present; returns ``True`` if removed.
+
+        Vertices stay registered even when their last edge is removed,
+        matching the degree-preserving rewiring use case.
+        """
+        key = (source, target)
+        if not self.directed and source > target:
+            key = (target, source)
+        if key in self._edges:
+            self._edges.remove(key)
+            return True
+        return False
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (arcs, for directed graphs)."""
+        return len(self._edges)
+
+    def build(self) -> "Graph":
+        """Freeze the accumulated vertices/edges into a :class:`Graph`."""
+        return Graph(
+            sorted(self._vertices),
+            sorted(self._edges),
+            directed=self.directed,
+        )
+
+
+class Graph:
+    """Immutable CSR-backed graph.
+
+    Use :class:`GraphBuilder`, :meth:`from_edges`, or
+    :meth:`from_adjacency` rather than calling the constructor with raw
+    edge lists, unless the input is already deduplicated and sorted.
+
+    Attributes
+    ----------
+    directed:
+        Directed graphs store out-adjacency in :meth:`neighbors` and
+        in-adjacency in :meth:`in_neighbors`. Undirected graphs store
+        each edge once in :attr:`edges` (with ``source <= target``) but
+        expose both endpoints as mutual neighbors.
+    """
+
+    def __init__(
+        self,
+        vertices: Sequence[int],
+        edges: Sequence[tuple[int, int]],
+        directed: bool = False,
+    ):
+        self.directed = directed
+        self._vertex_ids = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        self._index_of = {int(v): i for i, v in enumerate(self._vertex_ids)}
+        n = len(self._vertex_ids)
+
+        seen: set[tuple[int, int]] = set()
+        for source, target in edges:
+            source, target = int(source), int(target)
+            if source not in self._index_of or target not in self._index_of:
+                raise ValueError(
+                    f"edge ({source}, {target}) references an unregistered vertex"
+                )
+            key = (source, target)
+            if not directed and source > target:
+                key = (target, source)
+            seen.add(key)
+        edge_array = np.asarray(sorted(seen), dtype=np.int64).reshape(-1, 2)
+        self._edge_list = edge_array
+
+        # Build CSR adjacency over dense indices.
+        if len(edge_array):
+            src_idx = np.fromiter(
+                (self._index_of[int(s)] for s in edge_array[:, 0]),
+                dtype=np.int64,
+                count=len(edge_array),
+            )
+            dst_idx = np.fromiter(
+                (self._index_of[int(t)] for t in edge_array[:, 1]),
+                dtype=np.int64,
+                count=len(edge_array),
+            )
+        else:
+            src_idx = np.empty(0, dtype=np.int64)
+            dst_idx = np.empty(0, dtype=np.int64)
+
+        if directed:
+            self._offsets, self._targets = _build_csr(n, src_idx, dst_idx)
+            self._in_offsets, self._in_targets = _build_csr(n, dst_idx, src_idx)
+        else:
+            all_src = np.concatenate([src_idx, dst_idx])
+            all_dst = np.concatenate([dst_idx, src_idx])
+            self._offsets, self._targets = _build_csr(n, all_src, all_dst)
+            self._in_offsets, self._in_targets = self._offsets, self._targets
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]],
+        directed: bool = False,
+        vertices: Iterable[int] | None = None,
+    ) -> "Graph":
+        """Build a graph from an edge iterable, deduplicating as needed.
+
+        ``vertices`` may supply additional isolated vertices.
+        """
+        builder = GraphBuilder(directed=directed)
+        if vertices is not None:
+            builder.add_vertices(vertices)
+        builder.add_edges(edges)
+        return builder.build()
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: dict[int, Iterable[int]], directed: bool = False
+    ) -> "Graph":
+        """Build a graph from ``{vertex: neighbors}`` mapping."""
+        builder = GraphBuilder(directed=directed)
+        for vertex, neighbors in adjacency.items():
+            builder.add_vertex(vertex)
+            for neighbor in neighbors:
+                builder.add_edge(vertex, neighbor)
+        return builder.build()
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertex_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (arcs, for directed graphs)."""
+        return len(self._edge_list)
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Sorted array of vertex identifiers."""
+        return self._vertex_ids
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``(num_edges, 2)`` array of edges.
+
+        For undirected graphs each edge appears once with
+        ``source <= target``.
+        """
+        return self._edge_list
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as Python int pairs."""
+        for source, target in self._edge_list:
+            yield int(source), int(target)
+
+    def has_vertex(self, vertex: int) -> bool:
+        """Whether the vertex id exists in the graph."""
+        return int(vertex) in self._index_of
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the edge exists (directionally, for directed graphs)."""
+        si = self._index_of.get(int(source))
+        ti = self._index_of.get(int(target))
+        if si is None or ti is None:
+            return False
+        row = self._targets[self._offsets[si] : self._offsets[si + 1]]
+        pos = np.searchsorted(row, ti)
+        return bool(pos < len(row) and row[pos] == ti)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Out-neighbors (all neighbors, for undirected graphs).
+
+        Returns vertex identifiers, sorted ascending.
+        """
+        idx = self._index_of[int(vertex)]
+        targets = self._targets[self._offsets[idx] : self._offsets[idx + 1]]
+        return self._vertex_ids[targets]
+
+    def in_neighbors(self, vertex: int) -> np.ndarray:
+        """In-neighbors (same as :meth:`neighbors` for undirected)."""
+        idx = self._index_of[int(vertex)]
+        targets = self._in_targets[self._in_offsets[idx] : self._in_offsets[idx + 1]]
+        return self._vertex_ids[targets]
+
+    def degree(self, vertex: int) -> int:
+        """Out-degree (total degree, for undirected graphs)."""
+        idx = self._index_of[int(vertex)]
+        return int(self._offsets[idx + 1] - self._offsets[idx])
+
+    def in_degree(self, vertex: int) -> int:
+        """In-degree (same as degree, for undirected graphs)."""
+        idx = self._index_of[int(vertex)]
+        return int(self._in_offsets[idx + 1] - self._in_offsets[idx])
+
+    def degrees(self) -> dict[int, int]:
+        """Mapping from vertex id to (out-)degree."""
+        counts = np.diff(self._offsets)
+        return {int(v): int(c) for v, c in zip(self._vertex_ids, counts)}
+
+    def degree_sequence(self) -> np.ndarray:
+        """Array of degrees ordered by ascending vertex id."""
+        return np.diff(self._offsets)
+
+    # -- derived graphs -----------------------------------------------
+
+    def to_undirected(self) -> "Graph":
+        """Undirected view: every directed edge becomes undirected."""
+        if not self.directed:
+            return self
+        return Graph(self._vertex_ids, self._edge_list, directed=False)
+
+    def to_directed(self) -> "Graph":
+        """Directed view: every undirected edge becomes two arcs."""
+        if self.directed:
+            return self
+        reversed_edges = self._edge_list[:, ::-1]
+        both = np.concatenate([self._edge_list, reversed_edges])
+        return Graph(self._vertex_ids, both, directed=True)
+
+    def subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Induced subgraph on the given vertex set."""
+        keep = set(int(v) for v in vertices)
+        missing = keep.difference(int(v) for v in self._vertex_ids if int(v) in keep)
+        if missing:
+            raise ValueError(f"vertices not in graph: {sorted(missing)[:5]}")
+        edges = [
+            (s, t) for s, t in self.iter_edges() if s in keep and t in keep
+        ]
+        return Graph(sorted(keep), edges, directed=self.directed)
+
+    def relabel(self) -> tuple["Graph", dict[int, int]]:
+        """Relabel vertices to ``0..n-1``; returns (graph, old->new map)."""
+        mapping = {int(v): i for i, v in enumerate(self._vertex_ids)}
+        edges = [(mapping[s], mapping[t]) for s, t in self.iter_edges()]
+        return Graph(range(len(mapping)), edges, directed=self.directed), mapping
+
+    # -- adjacency export ----------------------------------------------
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Full ``{vertex: [neighbors]}`` mapping (out-adjacency)."""
+        return {
+            int(v): [int(u) for u in self.neighbors(int(v))]
+            for v in self._vertex_ids
+        }
+
+    # -- dunder --------------------------------------------------------
+
+    def __contains__(self, vertex: int) -> bool:
+        return self.has_vertex(vertex)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.directed == other.directed
+            and np.array_equal(self._vertex_ids, other._vertex_ids)
+            and np.array_equal(self._edge_list, other._edge_list)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"Graph({kind}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )
+
+
+def _build_csr(
+    n: int, sources: np.ndarray, targets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build (offsets, sorted targets) CSR arrays over dense indices."""
+    order = np.lexsort((targets, sources))
+    sources = sources[order]
+    targets = targets[order]
+    counts = np.bincount(sources, minlength=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets, targets

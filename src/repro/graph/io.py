@@ -1,0 +1,113 @@
+"""Edge-list and vertex-list file formats.
+
+Graphalytics distributes graphs as plain-text vertex and edge files
+(one record per line, whitespace separated), mirroring the format the
+original harness feeds to platform drivers. Lines starting with ``#``
+are comments; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "read_edge_list",
+    "read_vertex_list",
+    "write_edge_list",
+    "write_vertex_list",
+    "iter_edge_lines",
+]
+
+
+def _open_text(path: Path, mode: str):
+    """Open plain or gzip-compressed text depending on the suffix."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_edge_lines(path: str | Path) -> Iterator[tuple[int, int]]:
+    """Stream (source, target) pairs from an edge-list file."""
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'source target', got {stripped!r}"
+                )
+            yield int(parts[0]), int(parts[1])
+
+
+def read_edge_list(
+    path: str | Path,
+    directed: bool = False,
+    vertex_path: str | Path | None = None,
+) -> Graph:
+    """Load a graph from an edge-list file.
+
+    Parameters
+    ----------
+    path:
+        Edge file (optionally ``.gz``); one ``source target`` pair per
+        line.
+    directed:
+        Interpret pairs as arcs rather than undirected edges.
+    vertex_path:
+        Optional vertex file adding isolated vertices not mentioned in
+        any edge.
+    """
+    vertices = read_vertex_list(vertex_path) if vertex_path else None
+    return Graph.from_edges(iter_edge_lines(path), directed=directed, vertices=vertices)
+
+
+def read_vertex_list(path: str | Path) -> list[int]:
+    """Load vertex ids from a vertex-list file (one id per line)."""
+    path = Path(path)
+    vertices: list[int] = []
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                vertices.append(int(stripped.split()[0]))
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: expected a vertex id, got {stripped!r}"
+                ) from exc
+    return vertices
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> int:
+    """Write a graph's edges to a file; returns the edge count.
+
+    Undirected edges are written once, with ``source <= target``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open_text(path, "w") as handle:
+        for source, target in graph.iter_edges():
+            handle.write(f"{source} {target}\n")
+            count += 1
+    return count
+
+
+def write_vertex_list(vertices: Iterable[int], path: str | Path) -> int:
+    """Write vertex ids, one per line; returns the vertex count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with _open_text(path, "w") as handle:
+        for vertex in vertices:
+            handle.write(f"{int(vertex)}\n")
+            count += 1
+    return count

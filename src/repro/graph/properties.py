@@ -1,0 +1,177 @@
+"""Structural graph properties used throughout the benchmark.
+
+These are the characteristics the paper's Table 1 reports for real
+graphs — vertex/edge counts, global clustering coefficient, average
+(local) clustering coefficient, and degree assortativity — plus degree
+histograms used by the distribution-fitting module.
+
+All functions operate on the undirected view of the graph, matching
+how the paper characterizes its datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "GraphCharacteristics",
+    "local_clustering_coefficient",
+    "average_clustering_coefficient",
+    "global_clustering_coefficient",
+    "degree_assortativity",
+    "degree_histogram",
+    "graph_characteristics",
+    "count_triangles",
+]
+
+
+@dataclass(frozen=True)
+class GraphCharacteristics:
+    """One row of the paper's Table 1."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    global_clustering: float
+    average_clustering: float
+    assortativity: float
+
+    def as_row(self) -> tuple:
+        """Tuple in Table 1 column order."""
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.global_clustering,
+            self.average_clustering,
+            self.assortativity,
+        )
+
+
+def _neighbor_sets(graph: Graph) -> dict[int, set[int]]:
+    """Per-vertex neighbor sets on the undirected view."""
+    undirected = graph.to_undirected()
+    return {
+        int(v): set(int(u) for u in undirected.neighbors(int(v)))
+        for v in undirected.vertices
+    }
+
+
+def local_clustering_coefficient(graph: Graph, vertex: int) -> float:
+    """Fraction of a vertex's neighbor pairs that are connected.
+
+    Vertices with degree < 2 have coefficient 0, following the common
+    convention (and networkx).
+    """
+    undirected = graph.to_undirected()
+    neighbors = [int(u) for u in undirected.neighbors(int(vertex))]
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    neighbor_set = set(neighbors)
+    links = 0
+    for u in neighbors:
+        for w in undirected.neighbors(u):
+            w = int(w)
+            if w > u and w in neighbor_set:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering_coefficient(graph: Graph) -> float:
+    """Mean of local clustering coefficients over all vertices.
+
+    This is the "Avg. CC" column of Table 1 and the statistic the
+    STATS algorithm reports.
+    """
+    undirected = graph.to_undirected()
+    if undirected.num_vertices == 0:
+        return 0.0
+    sets = _neighbor_sets(undirected)
+    total = 0.0
+    for vertex, neighbors in sets.items():
+        k = len(neighbors)
+        if k < 2:
+            continue
+        links = 0
+        for u in neighbors:
+            # Count each connected neighbor pair once.
+            links += sum(1 for w in sets[u] if w > u and w in neighbors)
+        total += 2.0 * links / (k * (k - 1))
+    return total / undirected.num_vertices
+
+
+def count_triangles(graph: Graph) -> int:
+    """Number of triangles in the undirected view."""
+    sets = _neighbor_sets(graph)
+    triangles = 0
+    for vertex, neighbors in sets.items():
+        for u in neighbors:
+            if u <= vertex:
+                continue
+            # Triangles (vertex, u, w) with vertex < u < w counted once.
+            triangles += sum(1 for w in sets[u] if w > u and w in neighbors)
+    return triangles
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: ``3 * triangles / connected triplets``.
+
+    This is the "Gl. CC" column of Table 1.
+    """
+    undirected = graph.to_undirected()
+    degrees = undirected.degree_sequence()
+    triplets = int(np.sum(degrees * (degrees - 1) // 2))
+    if triplets == 0:
+        return 0.0
+    return 3.0 * count_triangles(undirected) / triplets
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of degrees across edges (Newman's r).
+
+    Positive values mean high-degree vertices attach to high-degree
+    vertices; social networks are typically positive, web-like graphs
+    negative (the "Asrt." column of Table 1). Returns ``nan`` for
+    graphs where the correlation is undefined (e.g. regular graphs).
+    """
+    undirected = graph.to_undirected()
+    if undirected.num_edges == 0:
+        return float("nan")
+    degrees = undirected.degrees()
+    x = np.empty(undirected.num_edges * 2, dtype=np.float64)
+    y = np.empty(undirected.num_edges * 2, dtype=np.float64)
+    for i, (source, target) in enumerate(undirected.iter_edges()):
+        # Each undirected edge contributes both orientations, making
+        # the correlation symmetric.
+        x[2 * i], y[2 * i] = degrees[source], degrees[target]
+        x[2 * i + 1], y[2 * i + 1] = degrees[target], degrees[source]
+    x_std = np.std(x)
+    y_std = np.std(y)
+    if x_std == 0 or y_std == 0:
+        return float("nan")
+    return float(np.mean((x - np.mean(x)) * (y - np.mean(y))) / (x_std * y_std))
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Mapping from degree value to number of vertices with it."""
+    degrees = graph.to_undirected().degree_sequence()
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def graph_characteristics(graph: Graph, name: str = "") -> GraphCharacteristics:
+    """Compute the full Table 1 row for a graph."""
+    undirected = graph.to_undirected()
+    return GraphCharacteristics(
+        name=name,
+        num_vertices=undirected.num_vertices,
+        num_edges=undirected.num_edges,
+        global_clustering=global_clustering_coefficient(undirected),
+        average_clustering=average_clustering_coefficient(undirected),
+        assortativity=degree_assortativity(undirected),
+    )

@@ -1,0 +1,31 @@
+"""Simulated graph-processing platforms.
+
+One subpackage per platform the paper benchmarks:
+
+* :mod:`repro.platforms.pregel` — Giraph-style vertex-centric BSP;
+* :mod:`repro.platforms.mapreduce` — Hadoop MapReduce v2;
+* :mod:`repro.platforms.rddgraph` — GraphX-style processing on an
+  RDD substrate;
+* :mod:`repro.platforms.graphdb` — Neo4j-style single-node graph
+  database;
+* :mod:`repro.platforms.columnar` — Virtuoso-style column store (the
+  Section 3.4 DBMS experiment).
+
+Each platform is a real executable implementation of its execution
+model — outputs are computed, not faked — running against the
+simulated-hardware cost model in :mod:`repro.core.cost`.
+"""
+
+from repro.platforms.registry import (
+    available_platforms,
+    create_platform,
+    create_platform_fleet,
+    is_single_machine,
+)
+
+__all__ = [
+    "available_platforms",
+    "create_platform",
+    "create_platform_fleet",
+    "is_single_machine",
+]

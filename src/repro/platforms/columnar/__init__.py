@@ -1,0 +1,41 @@
+"""Virtuoso-style column store (the paper's Section 3.4 experiment).
+
+"We use the OpenLink Virtuoso column store to experiment with
+performance dynamics of BFS graph traversal in a DBMS. Virtuoso
+features column-wise compression, vectored execution, and intra-query
+parallelism with optimized partitioned aggregation. [...] Virtuoso
+offers an SQL extension for transitive traversal."
+
+The reproduction implements each of those features:
+
+* :mod:`repro.platforms.columnar.columns` — compressed columns
+  (delta/bit-packed, run-length, dictionary) with vector-at-a-time
+  decompression;
+* :mod:`repro.platforms.columnar.table` — tables over columns plus
+  the partitioned hash table used for the traversal border;
+* :mod:`repro.platforms.columnar.sql` — a small SQL dialect covering
+  the paper's query, including the ``transitive`` derived-table
+  modifier;
+* :mod:`repro.platforms.columnar.transitive` — the vectored BFS
+  executor with an exchange operator between edge lookup and border
+  update, producing the query profile the paper reports (random
+  lookups, edge endpoints visited, MTEPS, CPU% per operator).
+"""
+
+from repro.platforms.columnar.columns import CompressedColumn, VECTOR_SIZE
+from repro.platforms.columnar.table import ColumnTable, PartitionedHashTable
+from repro.platforms.columnar.sql import VirtuosoEngine
+from repro.platforms.columnar.transitive import TransitiveResult, transitive_closure
+from repro.platforms.columnar.driver import VirtuosoPlatform, paper_dbms_spec
+
+__all__ = [
+    "CompressedColumn",
+    "VECTOR_SIZE",
+    "ColumnTable",
+    "PartitionedHashTable",
+    "VirtuosoEngine",
+    "TransitiveResult",
+    "transitive_closure",
+    "VirtuosoPlatform",
+    "paper_dbms_spec",
+]

@@ -1,0 +1,145 @@
+"""Compressed columns with vector-at-a-time access.
+
+Implements the column-store storage layer: integer columns sealed
+into one of several compression schemes (chosen per column by a
+simple cost rule, the way column stores pick per-page encodings):
+
+* ``delta`` — ascending or near-sorted columns store bit-packed
+  deltas (the ``spe_from`` key column compresses this way);
+* ``rle`` — long runs collapse to (value, run-length) pairs;
+* ``dict`` — few distinct values store dictionary codes;
+* ``packed`` — the fallback: bit-packing to the minimum width.
+
+Reads are vectored: :meth:`CompressedColumn.vector` materializes one
+``VECTOR_SIZE`` slice, and the per-vector decompression cost in
+simple operations is exposed via :meth:`decompress_cost` so the query
+executor can charge the cost meter ("column store random access and
+decompression" is the dominant term of the paper's CPU profile).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CompressedColumn", "VECTOR_SIZE"]
+
+#: Values per vector, as in Virtuoso's vectored execution.
+VECTOR_SIZE = 1024
+
+
+def _bits_needed(max_value: int) -> int:
+    if max_value <= 0:
+        return 1
+    return int(max_value).bit_length()
+
+
+class CompressedColumn:
+    """An immutable compressed integer column."""
+
+    def __init__(self, values, name: str = "col"):
+        data = np.asarray(values, dtype=np.int64)
+        if data.ndim != 1:
+            raise ValueError("a column is one-dimensional")
+        if data.size and data.min() < 0:
+            raise ValueError("only non-negative integers are supported")
+        self.name = name
+        self._length = int(data.size)
+        self.scheme, self._payload, self.compressed_bytes = self._seal(data)
+        self._cache: np.ndarray | None = None
+
+    # -- sealing -----------------------------------------------------------
+
+    @staticmethod
+    def _seal(data: np.ndarray):
+        """Choose the cheapest encoding for this column."""
+        n = data.size
+        if n == 0:
+            return "packed", (np.zeros(0, dtype=np.int64), 1), 0.0
+        plain_bits = 64 * n
+
+        candidates: list[tuple[float, str, object]] = []
+
+        # Bit-packing to minimum width (always applicable).
+        width = _bits_needed(int(data.max()))
+        candidates.append((width * n / 8.0, "packed", (data.copy(), width)))
+
+        # Delta encoding for non-decreasing columns.
+        if n > 1 and bool(np.all(np.diff(data) >= 0)):
+            deltas = np.diff(data)
+            delta_width = _bits_needed(int(deltas.max()) if deltas.size else 0)
+            cost = 8.0 + delta_width * (n - 1) / 8.0
+            candidates.append((cost, "delta", (int(data[0]), deltas, delta_width)))
+
+        # Run-length encoding.
+        change = np.flatnonzero(np.diff(data)) + 1
+        starts = np.concatenate([[0], change])
+        run_values = data[starts]
+        run_lengths = np.diff(np.concatenate([starts, [n]]))
+        if len(run_values) < n // 2:
+            cost = len(run_values) * 12.0
+            candidates.append((cost, "rle", (run_values, run_lengths)))
+
+        # Dictionary encoding.
+        distinct = np.unique(data)
+        if len(distinct) <= max(2, n // 4):
+            code_width = _bits_needed(len(distinct) - 1)
+            codes = np.searchsorted(distinct, data)
+            cost = len(distinct) * 8.0 + code_width * n / 8.0
+            candidates.append((cost, "dict", (distinct, codes)))
+
+        cost, scheme, payload = min(candidates, key=lambda c: c[0])
+        return scheme, payload, min(cost, plain_bits / 8.0)
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_vectors(self) -> int:
+        """Number of vectors covering the column."""
+        return (self._length + VECTOR_SIZE - 1) // VECTOR_SIZE
+
+    def decompress_cost(self, count: int = VECTOR_SIZE) -> float:
+        """Simple-operation cost of decompressing ``count`` values."""
+        per_value = {"packed": 1.0, "delta": 1.5, "rle": 0.5, "dict": 1.2}
+        return per_value[self.scheme] * count
+
+    def to_numpy(self) -> np.ndarray:
+        """Decompress the whole column (cached after the first call).
+
+        The cache stands in for a decompressed-page buffer pool; the
+        *cost model* still charges decompression per access through
+        :meth:`decompress_cost`, so simulated time is unaffected.
+        """
+        if self._cache is None:
+            self._cache = self._decompress()
+        return self._cache
+
+    def _decompress(self) -> np.ndarray:
+        if self.scheme == "packed":
+            values, _width = self._payload
+            return values.copy()
+        if self.scheme == "delta":
+            first, deltas, _width = self._payload
+            return np.concatenate([[first], first + np.cumsum(deltas)]).astype(np.int64)
+        if self.scheme == "rle":
+            run_values, run_lengths = self._payload
+            return np.repeat(run_values, run_lengths)
+        if self.scheme == "dict":
+            distinct, codes = self._payload
+            return distinct[codes]
+        raise AssertionError(f"unknown scheme {self.scheme}")
+
+    def vector(self, index: int) -> np.ndarray:
+        """The ``index``-th vector of up to ``VECTOR_SIZE`` values."""
+        if not 0 <= index < max(self.num_vectors, 1):
+            raise IndexError(f"vector {index} out of range")
+        start = index * VECTOR_SIZE
+        return self.to_numpy()[start : start + VECTOR_SIZE]
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Decompress an arbitrary range (a random access + scan)."""
+        if start < 0 or stop > self._length or start > stop:
+            raise IndexError(f"range [{start}, {stop}) out of bounds")
+        return self.to_numpy()[start:stop]

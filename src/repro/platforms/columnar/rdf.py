@@ -1,0 +1,315 @@
+"""RDF triple store and SPARQL subset over the column store.
+
+The paper: "Furthermore, we plan to support databases for RDF semantic
+web data and are working on implementing support for OpenLink
+Virtuoso, a popular RDF database." This module implements that plan's
+data-model side:
+
+* an :class:`RDFStore` — dictionary-encoded terms with three sorted,
+  compressed triple indexes (SPO, POS, OSP), the standard column-store
+  RDF layout;
+* a small SPARQL subset: basic graph patterns with joins on shared
+  variables, ``COUNT``, and the ``+`` transitive property path (which
+  maps onto the same vectored traversal as the paper's SQL
+  ``transitive`` extension);
+* :func:`graph_to_triples` — the person-knows-person projection of a
+  benchmark graph as ``foaf:knows`` triples.
+
+Supported query shapes::
+
+    SELECT ?x WHERE { <person:4> <knows> ?x . }
+    SELECT ?x ?y WHERE { <person:4> <knows> ?x . ?x <knows> ?y . }
+    SELECT (COUNT(*) AS ?n) WHERE { ?s <knows> ?o . }
+    SELECT ?x WHERE { <person:4> <knows>+ ?x . }
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.platforms.columnar.columns import CompressedColumn
+
+__all__ = ["RDFStore", "SparqlError", "graph_to_triples"]
+
+KNOWS = "knows"
+
+
+class SparqlError(ValueError):
+    """The query does not match the supported SPARQL subset."""
+
+
+def graph_to_triples(graph: Graph) -> list[tuple[str, str, str]]:
+    """Person-knows-person triples (both directions, as RDF does)."""
+    triples = []
+    for source, target in graph.to_undirected().iter_edges():
+        triples.append((f"person:{source}", KNOWS, f"person:{target}"))
+        triples.append((f"person:{target}", KNOWS, f"person:{source}"))
+    return triples
+
+
+@dataclass(frozen=True)
+class _TriplePattern:
+    """One parsed triple pattern.
+
+    Terms are tagged tuples: ``("var", name)`` or ``("iri", value)``.
+    """
+
+    subject: tuple[str, str]
+    predicate: tuple[str, str]
+    obj: tuple[str, str]
+    transitive: bool = False
+
+    def variables(self) -> set[str]:
+        """Variable names appearing in this pattern."""
+        return {
+            value
+            for kind, value in (self.subject, self.predicate, self.obj)
+            if kind == "var"
+        }
+
+
+class _Index:
+    """One sorted triple ordering as three compressed columns."""
+
+    def __init__(self, triples: np.ndarray, order: tuple[int, int, int]):
+        self.order = order
+        if len(triples):
+            keys = [triples[:, order[2]], triples[:, order[1]], triples[:, order[0]]]
+            permutation = np.lexsort(keys)
+            data = triples[permutation]
+        else:
+            data = triples.reshape(0, 3)
+        self.columns = [
+            CompressedColumn(data[:, position], name=f"c{position}")
+            for position in order
+        ]
+        self._first = self.columns[0].to_numpy()
+        self._second = self.columns[1].to_numpy()
+        self._third = self.columns[2].to_numpy()
+
+    def scan(self, first: int | None, second: int | None):
+        """Rows matching the bound prefix; yields (first, second, third)."""
+        lo, hi = 0, len(self._first)
+        if first is not None:
+            lo = int(np.searchsorted(self._first, first, side="left"))
+            hi = int(np.searchsorted(self._first, first, side="right"))
+            if second is not None:
+                seg = self._second[lo:hi]
+                lo2 = int(np.searchsorted(seg, second, side="left"))
+                hi2 = int(np.searchsorted(seg, second, side="right"))
+                lo, hi = lo + lo2, lo + hi2
+        elif second is not None:
+            raise AssertionError("cannot bind the second key without the first")
+        return zip(
+            self._first[lo:hi].tolist(),
+            self._second[lo:hi].tolist(),
+            self._third[lo:hi].tolist(),
+        )
+
+
+class RDFStore:
+    """Dictionary-encoded triple store with SPO/POS/OSP indexes."""
+
+    def __init__(self, triples: list[tuple[str, str, str]]):
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+        encoded = np.array(
+            [
+                [self._encode(s), self._encode(p), self._encode(o)]
+                for s, p, o in sorted(set(triples))
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 3)
+        self.num_triples = len(encoded)
+        self._spo = _Index(encoded, (0, 1, 2))
+        self._pos = _Index(encoded, (1, 2, 0))
+        self._osp = _Index(encoded, (2, 0, 1))
+
+    # -- dictionary -----------------------------------------------------
+
+    def _encode(self, term: str) -> int:
+        if term not in self._term_to_id:
+            self._term_to_id[term] = len(self._id_to_term)
+            self._id_to_term.append(term)
+        return self._term_to_id[term]
+
+    def term_id(self, term: str) -> int | None:
+        """The dictionary id of a term, or ``None`` if absent."""
+        return self._term_to_id.get(term)
+
+    def term(self, term_id: int) -> str:
+        """The term for a dictionary id."""
+        return self._id_to_term[term_id]
+
+    @property
+    def compressed_bytes(self) -> float:
+        """Compressed size of all three indexes."""
+        return sum(
+            column.compressed_bytes
+            for index in (self._spo, self._pos, self._osp)
+            for column in index.columns
+        )
+
+    # -- pattern matching --------------------------------------------------
+
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: str | None = None,
+    ):
+        """Triples matching the bound terms; yields (s, p, o) strings."""
+        ids = []
+        for term in (subject, predicate, obj):
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = self.term_id(term)
+                if term_id is None:
+                    return
+                ids.append(term_id)
+        s_id, p_id, o_id = ids
+        if s_id is not None:
+            rows = self._spo.scan(s_id, p_id)
+            decode = lambda row: (row[0], row[1], row[2])  # noqa: E731
+        elif p_id is not None:
+            rows = self._pos.scan(p_id, o_id)
+            decode = lambda row: (row[2], row[0], row[1])  # noqa: E731
+        elif o_id is not None:
+            rows = self._osp.scan(o_id, None)
+            decode = lambda row: (row[1], row[2], row[0])  # noqa: E731
+        else:
+            rows = self._spo.scan(None, None)
+            decode = lambda row: (row[0], row[1], row[2])  # noqa: E731
+        for row in rows:
+            s, p, o = decode(row)
+            if o_id is not None and o != o_id:
+                continue
+            if p_id is not None and p != p_id:
+                continue
+            yield (self.term(s), self.term(p), self.term(o))
+
+    def transitive_objects(self, subject: str, predicate: str) -> set[str]:
+        """All terms reachable by one-or-more ``predicate`` steps.
+
+        The SPARQL ``+`` property path — the RDF face of the paper's
+        SQL ``transitive`` derived table.
+        """
+        start = self.term_id(subject)
+        p_id = self.term_id(predicate)
+        if start is None or p_id is None:
+            return set()
+        reached: set[int] = set()
+        frontier = deque([start])
+        visited = {start}
+        while frontier:
+            current = frontier.popleft()
+            for _s, _p, o in self._spo.scan(current, p_id):
+                reached.add(o)
+                if o not in visited:
+                    visited.add(o)
+                    frontier.append(o)
+        return {self.term(o) for o in reached}
+
+    # -- SPARQL ---------------------------------------------------------------
+
+    def query(self, sparql: str) -> list[dict[str, str]] | int:
+        """Evaluate a query; rows as variable dicts, or an int for COUNT."""
+        projection, count, patterns = _parse_sparql(sparql)
+        bindings = self._evaluate_bgp(patterns)
+        if count:
+            return len(bindings)
+        missing = [v for v in projection if any(v not in b for b in bindings)]
+        if missing and bindings:
+            raise SparqlError(f"unbound projected variables: {missing}")
+        return [
+            {variable: binding[variable] for variable in projection}
+            for binding in bindings
+        ]
+
+    def _evaluate_bgp(self, patterns: list[_TriplePattern]) -> list[dict[str, str]]:
+        bindings: list[dict[str, str]] = [{}]
+        for pattern in patterns:
+            bindings = [
+                extended
+                for binding in bindings
+                for extended in self._extend(binding, pattern)
+            ]
+        return bindings
+
+    def _extend(self, binding: dict[str, str], pattern: _TriplePattern):
+        def resolve(term):
+            kind, value = term
+            if kind == "var":
+                return binding.get(value)
+            return value
+
+        subject = resolve(pattern.subject)
+        predicate = resolve(pattern.predicate)
+        obj = resolve(pattern.obj)
+
+        if pattern.transitive:
+            if subject is None or predicate is None:
+                raise SparqlError(
+                    "transitive paths need a bound subject and predicate"
+                )
+            for target in sorted(self.transitive_objects(subject, predicate)):
+                if obj is not None and target != obj:
+                    continue
+                extended = dict(binding)
+                if pattern.obj[0] == "var":
+                    extended[pattern.obj[1]] = target
+                yield extended
+            return
+
+        for s, p, o in self.match(subject, predicate, obj):
+            extended = dict(binding)
+            for term, value in ((pattern.subject, s), (pattern.predicate, p),
+                                (pattern.obj, o)):
+                if term[0] == "var":
+                    extended[term[1]] = value
+            yield extended
+
+
+_PREFIX = re.compile(
+    r"^\s*select\s+(?P<proj>\(count\(\*\)\s+as\s+\?\w+\)|(?:\?\w+\s*)+)\s+"
+    r"where\s*\{(?P<body>.*)\}\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_TERM = re.compile(r"<(?P<iri>[^>]+)>(?P<plus>\+?)|\?(?P<var>\w+)")
+
+
+def _parse_sparql(sparql: str):
+    """Parse the supported subset into (projection, count?, patterns)."""
+    match = _PREFIX.match(sparql.strip())
+    if match is None:
+        raise SparqlError(f"unsupported query shape: {sparql.strip()[:60]!r}")
+    projection_text = match.group("proj").strip()
+    count = projection_text.lower().startswith("(count(*)")
+    projection = [] if count else re.findall(r"\?(\w+)", projection_text)
+
+    patterns: list[_TriplePattern] = []
+    body = match.group("body").strip()
+    for clause in filter(None, (part.strip() for part in body.split("."))):
+        terms = []
+        transitive = False
+        for term_match in _TERM.finditer(clause):
+            if term_match.group("iri") is not None:
+                terms.append(("iri", term_match.group("iri")))
+                if term_match.group("plus"):
+                    transitive = True
+            else:
+                terms.append(("var", term_match.group("var")))
+        if len(terms) != 3:
+            raise SparqlError(f"expected a triple pattern, got {clause!r}")
+        patterns.append(
+            _TriplePattern(terms[0], terms[1], terms[2], transitive)
+        )
+    if not patterns:
+        raise SparqlError("empty graph pattern")
+    return projection, count, patterns

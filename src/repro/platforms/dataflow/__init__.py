@@ -1,0 +1,21 @@
+"""Stratosphere-style dataflow platform with delta iterations.
+
+Reference [4] of the paper (Guo et al., IPDPS 2014 — the study the
+Graphalytics workload grew out of) benchmarks Stratosphere (now
+Apache Flink) alongside the platforms reproduced here; the paper's
+conclusion counts it among the additions "for which we already have
+shown proof-of-concept implementations".
+
+The model's distinguishing feature is the **delta iteration**: state
+lives in an indexed *solution set*, and each iteration processes only
+the *workset* — the records that changed — joining it against the
+edge table and the solution set. Per-iteration cost is therefore
+proportional to the frontier, like Giraph's active set and unlike
+GraphX's whole-edge-RDD scans; the price is an indexed random-access
+join probe per delta record (the locality choke point, on a cluster).
+"""
+
+from repro.platforms.dataflow.engine import DataflowEngine, DeltaIterationStats
+from repro.platforms.dataflow.driver import StratospherePlatform
+
+__all__ = ["DataflowEngine", "DeltaIterationStats", "StratospherePlatform"]

@@ -1,0 +1,257 @@
+"""The five Graphalytics algorithms as dataflow programs.
+
+BFS and CONN are genuine delta iterations (frontier-sized worksets);
+CD keeps every vertex in the workset for its fixed iteration count
+(label propagation is dense by nature); STATS is a single
+expand + aggregate pipeline; EVO runs one delta round per fire hop.
+All outputs match the references exactly.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import evo as evo_ref
+from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.stats import GraphStats
+from repro.platforms.dataflow.engine import DataflowEngine
+
+__all__ = [
+    "dataflow_bfs",
+    "dataflow_conn",
+    "dataflow_cd",
+    "dataflow_stats",
+    "dataflow_evo",
+]
+
+
+def dataflow_bfs(engine: DataflowEngine, source: int) -> dict[int, int]:
+    """BFS distances as a delta iteration (workset = the frontier)."""
+
+    def step(flow: DataflowEngine, workset):
+        candidates = flow.aggregate(
+            flow.expand(
+                workset,
+                emit=lambda vertex, dist, neighbor: [(neighbor, dist + 1)],
+            ),
+            combine=min,
+        )
+        deltas = flow.join_solution(
+            candidates,
+            accept=lambda key, current, candidate: (
+                candidate if current == UNREACHABLE else None
+            ),
+        )
+        flow.update_solution(deltas)
+        return sorted(deltas.items())
+
+    initial = {vertex: UNREACHABLE for vertex in engine.adjacency}
+    initial[source] = 0
+    engine.delta_iteration(initial, [(source, 0)], step)
+    return dict(engine.solution)
+
+
+def dataflow_conn(engine: DataflowEngine) -> dict[int, int]:
+    """CONN as a delta iteration over shrinking label improvements."""
+
+    def step(flow: DataflowEngine, workset):
+        candidates = flow.aggregate(
+            flow.expand(
+                workset,
+                emit=lambda vertex, label, neighbor: [(neighbor, label)],
+            ),
+            combine=min,
+        )
+        deltas = flow.join_solution(
+            candidates,
+            accept=lambda key, current, candidate: (
+                candidate if candidate < current else None
+            ),
+        )
+        flow.update_solution(deltas)
+        return sorted(deltas.items())
+
+    initial = {vertex: vertex for vertex in engine.adjacency}
+    engine.delta_iteration(initial, sorted(initial.items()), step)
+    return dict(engine.solution)
+
+
+def dataflow_cd(
+    engine: DataflowEngine,
+    max_iterations: int,
+    hop_attenuation: float,
+    node_preference: float,
+) -> dict[int, int]:
+    """CD: dense label propagation expressed as bounded iterations.
+
+    Every vertex stays in the workset for exactly ``max_iterations``
+    rounds (the algorithm is not delta-sparse); the engine still only
+    moves vote records, and the stop-on-stability short cut applies.
+    """
+    degrees = {vertex: len(adj) for vertex, adj in engine.adjacency.items()}
+    state = {"remaining": max_iterations}
+
+    def step(flow: DataflowEngine, workset):
+        if state["remaining"] <= 0:
+            return []
+        state["remaining"] -= 1
+        votes = flow.expand(
+            workset,
+            emit=lambda vertex, value, neighbor: [
+                (neighbor, ((value[0], value[1], degrees[vertex]),))
+            ],
+        )
+        ballots = flow.aggregate(votes, combine=lambda a, b: a + b)
+
+        changed = 0
+
+        def accept(key, current, ballot):
+            nonlocal changed
+            label, score = current
+            weight_by_label: dict[int, float] = {}
+            best_score_by_label: dict[int, float] = {}
+            for other_label, other_score, other_degree in ballot:
+                vote = other_score * other_degree ** node_preference
+                weight_by_label[other_label] = (
+                    weight_by_label.get(other_label, 0.0) + vote
+                )
+                best = best_score_by_label.get(other_label, float("-inf"))
+                if other_score > best:
+                    best_score_by_label[other_label] = other_score
+            best_label = min(
+                weight_by_label, key=lambda lbl: (-weight_by_label[lbl], lbl)
+            )
+            if best_label != label:
+                changed += 1
+                return (best_label, best_score_by_label[best_label] - hop_attenuation)
+            return (label, score)
+
+        deltas = flow.join_solution(ballots, accept)
+        flow.update_solution(deltas)
+        if changed == 0:
+            # Stable labels: recomputation is a fixpoint; stop early,
+            # exactly like the reference.
+            return []
+        return sorted(flow.solution.items())
+
+    initial = {vertex: (vertex, 1.0) for vertex in engine.adjacency}
+    workset = sorted(initial.items()) if max_iterations > 0 else []
+    engine.delta_iteration(initial, workset, step)
+    return {vertex: value[0] for vertex, value in engine.solution.items()}
+
+
+def dataflow_stats(engine: DataflowEngine) -> GraphStats:
+    """STATS as one expand + aggregate pipeline (no iteration)."""
+    adjacency = engine.adjacency
+
+    def step(flow: DataflowEngine, workset):
+        shipped = flow.expand(
+            workset,
+            emit=lambda vertex, adj, neighbor: [(neighbor, (adj,))]
+            if len(adj) >= 2
+            else [],
+        )
+        lists = flow.aggregate(shipped, combine=lambda a, b: a + b)
+
+        def accept(key, current, neighbor_lists):
+            own = set(adjacency[key])
+            degree = len(own)
+            if degree < 2:
+                return None
+            links_twice = sum(
+                1 for lst in neighbor_lists for w in lst if w in own
+            )
+            return links_twice / (degree * (degree - 1))
+
+        flow.update_solution(flow.join_solution(lists, accept))
+        return []
+
+    initial = {vertex: 0.0 for vertex in adjacency}
+    workset = [(vertex, adjacency[vertex]) for vertex in sorted(adjacency)]
+    engine.delta_iteration(initial, workset, step)
+    num_vertices = len(adjacency)
+    num_edges = sum(len(adj) for adj in adjacency.values()) // 2
+    clustering_sum = sum(engine.solution.values())
+    return GraphStats(
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        mean_local_clustering=(
+            clustering_sum / num_vertices if num_vertices else 0.0
+        ),
+    )
+
+
+def dataflow_evo(
+    engine: DataflowEngine,
+    ambassadors: dict[int, int],
+    p_forward: float,
+    max_hops: int,
+    seed: int,
+) -> dict[int, list[int]]:
+    """EVO: one delta round per fire hop, burn attempts as records."""
+    adjacency = engine.adjacency
+    victim_cache: dict[tuple[int, int], frozenset] = {}
+
+    def victims_of(arrival: int, at_vertex: int) -> frozenset:
+        key = (arrival, at_vertex)
+        if key not in victim_cache:
+            candidates = sorted(adjacency[at_vertex])
+            budget = evo_ref.burn_budget(seed, arrival, at_vertex, p_forward)
+            victim_cache[key] = frozenset(
+                evo_ref.burn_victims(candidates, budget, seed, arrival, at_vertex)
+            )
+        return victim_cache[key]
+
+    def step(flow: DataflowEngine, workset):
+        attempts = flow.expand(
+            workset,
+            emit=lambda vertex, fresh, neighbor: [
+                (
+                    neighbor,
+                    tuple(
+                        (arrival, depth + 1)
+                        for arrival, depth in fresh
+                        if depth < max_hops
+                        and neighbor in victims_of(arrival, vertex)
+                    ),
+                )
+            ],
+        )
+        merged = flow.aggregate(
+            ((key, value) for key, value in attempts if value),
+            combine=lambda a, b: a + b,
+        )
+
+        fresh_by_vertex: dict[int, dict[int, int]] = {}
+
+        def accept(key, current, burn_attempts):
+            fresh: dict[int, int] = {}
+            for arrival, depth in sorted(burn_attempts):
+                if arrival not in current and arrival not in fresh:
+                    fresh[arrival] = depth
+            if not fresh:
+                return None
+            fresh_by_vertex[key] = fresh
+            return {**current, **fresh}
+
+        deltas = flow.join_solution(merged, accept)
+        flow.update_solution(deltas)
+        return [
+            (vertex, tuple(sorted(fresh_by_vertex[vertex].items())))
+            for vertex in sorted(fresh_by_vertex)
+        ]
+
+    by_ambassador: dict[int, dict[int, int]] = {}
+    for arrival, ambassador in ambassadors.items():
+        by_ambassador.setdefault(ambassador, {})[arrival] = 0
+    initial = {
+        vertex: dict(by_ambassador.get(vertex, {})) for vertex in adjacency
+    }
+    workset = [
+        (vertex, tuple(sorted(burns.items())))
+        for vertex, burns in sorted(by_ambassador.items())
+    ]
+    engine.delta_iteration(initial, workset, step)
+    links: dict[int, list[int]] = {arrival: [] for arrival in ambassadors}
+    for vertex, burned in engine.solution.items():
+        for arrival in burned:
+            links[arrival].append(vertex)
+    return {arrival: sorted(targets) for arrival, targets in links.items()}

@@ -1,0 +1,40 @@
+"""GraphLab-style platform: Gather-Apply-Scatter on a vertex cut.
+
+One of the paper's announced additions — "The reference Graphalytics
+implementation covers currently 4 popular platforms, and will soon
+include 6 more platforms for which we already have shown
+proof-of-concept implementations [4, 5]" — reference [4] (Guo et al.,
+IPDPS 2014) benchmarks GraphLab alongside the platforms reproduced
+here.
+
+GraphLab (PowerGraph) differs from Pregel in two fundamental ways,
+both implemented by this package:
+
+* the **GAS decomposition**: a vertex program is split into *gather*
+  (collect and combine values over incident edges), *apply* (update
+  the vertex value from the gathered sum), and *scatter* (decide,
+  per edge, whether to activate the neighbor) — no arbitrary
+  messaging;
+* the **vertex cut**: edges (not vertices) are partitioned across
+  workers, and high-degree vertices are replicated as *mirrors* that
+  compute partial gathers locally and synchronize through their
+  master — the design that tames power-law hubs (the "skewed
+  execution intensity" choke point).
+"""
+
+from repro.platforms.gas.engine import GASEngine, GASProgram
+from repro.platforms.gas.driver import GraphLabPlatform
+from repro.platforms.gas.programs import (
+    GASBFSProgram,
+    GASCDProgram,
+    GASConnProgram,
+)
+
+__all__ = [
+    "GASEngine",
+    "GASProgram",
+    "GraphLabPlatform",
+    "GASBFSProgram",
+    "GASConnProgram",
+    "GASCDProgram",
+]

@@ -1,0 +1,359 @@
+"""The Gather-Apply-Scatter engine (GraphLab/PowerGraph model).
+
+Synchronous GAS execution over a **vertex cut**:
+
+* every (undirected) edge is hash-assigned to one worker;
+* a vertex is *replicated* on every worker that owns one of its
+  edges; one replica (by vertex hash) is the *master*;
+* each round, active vertices **gather** over their incident edges —
+  each edge's gather runs on the worker that owns the edge, against
+  local replica state; per-worker partial sums travel mirror→master
+  (one small message per mirror, *not* per edge — the reason
+  PowerGraph beats Pregel on power-law hubs);
+* the master **applies** the update and broadcasts the new value back
+  to the mirrors;
+* **scatter** runs per edge on the edge's worker and decides which
+  neighbors activate next round.
+
+Costs are charged per worker per round to the shared
+:class:`~repro.core.cost.CostMeter`: gathers and scatters on the
+edge's worker, mirror synchronization as network traffic, replicated
+vertex state plus local edges as worker memory.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.cost import ClusterSpec, CostMeter
+from repro.graph.graph import Graph
+
+__all__ = ["GASProgram", "GASEngine", "GASResult", "edge_partition_of"]
+
+#: Replicated vertex state per replica (value + activation + index).
+REPLICA_BYTES = 48.0
+#: Per-edge storage on the owning worker.
+EDGE_BYTES = 16.0
+
+_KNUTH = 2654435761
+
+
+def edge_partition_of(source: int, target: int, num_workers: int) -> int:
+    """Hash-assign an undirected edge to a worker (the vertex cut)."""
+    low, high = (source, target) if source <= target else (target, source)
+    mixed = ((low * _KNUTH) ^ (high * 0x9E3779B9)) & 0xFFFFFFFF
+    return mixed % num_workers
+
+
+class GASProgram(abc.ABC):
+    """A GraphLab vertex program: gather, apply, scatter."""
+
+    #: Serialized size of one partial gather sum (mirror→master).
+    gather_bytes: float = 16.0
+    #: Serialized size of one vertex value (master→mirror broadcast).
+    value_bytes: float = 16.0
+
+    @abc.abstractmethod
+    def initial_value(self, vertex: int, degree: int) -> Any:
+        """Vertex value before the first round."""
+
+    @abc.abstractmethod
+    def initially_active(self, vertex: int) -> bool:
+        """Whether the vertex participates in round 0."""
+
+    @abc.abstractmethod
+    def gather(self, vertex: int, value: Any, neighbor: int,
+               neighbor_value: Any, neighbor_degree: int) -> Any:
+        """Contribution of one incident edge (``None`` contributes nothing)."""
+
+    @abc.abstractmethod
+    def gather_sum(self, left: Any, right: Any) -> Any:
+        """Commutative, associative combination of gather contributions."""
+
+    @abc.abstractmethod
+    def apply(self, vertex: int, value: Any, gathered: Any) -> Any:
+        """New vertex value from the combined gather (or ``None`` sum)."""
+
+    @abc.abstractmethod
+    def scatter(self, vertex: int, old_value: Any, new_value: Any,
+                neighbor: int) -> bool:
+        """Whether this edge activates ``neighbor`` for the next round."""
+
+    def gather_size(self, partial: Any) -> float:
+        """Bytes of one partial gather sum (override if variable)."""
+        return self.gather_bytes
+
+    def value_size(self, value: Any) -> float:
+        """Bytes of one vertex value (override if variable)."""
+        return self.value_bytes
+
+    def max_rounds(self) -> int:
+        """Safety bound on GAS rounds."""
+        return 200
+
+
+@dataclass
+class GASResult:
+    """Output of one GAS run."""
+
+    values: dict[int, Any]
+    rounds: int
+    replication_factor: float = 1.0
+
+
+@dataclass
+class _VertexTopology:
+    """Replica placement of one vertex across the cut."""
+
+    master: int
+    mirrors: set[int] = field(default_factory=set)
+
+    @property
+    def replicas(self) -> set[int]:
+        """All workers holding a copy of this vertex."""
+        return self.mirrors | {self.master}
+
+
+class GASEngine:
+    """Runs GAS programs over a vertex-cut partitioning."""
+
+    def __init__(self, graph: Graph, spec: ClusterSpec, meter: CostMeter | None = None):
+        undirected = graph.to_undirected()
+        self.spec = spec
+        self.meter = meter or CostMeter(spec)
+        self.adjacency = {
+            int(v): [int(u) for u in undirected.neighbors(int(v))]
+            for v in undirected.vertices
+        }
+        self.degrees = {v: len(adj) for v, adj in self.adjacency.items()}
+
+        # The vertex cut: edges to workers, vertices to replica sets.
+        self.edge_worker: dict[tuple[int, int], int] = {}
+        self.topology: dict[int, _VertexTopology] = {
+            v: _VertexTopology(master=(v * _KNUTH & 0xFFFFFFFF) % spec.num_workers)
+            for v in self.adjacency
+        }
+        self._edges_per_worker = [0] * spec.num_workers
+        for source, target in undirected.iter_edges():
+            worker = edge_partition_of(source, target, spec.num_workers)
+            self.edge_worker[(source, target)] = worker
+            self._edges_per_worker[worker] += 1
+            for endpoint in (source, target):
+                topo = self.topology[endpoint]
+                if worker != topo.master:
+                    topo.mirrors.add(worker)
+        self._resident = [0.0] * spec.num_workers
+
+    # -- placement metadata -------------------------------------------------
+
+    @property
+    def replication_factor(self) -> float:
+        """Mean replicas per vertex (PowerGraph's key metric)."""
+        if not self.topology:
+            return 1.0
+        total = sum(len(t.replicas) for t in self.topology.values())
+        return total / len(self.topology)
+
+    def _edge_owner(self, u: int, v: int) -> int:
+        key = (u, v) if u <= v else (v, u)
+        return self.edge_worker[key]
+
+    # -- memory ---------------------------------------------------------------
+
+    def _load(self, program: GASProgram) -> None:
+        per_worker = [0.0] * self.spec.num_workers
+        for topo in self.topology.values():
+            for worker in topo.replicas:
+                per_worker[worker] += REPLICA_BYTES + program.value_bytes
+        for worker, edges in enumerate(self._edges_per_worker):
+            per_worker[worker] += edges * EDGE_BYTES
+        for worker, resident in enumerate(per_worker):
+            self._resident[worker] = resident
+            self.meter.allocate_memory(worker, resident)
+
+    def _unload(self) -> None:
+        for worker in range(self.spec.num_workers):
+            self.meter.release_memory(worker, self._resident[worker])
+            self._resident[worker] = 0.0
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, program: GASProgram) -> GASResult:
+        """Execute the program to quiescence; returns final values."""
+        self._load(program)
+        try:
+            return self._run_rounds(program)
+        finally:
+            self._unload()
+
+    def run_async(self, program: GASProgram) -> GASResult:
+        """Asynchronous (Gauss-Seidel) execution for monotone programs.
+
+        The paper lists "the use of asynchronous distributed query
+        processing" among the remedies for the skew/synchronization
+        choke point. This mode sweeps vertices in order, applying
+        updates *immediately* — a gather late in the sweep sees values
+        written earlier in the same sweep — so label/distance
+        information crosses many hops per sweep instead of one hop per
+        barriered round.
+
+        Correct only for *monotone* programs (BFS, CONN: values only
+        ever improve and the fixpoint is order-independent); programs
+        like CD whose specification is synchronous must use
+        :meth:`run`.
+        """
+        self._load(program)
+        try:
+            return self._run_async_sweeps(program)
+        finally:
+            self._unload()
+
+    def _run_async_sweeps(self, program: GASProgram) -> GASResult:
+        meter = self.meter
+        values = {
+            v: program.initial_value(v, self.degrees[v]) for v in self.adjacency
+        }
+        active = {v for v in self.adjacency if program.initially_active(v)}
+        sweeps = 0
+        while active and sweeps < program.max_rounds():
+            meter.begin_round(f"async-sweep-{sweeps}")
+            next_active: set[int] = set()
+            for vertex in sorted(active):
+                gathered = None
+                for neighbor in self.adjacency[vertex]:
+                    worker = self._edge_owner(vertex, neighbor)
+                    contribution = program.gather(
+                        vertex,
+                        values[vertex],
+                        neighbor,
+                        values[neighbor],  # freshest value: async
+                        self.degrees[neighbor],
+                    )
+                    meter.charge_compute(worker, 1)
+                    if contribution is None:
+                        continue
+                    gathered = (
+                        contribution
+                        if gathered is None
+                        else program.gather_sum(gathered, contribution)
+                    )
+                master = self.topology[vertex].master
+                meter.charge_compute(master, 1)
+                updated = program.apply(vertex, values[vertex], gathered)
+                if updated != values[vertex]:
+                    for mirror in self.topology[vertex].mirrors:
+                        meter.charge_message(
+                            master, mirror, program.value_size(updated)
+                        )
+                old_value = values[vertex]
+                values[vertex] = updated  # applied immediately
+                for neighbor in self.adjacency[vertex]:
+                    worker = self._edge_owner(vertex, neighbor)
+                    meter.charge_compute(worker, 1)
+                    if program.scatter(vertex, old_value, updated, neighbor):
+                        next_active.add(neighbor)
+            meter.end_round(active_vertices=len(active))
+            active = next_active
+            sweeps += 1
+        if active:
+            raise RuntimeError(
+                f"{type(program).__name__} exceeded {program.max_rounds()} sweeps"
+            )
+        return GASResult(
+            values=values,
+            rounds=sweeps,
+            replication_factor=self.replication_factor,
+        )
+
+    def _run_rounds(self, program: GASProgram) -> GASResult:
+        meter = self.meter
+        values = {
+            v: program.initial_value(v, self.degrees[v]) for v in self.adjacency
+        }
+        active = {v for v in self.adjacency if program.initially_active(v)}
+
+        rounds = 0
+        while active and rounds < program.max_rounds():
+            meter.begin_round(f"gas-{rounds}")
+            # ---- gather: per edge, on the edge's worker -------------------
+            partials: dict[int, dict[int, Any]] = {}  # vertex -> worker -> sum
+            for vertex in active:
+                for neighbor in self.adjacency[vertex]:
+                    worker = self._edge_owner(vertex, neighbor)
+                    contribution = program.gather(
+                        vertex,
+                        values[vertex],
+                        neighbor,
+                        values[neighbor],
+                        self.degrees[neighbor],
+                    )
+                    meter.charge_compute(worker, 1)
+                    if contribution is None:
+                        continue
+                    per_worker = partials.setdefault(vertex, {})
+                    if worker in per_worker:
+                        per_worker[worker] = program.gather_sum(
+                            per_worker[worker], contribution
+                        )
+                    else:
+                        per_worker[worker] = contribution
+
+            # ---- mirror→master partial-sum exchange ------------------------
+            gathered: dict[int, Any] = {}
+            for vertex, per_worker in partials.items():
+                master = self.topology[vertex].master
+                total = None
+                for worker, partial in per_worker.items():
+                    if worker != master:
+                        meter.charge_message(
+                            worker, master, program.gather_size(partial)
+                        )
+                    total = (
+                        partial
+                        if total is None
+                        else program.gather_sum(total, partial)
+                    )
+                meter.charge_compute(master, len(per_worker))
+                gathered[vertex] = total
+
+            # ---- apply on masters + broadcast *changes* to mirrors ----------
+            new_values = dict(values)
+            for vertex in sorted(active):
+                master = self.topology[vertex].master
+                meter.charge_compute(master, 1)
+                updated = program.apply(vertex, values[vertex], gathered.get(vertex))
+                new_values[vertex] = updated
+                if updated != values[vertex]:
+                    # PowerGraph synchronizes mirrors only when the
+                    # value actually changed.
+                    for mirror in self.topology[vertex].mirrors:
+                        meter.charge_message(
+                            master, mirror, program.value_size(updated)
+                        )
+
+            # ---- scatter: per edge, on the edge's worker ----------------------
+            next_active: set[int] = set()
+            for vertex in active:
+                old_value = values[vertex]
+                new_value = new_values[vertex]
+                for neighbor in self.adjacency[vertex]:
+                    worker = self._edge_owner(vertex, neighbor)
+                    meter.charge_compute(worker, 1)
+                    if program.scatter(vertex, old_value, new_value, neighbor):
+                        next_active.add(neighbor)
+
+            values = new_values
+            meter.end_round(active_vertices=len(active))
+            active = next_active
+            rounds += 1
+        if active:
+            raise RuntimeError(
+                f"{type(program).__name__} exceeded {program.max_rounds()} rounds"
+            )
+        return GASResult(
+            values=values,
+            rounds=rounds,
+            replication_factor=self.replication_factor,
+        )

@@ -1,0 +1,35 @@
+"""GPU graph-processing platform (Medusa/Totem style).
+
+The paper's conclusion counts GPU-enabled systems among the coming
+additions: "will soon include 6 more platforms for which we already
+have shown proof-of-concept implementations [4, 5]" — reference [5]
+being Guo et al., *An empirical performance evaluation of gpu-enabled
+graph-processing systems* (CCGRID 2015), which benchmarks Medusa and
+Totem.
+
+The GPU execution model implemented here differs from every CPU
+platform in ways that matter for the choke points:
+
+* **dense kernels** — each superstep launches a kernel over *all*
+  vertices (GPUs have no cheap sparse frontier), so per-superstep work
+  is Θ(V + E) regardless of activity;
+* **warp divergence** — threads execute in lockstep groups of 32; a
+  warp takes as long as its busiest thread, so skewed degrees waste
+  lanes (the "skewed execution intensity" choke point, at warp
+  granularity);
+* **kernel-launch overhead** per superstep instead of network
+  barriers;
+* **device memory** — the whole graph, message buffers included, must
+  fit the GPU's RAM, a far harder wall than a cluster's aggregate
+  memory;
+* **PCIe transfer** — ETL pays host-to-device copy.
+
+The engine executes the *same vertex programs* as the Giraph
+simulation (the Pregel semantics are identical; Medusa's API is
+vertex-centric message passing), so outputs validate unchanged.
+"""
+
+from repro.platforms.gpu.engine import GPUEngine, gpu_device_spec
+from repro.platforms.gpu.driver import MedusaPlatform
+
+__all__ = ["GPUEngine", "gpu_device_spec", "MedusaPlatform"]

@@ -1,0 +1,30 @@
+"""Neo4j-style single-node graph database.
+
+The paper: "Neo4j is an open-source non-distributed graph database.
+We include it in Graphalytics to provide perspective on the
+performance and scalability of the distributed platforms we benchmark.
+Neo4j is not able to process graphs larger than the memory of a single
+machine, but its performance is generally the best due to its
+non-distributed nature."
+
+The reproduction implements Neo4j's storage architecture — fixed-size
+node and relationship records with per-node relationship chains
+(:mod:`repro.platforms.graphdb.store`) — and a traversal framework on
+top (:mod:`repro.platforms.graphdb.traversal`). Traversals chase
+record pointers, charged as random memory accesses; the whole store
+must fit in the single machine's memory, which is exactly the failure
+mode the paper describes for large graphs.
+"""
+
+from repro.platforms.graphdb.store import GraphStore, NODE_RECORD_BYTES, REL_RECORD_BYTES
+from repro.platforms.graphdb.traversal import TraversalDescription, Uniqueness
+from repro.platforms.graphdb.driver import Neo4jPlatform
+
+__all__ = [
+    "GraphStore",
+    "NODE_RECORD_BYTES",
+    "REL_RECORD_BYTES",
+    "TraversalDescription",
+    "Uniqueness",
+    "Neo4jPlatform",
+]

@@ -1,0 +1,135 @@
+"""The five Graphalytics algorithms as embedded graph-database procedures.
+
+Each runs single-threaded against the record store, the way embedded
+Neo4j algorithms do: no network, no barriers, but every neighbor
+expansion chases relationship-chain pointers (charged as random
+accesses by the store).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import evo as evo_ref
+from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.stats import GraphStats
+from repro.platforms.graphdb.store import GraphStore
+from repro.platforms.graphdb.traversal import TraversalDescription
+
+__all__ = ["db_bfs", "db_conn", "db_cd", "db_stats", "db_evo"]
+
+
+def db_bfs(store: GraphStore, source: int) -> dict[int, int]:
+    """BFS distances via the traversal framework."""
+    distances = {node: UNREACHABLE for node in store.node_ids()}
+    traversal = TraversalDescription().breadth_first()
+    for node, depth in traversal.traverse(store, source):
+        distances[node] = depth
+    return distances
+
+
+def db_conn(store: GraphStore) -> dict[int, int]:
+    """Connected components: one traversal per undiscovered component.
+
+    Node ids are scanned in ascending order, so the first node of
+    each component encountered is its minimum id — which is the
+    component label the benchmark expects.
+    """
+    labels: dict[int, int] = {}
+    traversal = TraversalDescription().breadth_first()
+    for node in store.node_ids():
+        if node in labels:
+            continue
+        for member, _depth in traversal.traverse(store, node):
+            labels[member] = node
+    return labels
+
+
+def db_cd(
+    store: GraphStore,
+    max_iterations: int,
+    hop_attenuation: float,
+    node_preference: float,
+) -> dict[int, int]:
+    """CD: synchronous Leung et al. label propagation over the store."""
+    nodes = store.node_ids()
+    adjacency = {node: store.neighbors(node) for node in nodes}
+    degrees = {node: len(neighbors) for node, neighbors in adjacency.items()}
+    labels = {node: node for node in nodes}
+    scores = {node: 1.0 for node in nodes}
+    for _iteration in range(max_iterations):
+        new_labels: dict[int, int] = {}
+        new_scores: dict[int, float] = {}
+        changes = 0
+        for node in nodes:
+            neighbors = adjacency[node]
+            store._charge_scan(1 + len(neighbors))
+            if not neighbors:
+                new_labels[node] = labels[node]
+                new_scores[node] = scores[node]
+                continue
+            weight_by_label: dict[int, float] = {}
+            best_score_by_label: dict[int, float] = {}
+            for neighbor in neighbors:
+                label = labels[neighbor]
+                vote = scores[neighbor] * degrees[neighbor] ** node_preference
+                weight_by_label[label] = weight_by_label.get(label, 0.0) + vote
+                best = best_score_by_label.get(label, float("-inf"))
+                if scores[neighbor] > best:
+                    best_score_by_label[label] = scores[neighbor]
+            best_label = min(
+                weight_by_label, key=lambda lbl: (-weight_by_label[lbl], lbl)
+            )
+            if best_label == labels[node]:
+                new_labels[node] = labels[node]
+                new_scores[node] = scores[node]
+            else:
+                new_labels[node] = best_label
+                new_scores[node] = best_score_by_label[best_label] - hop_attenuation
+                changes += 1
+        labels, scores = new_labels, new_scores
+        if changes == 0:
+            break
+    return labels
+
+
+def db_stats(store: GraphStore) -> GraphStats:
+    """STATS: store scan plus per-node neighborhood intersection."""
+    nodes = store.node_ids()
+    neighbor_sets = {node: set(store.neighbors(node)) for node in nodes}
+    clustering_sum = 0.0
+    for node in nodes:
+        neighbors = neighbor_sets[node]
+        k = len(neighbors)
+        if k < 2:
+            continue
+        links_twice = 0
+        for u in neighbors:
+            links_twice += sum(1 for w in neighbor_sets[u] if w in neighbors)
+            store._charge_scan(len(neighbor_sets[u]))
+        clustering_sum += links_twice / (k * (k - 1))
+    num_nodes = store.num_nodes
+    return GraphStats(
+        num_vertices=num_nodes,
+        num_edges=store.num_relationships,
+        mean_local_clustering=clustering_sum / num_nodes if num_nodes else 0.0,
+    )
+
+
+def db_evo(
+    store: GraphStore,
+    num_new_vertices: int,
+    p_forward: float,
+    max_hops: int,
+    seed: int,
+) -> dict[int, list[int]]:
+    """EVO: per-arrival forest fires via store traversals."""
+    existing = store.node_ids()
+    adjacency = {node: store.neighbors(node) for node in existing}
+    next_id = existing[-1] + 1 if existing else 0
+    links: dict[int, list[int]] = {}
+    for arrival_index in range(num_new_vertices):
+        arrival = next_id + arrival_index
+        links[arrival] = evo_ref.single_fire(
+            adjacency, existing, arrival, p_forward, max_hops, seed
+        )
+        store._charge_scan(sum(len(adjacency[b]) for b in links[arrival]))
+    return links

@@ -1,0 +1,98 @@
+"""Traversal framework over the record store (Neo4j's Traversal API).
+
+Provides the ``TraversalDescription`` builder pattern Neo4j exposes:
+breadth-first or depth-first order, a depth bound, and global-node
+uniqueness. Traversals yield ``(node, depth)`` pairs in deterministic
+order; all store accesses are charged by the store itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Iterator
+
+from repro.platforms.graphdb.store import GraphStore
+
+__all__ = ["Order", "Uniqueness", "TraversalDescription"]
+
+
+class Order(enum.Enum):
+    BREADTH_FIRST = "breadth_first"
+    DEPTH_FIRST = "depth_first"
+
+
+class Uniqueness(enum.Enum):
+    #: Visit every node at most once (the default, as in Neo4j).
+    NODE_GLOBAL = "node_global"
+    #: No uniqueness: nodes may be re-visited via different paths.
+    NONE = "none"
+
+
+class TraversalDescription:
+    """Immutable builder for store traversals.
+
+    Example
+    -------
+    >>> td = (TraversalDescription()
+    ...       .breadth_first()
+    ...       .max_depth(3))
+    >>> nodes = [(n, d) for n, d in td.traverse(store, start)]
+    """
+
+    def __init__(
+        self,
+        order: Order = Order.BREADTH_FIRST,
+        uniqueness: Uniqueness = Uniqueness.NODE_GLOBAL,
+        depth_limit: int | None = None,
+    ):
+        self._order = order
+        self._uniqueness = uniqueness
+        self._depth_limit = depth_limit
+
+    # -- builder -----------------------------------------------------------
+
+    def breadth_first(self) -> "TraversalDescription":
+        """Copy of this description with breadth-first order."""
+        return TraversalDescription(
+            Order.BREADTH_FIRST, self._uniqueness, self._depth_limit
+        )
+
+    def depth_first(self) -> "TraversalDescription":
+        """Copy of this description with depth-first order."""
+        return TraversalDescription(
+            Order.DEPTH_FIRST, self._uniqueness, self._depth_limit
+        )
+
+    def uniqueness(self, uniqueness: Uniqueness) -> "TraversalDescription":
+        """Copy of this description with the given uniqueness."""
+        return TraversalDescription(self._order, uniqueness, self._depth_limit)
+
+    def max_depth(self, depth: int) -> "TraversalDescription":
+        """Copy of this description bounded to the given depth."""
+        if depth < 0:
+            raise ValueError("depth must be >= 0")
+        return TraversalDescription(self._order, self._uniqueness, depth)
+
+    # -- execution -----------------------------------------------------------
+
+    def traverse(self, store: GraphStore, start: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(node, depth)`` from ``start``, including the start."""
+        if not store.has_node(start):
+            raise ValueError(f"start node {start} not in store")
+        visited = {start}
+        frontier: deque[tuple[int, int]] = deque([(start, 0)])
+        while frontier:
+            if self._order is Order.BREADTH_FIRST:
+                node, depth = frontier.popleft()
+            else:
+                node, depth = frontier.pop()
+            yield node, depth
+            if self._depth_limit is not None and depth >= self._depth_limit:
+                continue
+            for neighbor in store.neighbors(node):
+                if self._uniqueness is Uniqueness.NODE_GLOBAL:
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                frontier.append((neighbor, depth + 1))

@@ -1,0 +1,22 @@
+"""Hadoop MapReduce platform.
+
+The paper: "Hadoop MapReduce is an Apache open-source project
+implementing the MapReduce programming model introduced by Google.
+Specifically, we use Hadoop MapReduce version 2, which runs on top of
+the Hadoop YARN resource manager." And, on its benchmark behaviour:
+"MapReduce can be two orders of magnitude slower than Giraph and
+GraphX [...] However, MapReduce does not need to keep graph data in
+memory during processing and thus does not crash even when processing
+the largest workload."
+
+:mod:`repro.platforms.mapreduce.engine` implements the execution model
+(map → combine → partition/sort/shuffle → reduce, with HDFS-style
+replicated storage between jobs), and
+:mod:`repro.platforms.mapreduce.jobs` expresses the five Graphalytics
+algorithms as (chains of) MapReduce jobs driven by counters.
+"""
+
+from repro.platforms.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.platforms.mapreduce.driver import MapReducePlatform
+
+__all__ = ["MapReduceEngine", "MapReduceJob", "MapReducePlatform"]

@@ -1,0 +1,38 @@
+"""Giraph-style Pregel platform: vertex-centric bulk synchronous parallel.
+
+The paper: "Giraph is an Apache open-source project implementing the
+Pregel programming model introduced by Google. In Pregel, a type of
+bulk synchronous parallel processing (BSP), computation is
+vertex-centric and progresses in steps separated by synchronization
+barriers. All vertices execute the same function in parallel during a
+computation step, using as input messages received from other
+vertices."
+
+:mod:`repro.platforms.pregel.engine` implements that model — hash
+partitioning across workers, supersteps, message passing with optional
+combiners, aggregators, and vote-to-halt semantics — and
+:mod:`repro.platforms.pregel.programs` expresses the five Graphalytics
+algorithms as vertex programs.
+"""
+
+from repro.platforms.pregel.engine import PregelEngine, VertexContext, VertexProgram
+from repro.platforms.pregel.driver import GiraphPlatform
+from repro.platforms.pregel.programs import (
+    BFSProgram,
+    CDProgram,
+    ConnProgram,
+    EvoProgram,
+    StatsProgram,
+)
+
+__all__ = [
+    "PregelEngine",
+    "VertexContext",
+    "VertexProgram",
+    "GiraphPlatform",
+    "BFSProgram",
+    "ConnProgram",
+    "CDProgram",
+    "StatsProgram",
+    "EvoProgram",
+]

@@ -1,0 +1,277 @@
+"""The five Graphalytics algorithms as Pregel vertex programs.
+
+Each program produces output identical to its reference implementation
+in :mod:`repro.algorithms` (the Output Validator depends on this):
+
+* :class:`BFSProgram` — frontier expansion with a min combiner;
+* :class:`ConnProgram` — HashMin label propagation with a min combiner;
+* :class:`CDProgram` — synchronous Leung et al. label propagation;
+* :class:`StatsProgram` — neighbor-list exchange triangle counting
+  plus count aggregators;
+* :class:`EvoProgram` — per-arrival forest-fire burning via burn
+  messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms import evo as evo_ref
+from repro.algorithms.bfs import UNREACHABLE
+from repro.platforms.pregel.engine import VertexContext, VertexProgram
+
+__all__ = [
+    "BFSProgram",
+    "ConnProgram",
+    "CDProgram",
+    "StatsProgram",
+    "EvoProgram",
+]
+
+
+class BFSProgram(VertexProgram):
+    """Breadth-first search from a seed vertex.
+
+    Vertex value is the hop distance (``UNREACHABLE`` until visited).
+    Superstep *s* computes exactly the distance-*s* frontier; the min
+    combiner collapses duplicate frontier messages per target.
+    """
+
+    message_bytes = 8.0
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> int:
+        """Vertex value before superstep 0."""
+        return UNREACHABLE
+
+    def combiner(self):
+        """Sender-side message combiner."""
+        return min
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        if ctx.superstep == 0:
+            if ctx.vertex == self.source:
+                ctx.value = 0
+                ctx.send_to_neighbors(1)
+        elif ctx.value == UNREACHABLE and messages:
+            ctx.value = min(messages)
+            ctx.send_to_neighbors(ctx.value + 1)
+        ctx.vote_to_halt()
+
+
+class ConnProgram(VertexProgram):
+    """Connected components via HashMin.
+
+    Every vertex starts labeled with its own id and propagates the
+    minimum label it has seen; at convergence each vertex carries the
+    smallest vertex id of its (weakly) connected component — the same
+    labeling as :func:`repro.algorithms.connected_components`.
+    """
+
+    message_bytes = 8.0
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> int:
+        """Vertex value before superstep 0."""
+        return vertex
+
+    def combiner(self):
+        """Sender-side message combiner."""
+        return min
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(ctx.value)
+        else:
+            smallest = min(messages) if messages else ctx.value
+            if smallest < ctx.value:
+                ctx.value = smallest
+                ctx.send_to_neighbors(smallest)
+        ctx.vote_to_halt()
+
+
+class CDProgram(VertexProgram):
+    """Community detection: synchronous Leung et al. label propagation.
+
+    Messages carry ``(label, score, degree)`` triples — no combiner is
+    possible because the receiver needs the per-label vote breakdown.
+    The vertex value is ``(label, score)``; the algorithm stops after
+    ``max_iterations`` propagation rounds or when an aggregator
+    reports zero label changes, exactly like the reference.
+    """
+
+    message_bytes = 24.0
+    value_bytes = 16.0
+
+    def __init__(
+        self,
+        max_iterations: int = 10,
+        hop_attenuation: float = 0.1,
+        node_preference: float = 0.1,
+    ):
+        self.max_iterations = max_iterations
+        self.hop_attenuation = hop_attenuation
+        self.node_preference = node_preference
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> tuple[int, float]:
+        """Vertex value before superstep 0."""
+        return (vertex, 1.0)
+
+    def max_supersteps(self) -> int:
+        """Superstep bound for this program."""
+        return self.max_iterations + 2
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        label, score = ctx.value
+        if ctx.superstep == 0:
+            if self.max_iterations > 0:
+                ctx.send_to_neighbors((label, score, ctx.degree()))
+                # Seed the change counter so superstep 1 does not read
+                # an empty aggregator as "converged".
+                ctx.aggregate("changes", 1)
+            ctx.vote_to_halt()
+            return
+        if ctx.superstep > self.max_iterations or ctx.aggregated("changes", 0) == 0:
+            ctx.vote_to_halt()
+            return
+        if messages:
+            weight_by_label: dict[int, float] = {}
+            best_score_by_label: dict[int, float] = {}
+            for other_label, other_score, other_degree in messages:
+                vote = other_score * other_degree ** self.node_preference
+                weight_by_label[other_label] = (
+                    weight_by_label.get(other_label, 0.0) + vote
+                )
+                best = best_score_by_label.get(other_label, float("-inf"))
+                if other_score > best:
+                    best_score_by_label[other_label] = other_score
+            best_label = min(
+                weight_by_label, key=lambda lbl: (-weight_by_label[lbl], lbl)
+            )
+            if best_label != label:
+                label = best_label
+                score = best_score_by_label[best_label] - self.hop_attenuation
+                ctx.value = (label, score)
+                ctx.aggregate("changes", 1)
+        if ctx.superstep < self.max_iterations:
+            ctx.send_to_neighbors((label, score, ctx.degree()))
+        ctx.vote_to_halt()
+
+
+class StatsProgram(VertexProgram):
+    """STATS: vertex/edge counts and mean local clustering coefficient.
+
+    Superstep 0: every vertex ships its adjacency list to each
+    neighbor (the expensive, network-heavy phase — this workload
+    stresses the "excessive network utilization" choke point).
+    Superstep 1: each vertex intersects received lists with its own
+    neighbor set; each edge among its neighbors is reported twice
+    (once from each endpoint), giving the local clustering
+    coefficient. Counts are published through aggregators.
+    """
+
+    value_bytes = 16.0
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> float:
+        """Vertex value before superstep 0."""
+        return 0.0
+
+    def persistent_aggregators(self) -> set[str]:
+        """Aggregators that accumulate across supersteps."""
+        return {"vertices", "edges", "clustering_sum"}
+
+    def message_size(self, message: Any) -> float:
+        """Payload bytes of one message."""
+        return 8.0 * len(message)
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        if ctx.superstep == 0:
+            neighbors = ctx.neighbors()
+            ctx.aggregate("vertices", 1)
+            ctx.aggregate("edges", len(neighbors))
+            if len(neighbors) >= 2:
+                ctx.send_to_neighbors(tuple(neighbors))
+        else:
+            degree = ctx.degree()
+            if degree >= 2 and messages:
+                own = set(ctx.neighbors())
+                links_twice = 0
+                for neighbor_list in messages:
+                    links_twice += sum(1 for w in neighbor_list if w in own)
+                local_cc = links_twice / (degree * (degree - 1))
+                ctx.value = local_cc
+                ctx.aggregate("clustering_sum", local_cc)
+        ctx.vote_to_halt()
+
+
+class EvoProgram(VertexProgram):
+    """EVO: forest-fire evolution as burn-message propagation.
+
+    The driver injects each arrival's fire at its ambassador
+    (deterministically derived, as in the reference). Messages are
+    ``(arrival_id, depth)`` burn attempts; a vertex burns for an
+    arrival on first receipt and — below the hop limit — selects burn
+    victims among its neighbors with the shared deterministic kernel.
+    The vertex value accumulates the set of arrivals that burned it,
+    which is exactly the reference's per-arrival burned set,
+    transposed.
+    """
+
+    message_bytes = 16.0
+    value_bytes = 48.0
+
+    def __init__(
+        self,
+        ambassadors: dict[int, int],
+        p_forward: float,
+        max_hops: int,
+        seed: int,
+    ):
+        #: arrival id -> ambassador vertex
+        self.ambassadors = ambassadors
+        self.p_forward = p_forward
+        self.max_hops = max_hops
+        self.seed = seed
+        self._by_ambassador: dict[int, list[int]] = {}
+        for arrival, ambassador in ambassadors.items():
+            self._by_ambassador.setdefault(ambassador, []).append(arrival)
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> set[int]:
+        """Vertex value before superstep 0."""
+        return set()
+
+    def max_supersteps(self) -> int:
+        """Superstep bound for this program."""
+        return self.max_hops + 2
+
+    def _spread(self, ctx: VertexContext, arrival: int, depth: int) -> None:
+        if depth >= self.max_hops:
+            return
+        candidates = sorted(ctx.neighbors())
+        budget = evo_ref.burn_budget(self.seed, arrival, ctx.vertex, self.p_forward)
+        victims = evo_ref.burn_victims(
+            candidates, budget, self.seed, arrival, ctx.vertex
+        )
+        for victim in victims:
+            ctx.send(victim, (arrival, depth + 1))
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        if ctx.superstep == 0:
+            for arrival in self._by_ambassador.get(ctx.vertex, ()):
+                ctx.value.add(arrival)
+                self._spread(ctx, arrival, 0)
+        else:
+            burned: set[int] = ctx.value
+            # First receipt wins; messages within a superstep share
+            # the same (minimal) depth because propagation is BSP.
+            for arrival, depth in sorted(messages):
+                if arrival not in burned:
+                    burned.add(arrival)
+                    self._spread(ctx, arrival, depth)
+        ctx.vote_to_halt()

@@ -1,0 +1,121 @@
+"""Platform registry: create drivers by name.
+
+The Benchmark Core resolves configured platform names through this
+registry, which is also the extension point for third-party drivers
+(the paper's "API that will enable third party developers to port our
+benchmark to their graph processing platforms"): call
+:func:`register_platform` with a new driver class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.cost import ClusterSpec
+from repro.core.errors import ConfigurationError
+from repro.core.platform_api import Platform
+
+__all__ = [
+    "available_platforms",
+    "create_platform",
+    "create_platform_fleet",
+    "is_single_machine",
+    "register_platform",
+]
+
+_REGISTRY: dict[str, Callable[..., Platform]] = {}
+_BUILTINS_LOADED = False
+
+
+def register_platform(name: str, factory: Callable[..., Platform]) -> None:
+    """Register a platform driver factory under a configuration name."""
+    if not name:
+        raise ConfigurationError("platform name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_platforms() -> list[str]:
+    """Names of all registered platform drivers."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def create_platform(name: str, cluster: ClusterSpec | None = None) -> Platform:
+    """Instantiate a registered platform driver.
+
+    ``cluster=None`` uses the driver's built-in default spec
+    (single-machine platforms have one; cluster platforms require an
+    explicit spec).
+    """
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    factory = _REGISTRY[name]
+    try:
+        return factory() if cluster is None else factory(cluster)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"platform {name!r} requires an explicit cluster spec"
+        ) from exc
+
+
+def is_single_machine(name: str) -> bool:
+    """Whether a registered platform runs on a single machine."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise ConfigurationError(f"unknown platform {name!r}")
+    return bool(getattr(_REGISTRY[name], "single_machine", False))
+
+
+def create_platform_fleet(
+    distributed: ClusterSpec,
+    overrides: dict[str, ClusterSpec] | None = None,
+    names: list[str] | None = None,
+) -> list[Platform]:
+    """One driver per registered platform, with sensible specs.
+
+    Cluster platforms get ``distributed``; single-machine platforms
+    get their built-in default machine. ``overrides`` pins a specific
+    spec per platform name (e.g. a scaled Neo4j machine).
+    """
+    overrides = overrides or {}
+    fleet = []
+    for name in names if names is not None else available_platforms():
+        if name in overrides:
+            fleet.append(create_platform(name, overrides[name]))
+        elif is_single_machine(name):
+            fleet.append(create_platform(name))
+        else:
+            fleet.append(create_platform(name, distributed))
+    return fleet
+
+
+def _ensure_builtins() -> None:
+    """Lazily register the built-in drivers (avoids import cycles)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.platforms.columnar.driver import VirtuosoPlatform
+    from repro.platforms.dataflow.driver import StratospherePlatform
+    from repro.platforms.gas.driver import GraphLabPlatform
+    from repro.platforms.gpu.driver import MedusaPlatform
+    from repro.platforms.graphdb.driver import Neo4jPlatform
+    from repro.platforms.mapreduce.driver import MapReducePlatform
+    from repro.platforms.pregel.driver import GiraphPlatform
+    from repro.platforms.rddgraph.driver import GraphXPlatform
+
+    _REGISTRY.update(
+        {
+            GiraphPlatform.name: GiraphPlatform,
+            MapReducePlatform.name: MapReducePlatform,
+            GraphXPlatform.name: GraphXPlatform,
+            Neo4jPlatform.name: Neo4jPlatform,
+            GraphLabPlatform.name: GraphLabPlatform,
+            VirtuosoPlatform.name: VirtuosoPlatform,
+            MedusaPlatform.name: MedusaPlatform,
+            StratospherePlatform.name: StratospherePlatform,
+        }
+    )

@@ -1,0 +1,55 @@
+"""Unit tests for the BFS reference implementation."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.bfs import UNREACHABLE, bfs
+from repro.graph.graph import Graph
+
+
+def test_distances_on_path():
+    graph = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    assert bfs(graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+def test_unreachable_marked(two_components_graph):
+    distances = bfs(two_components_graph, 0)
+    assert distances[10] == UNREACHABLE
+    assert distances[11] == UNREACHABLE
+    assert distances[2] == 2
+
+
+def test_source_not_in_graph(triangle_graph):
+    with pytest.raises(ValueError):
+        bfs(triangle_graph, 99)
+
+
+def test_isolated_source(triangle_graph):
+    distances = bfs(triangle_graph, 4)
+    assert distances[4] == 0
+    assert all(d == UNREACHABLE for v, d in distances.items() if v != 4)
+
+
+def test_directed_follows_out_edges():
+    graph = Graph.from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+    assert bfs(graph, 0) == {0: 0, 1: 1, 2: 2}
+    # From 2, vertex 1 is two hops away (2 -> 0 -> 1).
+    assert bfs(graph, 2) == {0: 1, 1: 2, 2: 0}
+
+
+def test_matches_networkx(medium_rmat):
+    source = int(medium_rmat.vertices[0])
+    expected = nx.single_source_shortest_path_length(
+        nx.Graph(list(medium_rmat.iter_edges())), source
+    )
+    distances = bfs(medium_rmat, source)
+    for vertex, dist in distances.items():
+        if dist == UNREACHABLE:
+            assert vertex not in expected
+        else:
+            assert expected[vertex] == dist
+
+
+def test_every_vertex_appears(medium_rmat):
+    distances = bfs(medium_rmat, int(medium_rmat.vertices[0]))
+    assert set(distances) == {int(v) for v in medium_rmat.vertices}

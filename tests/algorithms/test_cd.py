@@ -1,0 +1,79 @@
+"""Unit tests for community detection (Leung et al. label propagation)."""
+
+from repro.algorithms.cd import community_detection, propagation_step
+from repro.graph.graph import Graph
+
+
+def _two_cliques_with_bridge() -> Graph:
+    clique_a = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+    clique_b = [(i, j) for i in range(10, 14) for j in range(i + 1, 14)]
+    return Graph.from_edges(clique_a + clique_b + [(3, 10)])
+
+
+def test_two_cliques_get_two_communities():
+    graph = _two_cliques_with_bridge()
+    labels = community_detection(graph, max_iterations=10)
+    community_a = {labels[v] for v in range(4)}
+    community_b = {labels[v] for v in range(10, 14)}
+    assert len(community_a) == 1
+    assert len(community_b) == 1
+    assert community_a != community_b
+
+
+def test_isolated_vertex_keeps_own_label():
+    graph = Graph.from_edges([(0, 1)], vertices=[5])
+    labels = community_detection(graph)
+    assert labels[5] == 5
+
+
+def test_zero_iterations_identity(triangle_graph):
+    labels = community_detection(triangle_graph, max_iterations=0)
+    assert labels == {int(v): int(v) for v in triangle_graph.vertices}
+
+
+def test_negative_iterations_rejected(triangle_graph):
+    import pytest
+
+    with pytest.raises(ValueError):
+        community_detection(triangle_graph, max_iterations=-1)
+
+
+def test_deterministic(medium_rmat):
+    a = community_detection(medium_rmat, max_iterations=5)
+    b = community_detection(medium_rmat, max_iterations=5)
+    assert a == b
+
+
+def test_communities_refine_components(medium_rmat):
+    # Labels never cross component boundaries.
+    from repro.algorithms.conn import connected_components
+
+    communities = community_detection(medium_rmat, max_iterations=5)
+    components = connected_components(medium_rmat)
+    label_to_component = {}
+    for vertex, label in communities.items():
+        component = components[vertex]
+        assert label_to_component.setdefault(label, component) == component
+
+
+def test_propagation_step_counts_changes(triangle_graph):
+    graph = triangle_graph.to_undirected()
+    labels = {int(v): int(v) for v in graph.vertices}
+    scores = {int(v): 1.0 for v in graph.vertices}
+    degrees = graph.degrees()
+    new_labels, new_scores, changes = propagation_step(
+        graph, labels, scores, degrees, 0.1, 0.1
+    )
+    assert changes > 0
+    assert set(new_labels) == set(labels)
+    # A changed vertex pays hop attenuation.
+    changed = [v for v in labels if new_labels[v] != labels[v]]
+    assert all(new_scores[v] <= 1.0 - 0.1 + 1e-12 for v in changed)
+
+
+def test_converges_and_stops_early():
+    # On a tiny star, propagation converges in well under 50 rounds;
+    # max_iterations is just an upper bound.
+    star = Graph.from_edges([(0, i) for i in range(1, 6)])
+    labels = community_detection(star, max_iterations=50)
+    assert len(set(labels.values())) <= 2

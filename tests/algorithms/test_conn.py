@@ -1,0 +1,49 @@
+"""Unit tests for the connected-components reference implementation."""
+
+import networkx as nx
+
+from repro.algorithms.conn import connected_components
+from repro.graph.graph import Graph
+
+
+def test_single_component(triangle_graph):
+    labels = connected_components(triangle_graph)
+    assert labels[0] == labels[1] == labels[2] == labels[3] == 0
+    assert labels[4] == 4  # isolated vertex is its own component
+
+
+def test_two_components(two_components_graph):
+    labels = connected_components(two_components_graph)
+    assert labels[0] == labels[1] == labels[2] == 0
+    assert labels[10] == labels[11] == 10
+
+
+def test_labels_are_minimum_member():
+    graph = Graph.from_edges([(5, 9), (9, 3)])
+    labels = connected_components(graph)
+    assert set(labels.values()) == {3}
+
+
+def test_directed_graph_weak_components():
+    graph = Graph.from_edges([(0, 1), (2, 1)], directed=True)
+    labels = connected_components(graph)
+    assert labels[0] == labels[1] == labels[2] == 0
+
+
+def test_matches_networkx(medium_rmat):
+    labels = connected_components(medium_rmat)
+    nx_graph = nx.Graph(list(medium_rmat.iter_edges()))
+    nx_graph.add_nodes_from(int(v) for v in medium_rmat.vertices)
+    for component in nx.connected_components(nx_graph):
+        expected_label = min(component)
+        for vertex in component:
+            assert labels[vertex] == expected_label
+
+
+def test_empty_graph():
+    assert connected_components(Graph([], [])) == {}
+
+
+def test_all_isolated():
+    graph = Graph(range(4), [])
+    assert connected_components(graph) == {0: 0, 1: 1, 2: 2, 3: 3}

@@ -1,0 +1,109 @@
+"""Unit tests for forest-fire graph evolution."""
+
+import pytest
+
+from repro.algorithms.evo import (
+    ambassador_for,
+    burn_budget,
+    burn_victims,
+    forest_fire_evolution,
+    forest_fire_links,
+    single_fire,
+)
+from repro.graph.graph import Graph
+
+
+class TestKernels:
+    def test_ambassador_deterministic_and_in_range(self):
+        existing = list(range(100))
+        first = ambassador_for(7, 200, existing)
+        assert first == ambassador_for(7, 200, existing)
+        assert first in existing
+
+    def test_ambassador_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            ambassador_for(0, 1, [])
+
+    def test_burn_budget_deterministic_and_geometric(self):
+        budgets = [burn_budget(1, 50, v, 0.3) for v in range(2000)]
+        assert budgets == [burn_budget(1, 50, v, 0.3) for v in range(2000)]
+        mean = sum(budgets) / len(budgets)
+        # Geometric with p=0.3 has mean p/(1-p) ~ 0.43.
+        assert 0.3 < mean < 0.6
+
+    def test_burn_budget_zero_probability(self):
+        assert burn_budget(1, 2, 3, 0.0) == 0
+
+    def test_burn_budget_invalid_probability(self):
+        with pytest.raises(ValueError):
+            burn_budget(1, 2, 3, 1.0)
+
+    def test_burn_victims_subset_and_order_independent(self):
+        candidates = [5, 3, 9, 1, 7]
+        chosen = burn_victims(candidates, 2, 1, 2, 3)
+        assert len(chosen) == 2
+        assert set(chosen) <= set(candidates)
+        assert chosen == burn_victims(list(reversed(candidates)), 2, 1, 2, 3)
+
+    def test_burn_victims_budget_exceeds_candidates(self):
+        assert burn_victims([2, 1], 10, 0, 0, 0) == [1, 2]
+
+
+class TestSingleFire:
+    def test_fire_contains_ambassador(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1]}
+        burned = single_fire(adjacency, [0, 1, 2], 10, 0.5, 2, seed=3)
+        ambassador = ambassador_for(3, 10, [0, 1, 2])
+        assert ambassador in burned
+
+    def test_fire_respects_hop_limit(self):
+        # A long path: with max_hops=1 the fire burns at most the
+        # ambassador's direct neighbors.
+        adjacency = {i: [j for j in (i - 1, i + 1) if 0 <= j <= 9] for i in range(10)}
+        existing = list(range(10))
+        burned = single_fire(adjacency, existing, 99, 0.9, 1, seed=1)
+        ambassador = ambassador_for(1, 99, existing)
+        assert all(abs(v - ambassador) <= 1 for v in burned)
+
+
+class TestEvolution:
+    def test_links_shape(self, medium_rmat):
+        links = forest_fire_links(medium_rmat, 20, seed=5)
+        next_id = int(medium_rmat.vertices[-1]) + 1
+        assert sorted(links) == list(range(next_id, next_id + 20))
+        vertex_set = {int(v) for v in medium_rmat.vertices}
+        for targets in links.values():
+            assert targets == sorted(targets)
+            assert set(targets) <= vertex_set
+
+    def test_evolved_graph_contains_original(self, small_rmat):
+        evolved = forest_fire_evolution(small_rmat, 10, seed=2)
+        original_edges = set(small_rmat.iter_edges())
+        evolved_edges = set(evolved.iter_edges())
+        assert original_edges <= evolved_edges
+        assert evolved.num_vertices == small_rmat.num_vertices + 10
+
+    def test_deterministic(self, small_rmat):
+        assert forest_fire_links(small_rmat, 5, seed=9) == forest_fire_links(
+            small_rmat, 5, seed=9
+        )
+        assert forest_fire_links(small_rmat, 5, seed=9) != forest_fire_links(
+            small_rmat, 5, seed=10
+        )
+
+    def test_zero_arrivals(self, small_rmat):
+        assert forest_fire_links(small_rmat, 0) == {}
+        assert forest_fire_evolution(small_rmat, 0) == small_rmat.to_undirected()
+
+    def test_negative_arrivals_rejected(self, small_rmat):
+        with pytest.raises(ValueError):
+            forest_fire_links(small_rmat, -1)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            forest_fire_links(Graph([], []), 1)
+
+    def test_higher_p_burns_more(self, medium_rmat):
+        gentle = forest_fire_links(medium_rmat, 30, p_forward=0.1, seed=4)
+        fierce = forest_fire_links(medium_rmat, 30, p_forward=0.6, seed=4)
+        assert sum(map(len, fierce.values())) > sum(map(len, gentle.values()))

@@ -1,0 +1,28 @@
+"""Unit tests for the STATS reference implementation."""
+
+import pytest
+
+from repro.algorithms.stats import stats
+from repro.graph.graph import Graph
+
+
+def test_counts_and_clustering(triangle_graph):
+    result = stats(triangle_graph)
+    assert result.num_vertices == 5
+    assert result.num_edges == 4
+    expected_cc = (1.0 + 1.0 + 1 / 3 + 0.0 + 0.0) / 5
+    assert result.mean_local_clustering == pytest.approx(expected_cc)
+
+
+def test_empty_graph():
+    result = stats(Graph([], []))
+    assert result.num_vertices == 0
+    assert result.num_edges == 0
+    assert result.mean_local_clustering == 0.0
+
+
+def test_directed_graph_counts_arcs():
+    directed = Graph.from_edges([(0, 1), (1, 0), (1, 2)], directed=True)
+    result = stats(directed)
+    assert result.num_edges == 3
+    assert result.num_vertices == 3

@@ -1,0 +1,180 @@
+"""Unit and integration tests for the Benchmark Core."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.benchmark import FAILED, INVALID, SUCCESS, BenchmarkCore
+from repro.core.cost import ClusterSpec, CostMeter
+from repro.core.errors import PlatformFailure
+from repro.core.platform_api import GraphHandle, Platform
+from repro.core.validation import OutputValidator
+from repro.core.workload import Algorithm, BenchmarkRunSpec
+from repro.graph.generators import rmat_graph
+from repro.platforms.pregel.driver import GiraphPlatform
+
+
+class _BrokenPlatform(Platform):
+    """Always computes a wrong CONN labeling (everything else right)."""
+
+    name = "broken"
+
+    def _load(self, name, graph):
+        return GraphHandle(name=name, platform=self.name, graph=graph)
+
+    def supported_algorithms(self):
+        return [Algorithm.CONN]
+
+    def _execute(self, handle, algorithm, params):
+        meter = CostMeter(self.cluster)
+        meter.begin_round("compute")
+        meter.charge_compute(0, 10)
+        meter.end_round()
+        wrong = {int(v): -1 for v in handle.graph.vertices}
+        return wrong, meter.profile
+
+
+class _CrashingPlatform(Platform):
+    """Fails every run with an out-of-memory error."""
+
+    name = "crashing"
+
+    def _load(self, name, graph):
+        return GraphHandle(name=name, platform=self.name, graph=graph)
+
+    def _execute(self, handle, algorithm, params):
+        raise PlatformFailure(self.name, "out-of-memory", "synthetic")
+
+
+class _EtlFailingPlatform(Platform):
+    """Fails at graph upload time."""
+
+    name = "etl-fails"
+
+    def _load(self, name, graph):
+        raise PlatformFailure(self.name, "out-of-memory", "during ETL")
+
+    def _execute(self, handle, algorithm, params):  # pragma: no cover
+        raise AssertionError("never reached")
+
+
+@pytest.fixture
+def graphs():
+    return {"tiny": rmat_graph(6, edge_factor=4, seed=1)}
+
+
+class TestSuccessPath:
+    def test_full_run_with_validation(self, graphs, cluster_spec):
+        core = BenchmarkCore(
+            [GiraphPlatform(cluster_spec)], graphs, validator=OutputValidator()
+        )
+        suite = core.run()
+        assert len(suite.results) == len(Algorithm)
+        assert all(r.status == SUCCESS for r in suite.results)
+        assert all(r.runtime_seconds > 0 for r in suite.results)
+        assert all(r.kteps > 0 for r in suite.results)
+        assert all(r.samples for r in suite.results)
+
+    def test_runtime_table_layout(self, graphs, cluster_spec):
+        core = BenchmarkCore([GiraphPlatform(cluster_spec)], graphs)
+        suite = core.run()
+        table = suite.runtime_table()
+        assert ("BFS", "tiny", "giraph") in table
+        assert table[("BFS", "tiny", "giraph")] > 0
+
+    def test_run_spec_subsets(self, graphs, cluster_spec):
+        core = BenchmarkCore([GiraphPlatform(cluster_spec)], graphs)
+        suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+        assert [r.algorithm for r in suite.results] == [Algorithm.BFS]
+
+
+class TestFailurePaths:
+    def test_platform_failure_recorded(self, graphs, cluster_spec):
+        core = BenchmarkCore([_CrashingPlatform(cluster_spec)], graphs)
+        suite = core.run()
+        assert all(r.status == FAILED for r in suite.results)
+        assert all(r.failure_reason == "out-of-memory" for r in suite.results)
+        assert all(r.runtime_seconds is None for r in suite.results)
+
+    def test_etl_failure_fails_all_algorithms(self, graphs, cluster_spec):
+        core = BenchmarkCore([_EtlFailingPlatform(cluster_spec)], graphs)
+        suite = core.run()
+        assert len(suite.results) == len(Algorithm)
+        assert all(r.failure_reason == "ETL: out-of-memory" for r in suite.results)
+
+    def test_validation_failure_marked_invalid(self, graphs, cluster_spec):
+        core = BenchmarkCore(
+            [_BrokenPlatform(cluster_spec)], graphs, validator=OutputValidator()
+        )
+        suite = core.run()
+        (result,) = suite.results
+        assert result.status == INVALID
+        assert "CONN" in result.failure_reason
+
+    def test_validation_skippable_per_spec(self, graphs, cluster_spec):
+        core = BenchmarkCore(
+            [_BrokenPlatform(cluster_spec)], graphs, validator=OutputValidator()
+        )
+        suite = core.run(BenchmarkRunSpec(validate_outputs=False))
+        (result,) = suite.results
+        assert result.status == SUCCESS
+
+    def test_time_limit(self, graphs, cluster_spec):
+        core = BenchmarkCore(
+            [GiraphPlatform(cluster_spec)], graphs, time_limit_seconds=1e-6
+        )
+        suite = core.run()
+        assert all(r.status == FAILED for r in suite.results)
+        assert all(r.failure_reason == "time-limit" for r in suite.results)
+
+    def test_out_of_memory_failure_end_to_end(self, graphs):
+        spec = dataclasses.replace(
+            ClusterSpec.paper_distributed(), memory_bytes_per_worker=64.0
+        )
+        core = BenchmarkCore([GiraphPlatform(spec)], graphs)
+        suite = core.run()
+        assert all(not r.succeeded for r in suite.results)
+        assert any("out-of-memory" in r.failure_reason for r in suite.results)
+
+
+class TestConstruction:
+    def test_duplicate_platform_names_rejected(self, graphs, cluster_spec):
+        with pytest.raises(ValueError, match="duplicate"):
+            BenchmarkCore(
+                [GiraphPlatform(cluster_spec), GiraphPlatform(cluster_spec)], graphs
+            )
+
+    def test_mismatched_handle_rejected(self, graphs, cluster_spec):
+        giraph = GiraphPlatform(cluster_spec)
+        handle = giraph.upload_graph("tiny", graphs["tiny"])
+        other = _BrokenPlatform(cluster_spec)
+        with pytest.raises(ValueError, match="loaded into"):
+            other.run_algorithm(handle, Algorithm.CONN)
+
+
+class TestRepetitions:
+    def test_repetitions_recorded_and_averaged(self, graphs, cluster_spec):
+        core = BenchmarkCore([GiraphPlatform(cluster_spec)], graphs)
+        suite = core.run(
+            BenchmarkRunSpec(algorithms=[Algorithm.BFS], repetitions=3)
+        )
+        (result,) = suite.results
+        assert len(result.repetition_runtimes) == 3
+        assert result.runtime_seconds == pytest.approx(
+            sum(result.repetition_runtimes) / 3
+        )
+
+    def test_single_repetition_default(self, graphs, cluster_spec):
+        core = BenchmarkCore([GiraphPlatform(cluster_spec)], graphs)
+        suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+        (result,) = suite.results
+        assert len(result.repetition_runtimes) == 1
+
+    def test_deterministic_platform_repeats_identically(self, graphs, cluster_spec):
+        core = BenchmarkCore([GiraphPlatform(cluster_spec)], graphs)
+        suite = core.run(
+            BenchmarkRunSpec(algorithms=[Algorithm.CONN], repetitions=2)
+        )
+        (result,) = suite.results
+        first, second = result.repetition_runtimes
+        assert first == pytest.approx(second)

@@ -1,0 +1,177 @@
+"""Unit tests for configuration files."""
+
+import pytest
+
+from repro.core.config import (
+    GraphConfig,
+    load_benchmark_config,
+    load_graph_config,
+    save_graph_config,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.workload import Algorithm
+
+
+class TestGraphConfig:
+    def test_load(self, tmp_path):
+        path = tmp_path / "patents.ini"
+        path.write_text(
+            "[graph]\n"
+            "name = patents\n"
+            "edge_file = graphs/patents.e\n"
+            "vertex_file = graphs/patents.v\n"
+            "directed = false\n"
+            "\n"
+            "[bfs]\n"
+            "source = 420\n"
+        )
+        config = load_graph_config(path)
+        assert config.name == "patents"
+        assert config.edge_file == "graphs/patents.e"
+        assert config.vertex_file == "graphs/patents.v"
+        assert not config.directed
+        assert config.params.bfs_source == 420
+
+    def test_roundtrip(self, tmp_path):
+        from repro.core.workload import AlgorithmParams
+
+        config = GraphConfig(
+            name="g", edge_file="g.e", directed=True,
+            params=AlgorithmParams(bfs_source=7),
+        )
+        path = save_graph_config(config, tmp_path / "g.ini")
+        loaded = load_graph_config(path)
+        assert loaded.name == "g"
+        assert loaded.directed
+        assert loaded.params.bfs_source == 7
+        assert loaded.vertex_file is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_graph_config(tmp_path / "absent.ini")
+
+    def test_missing_section(self, tmp_path):
+        path = tmp_path / "bad.ini"
+        path.write_text("[other]\nx = 1\n")
+        with pytest.raises(ConfigurationError, match="graph"):
+            load_graph_config(path)
+
+    def test_missing_required_keys(self, tmp_path):
+        path = tmp_path / "bad.ini"
+        path.write_text("[graph]\nname = x\n")
+        with pytest.raises(ConfigurationError, match="edge_file"):
+            load_graph_config(path)
+
+    def test_bad_boolean(self, tmp_path):
+        path = tmp_path / "bad.ini"
+        path.write_text("[graph]\nname = x\nedge_file = x.e\ndirected = maybe\n")
+        with pytest.raises(ConfigurationError, match="boolean"):
+            load_graph_config(path)
+
+    def test_bad_source(self, tmp_path):
+        path = tmp_path / "bad.ini"
+        path.write_text(
+            "[graph]\nname = x\nedge_file = x.e\n[bfs]\nsource = abc\n"
+        )
+        with pytest.raises(ConfigurationError, match="BFS source"):
+            load_graph_config(path)
+
+
+class TestBenchmarkConfig:
+    def test_load_full(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text(
+            "[benchmark]\n"
+            "platforms = giraph, mapreduce\n"
+            "graphs = patents, snb-1000\n"
+            "algorithms = BFS, CONN\n"
+            "time_limit_seconds = 10000\n"
+            "validate = false\n"
+        )
+        spec, time_limit = load_benchmark_config(path)
+        assert spec.platforms == ["giraph", "mapreduce"]
+        assert spec.graphs == ["patents", "snb-1000"]
+        assert spec.algorithms == [Algorithm.BFS, Algorithm.CONN]
+        assert not spec.validate_outputs
+        assert time_limit == 10000.0
+
+    def test_defaults_select_all(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\n")
+        spec, time_limit = load_benchmark_config(path)
+        assert spec.platforms is None
+        assert spec.graphs is None
+        assert spec.algorithms is None
+        assert spec.validate_outputs
+        assert time_limit is None
+
+    def test_unknown_algorithm(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\nalgorithms = PAGERANK\n")
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            load_benchmark_config(path)
+
+    def test_bad_time_limit(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\ntime_limit_seconds = soon\n")
+        with pytest.raises(ConfigurationError, match="time limit"):
+            load_benchmark_config(path)
+
+
+class TestCatalogConfigs:
+    def test_catalog_backed_config(self, tmp_path):
+        path = tmp_path / "g.ini"
+        path.write_text("[graph]\nname = g500\ncatalog = graph500-7\n")
+        config = load_graph_config(path)
+        assert config.catalog == "graph500-7"
+        assert config.edge_file is None
+        graph = config.load()
+        assert graph.num_vertices == 128
+
+    def test_file_backed_config_load(self, tmp_path):
+        from repro.graph.generators import rmat_graph
+        from repro.graph.io import write_edge_list, write_vertex_list
+
+        graph = rmat_graph(6, seed=3)
+        write_edge_list(graph, tmp_path / "g.e")
+        write_vertex_list([int(v) for v in graph.vertices], tmp_path / "g.v")
+        path = tmp_path / "g.ini"
+        path.write_text(
+            "[graph]\nname = g\nedge_file = g.e\nvertex_file = g.v\n"
+        )
+        config = load_graph_config(path)
+        assert config.load(base_dir=tmp_path) == graph
+
+    def test_both_sources_rejected(self, tmp_path):
+        path = tmp_path / "bad.ini"
+        path.write_text(
+            "[graph]\nname = g\nedge_file = g.e\ncatalog = patents\n"
+        )
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            load_graph_config(path)
+
+    def test_neither_source_rejected(self, tmp_path):
+        path = tmp_path / "bad.ini"
+        path.write_text("[graph]\nname = g\n")
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            load_graph_config(path)
+
+    def test_catalog_roundtrip(self, tmp_path):
+        config = GraphConfig(name="g", catalog="graph500-7")
+        path = save_graph_config(config, tmp_path / "g.ini")
+        loaded = load_graph_config(path)
+        assert loaded.catalog == "graph500-7"
+        assert loaded.edge_file is None
+
+    def test_shipped_configs_parse_and_load(self):
+        from pathlib import Path
+
+        shipped = sorted(Path("configs").glob("*.ini"))
+        assert len(shipped) >= 7
+        for path in shipped:
+            config = load_graph_config(path)
+            assert config.catalog is not None
+        # One representative config actually materializes.
+        small = load_graph_config("configs/patents.ini")
+        graph = small.load()
+        assert graph.num_vertices > 0

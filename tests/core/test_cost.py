@@ -1,0 +1,174 @@
+"""Unit tests for the cost model (ClusterSpec, CostMeter, RunProfile)."""
+
+import pytest
+
+from repro.core.cost import ClusterSpec, CostMeter, MemoryBudgetExceeded
+
+
+class TestClusterSpec:
+    def test_paper_specs(self):
+        distributed = ClusterSpec.paper_distributed()
+        assert distributed.num_workers == 10
+        assert distributed.memory_bytes_per_worker == 24 * 2 ** 30
+        single = ClusterSpec.paper_single_node()
+        assert single.num_workers == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("x", 0, 1, 1.0, 1e-7, 1.0, 1.0, 0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            ClusterSpec("x", 1, 0, 1.0, 1e-7, 1.0, 1.0, 0.0, 1.0, 0.0)
+
+    def test_scaled_divides_throughputs(self):
+        base = ClusterSpec.paper_distributed()
+        scaled = base.scaled(4.0)
+        assert scaled.cpu_ops_per_second == base.cpu_ops_per_second / 4
+        assert scaled.network_bandwidth == base.network_bandwidth / 4
+        assert scaled.disk_bandwidth == base.disk_bandwidth / 4
+        assert scaled.memory_bytes_per_worker == base.memory_bytes_per_worker / 4
+        # Random-access latency grows when throughput shrinks.
+        assert scaled.random_access_seconds == base.random_access_seconds * 4
+        # Latency constants are untouched.
+        assert scaled.barrier_seconds == base.barrier_seconds
+        assert scaled.startup_seconds == base.startup_seconds
+
+    def test_scaled_memory_independent(self):
+        base = ClusterSpec.paper_distributed()
+        scaled = base.scaled(4.0, memory=16.0)
+        assert scaled.memory_bytes_per_worker == base.memory_bytes_per_worker / 16
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec.paper_distributed().scaled(0)
+        with pytest.raises(ValueError):
+            ClusterSpec.paper_distributed().scaled(2, memory=-1)
+
+
+class TestCostMeter:
+    def test_round_lifecycle(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("r0")
+        meter.charge_compute(0, 1000)
+        record = meter.end_round(active_vertices=5)
+        assert record.name == "r0"
+        assert record.active_vertices == 5
+        assert record.seconds > 0
+        assert meter.profile.num_rounds == 1
+
+    def test_nested_round_rejected(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("a")
+        with pytest.raises(RuntimeError):
+            meter.begin_round("b")
+
+    def test_charge_outside_round_rejected(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        with pytest.raises(RuntimeError):
+            meter.charge_compute(0, 1)
+
+    def test_compute_time_is_max_over_workers(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("balanced")
+        for worker in range(cluster_spec.num_workers):
+            meter.charge_compute(worker, 1e6)
+        balanced = meter.end_round()
+        meter.begin_round("skewed")
+        meter.charge_compute(0, 1e6 * cluster_spec.num_workers)
+        skewed = meter.end_round()
+        # Same total work; the skewed round takes ~num_workers longer.
+        assert skewed.compute_seconds == pytest.approx(
+            balanced.compute_seconds * cluster_spec.num_workers
+        )
+        assert skewed.skew == pytest.approx(cluster_spec.num_workers)
+        assert balanced.skew == pytest.approx(1.0)
+
+    def test_local_messages_cost_no_network(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("msgs")
+        meter.charge_message(0, 0, 8.0)
+        meter.charge_message(0, 1, 8.0)
+        record = meter.end_round()
+        assert record.local_messages == 1
+        assert record.remote_messages == 1
+        assert record.remote_bytes == 8.0 + CostMeter.MESSAGE_OVERHEAD_BYTES
+        assert record.network_seconds > 0
+
+    def test_shuffle_bulk_charge(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("shuffle")
+        meter.charge_shuffle(1e6, count=100)
+        record = meter.end_round()
+        assert record.remote_bytes == 1e6
+        assert record.remote_messages == 100
+
+    def test_barrier_seconds(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("with-barrier")
+        with_barrier = meter.end_round()
+        meter.begin_round("no-barrier", barrier=False)
+        without = meter.end_round()
+        assert with_barrier.barrier_seconds == cluster_spec.barrier_seconds
+        assert without.barrier_seconds == 0.0
+
+    def test_startup(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.charge_startup()
+        assert meter.profile.startup_seconds == cluster_spec.startup_seconds
+        assert meter.profile.simulated_seconds == cluster_spec.startup_seconds
+
+    def test_random_access_slower_than_sequential(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("sequential")
+        meter.charge_compute(0, 1e6)
+        sequential = meter.end_round()
+        meter.begin_round("random")
+        meter.charge_random_access(0, 1e6)
+        random = meter.end_round()
+        assert random.compute_seconds > sequential.compute_seconds
+
+
+class TestMemoryTracking:
+    def test_peak_tracked(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.allocate_memory(0, 1000)
+        meter.allocate_memory(0, 500)
+        meter.release_memory(0, 800)
+        meter.allocate_memory(0, 100)
+        assert meter.profile.peak_memory_per_worker[0] == 1500
+        assert meter.memory_in_use(0) == 800
+
+    def test_budget_enforced(self, tiny_memory_spec):
+        meter = CostMeter(tiny_memory_spec)
+        meter.allocate_memory(0, 2048)
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            meter.allocate_memory(0, 1)
+        assert info.value.worker == 0
+
+    def test_enforcement_optional(self, tiny_memory_spec):
+        meter = CostMeter(tiny_memory_spec, enforce_memory=False)
+        meter.allocate_memory(0, 10 * 2048)
+        assert meter.profile.peak_memory == 10 * 2048
+
+    def test_release_floors_at_zero(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.release_memory(0, 1000)
+        assert meter.memory_in_use(0) == 0.0
+
+
+class TestRunProfile:
+    def test_aggregates(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        for index in range(3):
+            meter.begin_round(f"r{index}")
+            meter.charge_compute(0, 100)
+            meter.charge_message(0, 1, 8.0)
+            meter.charge_random_access(1, 10)
+            meter.end_round(active_vertices=10 - index)
+        profile = meter.profile
+        assert profile.num_rounds == 3
+        assert profile.total_messages == 3
+        assert profile.total_random_accesses == 30
+        assert profile.total_remote_bytes == 3 * (8.0 + CostMeter.MESSAGE_OVERHEAD_BYTES)
+        assert profile.simulated_seconds == pytest.approx(
+            sum(r.seconds for r in profile.rounds)
+        )

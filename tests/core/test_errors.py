@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    GraphalyticsError,
+    PlatformFailure,
+    ValidationFailure,
+)
+
+
+def test_hierarchy():
+    for exc_type in (PlatformFailure, ValidationFailure, ConfigurationError):
+        assert issubclass(exc_type, GraphalyticsError)
+    assert issubclass(GraphalyticsError, Exception)
+
+
+def test_platform_failure_message_with_detail():
+    failure = PlatformFailure("giraph", "out-of-memory", "worker 3 at 25 GiB")
+    assert failure.platform == "giraph"
+    assert failure.reason == "out-of-memory"
+    assert "giraph: out-of-memory (worker 3 at 25 GiB)" in str(failure)
+
+
+def test_platform_failure_message_without_detail():
+    failure = PlatformFailure("neo4j", "timeout")
+    assert str(failure) == "neo4j: timeout"
+    assert failure.detail == ""
+
+
+def test_catchable_as_base():
+    with pytest.raises(GraphalyticsError):
+        raise PlatformFailure("x", "y")

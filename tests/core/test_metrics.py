@@ -1,0 +1,30 @@
+"""Unit tests for TEPS metrics."""
+
+import pytest
+
+from repro.core.metrics import kteps, mteps, teps
+
+
+def test_teps_basic():
+    assert teps(1000, 2.0) == 500.0
+
+
+def test_kteps_and_mteps_scaling():
+    assert kteps(2_000_000, 1.0) == 2000.0
+    assert mteps(2_000_000, 1.0) == 2.0
+
+
+def test_zero_runtime_rejected():
+    with pytest.raises(ValueError):
+        teps(100, 0.0)
+    with pytest.raises(ValueError):
+        teps(100, -1.0)
+
+
+def test_negative_edges_rejected():
+    with pytest.raises(ValueError):
+        teps(-1, 1.0)
+
+
+def test_zero_edges_allowed():
+    assert teps(0, 1.0) == 0.0

@@ -1,0 +1,61 @@
+"""Unit tests for the System Monitor."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.core.monitor import SystemMonitor
+
+
+@pytest.fixture
+def profile(cluster_spec):
+    meter = CostMeter(cluster_spec)
+    meter.begin_round("balanced")
+    for worker in range(cluster_spec.num_workers):
+        meter.charge_compute(worker, 1000)
+    meter.end_round(active_vertices=100)
+    meter.begin_round("skewed")
+    meter.charge_compute(0, 5000)
+    meter.charge_message(0, 1, 64.0)
+    meter.end_round(active_vertices=3)
+    return meter.profile
+
+
+def test_one_sample_per_round(profile):
+    samples = SystemMonitor().samples_from_profile(profile)
+    assert [s.round_name for s in samples] == ["balanced", "skewed"]
+
+
+def test_utilization_reflects_balance(profile):
+    balanced, skewed = SystemMonitor().samples_from_profile(profile)
+    assert balanced.cpu_utilization == pytest.approx(1.0)
+    # Only 1 of 10 workers busy.
+    assert skewed.cpu_utilization == pytest.approx(0.1)
+    assert skewed.skew == pytest.approx(10.0)
+
+
+def test_timestamps_monotonic(profile):
+    samples = SystemMonitor().samples_from_profile(profile)
+    assert samples[0].timestamp < samples[1].timestamp
+
+
+def test_network_and_activity_reported(profile):
+    _balanced, skewed = SystemMonitor().samples_from_profile(profile)
+    assert skewed.network_bytes > 0
+    assert skewed.active_vertices == 3
+
+
+def test_host_statistics_present():
+    stats = SystemMonitor().host_statistics()
+    assert stats["wall_seconds"] >= 0
+    assert stats["cpu_seconds"] >= 0
+    assert stats["max_rss_bytes"] > 0
+
+
+def test_csv_export(profile, tmp_path):
+    monitor = SystemMonitor()
+    samples = monitor.samples_from_profile(profile)
+    path = monitor.write_csv(samples, tmp_path / "out" / "utilization.csv")
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith("round,timestamp_s")
+    assert len(lines) == 1 + len(samples)
+    assert lines[1].startswith("balanced,")

@@ -1,0 +1,81 @@
+"""Unit tests for the Report Generator."""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkCore
+from repro.core.report import ReportGenerator
+from repro.core.validation import OutputValidator
+from repro.core.workload import Algorithm
+from repro.graph.generators import rmat_graph
+from repro.platforms.graphdb.driver import Neo4jPlatform
+from repro.platforms.pregel.driver import GiraphPlatform
+
+
+@pytest.fixture(scope="module")
+def suite(request):
+    from repro.core.cost import ClusterSpec
+
+    graphs = {"tiny": rmat_graph(6, edge_factor=4, seed=2)}
+    core = BenchmarkCore(
+        [GiraphPlatform(ClusterSpec.paper_distributed()), Neo4jPlatform()],
+        graphs,
+        validator=OutputValidator(),
+    )
+    return core.run()
+
+
+def test_runtime_matrix_structure(suite):
+    matrix = ReportGenerator().runtime_matrix(suite)
+    assert "giraph" in matrix
+    assert "neo4j" in matrix
+    for algorithm in Algorithm:
+        assert algorithm.value in matrix
+
+
+def test_kteps_matrix(suite):
+    table = ReportGenerator().kteps_matrix(suite, Algorithm.CONN)
+    assert "kTEPS for CONN" in table
+    assert "tiny" in table
+
+
+def test_failure_section_when_clean(suite):
+    assert ReportGenerator().failure_section(suite) == "No failures."
+
+
+def test_detail_section_lists_all_successes(suite):
+    details = ReportGenerator().detail_section(suite)
+    assert details.count("giraph") == len(Algorithm)
+    assert "max-skew" in details
+
+
+def test_full_render_includes_configuration(suite):
+    generator = ReportGenerator(configuration={"cluster": "test-rig"})
+    text = generator.render(suite)
+    assert "cluster = test-rig" in text
+    assert "missing values indicate failures" in text
+
+
+def test_write_to_file(suite, tmp_path):
+    path = ReportGenerator().write(suite, tmp_path / "out" / "report.txt")
+    assert path.exists()
+    assert "Graphalytics benchmark report" in path.read_text()
+
+
+def test_missing_values_rendered_as_dash():
+    from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
+
+    suite = BenchmarkSuiteResult(
+        results=[
+            BenchmarkResult(
+                platform="giraph",
+                graph_name="g",
+                algorithm=Algorithm.BFS,
+                status="failed",
+                failure_reason="out-of-memory",
+            )
+        ]
+    )
+    matrix = ReportGenerator().runtime_matrix(suite)
+    assert "—" in matrix
+    failures = ReportGenerator().failure_section(suite)
+    assert "out-of-memory" in failures

@@ -1,0 +1,74 @@
+"""Tests for the HTML report rendering."""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
+from repro.core.report import ReportGenerator
+from repro.core.workload import Algorithm
+
+
+@pytest.fixture
+def suite():
+    return BenchmarkSuiteResult(
+        results=[
+            BenchmarkResult(
+                platform="giraph",
+                graph_name="tiny",
+                algorithm=Algorithm.BFS,
+                status="success",
+                runtime_seconds=12.5,
+                kteps=3.0,
+            ),
+            BenchmarkResult(
+                platform="neo4j",
+                graph_name="tiny",
+                algorithm=Algorithm.BFS,
+                status="failed",
+                failure_reason="out-of-memory <budget>",
+            ),
+        ]
+    )
+
+
+def test_html_structure(suite):
+    html = ReportGenerator(configuration={"cluster": "c&d"}).render_html(suite)
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<th>giraph</th>" in html
+    assert "<th>neo4j</th>" in html
+    assert "12.5" in html
+
+
+def test_html_escapes_content(suite):
+    html = ReportGenerator(configuration={"cluster": "c&d"}).render_html(suite)
+    assert "c&amp;d" in html
+    assert "&lt;budget&gt;" in html
+    assert "<budget>" not in html
+
+
+def test_failures_highlighted(suite):
+    html = ReportGenerator().render_html(suite)
+    assert 'class="failure"' in html
+    assert "out-of-memory" in html
+
+
+def test_write_html(suite, tmp_path):
+    path = ReportGenerator().write_html(suite, tmp_path / "r" / "report.html")
+    assert path.exists()
+    assert "<html" in path.read_text()
+
+
+def test_no_failures_renders_none():
+    suite = BenchmarkSuiteResult(
+        results=[
+            BenchmarkResult(
+                platform="giraph",
+                graph_name="g",
+                algorithm=Algorithm.CONN,
+                status="success",
+                runtime_seconds=1.0,
+                kteps=1.0,
+            )
+        ]
+    )
+    html = ReportGenerator().render_html(suite)
+    assert "<li>none</li>" in html

@@ -1,0 +1,52 @@
+"""Tests for the per-run activity-timeline sparkline."""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkCore, BenchmarkResult
+from repro.core.report import ReportGenerator
+from repro.core.workload import Algorithm, BenchmarkRunSpec
+from repro.graph.generators import rmat_graph
+from repro.platforms.pregel.driver import GiraphPlatform
+
+
+@pytest.fixture(scope="module")
+def conn_result(request):
+    from repro.core.cost import ClusterSpec
+
+    core = BenchmarkCore(
+        [GiraphPlatform(ClusterSpec.paper_distributed())],
+        {"g": rmat_graph(8, seed=6)},
+    )
+    suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.CONN]))
+    return suite.results[0]
+
+
+def test_timeline_shape(conn_result):
+    timeline = ReportGenerator().activity_timeline(conn_result)
+    assert "rounds=" in timeline
+    assert "peak-active=" in timeline
+    # The peak round renders as the tallest bar.
+    assert "█" in timeline
+
+
+def test_timeline_shows_convergence_tail(conn_result):
+    timeline = ReportGenerator().activity_timeline(conn_result)
+    bars = timeline.split(" rounds=")[0]
+    # CONN converges: the last rendered round is far below the peak.
+    assert bars[-1] in " ▁▂▃"
+
+
+def test_timeline_width_truncation(conn_result):
+    timeline = ReportGenerator().activity_timeline(conn_result, width=2)
+    bars = timeline.split(" rounds=")[0]
+    assert len(bars.rstrip("…")) <= 2
+
+
+def test_timeline_without_run():
+    empty = BenchmarkResult(
+        platform="giraph",
+        graph_name="g",
+        algorithm=Algorithm.BFS,
+        status="failed",
+    )
+    assert "no run profile" in ReportGenerator().activity_timeline(empty)

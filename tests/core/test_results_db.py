@@ -1,0 +1,107 @@
+"""Unit tests for the results database."""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
+from repro.core.results_db import ResultsDatabase
+from repro.core.workload import Algorithm
+
+
+def _suite(runtime=10.0, status="success", platform="giraph"):
+    return BenchmarkSuiteResult(
+        results=[
+            BenchmarkResult(
+                platform=platform,
+                graph_name="tiny",
+                algorithm=Algorithm.BFS,
+                status=status,
+                runtime_seconds=runtime if status == "success" else None,
+                kteps=5.0 if status == "success" else None,
+                failure_reason=None if status == "success" else "out-of-memory",
+            )
+        ]
+    )
+
+
+@pytest.fixture
+def db(tmp_path):
+    return ResultsDatabase(tmp_path / "results.jsonl")
+
+
+def test_submit_and_query(db):
+    assert db.submit(_suite()) == 1
+    rows = db.query()
+    assert len(rows) == 1
+    assert rows[0].platform == "giraph"
+    assert rows[0].runtime_seconds == 10.0
+
+
+def test_query_filters(db):
+    db.submit(_suite(platform="giraph"))
+    db.submit(_suite(platform="neo4j"))
+    db.submit(_suite(status="failed", platform="giraph"))
+    assert len(db.query(platform="giraph")) == 2
+    assert len(db.query(platform="giraph", status="success")) == 1
+    assert len(db.query(algorithm="BFS")) == 3
+    assert db.query(graph="other") == []
+
+
+def test_append_only_accumulates(db):
+    db.submit(_suite(runtime=10.0))
+    db.submit(_suite(runtime=5.0))
+    assert len(db.query()) == 2
+
+
+def test_best_runtime(db):
+    db.submit(_suite(runtime=10.0))
+    db.submit(_suite(runtime=5.0))
+    db.submit(_suite(status="failed"))
+    assert db.best_runtime("giraph", "tiny", "BFS") == 5.0
+    assert db.best_runtime("neo4j", "tiny", "BFS") is None
+
+
+def test_missing_file_queries_empty(tmp_path):
+    db = ResultsDatabase(tmp_path / "never-written.jsonl")
+    assert db.query() == []
+
+
+class TestLeaderboard:
+    def test_ranked_by_best_runtime(self, db):
+        db.submit(_suite(runtime=20.0, platform="giraph"))
+        db.submit(_suite(runtime=10.0, platform="giraph"))
+        db.submit(_suite(runtime=5.0, platform="neo4j"))
+        db.submit(_suite(status="failed", platform="graphx"))
+        ranking = db.leaderboard("tiny", "BFS")
+        assert ranking == [("neo4j", 5.0), ("giraph", 10.0)]
+
+    def test_empty_leaderboard(self, db):
+        assert db.leaderboard("tiny", "BFS") == []
+
+
+class TestSubmissions:
+    def test_export_import_roundtrip(self, db, tmp_path):
+        document = ResultsDatabase.export_submission(
+            _suite(runtime=7.0), system_info={"cluster": "10x E5620"}
+        )
+        assert document["schema"] == ResultsDatabase.SUBMISSION_SCHEMA
+        assert document["system"]["cluster"] == "10x E5620"
+        other = ResultsDatabase(tmp_path / "remote.jsonl")
+        assert other.import_submission(document) == 1
+        assert other.best_runtime("giraph", "tiny", "BFS") == 7.0
+
+    def test_wrong_schema_rejected(self, db):
+        with pytest.raises(ValueError, match="schema"):
+            db.import_submission({"schema": "v0", "results": []})
+
+    def test_malformed_results_rejected(self, db):
+        with pytest.raises(ValueError, match="malformed"):
+            db.import_submission(
+                {
+                    "schema": ResultsDatabase.SUBMISSION_SCHEMA,
+                    "results": [{"bogus": 1}],
+                }
+            )
+
+    def test_missing_results_rejected(self, db):
+        with pytest.raises(ValueError, match="results"):
+            db.import_submission({"schema": ResultsDatabase.SUBMISSION_SCHEMA})

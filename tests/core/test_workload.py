@@ -1,0 +1,66 @@
+"""Unit tests for workload definitions."""
+
+import pytest
+
+from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec, Workload
+from repro.graph.graph import Graph
+
+
+class TestAlgorithm:
+    def test_five_algorithms(self):
+        assert [a.value for a in Algorithm] == ["STATS", "BFS", "CONN", "CD", "EVO"]
+
+    def test_from_name_case_insensitive(self):
+        assert Algorithm.from_name("bfs") is Algorithm.BFS
+        assert Algorithm.from_name("Conn") is Algorithm.CONN
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            Algorithm.from_name("pagerank")
+
+
+class TestAlgorithmParams:
+    def test_default_bfs_source_is_smallest_vertex(self):
+        graph = Graph.from_edges([(5, 7), (3, 5)])
+        assert AlgorithmParams().resolve_bfs_source(graph) == 3
+
+    def test_explicit_bfs_source(self):
+        graph = Graph.from_edges([(5, 7), (3, 5)])
+        params = AlgorithmParams().with_source(7)
+        assert params.resolve_bfs_source(graph) == 7
+
+    def test_missing_bfs_source_rejected(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            AlgorithmParams(bfs_source=42).resolve_bfs_source(graph)
+
+    def test_with_source_is_functional(self):
+        base = AlgorithmParams()
+        derived = base.with_source(9)
+        assert base.bfs_source is None
+        assert derived.bfs_source == 9
+
+
+class TestWorkloadAndRunSpec:
+    def test_workload_label(self):
+        workload = Workload("patents", Algorithm.BFS)
+        assert workload.label == "BFS@patents"
+
+    def test_default_spec_selects_everything(self):
+        spec = BenchmarkRunSpec()
+        assert spec.selects_platform("giraph")
+        assert spec.selects_graph("anything")
+        assert all(spec.selects_algorithm(a) for a in Algorithm)
+
+    def test_subset_selection(self):
+        spec = BenchmarkRunSpec(
+            platforms=["giraph"],
+            graphs=["patents"],
+            algorithms=[Algorithm.BFS],
+        )
+        assert spec.selects_platform("giraph")
+        assert not spec.selects_platform("neo4j")
+        assert spec.selects_graph("patents")
+        assert not spec.selects_graph("amazon")
+        assert spec.selects_algorithm(Algorithm.BFS)
+        assert not spec.selects_algorithm(Algorithm.CD)

@@ -1,0 +1,126 @@
+"""Unit and integration tests for the Datagen facade."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.datagen import Datagen, DatagenConfig
+from repro.datagen.distributions import GeometricDistribution
+from repro.datagen.runtime import CLUSTER_4_NODES, SINGLE_NODE
+from repro.graph.properties import average_clustering_coefficient, degree_assortativity
+
+
+class TestConfig:
+    def test_named_distribution_resolution(self):
+        config = DatagenConfig(degree_distribution="zeta",
+                               distribution_params={"alpha": 2.0})
+        assert config.resolve_distribution().alpha == 2.0
+
+    def test_instance_distribution_passthrough(self):
+        dist = GeometricDistribution(0.2)
+        config = DatagenConfig(degree_distribution=dist)
+        assert config.resolve_distribution() is dist
+
+    def test_invalid_person_count(self):
+        with pytest.raises(ValueError):
+            Datagen(DatagenConfig(num_persons=0))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        config = DatagenConfig(num_persons=800, seed=3)
+        assert Datagen(config).generate() == Datagen(config).generate()
+
+    def test_person_count(self):
+        graph = Datagen(DatagenConfig(num_persons=700, seed=1)).generate()
+        assert graph.num_vertices == 700
+
+    def test_degrees_capped_by_population(self):
+        config = DatagenConfig(
+            num_persons=50,
+            degree_distribution="facebook",
+            distribution_params={"median_degree": 500.0},
+            seed=2,
+        )
+        persons = Datagen(config).generate_persons()
+        assert max(p.target_degree for p in persons) <= 49
+
+    def test_runtime_produces_identical_graph(self):
+        config = DatagenConfig(num_persons=1200, seed=4, block_size=256)
+        direct = Datagen(config).generate()
+        on_single, report_single = Datagen(config).generate_on(SINGLE_NODE)
+        on_cluster, report_cluster = Datagen(config).generate_on(CLUSTER_4_NODES)
+        assert direct == on_single == on_cluster
+        # Hardware changes cost, never output.
+        assert report_single.simulated_seconds != pytest.approx(
+            report_cluster.simulated_seconds
+        )
+
+    def test_report_counts_real_work(self):
+        config = DatagenConfig(num_persons=1000, seed=5)
+        graph, report = Datagen(config).generate_on(SINGLE_NODE)
+        # Tasks may produce duplicate candidate edges across
+        # dimensions, so the task total is an upper bound.
+        assert report.num_edges >= graph.num_edges
+        assert report.num_tasks == 3  # one block per dimension here
+
+
+class TestPostProcessing:
+    def test_rewiring_toward_clustering(self):
+        base_config = DatagenConfig(num_persons=600, seed=6)
+        base_cc = average_clustering_coefficient(Datagen(base_config).generate())
+        target = max(base_cc - 0.05, 0.0)
+        shaped_config = DatagenConfig(
+            num_persons=600, seed=6, target_clustering=target, rewiring_swaps=4000
+        )
+        shaped_cc = average_clustering_coefficient(
+            Datagen(shaped_config).generate()
+        )
+        assert abs(shaped_cc - target) <= abs(base_cc - target)
+
+    def test_rewiring_preserves_degrees(self):
+        plain = DatagenConfig(num_persons=500, seed=7)
+        shaped = DatagenConfig(
+            num_persons=500, seed=7, assortativity_sign=1, rewiring_swaps=3000
+        )
+        graph_plain = Datagen(plain).generate()
+        graph_shaped = Datagen(shaped).generate()
+        assert graph_plain.degrees() == graph_shaped.degrees()
+
+    def test_assortativity_sign_request(self):
+        plain = DatagenConfig(num_persons=800, seed=8)
+        shaped = DatagenConfig(
+            num_persons=800, seed=8, assortativity_sign=1, rewiring_swaps=8000
+        )
+        before = degree_assortativity(Datagen(plain).generate())
+        after = degree_assortativity(Datagen(shaped).generate())
+        # Hill climbing moves assortativity toward positive; full sign
+        # flips can need more swaps than a unit test budget allows.
+        assert after > before
+
+
+class TestFigure1Fidelity:
+    """The Figure 1 property: generated degrees track the model."""
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [("zeta", {"alpha": 1.7}), ("geometric", {"p": 0.12})],
+    )
+    def test_distribution_reproduced(self, name, params):
+        config = DatagenConfig(
+            num_persons=8000, degree_distribution=name,
+            distribution_params=params, seed=9,
+        )
+        datagen = Datagen(config)
+        graph = datagen.generate()
+        degrees = graph.degree_sequence()
+        positive = degrees[degrees >= 1]
+        dist = config.resolve_distribution()
+        ks = np.arange(1, 21)
+        expected = dist.expected_pmf(ks) * positive.size
+        observed = np.array([int(np.sum(positive == k)) for k in ks])
+        # Compare frequencies where the expectation is large enough
+        # for the ratio to be statistically meaningful.
+        meaningful = expected > 30
+        ratio = observed[meaningful] / expected[meaningful]
+        assert np.all(ratio > 0.55)
+        assert np.all(ratio < 1.8)

@@ -1,0 +1,172 @@
+"""Unit tests for the degree-distribution plugins."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import (
+    EmpiricalDistribution,
+    FacebookDistribution,
+    GeometricDistribution,
+    ZetaDistribution,
+    distribution_from_name,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestZeta:
+    def test_support_and_shape(self, rng):
+        dist = ZetaDistribution(alpha=1.7, max_degree=500)
+        sample = dist.sample(20000, rng)
+        assert sample.min() >= 1
+        assert sample.max() <= 500
+        # Heavy tail: far more 1s than 10s.
+        ones = int(np.sum(sample == 1))
+        tens = int(np.sum(sample == 10))
+        assert ones > 10 * tens
+
+    def test_expected_pmf_matches_theory(self):
+        dist = ZetaDistribution(alpha=2.0)
+        pmf = dist.expected_pmf(np.array([1, 2, 4]))
+        assert pmf[0] / pmf[1] == pytest.approx(4.0)
+        assert pmf[0] / pmf[2] == pytest.approx(16.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZetaDistribution(alpha=1.0)
+        with pytest.raises(ValueError):
+            ZetaDistribution(max_degree=0)
+
+    def test_mean_is_finite(self):
+        assert ZetaDistribution(alpha=1.7, max_degree=100).mean() > 1.0
+
+
+class TestGeometric:
+    def test_sample_mean(self, rng):
+        dist = GeometricDistribution(p=0.12)
+        sample = dist.sample(20000, rng)
+        assert float(sample.mean()) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_expected_pmf_sums_to_one(self):
+        dist = GeometricDistribution(p=0.3)
+        assert dist.expected_pmf(np.arange(1, 500)).sum() == pytest.approx(1.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            GeometricDistribution(p=0.0)
+        with pytest.raises(ValueError):
+            GeometricDistribution(p=1.5)
+
+
+class TestFacebook:
+    def test_median_near_parameter(self, rng):
+        dist = FacebookDistribution(median_degree=30.0)
+        sample = dist.sample(20000, rng)
+        assert float(np.median(sample)) == pytest.approx(30.0, rel=0.1)
+
+    def test_capped(self, rng):
+        dist = FacebookDistribution(median_degree=100.0, sigma=2.0, max_degree=500)
+        sample = dist.sample(5000, rng)
+        assert sample.max() <= 500
+        assert sample.min() >= 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FacebookDistribution(median_degree=0)
+        with pytest.raises(ValueError):
+            FacebookDistribution(sigma=-1)
+
+
+class TestEmpirical:
+    def test_reproduces_histogram(self, rng):
+        observed = [1] * 700 + [2] * 200 + [10] * 100
+        dist = EmpiricalDistribution(observed)
+        sample = dist.sample(50000, rng)
+        fractions = {
+            value: float(np.mean(sample == value)) for value in (1, 2, 10)
+        }
+        assert fractions[1] == pytest.approx(0.7, abs=0.02)
+        assert fractions[2] == pytest.approx(0.2, abs=0.02)
+        assert fractions[10] == pytest.approx(0.1, abs=0.02)
+        assert set(np.unique(sample)) <= {1, 2, 10}
+
+    def test_mean(self):
+        dist = EmpiricalDistribution([2, 2, 8])
+        assert dist.mean() == pytest.approx(4.0)
+
+    def test_expected_pmf_zero_off_support(self):
+        dist = EmpiricalDistribution([3, 3, 5])
+        pmf = dist.expected_pmf(np.array([3, 4, 5]))
+        assert pmf[1] == 0.0
+        assert pmf[0] == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+
+
+class TestRegistry:
+    def test_all_names(self):
+        for name in ("zeta", "geometric", "facebook"):
+            assert distribution_from_name(name).name == name
+        empirical = distribution_from_name("empirical", observed_degrees=[1, 2])
+        assert empirical.name == "empirical"
+
+    def test_params_forwarded(self):
+        dist = distribution_from_name("zeta", alpha=2.5)
+        assert dist.alpha == 2.5
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown degree distribution"):
+            distribution_from_name("pareto")
+
+
+def test_sampling_is_deterministic_per_seed():
+    dist = ZetaDistribution(alpha=1.7)
+    a = dist.sample(100, np.random.default_rng(3))
+    b = dist.sample(100, np.random.default_rng(3))
+    assert np.array_equal(a, b)
+
+
+class TestWeibull:
+    def test_mean_near_theory(self, rng):
+        from repro.datagen.distributions import WeibullDistribution
+
+        dist = WeibullDistribution(shape=1.4, scale=12.0)
+        sample = dist.sample(20000, rng)
+        assert float(sample.mean()) == pytest.approx(dist.mean(), rel=0.05)
+        assert sample.min() >= 1
+
+    def test_fitting_recovers_parameters(self, rng):
+        from repro.datagen.distributions import WeibullDistribution
+        from repro.graph.fitting import fit_weibull
+
+        dist = WeibullDistribution(shape=1.5, scale=15.0)
+        sample = dist.sample(20000, rng)
+        fit = fit_weibull(sample)
+        assert fit.params["shape"] == pytest.approx(1.5, rel=0.15)
+
+    def test_expected_pmf_normalized(self):
+        from repro.datagen.distributions import WeibullDistribution
+
+        dist = WeibullDistribution(shape=1.2, scale=8.0)
+        pmf = dist.expected_pmf(np.arange(1, 500))
+        assert 0.95 < float(pmf.sum()) <= 1.0
+
+    def test_registry_name(self):
+        from repro.datagen.distributions import distribution_from_name
+
+        dist = distribution_from_name("weibull", shape=2.0, scale=5.0)
+        assert dist.name == "weibull"
+        assert dist.shape == 2.0
+
+    def test_invalid_params(self):
+        from repro.datagen.distributions import WeibullDistribution
+
+        with pytest.raises(ValueError):
+            WeibullDistribution(shape=0.0)
+        with pytest.raises(ValueError):
+            WeibullDistribution(scale=-1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for windowed correlated edge generation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import GeometricDistribution
+from repro.datagen.knows import KnowsGenerator, correlation_dimensions
+from repro.datagen.persons import generate_persons
+
+
+def _persons(n=2000, seed=1, p=0.2):
+    rng = np.random.default_rng(seed)
+    degrees = GeometricDistribution(p).sample(n, rng)
+    return generate_persons(n, degrees, seed=seed)
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnowsGenerator(window_size=0)
+        with pytest.raises(ValueError):
+            KnowsGenerator(decay=0.0)
+        with pytest.raises(ValueError):
+            KnowsGenerator(block_size=1)
+        with pytest.raises(ValueError):
+            KnowsGenerator(dimension_shares=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            KnowsGenerator(dimension_shares=(1.0,))
+
+    def test_three_dimensions(self):
+        assert KnowsGenerator().num_dimensions == 3
+        assert len(correlation_dimensions()) == 3
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        persons = _persons()
+        a = KnowsGenerator(seed=5).generate(persons)
+        b = KnowsGenerator(seed=5).generate(persons)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        persons = _persons()
+        a = KnowsGenerator(seed=5).generate(persons)
+        b = KnowsGenerator(seed=6).generate(persons)
+        assert a != b
+
+    def test_block_size_invariant_to_worker_count(self):
+        # The same block size yields the same graph regardless of how
+        # blocks would be scheduled; different block sizes may differ.
+        persons = _persons(1000)
+        a = KnowsGenerator(seed=2, block_size=256).generate(persons)
+        b = KnowsGenerator(seed=2, block_size=256).generate(persons)
+        assert a == b
+
+    def test_degrees_do_not_exceed_targets(self):
+        persons = _persons(1500, seed=3)
+        graph = KnowsGenerator(seed=3).generate(persons)
+        targets = {p.person_id: p.target_degree for p in persons}
+        for vertex, degree in graph.degrees().items():
+            assert degree <= targets[vertex]
+
+    def test_mean_degree_close_to_target(self):
+        persons = _persons(3000, seed=4, p=0.15)
+        graph = KnowsGenerator(seed=4).generate(persons)
+        target_mean = float(np.mean([p.target_degree for p in persons]))
+        actual_mean = 2 * graph.num_edges / graph.num_vertices
+        assert actual_mean > 0.85 * target_mean
+
+    def test_all_persons_become_vertices(self):
+        persons = _persons(500)
+        graph = KnowsGenerator().generate(persons)
+        assert graph.num_vertices == 500
+
+    def test_university_homophily(self):
+        # Edges connect same-university persons far more often than a
+        # random pairing would (the correlated-generation property).
+        persons = _persons(2000, seed=6)
+        graph = KnowsGenerator(seed=6).generate(persons)
+        university = {p.person_id: p.university for p in persons}
+        same = sum(
+            1 for s, t in graph.iter_edges() if university[s] == university[t]
+        )
+        assert same / graph.num_edges > 0.25  # random baseline is ~5%
+
+    def test_degree_homophily_raises_assortativity(self):
+        from repro.graph.properties import degree_assortativity
+
+        persons = _persons(3000, seed=7)
+        plain = KnowsGenerator(seed=7).generate(persons)
+        homophilous = KnowsGenerator(
+            seed=7, degree_homophily=True, dimension_shares=(0.25, 0.25, 0.5)
+        ).generate(persons)
+        assert degree_assortativity(homophilous) > degree_assortativity(plain)
+
+
+class TestBlocks:
+    def test_dimension_blocks_partition_everyone(self):
+        persons = _persons(1000)
+        generator = KnowsGenerator(block_size=300)
+        blocks = generator.dimension_blocks(persons, 0)
+        assert sum(len(b) for b in blocks) == 1000
+        assert len(blocks) == 4  # ceil(1000 / 300)
+
+    def test_generate_block_matches_generate(self):
+        # Assembling all block outputs reproduces generate() exactly.
+        from repro.graph.graph import GraphBuilder
+
+        persons = _persons(800, seed=8)
+        generator = KnowsGenerator(seed=8, block_size=200)
+        builder = GraphBuilder()
+        for person in persons:
+            builder.add_vertex(person.person_id)
+        for dim in range(generator.num_dimensions):
+            for index, block in enumerate(generator.dimension_blocks(persons, dim)):
+                builder.add_edges(generator.generate_block(block, dim, index))
+        assert builder.build() == generator.generate(persons)

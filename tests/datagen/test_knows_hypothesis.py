@@ -1,0 +1,57 @@
+"""Property-based tests for the windowed knows generation (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.knows import KnowsGenerator
+from repro.datagen.persons import generate_persons
+
+
+def _persons(n, degree_cap, seed):
+    rng = np.random.default_rng(seed)
+    degrees = rng.integers(0, degree_cap + 1, size=n)
+    return generate_persons(n, degrees, seed=seed)
+
+
+@given(
+    st.integers(10, 120),
+    st.integers(0, 12),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_degrees_never_exceed_targets(n, degree_cap, seed):
+    persons = _persons(n, degree_cap, seed)
+    graph = KnowsGenerator(seed=seed).generate(persons)
+    targets = {p.person_id: p.target_degree for p in persons}
+    for vertex, degree in graph.degrees().items():
+        assert degree <= targets[vertex]
+
+
+@given(st.integers(10, 100), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_generation_deterministic(n, seed):
+    persons = _persons(n, 6, seed)
+    first = KnowsGenerator(seed=seed).generate(persons)
+    second = KnowsGenerator(seed=seed).generate(persons)
+    assert first == second
+
+
+@given(st.integers(20, 100), st.integers(2, 16), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_block_decomposition_covers_all_persons(n, block_size, seed):
+    persons = _persons(n, 4, seed)
+    generator = KnowsGenerator(seed=seed, block_size=max(block_size, 2))
+    for dim in range(generator.num_dimensions):
+        blocks = generator.dimension_blocks(persons, dim)
+        flattened = [p.person_id for block in blocks for p in block]
+        assert sorted(flattened) == list(range(n))
+
+
+@given(st.integers(10, 80), st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_zero_targets_produce_no_edges(n, seed):
+    persons = generate_persons(n, np.zeros(n, dtype=np.int64), seed=seed)
+    graph = KnowsGenerator(seed=seed).generate(persons)
+    assert graph.num_edges == 0
+    assert graph.num_vertices == n

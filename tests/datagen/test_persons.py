@@ -1,0 +1,65 @@
+"""Unit tests for person generation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.persons import (
+    NUM_INTERESTS,
+    NUM_LOCATIONS,
+    NUM_UNIVERSITIES,
+    generate_persons,
+)
+
+
+def test_basic_shape():
+    degrees = np.full(100, 5)
+    persons = generate_persons(100, degrees, seed=1)
+    assert len(persons) == 100
+    assert [p.person_id for p in persons] == list(range(100))
+    assert all(p.target_degree == 5 for p in persons)
+
+
+def test_attribute_ranges():
+    degrees = np.ones(500, dtype=np.int64)
+    persons = generate_persons(500, degrees, seed=2)
+    assert all(0 <= p.university < NUM_UNIVERSITIES for p in persons)
+    assert all(0 <= p.interest < NUM_INTERESTS for p in persons)
+    assert all(0 <= p.location < NUM_LOCATIONS for p in persons)
+    assert all(0 <= p.birthday < 365 * 40 for p in persons)
+
+
+def test_deterministic():
+    degrees = np.arange(50)
+    assert generate_persons(50, degrees, seed=3) == generate_persons(
+        50, degrees, seed=3
+    )
+    assert generate_persons(50, degrees, seed=3) != generate_persons(
+        50, degrees, seed=4
+    )
+
+
+def test_interest_university_correlation():
+    # Persons at the same university share interests far more often
+    # than persons at different universities (the S3G2 correlation).
+    degrees = np.ones(4000, dtype=np.int64)
+    persons = generate_persons(4000, degrees, seed=5)
+    by_university: dict[int, list[int]] = {}
+    for person in persons:
+        by_university.setdefault(person.university, []).append(person.interest)
+    same = 0
+    total = 0
+    for interests in by_university.values():
+        if len(interests) < 2:
+            continue
+        for a, b in zip(interests, interests[1:]):
+            total += 1
+            same += a == b
+    assert total > 100
+    assert same / total > 0.3  # ~0.36 expected from 0.6^2; chance is ~0.01
+
+
+def test_degree_array_validation():
+    with pytest.raises(ValueError):
+        generate_persons(10, np.ones(5), seed=0)
+    with pytest.raises(ValueError):
+        generate_persons(3, np.array([1, -1, 2]), seed=0)

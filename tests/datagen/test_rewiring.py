@@ -1,0 +1,125 @@
+"""Unit and property-based tests for hill-climbing rewiring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.rewiring import rewire_to_target
+from repro.graph.generators import erdos_renyi_graph, watts_strogatz_graph
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    average_clustering_coefficient,
+    degree_assortativity,
+)
+
+
+class TestTargets:
+    def test_lower_clustering(self):
+        base = watts_strogatz_graph(300, 8, 0.02, seed=1)
+        before = average_clustering_coefficient(base)
+        result = rewire_to_target(
+            base, target_clustering=before / 3, max_swaps=15000, seed=1
+        )
+        assert result.final_clustering < before * 0.6
+        assert result.swaps_accepted > 0
+
+    def test_raise_clustering(self):
+        base = erdos_renyi_graph(150, 0.06, seed=2)
+        before = average_clustering_coefficient(base)
+        result = rewire_to_target(
+            base, target_clustering=min(before + 0.05, 1.0), max_swaps=20000, seed=2
+        )
+        assert result.final_clustering > before
+
+    def test_assortativity_sign_positive(self):
+        base = erdos_renyi_graph(200, 0.05, seed=3)
+        result = rewire_to_target(base, assortativity_sign=1, max_swaps=15000, seed=3)
+        assert result.final_assortativity > 0
+
+    def test_assortativity_sign_negative(self):
+        base = erdos_renyi_graph(200, 0.05, seed=4)
+        result = rewire_to_target(base, assortativity_sign=-1, max_swaps=15000, seed=4)
+        assert result.final_assortativity < 0
+
+    def test_no_targets_is_noop(self, small_rmat):
+        result = rewire_to_target(small_rmat, max_swaps=1000, seed=5)
+        assert result.converged
+        assert result.swaps_accepted == 0
+        assert result.graph == small_rmat.to_undirected()
+
+    def test_already_converged(self):
+        base = erdos_renyi_graph(100, 0.05, seed=6)
+        current = average_clustering_coefficient(base)
+        result = rewire_to_target(
+            base, target_clustering=current, tolerance=0.01, seed=6
+        )
+        assert result.converged
+        assert result.swaps_attempted == 0
+
+
+class TestInvariants:
+    def test_degrees_preserved(self):
+        base = erdos_renyi_graph(150, 0.07, seed=7)
+        result = rewire_to_target(
+            base, target_clustering=0.3, max_swaps=5000, seed=7
+        )
+        assert result.graph.degrees() == base.degrees()
+
+    def test_reported_statistics_match_graph(self):
+        base = erdos_renyi_graph(120, 0.08, seed=8)
+        result = rewire_to_target(
+            base, target_clustering=0.2, max_swaps=3000, seed=8
+        )
+        assert average_clustering_coefficient(result.graph) == pytest.approx(
+            result.final_clustering, abs=1e-9
+        )
+        assert degree_assortativity(result.graph) == pytest.approx(
+            result.final_assortativity, abs=1e-9
+        )
+
+    def test_input_not_mutated(self):
+        base = erdos_renyi_graph(100, 0.06, seed=9)
+        edges_before = [tuple(e) for e in base.edges]
+        rewire_to_target(base, target_clustering=0.3, max_swaps=2000, seed=9)
+        assert [tuple(e) for e in base.edges] == edges_before
+
+
+class TestValidation:
+    def test_invalid_clustering_target(self, small_rmat):
+        with pytest.raises(ValueError):
+            rewire_to_target(small_rmat, target_clustering=1.5)
+
+    def test_invalid_sign(self, small_rmat):
+        with pytest.raises(ValueError):
+            rewire_to_target(small_rmat, assortativity_sign=2)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        min_size=4,
+        max_size=60,
+    ),
+    st.floats(0.0, 1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_degrees_always_preserved(edges, target):
+    graph = Graph.from_edges(edges)
+    if graph.num_edges < 2:
+        return
+    result = rewire_to_target(
+        graph, target_clustering=target, max_swaps=200, seed=1
+    )
+    assert result.graph.degrees() == graph.degrees()
+    assert result.graph.num_edges == graph.num_edges
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_property_deterministic_per_seed(seed):
+    base = erdos_renyi_graph(60, 0.1, seed=11)
+    a = rewire_to_target(base, target_clustering=0.2, max_swaps=300, seed=seed)
+    b = rewire_to_target(base, target_clustering=0.2, max_swaps=300, seed=seed)
+    assert a.graph == b.graph
+    assert a.swaps_accepted == b.swaps_accepted

@@ -1,0 +1,91 @@
+"""Unit tests for the block runtime and Figure 3 cost model."""
+
+import pytest
+
+from repro.datagen.runtime import (
+    CLUSTER_4_NODES,
+    SINGLE_NODE,
+    BlockRuntime,
+    TaskResult,
+    estimate_generation_time,
+)
+
+
+def _task(task_id, num_edges, cpu_work):
+    def run():
+        return TaskResult(
+            task_id=task_id,
+            edges=[(i, i + 1) for i in range(num_edges)],
+            cpu_work=cpu_work,
+        )
+
+    return run
+
+
+class TestBlockRuntime:
+    def test_executes_all_tasks(self):
+        runtime = BlockRuntime(SINGLE_NODE)
+        jobs = [[_task((0, i), 10, 100.0) for i in range(5)]]
+        report = runtime.run(jobs)
+        assert report.num_tasks == 5
+        assert report.num_edges == 50
+        assert report.profile == "single"
+
+    def test_startup_charged_per_job(self):
+        runtime = BlockRuntime(CLUSTER_4_NODES)
+        one_job = runtime.run([[_task((0, 0), 1, 1.0)]])
+        three_jobs = runtime.run([[_task((j, 0), 1, 1.0)] for j in range(3)])
+        assert three_jobs.startup_seconds == pytest.approx(
+            3 * one_job.startup_seconds
+        )
+
+    def test_makespan_uses_parallelism(self):
+        # 16 equal tasks on 16 cores take one task's time; on fewer
+        # cores they stack.
+        tasks = [[_task((0, i), 0, 1e6) for i in range(16)]]
+        single = BlockRuntime(SINGLE_NODE).run(tasks)  # 16 cores
+        tasks2 = [[_task((0, i), 0, 1e6) for i in range(16)]]
+        cluster = BlockRuntime(CLUSTER_4_NODES).run(tasks2)  # 8 cores
+        assert cluster.cpu_seconds > 1.5 * single.cpu_seconds
+
+    def test_empty_jobs(self):
+        report = BlockRuntime(SINGLE_NODE).run([])
+        assert report.num_tasks == 0
+        assert report.simulated_seconds == 0.0
+
+
+class TestEstimate:
+    def test_breakdown_sums_to_total(self):
+        estimate = estimate_generation_time(1e8, SINGLE_NODE)
+        assert estimate["total"] == pytest.approx(
+            estimate["cpu"] + estimate["io"] + estimate["startup"]
+        )
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_generation_time(-1, SINGLE_NODE)
+
+    def test_figure3_shape_single_wins_small(self):
+        small = 100e6
+        assert (
+            estimate_generation_time(small, SINGLE_NODE)["total"]
+            < estimate_generation_time(small, CLUSTER_4_NODES)["total"]
+        )
+
+    def test_figure3_shape_cluster_wins_large(self):
+        large = 5000e6
+        assert (
+            estimate_generation_time(large, CLUSTER_4_NODES)["total"]
+            < estimate_generation_time(large, SINGLE_NODE)["total"]
+        )
+
+    def test_paper_absolute_scale(self):
+        # "It can generate a 1.3B edge graph in about 3 hours" on the
+        # single node; accept a generous band around that.
+        total = estimate_generation_time(1.3e9, SINGLE_NODE)["total"]
+        assert 1.5 * 3600 < total < 4.5 * 3600
+
+    def test_io_becomes_dominant_at_scale(self):
+        small = estimate_generation_time(50e6, SINGLE_NODE)
+        large = estimate_generation_time(5e9, SINGLE_NODE)
+        assert small["io"] / small["total"] < large["io"] / large["total"]

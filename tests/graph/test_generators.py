@@ -1,0 +1,131 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    holme_kim_graph,
+    rmat_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.properties import (
+    average_clustering_coefficient,
+    degree_assortativity,
+)
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        graph = rmat_graph(7, seed=1)
+        assert graph.num_vertices == 128
+
+    def test_deterministic(self):
+        assert rmat_graph(7, seed=5) == rmat_graph(7, seed=5)
+        assert rmat_graph(7, seed=5) != rmat_graph(7, seed=6)
+
+    def test_edge_factor_upper_bound(self):
+        graph = rmat_graph(8, edge_factor=8, seed=2)
+        # Dedup and self-loop removal only ever reduce the count.
+        assert graph.num_edges <= 8 * 256
+        assert graph.num_edges > 0.5 * 8 * 256
+
+    def test_skewed_degrees(self):
+        graph = rmat_graph(10, seed=3)
+        degrees = graph.degree_sequence()
+        # R-MAT graphs are heavy-tailed: the max degree dwarfs the mean.
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, probabilities=(0.5, 0.2, 0.2, 0.2))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+
+    def test_directed_variant(self):
+        graph = rmat_graph(6, seed=4, directed=True)
+        assert graph.directed
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.05
+        graph = erdos_renyi_graph(n, p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.num_edges - expected) < 0.25 * expected
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=1).num_edges == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_directed(self):
+        graph = erdos_renyi_graph(50, 0.1, seed=2, directed=True)
+        assert graph.directed
+        assert graph.num_vertices == 50
+
+
+class TestWattsStrogatz:
+    def test_high_clustering_at_low_rewiring(self):
+        graph = watts_strogatz_graph(500, 8, 0.05, seed=1)
+        assert average_clustering_coefficient(graph) > 0.4
+
+    def test_degree_concentration(self):
+        graph = watts_strogatz_graph(200, 6, 0.0, seed=1)
+        degrees = graph.degree_sequence()
+        assert degrees.min() >= 5
+        assert np.median(degrees) == 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 4, 0.1)  # k >= n
+
+
+class TestBarabasiAlbert:
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(1000, 2, seed=1)
+        degrees = graph.degree_sequence()
+        assert degrees.max() > 10 * np.median(degrees)
+
+    def test_edge_count(self):
+        graph = barabasi_albert_graph(500, 3, seed=1)
+        assert graph.num_edges == pytest.approx(3 * (500 - 3), rel=0.01)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+
+
+class TestHolmeKim:
+    def test_triad_probability_raises_clustering(self):
+        low = holme_kim_graph(2000, 3, 0.05, seed=1)
+        high = holme_kim_graph(2000, 3, 0.7, seed=1)
+        assert (
+            average_clustering_coefficient(high)
+            > 2 * average_clustering_coefficient(low)
+        )
+
+    def test_negative_assortativity(self):
+        graph = holme_kim_graph(3000, 3, 0.2, seed=1)
+        assert degree_assortativity(graph) < 0
+
+    def test_deterministic(self):
+        assert holme_kim_graph(300, 2, 0.3, seed=9) == holme_kim_graph(
+            300, 2, 0.3, seed=9
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            holme_kim_graph(100, 2, 1.5)
+        with pytest.raises(ValueError):
+            holme_kim_graph(10, 0, 0.5)

@@ -1,0 +1,86 @@
+"""Unit tests for edge-list / vertex-list I/O."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    iter_edge_lines,
+    read_edge_list,
+    read_vertex_list,
+    write_edge_list,
+    write_vertex_list,
+)
+
+
+def test_roundtrip(tmp_path, small_rmat):
+    # R-MAT graphs have isolated vertices, so a faithful roundtrip
+    # needs both the edge file and the vertex file.
+    edge_path = tmp_path / "graph.e"
+    vertex_path = tmp_path / "graph.v"
+    count = write_edge_list(small_rmat, edge_path)
+    write_vertex_list([int(v) for v in small_rmat.vertices], vertex_path)
+    assert count == small_rmat.num_edges
+    loaded = read_edge_list(edge_path, vertex_path=vertex_path)
+    assert loaded == small_rmat
+
+
+def test_roundtrip_gzip(tmp_path, triangle_graph):
+    path = tmp_path / "graph.e.gz"
+    write_edge_list(triangle_graph, path)
+    loaded = read_edge_list(path)
+    # The isolated vertex is lost without a vertex file.
+    assert loaded.num_edges == triangle_graph.num_edges
+    assert loaded.num_vertices == triangle_graph.num_vertices - 1
+
+
+def test_vertex_file_restores_isolated_vertices(tmp_path, triangle_graph):
+    edge_path = tmp_path / "graph.e"
+    vertex_path = tmp_path / "graph.v"
+    write_edge_list(triangle_graph, edge_path)
+    write_vertex_list([int(v) for v in triangle_graph.vertices], vertex_path)
+    loaded = read_edge_list(edge_path, vertex_path=vertex_path)
+    assert loaded == triangle_graph
+
+
+def test_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "graph.e"
+    path.write_text("# header\n\n0 1\n  \n1 2\n# trailing\n")
+    assert list(iter_edge_lines(path)) == [(0, 1), (1, 2)]
+
+
+def test_malformed_edge_line(tmp_path):
+    path = tmp_path / "bad.e"
+    path.write_text("0 1\n42\n")
+    with pytest.raises(ValueError, match="bad.e:2"):
+        list(iter_edge_lines(path))
+
+
+def test_malformed_vertex_line(tmp_path):
+    path = tmp_path / "bad.v"
+    path.write_text("1\nnope\n")
+    with pytest.raises(ValueError, match="bad.v:2"):
+        read_vertex_list(path)
+
+
+def test_directed_load(tmp_path):
+    path = tmp_path / "graph.e"
+    path.write_text("0 1\n1 0\n")
+    directed = read_edge_list(path, directed=True)
+    assert directed.num_edges == 2
+    undirected = read_edge_list(path, directed=False)
+    assert undirected.num_edges == 1
+
+
+def test_write_creates_parent_dirs(tmp_path, triangle_graph):
+    path = tmp_path / "deep" / "nested" / "graph.e"
+    write_edge_list(triangle_graph, path)
+    assert path.exists()
+
+
+def test_extra_columns_tolerated(tmp_path):
+    # Some SNAP exports carry weights/timestamps; only the first two
+    # columns are the edge.
+    path = tmp_path / "weighted.e"
+    path.write_text("0 1 0.5\n1 2 0.25\n")
+    graph = Graph.from_edges(iter_edge_lines(path))
+    assert graph.num_edges == 2

@@ -1,0 +1,109 @@
+"""Unit tests for structural graph properties, cross-checked with networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    average_clustering_coefficient,
+    count_triangles,
+    degree_assortativity,
+    degree_histogram,
+    global_clustering_coefficient,
+    graph_characteristics,
+    local_clustering_coefficient,
+)
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(int(v) for v in graph.vertices)
+    nx_graph.add_edges_from(graph.iter_edges())
+    return nx_graph
+
+
+class TestClustering:
+    def test_triangle_local_coefficients(self, triangle_graph):
+        assert local_clustering_coefficient(triangle_graph, 0) == 1.0
+        assert local_clustering_coefficient(triangle_graph, 1) == 1.0
+        # Vertex 2 has neighbors {0, 1, 3}; only (0, 1) is connected.
+        assert local_clustering_coefficient(triangle_graph, 2) == pytest.approx(1 / 3)
+        # Degree-1 and isolated vertices have coefficient 0.
+        assert local_clustering_coefficient(triangle_graph, 3) == 0.0
+        assert local_clustering_coefficient(triangle_graph, 4) == 0.0
+
+    def test_average_clustering(self, triangle_graph):
+        expected = (1.0 + 1.0 + 1 / 3 + 0.0 + 0.0) / 5
+        assert average_clustering_coefficient(triangle_graph) == pytest.approx(expected)
+
+    def test_triangle_count(self, triangle_graph):
+        assert count_triangles(triangle_graph) == 1
+
+    def test_global_clustering_triangle(self, triangle_graph):
+        # Triplets: v0:1, v1:1, v2:3 -> 5; transitivity = 3*1/5.
+        assert global_clustering_coefficient(triangle_graph) == pytest.approx(0.6)
+
+    def test_matches_networkx_on_random_graph(self, small_rmat):
+        nx_graph = _to_networkx(small_rmat)
+        assert average_clustering_coefficient(small_rmat) == pytest.approx(
+            nx.average_clustering(nx_graph), abs=1e-12
+        )
+        assert global_clustering_coefficient(small_rmat) == pytest.approx(
+            nx.transitivity(nx_graph), abs=1e-12
+        )
+
+    def test_clique_has_clustering_one(self):
+        clique = Graph.from_edges(
+            [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        )
+        assert average_clustering_coefficient(clique) == pytest.approx(1.0)
+        assert global_clustering_coefficient(clique) == pytest.approx(1.0)
+
+    def test_tree_has_clustering_zero(self):
+        tree = Graph.from_edges([(0, 1), (0, 2), (1, 3), (1, 4)])
+        assert average_clustering_coefficient(tree) == 0.0
+        assert global_clustering_coefficient(tree) == 0.0
+
+    def test_empty_graph(self):
+        empty = Graph([], [])
+        assert average_clustering_coefficient(empty) == 0.0
+        assert global_clustering_coefficient(empty) == 0.0
+
+
+class TestAssortativity:
+    def test_matches_networkx(self, small_rmat):
+        nx_graph = _to_networkx(small_rmat)
+        assert degree_assortativity(small_rmat) == pytest.approx(
+            nx.degree_assortativity_coefficient(nx_graph), abs=1e-9
+        )
+
+    def test_star_is_maximally_disassortative(self):
+        star = Graph.from_edges([(0, i) for i in range(1, 6)])
+        assert degree_assortativity(star) == pytest.approx(-1.0)
+
+    def test_regular_graph_undefined(self):
+        cycle = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert math.isnan(degree_assortativity(cycle))
+
+    def test_empty_graph_nan(self):
+        assert math.isnan(degree_assortativity(Graph([0, 1], [])))
+
+
+class TestHistogramAndCharacteristics:
+    def test_degree_histogram(self, triangle_graph):
+        # Degrees: 0->2, 1->2, 2->3, 3->1, 4->0.
+        assert degree_histogram(triangle_graph) == {0: 1, 1: 1, 2: 2, 3: 1}
+
+    def test_characteristics_row(self, triangle_graph):
+        row = graph_characteristics(triangle_graph, "tri")
+        assert row.name == "tri"
+        assert row.num_vertices == 5
+        assert row.num_edges == 4
+        assert row.as_row()[0] == "tri"
+
+    def test_characteristics_on_directed_graph_use_undirected_view(self):
+        directed = Graph.from_edges([(0, 1), (1, 0), (1, 2)], directed=True)
+        row = graph_characteristics(directed)
+        assert row.num_edges == 2

@@ -1,0 +1,132 @@
+"""Tests for the Section 2.1 choke-point remedies.
+
+The paper names concrete techniques that "may arise" to address its
+choke points; this module tests the implemented ones:
+
+* asynchronous execution (``GASEngine.run_async``) — "the use of
+  asynchronous distributed query processing";
+* adaptive central computation
+  (``PregelEngine(adaptive_central_fraction=...)``) — "adaptive
+  switching of distributed computation to central computation to
+  handle iterations with little work".
+"""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.graph.generators import rmat_graph
+from repro.graph.graph import Graph
+from repro.platforms.gas.engine import GASEngine
+from repro.platforms.gas.programs import GASBFSProgram, GASConnProgram
+from repro.platforms.pregel.engine import PregelEngine
+from repro.platforms.pregel.programs import ConnProgram
+
+
+@pytest.fixture
+def long_path():
+    return Graph.from_edges([(i, i + 1) for i in range(99)])
+
+
+class TestAsyncGAS:
+    def test_same_fixpoint_as_sync(self, cluster_spec, medium_rmat):
+        sync = GASEngine(medium_rmat, cluster_spec).run(GASConnProgram())
+        asynchronous = GASEngine(medium_rmat, cluster_spec).run_async(
+            GASConnProgram()
+        )
+        assert asynchronous.values == sync.values
+
+    def test_async_bfs_matches_reference(self, cluster_spec, medium_rmat):
+        from repro.algorithms import bfs
+
+        source = int(medium_rmat.vertices[0])
+        result = GASEngine(medium_rmat, cluster_spec).run_async(
+            GASBFSProgram(source=source)
+        )
+        assert result.values == bfs(medium_rmat, source)
+
+    def test_far_fewer_rounds_on_long_paths(self, cluster_spec, long_path):
+        # Sync label propagation crosses one hop per barrier: ~100
+        # rounds. An ascending async sweep carries the minimum label
+        # across the whole path in its first pass.
+        sync = GASEngine(long_path, cluster_spec).run(GASConnProgram())
+        asynchronous = GASEngine(long_path, cluster_spec).run_async(
+            GASConnProgram()
+        )
+        assert asynchronous.values == sync.values
+        assert asynchronous.rounds < sync.rounds / 5
+
+    def test_async_saves_barrier_time(self, cluster_spec, long_path):
+        sync_meter = CostMeter(cluster_spec)
+        GASEngine(long_path, cluster_spec, sync_meter).run(GASConnProgram())
+        async_meter = CostMeter(cluster_spec)
+        GASEngine(long_path, cluster_spec, async_meter).run_async(
+            GASConnProgram()
+        )
+        sync_barriers = sum(
+            r.barrier_seconds for r in sync_meter.profile.rounds
+        )
+        async_barriers = sum(
+            r.barrier_seconds for r in async_meter.profile.rounds
+        )
+        assert async_barriers < sync_barriers / 5
+
+
+class TestAdaptiveCentral:
+    def test_same_output(self, cluster_spec, medium_rmat):
+        baseline = PregelEngine(medium_rmat, cluster_spec).run(ConnProgram())
+        adaptive = PregelEngine(
+            medium_rmat, cluster_spec, adaptive_central_fraction=0.05
+        ).run(ConnProgram())
+        assert adaptive.values == baseline.values
+
+    def test_tail_supersteps_marked_central(self, cluster_spec, long_path):
+        meter = CostMeter(cluster_spec)
+        PregelEngine(
+            long_path, cluster_spec, meter, adaptive_central_fraction=0.1
+        ).run(ConnProgram())
+        names = [r.name for r in meter.profile.rounds]
+        assert any(name.endswith("-central") for name in names)
+        # Central supersteps pay no barrier and no network.
+        for record in meter.profile.rounds:
+            if record.name.endswith("-central"):
+                assert record.barrier_seconds == 0.0
+                assert record.remote_bytes == 0.0
+
+    def test_adaptive_cuts_tail_time(self, cluster_spec, long_path):
+        # A 100-vertex path: label propagation's frontier shrinks by
+        # one vertex per round, so the sub-50%-activity tail is half
+        # the run — all barrier, almost no work. Centralizing it cuts
+        # roughly that half of the barrier bill.
+        baseline_meter = CostMeter(cluster_spec)
+        PregelEngine(long_path, cluster_spec, baseline_meter).run(ConnProgram())
+        adaptive_meter = CostMeter(cluster_spec)
+        PregelEngine(
+            long_path, cluster_spec, adaptive_meter,
+            adaptive_central_fraction=0.5,
+        ).run(ConnProgram())
+        assert (
+            adaptive_meter.profile.simulated_seconds
+            < 0.75 * baseline_meter.profile.simulated_seconds
+        )
+
+    def test_fraction_validated(self, cluster_spec, long_path):
+        with pytest.raises(ValueError):
+            PregelEngine(
+                long_path, cluster_spec, adaptive_central_fraction=0.0
+            )
+        with pytest.raises(ValueError):
+            PregelEngine(
+                long_path, cluster_spec, adaptive_central_fraction=1.5
+            )
+
+    def test_rmat_mostly_distributed(self, cluster_spec):
+        # On a low-diameter graph only the last couple of supersteps
+        # qualify as "little work".
+        graph = rmat_graph(8, seed=9)
+        meter = CostMeter(cluster_spec)
+        PregelEngine(
+            graph, cluster_spec, meter, adaptive_central_fraction=0.02
+        ).run(ConnProgram())
+        names = [r.name for r in meter.profile.rounds]
+        central = sum(1 for n in names if n.endswith("-central"))
+        assert central <= len(names) / 2

@@ -1,0 +1,229 @@
+"""Unit tests for the column store: compression, tables, SQL, transitive."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.graph.generators import rmat_graph
+from repro.platforms.columnar.columns import VECTOR_SIZE, CompressedColumn
+from repro.platforms.columnar.sql import SQLSyntaxError, VirtuosoEngine
+from repro.platforms.columnar.table import ColumnTable, PartitionedHashTable
+from repro.platforms.columnar.transitive import transitive_closure
+
+
+class TestCompressedColumn:
+    def test_roundtrip_all_schemes(self):
+        cases = {
+            "delta": np.arange(5000),
+            "rle": np.repeat([7, 9, 7], 400),
+            "dict": np.tile([3, 5, 8], 500),
+            "packed": np.random.default_rng(1).integers(0, 1000, 700),
+        }
+        for expected_scheme, values in cases.items():
+            column = CompressedColumn(values)
+            assert column.scheme == expected_scheme, expected_scheme
+            assert np.array_equal(column.to_numpy(), values)
+
+    def test_compression_saves_space(self):
+        sorted_values = np.arange(10000)
+        column = CompressedColumn(sorted_values)
+        assert column.compressed_bytes < 0.25 * sorted_values.nbytes
+
+    def test_vector_access(self):
+        values = np.arange(3000)
+        column = CompressedColumn(values)
+        assert column.num_vectors == 3
+        assert np.array_equal(column.vector(0), values[:VECTOR_SIZE])
+        assert np.array_equal(column.vector(2), values[2 * VECTOR_SIZE:])
+        with pytest.raises(IndexError):
+            column.vector(3)
+
+    def test_slice(self):
+        column = CompressedColumn(np.arange(100))
+        assert np.array_equal(column.slice(10, 20), np.arange(10, 20))
+        with pytest.raises(IndexError):
+            column.slice(90, 110)
+
+    def test_decompress_cost_positive(self):
+        column = CompressedColumn(np.arange(100))
+        assert column.decompress_cost(10) > 0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedColumn([-1, 2])
+
+    def test_empty_column(self):
+        column = CompressedColumn([])
+        assert len(column) == 0
+        assert column.to_numpy().size == 0
+
+
+class TestColumnTable:
+    def test_edge_table_sorted_by_source(self):
+        table = ColumnTable.edge_table([(5, 1), (2, 9), (2, 3)])
+        sources = table.column("spe_from").to_numpy()
+        assert list(sources) == [2, 2, 5]
+
+    def test_key_range(self):
+        table = ColumnTable.edge_table([(1, 10), (2, 20), (2, 21), (4, 40)])
+        assert table.key_range("spe_from", 2) == (1, 3)
+        assert table.key_range("spe_from", 3) == (3, 3)  # empty range
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTable(
+                "bad",
+                {
+                    "a": CompressedColumn([1, 2]),
+                    "b": CompressedColumn([1]),
+                },
+            )
+
+    def test_unknown_column(self):
+        table = ColumnTable.edge_table([(0, 1)])
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+
+class TestPartitionedHashTable:
+    def test_split_covers_all_values(self):
+        table = PartitionedHashTable(8)
+        values = np.arange(1000)
+        parts = table.split(values)
+        assert sum(len(p) for p in parts) == 1000
+        for index, part in enumerate(parts):
+            assert all(table.partition_of(v) == index for v in part)
+
+    def test_insert_new_deduplicates(self):
+        table = PartitionedHashTable(4)
+        values = np.array([8, 8, 12])
+        partition = table.partition_of(8)
+        # Only test values in one partition.
+        mine = values[[table.partition_of(v) == partition for v in values]]
+        fresh = table.insert_new(partition, mine)
+        again = table.insert_new(partition, mine)
+        assert len(set(fresh.tolist())) == len(fresh)
+        assert len(again) == 0
+
+    def test_len_and_contains(self):
+        table = PartitionedHashTable(4)
+        partition = table.partition_of(42)
+        table.insert_new(partition, np.array([42]))
+        assert 42 in table
+        assert 43 not in table
+        assert len(table) == 1
+
+
+def _symmetric_arcs(graph):
+    arcs = []
+    for s, t in graph.iter_edges():
+        arcs.append((s, t))
+        arcs.append((t, s))
+    return arcs
+
+
+class TestTransitive:
+    def test_counts_match_bfs_reachability(self):
+        graph = rmat_graph(8, edge_factor=6, seed=5)
+        table = ColumnTable.edge_table(_symmetric_arcs(graph))
+        start = int(graph.vertices[0])
+        result = transitive_closure(table, start, threads=8)
+        reachable = sum(1 for d in bfs(graph, start).values() if d >= 0)
+        assert result.count == reachable
+
+    def test_profile_counts(self):
+        table = ColumnTable.edge_table([(0, 1), (1, 0), (1, 2), (2, 1)])
+        result = transitive_closure(table, 0, threads=2)
+        assert result.random_lookups >= 3
+        assert result.endpoints_visited == result.random_lookups + 1
+        assert result.profile.total > 0
+        shares = result.profile.shares()
+        assert shares["hash"] + shares["exchange"] + shares["column"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_isolated_start(self):
+        table = ColumnTable.edge_table([(1, 2), (2, 1)])
+        result = transitive_closure(table, 0)
+        assert result.count == 0
+        assert result.endpoints_visited == 0
+
+    def test_mteps_and_cpu_percent(self):
+        graph = rmat_graph(8, edge_factor=6, seed=6)
+        table = ColumnTable.edge_table(_symmetric_arcs(graph))
+        result = transitive_closure(table, int(graph.vertices[0]), threads=24)
+        assert result.mteps > 0
+        assert 0 < result.cpu_percent <= 2400
+
+    def test_invalid_threads(self):
+        table = ColumnTable.edge_table([(0, 1)])
+        with pytest.raises(ValueError):
+            transitive_closure(table, 0, threads=0)
+
+
+class TestSQL:
+    @pytest.fixture
+    def engine(self):
+        engine = VirtuosoEngine(threads=4)
+        engine.create_edge_table(
+            "sp_edge", [(0, 1), (1, 0), (1, 2), (2, 1), (5, 6), (6, 5)]
+        )
+        return engine
+
+    def test_paper_query(self, engine):
+        result = engine.execute(
+            """select count (*) from (select spe_to from
+            (select transitive t_in (1) t_out (2) t_distinct
+            spe_from, spe_to from sp_edge) derived_table_1
+            where spe_from = 0) derived_table_2;"""
+        )
+        assert result.rows == [(3,)]  # {0, 1, 2} reachable
+        assert result.transitive is not None
+        assert result.transitive.random_lookups > 0
+
+    def test_direct_count_over_transitive(self, engine):
+        result = engine.execute(
+            "select count(*) from (select transitive t_in (1) t_out (2) "
+            "t_distinct spe_from, spe_to from sp_edge) t where spe_from = 5"
+        )
+        assert result.rows == [(2,)]  # {5, 6}
+
+    def test_count_table(self, engine):
+        assert engine.execute("select count(*) from sp_edge").rows == [(6,)]
+
+    def test_point_lookup(self, engine):
+        result = engine.execute("select spe_to from sp_edge where spe_from = 1")
+        assert sorted(result.rows) == [(0,), (2,)]
+
+    def test_projection_with_limit(self, engine):
+        result = engine.execute("select spe_from, spe_to from sp_edge limit 2")
+        assert len(result.rows) == 2
+        assert result.columns == ["spe_from", "spe_to"]
+
+    def test_syntax_errors(self, engine):
+        for bad in [
+            "insert into sp_edge values (1, 2)",
+            "select count(*) from",
+            "select count(*) from sp_edge where spe_from = 'zero'",
+            "select transitive t_in (1) t_out (2) t_distinct a, b from sp_edge",
+        ]:
+            with pytest.raises(SQLSyntaxError):
+                engine.execute(bad)
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SQLSyntaxError, match="no such table"):
+            engine.execute("select count(*) from missing")
+
+    def test_transitive_requires_binding(self, engine):
+        with pytest.raises(SQLSyntaxError, match="start binding"):
+            engine.execute(
+                "select count(*) from (select transitive t_in (1) t_out (2) "
+                "t_distinct spe_from, spe_to from sp_edge) t"
+            )
+
+    def test_binding_must_be_input_column(self, engine):
+        with pytest.raises(SQLSyntaxError, match="input column"):
+            engine.execute(
+                "select count(*) from (select transitive t_in (1) t_out (2) "
+                "t_distinct spe_from, spe_to from sp_edge) t where spe_to = 0"
+            )

@@ -1,0 +1,104 @@
+"""Property-based tests for the column store (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms.columnar.columns import CompressedColumn
+from repro.platforms.columnar.rdf import RDFStore
+from repro.platforms.columnar.table import PartitionedHashTable
+
+int_arrays = st.lists(st.integers(0, 10**6), min_size=0, max_size=300)
+
+
+@given(int_arrays)
+@settings(max_examples=80, deadline=None)
+def test_compression_roundtrip(values):
+    column = CompressedColumn(values)
+    assert np.array_equal(column.to_numpy(), np.asarray(values, dtype=np.int64))
+    assert len(column) == len(values)
+
+
+@given(int_arrays)
+@settings(max_examples=50, deadline=None)
+def test_compression_never_explodes(values):
+    column = CompressedColumn(values)
+    # The chosen scheme is never (much) worse than plain 8-byte ints.
+    assert column.compressed_bytes <= 8 * max(len(values), 1) + 16
+
+
+@given(int_arrays, st.integers(0, 299), st.integers(0, 299))
+@settings(max_examples=50, deadline=None)
+def test_slice_matches_plain_indexing(values, start, stop):
+    if not values:
+        return
+    start = start % len(values)
+    stop = start + (stop % (len(values) - start + 1))
+    column = CompressedColumn(values)
+    assert np.array_equal(
+        column.slice(start, stop),
+        np.asarray(values[start:stop], dtype=np.int64),
+    )
+
+
+@given(st.lists(st.integers(0, 10**9), min_size=0, max_size=500),
+       st.integers(1, 32))
+@settings(max_examples=50, deadline=None)
+def test_partitioned_hash_table_split_partition(values, partitions):
+    table = PartitionedHashTable(partitions)
+    array = np.asarray(values, dtype=np.int64)
+    split = table.split(array)
+    assert sum(len(part) for part in split) == len(values)
+    for index, part in enumerate(split):
+        assert all(table.partition_of(v) == index for v in part.tolist())
+
+
+triples = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+        st.sampled_from(["p", "q"]),
+        st.sampled_from(["a", "b", "c", "d", "e"]),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(triples)
+@settings(max_examples=50, deadline=None)
+def test_rdf_match_equals_naive_filter(triple_list):
+    store = RDFStore(triple_list)
+    unique = sorted(set(triple_list))
+    for subject in (None, "a", "zz"):
+        for predicate in (None, "p"):
+            expected = [
+                t
+                for t in unique
+                if (subject is None or t[0] == subject)
+                and (predicate is None or t[1] == predicate)
+            ]
+            got = sorted(store.match(subject=subject, predicate=predicate))
+            assert got == expected
+
+
+@given(triples)
+@settings(max_examples=40, deadline=None)
+def test_rdf_transitive_closure_sound(triple_list):
+    store = RDFStore(triple_list)
+    reached = store.transitive_objects("a", "p")
+    # Soundness: everything reached is reachable by a naive BFS.
+    adjacency: dict[str, set[str]] = {}
+    for s, p, o in triple_list:
+        if p == "p":
+            adjacency.setdefault(s, set()).add(o)
+    expected: set[str] = set()
+    frontier = ["a"]
+    visited = {"a"}
+    while frontier:
+        current = frontier.pop()
+        for target in adjacency.get(current, ()):
+            expected.add(target)
+            if target not in visited:
+                visited.add(target)
+                frontier.append(target)
+    assert reached == expected

@@ -1,0 +1,69 @@
+"""Property-based cross-platform agreement (hypothesis).
+
+For arbitrary small graphs, structurally different execution models
+(BSP message passing, GAS over a vertex cut, record-store traversal,
+vectored column-store procedures) must compute identical BFS and CONN
+outputs — the Output Validator contract, fuzzed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, connected_components
+from repro.core.cost import ClusterSpec
+from repro.core.workload import Algorithm, AlgorithmParams
+from repro.graph.graph import Graph
+from repro.platforms.columnar.driver import VirtuosoPlatform
+from repro.platforms.gas.driver import GraphLabPlatform
+from repro.platforms.graphdb.driver import Neo4jPlatform
+from repro.platforms.pregel.driver import GiraphPlatform
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _platforms():
+    spec = ClusterSpec.paper_distributed()
+    return [
+        GiraphPlatform(spec),
+        GraphLabPlatform(spec),
+        Neo4jPlatform(),
+        VirtuosoPlatform(),
+    ]
+
+
+@given(edge_lists)
+@settings(max_examples=25, deadline=None)
+def test_bfs_agreement_on_arbitrary_graphs(edges):
+    graph = Graph.from_edges(edges)
+    if graph.num_vertices == 0:
+        return
+    source = int(graph.vertices[0])
+    expected = bfs(graph, source)
+    params = AlgorithmParams(bfs_source=source)
+    for platform in _platforms():
+        handle = platform.upload_graph("g", graph)
+        try:
+            run = platform.run_algorithm(handle, Algorithm.BFS, params)
+            assert run.output == expected, platform.name
+        finally:
+            platform.delete_graph(handle)
+
+
+@given(edge_lists)
+@settings(max_examples=25, deadline=None)
+def test_conn_agreement_on_arbitrary_graphs(edges):
+    graph = Graph.from_edges(edges)
+    if graph.num_vertices == 0:
+        return
+    expected = connected_components(graph)
+    for platform in _platforms():
+        handle = platform.upload_graph("g", graph)
+        try:
+            run = platform.run_algorithm(handle, Algorithm.CONN)
+            assert run.output == expected, platform.name
+        finally:
+            platform.delete_graph(handle)

@@ -1,0 +1,126 @@
+"""Direct unit tests for the GAS program mechanics."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.graph.graph import Graph
+from repro.platforms.gas.engine import GASEngine
+from repro.platforms.gas.programs import (
+    GASBFSProgram,
+    GASCDProgram,
+    GASConnProgram,
+    GASEvoProgram,
+    GASStatsProgram,
+)
+
+
+@pytest.fixture
+def triangle_with_tail():
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+def _adjacency(graph):
+    undirected = graph.to_undirected()
+    return {
+        int(v): tuple(int(u) for u in undirected.neighbors(int(v)))
+        for v in undirected.vertices
+    }
+
+
+class TestBFSMechanics:
+    def test_source_bootstraps_in_apply(self):
+        program = GASBFSProgram(source=5)
+        assert program.initial_value(5, 3) == -1
+        assert program.apply(5, -1, None) == 0
+
+    def test_gather_ignores_unreached_neighbors(self):
+        program = GASBFSProgram(source=0)
+        assert program.gather(1, -1, 2, -1, 4) is None
+        assert program.gather(1, -1, 0, 0, 4) == 1
+
+    def test_scatter_only_on_change(self):
+        program = GASBFSProgram(source=0)
+        assert program.scatter(1, -1, 2, 5)
+        assert not program.scatter(1, 2, 2, 5)
+
+
+class TestConnMechanics:
+    def test_apply_keeps_minimum(self):
+        program = GASConnProgram()
+        assert program.apply(7, 7, 3) == 3
+        assert program.apply(7, 3, 5) == 3
+
+    def test_scatter_only_on_improvement(self):
+        program = GASConnProgram()
+        assert program.scatter(7, 7, 3, 9)
+        assert not program.scatter(7, 3, 3, 9)
+
+
+class TestCDMechanics:
+    def test_round_counter_in_value(self, cluster_spec, triangle_with_tail):
+        engine = GASEngine(triangle_with_tail, cluster_spec)
+        result = engine.run(GASCDProgram(max_iterations=3))
+        assert all(value[2] <= 3 for value in result.values.values())
+
+    def test_vote_sizes_counted(self):
+        program = GASCDProgram()
+        partial = ((0, 1.0, 3), (1, 0.9, 2))
+        assert program.gather_size(partial) == 48.0
+
+
+class TestStatsMechanics:
+    def test_local_clustering_values(self, cluster_spec, triangle_with_tail):
+        adjacency = _adjacency(triangle_with_tail)
+        engine = GASEngine(triangle_with_tail, cluster_spec)
+        result = engine.run(GASStatsProgram(adjacency))
+        assert result.values[0] == pytest.approx(1.0)
+        assert result.values[2] == pytest.approx(1 / 3)
+        assert result.values[3] == 0.0
+
+    def test_single_round(self, cluster_spec, triangle_with_tail):
+        adjacency = _adjacency(triangle_with_tail)
+        engine = GASEngine(triangle_with_tail, cluster_spec)
+        result = engine.run(GASStatsProgram(adjacency))
+        assert result.rounds == 1
+
+    def test_adjacency_bytes_counted(self, triangle_with_tail):
+        adjacency = _adjacency(triangle_with_tail)
+        program = GASStatsProgram(adjacency)
+        assert program.gather_size(((0, 1), (2, 3, 4))) == 40.0
+
+
+class TestEvoMechanics:
+    def test_seeds_injected_idempotently(self, triangle_with_tail):
+        adjacency = _adjacency(triangle_with_tail)
+        program = GASEvoProgram(
+            adjacency, ambassadors={100: 0}, p_forward=0.0, max_hops=2, seed=1
+        )
+        burned, fresh = program.apply(0, ({}, {}), None)
+        assert burned == {100: 0}
+        assert fresh == {100: 0}
+        # Re-applying with the arrival already burned adds nothing.
+        burned2, fresh2 = program.apply(0, (burned, {}), None)
+        assert burned2 == {100: 0}
+        assert fresh2 == {}
+
+    def test_gather_filters_by_victims(self, triangle_with_tail):
+        adjacency = _adjacency(triangle_with_tail)
+        program = GASEvoProgram(
+            adjacency, ambassadors={100: 0}, p_forward=0.99, max_hops=2, seed=1
+        )
+        victims = program._victims_of(100, 0)
+        neighbor_value = ({100: 0}, {100: 0})
+        for vertex in adjacency[0]:
+            attempts = program.gather(vertex, ({}, {}), 0, neighbor_value, 3)
+            if vertex in victims:
+                assert attempts == ((100, 1),)
+            else:
+                assert attempts is None
+
+    def test_replication_factor_reported(self, cluster_spec, triangle_with_tail):
+        adjacency = _adjacency(triangle_with_tail)
+        engine = GASEngine(triangle_with_tail, cluster_spec)
+        result = engine.run(
+            GASEvoProgram(adjacency, {100: 0}, 0.3, 2, seed=1)
+        )
+        assert result.replication_factor >= 1.0

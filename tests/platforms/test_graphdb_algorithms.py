@@ -1,0 +1,74 @@
+"""Direct unit tests for the graph-database algorithm procedures."""
+
+import pytest
+
+from repro.algorithms import (
+    bfs,
+    community_detection,
+    connected_components,
+    forest_fire_links,
+    stats,
+)
+from repro.core.cost import ClusterSpec, CostMeter
+from repro.graph.generators import rmat_graph
+from repro.platforms.graphdb.algorithms import (
+    db_bfs,
+    db_cd,
+    db_conn,
+    db_evo,
+    db_stats,
+)
+from repro.platforms.graphdb.store import GraphStore
+
+
+@pytest.fixture(scope="module")
+def fixture_graph():
+    return rmat_graph(8, edge_factor=6, seed=19)
+
+
+@pytest.fixture
+def store(fixture_graph):
+    meter = CostMeter(ClusterSpec.paper_single_node())
+    db = GraphStore(meter)
+    undirected = fixture_graph.to_undirected()
+    for vertex in undirected.vertices:
+        db.create_node(int(vertex))
+    for source, target in undirected.iter_edges():
+        db.create_relationship(source, target)
+    return db
+
+
+def test_db_bfs_matches_reference(store, fixture_graph):
+    source = int(fixture_graph.vertices[0])
+    assert db_bfs(store, source) == bfs(fixture_graph, source)
+
+
+def test_db_conn_matches_reference(store, fixture_graph):
+    assert db_conn(store) == connected_components(fixture_graph)
+
+
+def test_db_cd_matches_reference(store, fixture_graph):
+    assert db_cd(store, 8, 0.1, 0.1) == community_detection(
+        fixture_graph, max_iterations=8
+    )
+
+
+def test_db_stats_matches_reference(store, fixture_graph):
+    result = db_stats(store)
+    reference = stats(fixture_graph)
+    assert result.num_vertices == reference.num_vertices
+    assert result.num_edges == reference.num_edges
+    assert result.mean_local_clustering == pytest.approx(
+        reference.mean_local_clustering, abs=1e-12
+    )
+
+
+def test_db_evo_matches_reference(store, fixture_graph):
+    assert db_evo(store, 12, 0.3, 2, seed=5) == forest_fire_links(
+        fixture_graph, 12, p_forward=0.3, max_hops=2, seed=5
+    )
+
+
+def test_db_cd_zero_iterations(store, fixture_graph):
+    labels = db_cd(store, 0, 0.1, 0.1)
+    assert labels == {int(v): int(v) for v in fixture_graph.vertices}

@@ -1,0 +1,116 @@
+"""Direct unit tests for the MapReduce job implementations."""
+
+import pytest
+
+from repro.core.cost import ClusterSpec
+from repro.platforms.mapreduce.engine import MapReduceEngine
+from repro.platforms.mapreduce.jobs import (
+    BFSIterationJob,
+    CDIterationJob,
+    ConnIterationJob,
+    EvoHopJob,
+    StatsAggregationJob,
+    StatsTriangleJob,
+)
+
+
+@pytest.fixture
+def engine():
+    return MapReduceEngine(ClusterSpec.paper_distributed())
+
+
+class TestBFSIteration:
+    def test_frontier_expands_one_level(self, engine):
+        records = [
+            (0, ((1,), 0)),
+            (1, ((0, 2), -1)),
+            (2, ((1,), -1)),
+        ]
+        result = engine.run_job(BFSIterationJob(iteration=1), records)
+        state = dict(result.output)
+        assert state[1] == ((0, 2), 1)
+        assert state[2] == ((1,), -1)  # not reached yet
+        assert result.counters["changed"] == 1
+
+    def test_no_change_counter_when_stable(self, engine):
+        records = [(0, ((1,), 0)), (1, ((0,), 1))]
+        result = engine.run_job(BFSIterationJob(iteration=3), records)
+        assert result.counters.get("changed", 0) == 0
+
+    def test_combiner_keeps_min_candidate(self):
+        job = BFSIterationJob(iteration=1)
+        combined = job.combine(5, [("D", 3), ("A", (1,), -1), ("D", 2)])
+        assert ("A", (1,), -1) in combined
+        assert ("D", 2) in combined
+        assert ("D", 3) not in combined
+
+
+class TestConnIteration:
+    def test_labels_shrink(self, engine):
+        records = [(5, ((9,), 5)), (9, ((5,), 9))]
+        result = engine.run_job(ConnIterationJob(iteration=1), records)
+        state = dict(result.output)
+        assert state[9] == ((5,), 5)
+        assert result.counters["changed"] == 1
+
+    def test_isolated_vertex_passthrough(self, engine):
+        records = [(7, ((), 7))]
+        result = engine.run_job(ConnIterationJob(iteration=1), records)
+        assert dict(result.output) == {7: ((), 7)}
+
+
+class TestCDIteration:
+    def test_adopts_majority_label(self, engine):
+        # Vertex 2 has two neighbors labeled 0 and one labeled 9.
+        records = [
+            (0, ((2,), 0, 1.0)),
+            (1, ((2,), 0, 1.0)),
+            (2, ((0, 1, 9), 2, 1.0)),
+            (9, ((2,), 9, 1.0)),
+        ]
+        result = engine.run_job(CDIterationJob(1, 0.1, 0.1), records)
+        state = dict(result.output)
+        assert state[2][1] == 0
+        assert state[2][2] == pytest.approx(0.9)  # hop attenuation paid
+
+
+class TestStatsJobs:
+    def test_triangle_plus_aggregation(self, engine):
+        adjacency = {0: (1, 2), 1: (0, 2), 2: (0, 1)}
+        partials = engine.run_job(StatsTriangleJob(), list(adjacency.items()))
+        totals = dict(engine.run_job(StatsAggregationJob(), partials.output).output)
+        assert totals["vertices"] == 3
+        assert totals["edges"] == 6
+        assert totals["clustering_sum"] == pytest.approx(3.0)
+
+    def test_degree_one_vertices_skip_broadcast(self, engine):
+        adjacency = {0: (1,), 1: (0,)}
+        partials = engine.run_job(StatsTriangleJob(), list(adjacency.items()))
+        totals = dict(engine.run_job(StatsAggregationJob(), partials.output).output)
+        assert "clustering_sum" not in totals
+
+
+class TestEvoHop:
+    def test_burn_spreads_to_victims(self, engine):
+        # p=0.99 so the budget is almost surely positive.
+        job = EvoHopJob(p_forward=0.99, max_hops=2, seed=1, hop=0)
+        records = [
+            (0, ((1,), {100: 0}, {100: 0})),
+            (1, ((0,), {}, {})),
+        ]
+        result = engine.run_job(job, records)
+        state = dict(result.output)
+        assert 100 in state[1][1]
+        assert state[1][1][100] == 1
+        assert result.counters["burned"] == 1
+
+    def test_hop_limit_blocks_spread(self, engine):
+        job = EvoHopJob(p_forward=0.99, max_hops=1, seed=1, hop=1)
+        records = [
+            (0, ((1,), {100: 1}, {100: 1})),  # already at the hop limit
+            (1, ((0,), {}, {})),
+        ]
+        result = engine.run_job(job, records)
+        state = dict(result.output)
+        assert state[1][1] == {}
+        assert result.counters.get("burned", 0) == 0

@@ -1,0 +1,167 @@
+"""Unit tests for the Pregel BSP engine."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.graph.graph import Graph
+from repro.platforms.pregel.engine import (
+    PregelEngine,
+    VertexProgram,
+    partition_of,
+)
+
+
+class _EchoProgram(VertexProgram):
+    """Each vertex stores the count of messages it ever received."""
+
+    def initial_value(self, vertex, ctx):
+        """Start at zero received messages."""
+        return 0
+
+    def compute(self, ctx, messages):
+        """Send one message per neighbor in superstep 0, then count."""
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors("ping")
+        else:
+            ctx.value += len(messages)
+        ctx.vote_to_halt()
+
+
+class _AggregatingProgram(VertexProgram):
+    """Publishes the vertex count through an aggregator."""
+
+    def initial_value(self, vertex, ctx):
+        """No per-vertex state needed."""
+        return None
+
+    def persistent_aggregators(self):
+        """Keep the count across supersteps."""
+        return {"count"}
+
+    def compute(self, ctx, messages):
+        """Aggregate once, then halt."""
+        if ctx.superstep == 0:
+            ctx.aggregate("count", 1)
+        ctx.vote_to_halt()
+
+
+class _CombinerProgram(VertexProgram):
+    """Min-combines messages; vertex 0 receives from everyone."""
+
+    def initial_value(self, vertex, ctx):
+        """Value holds the minimum received message."""
+        return None
+
+    def combiner(self):
+        """Min combiner."""
+        return min
+
+    def compute(self, ctx, messages):
+        """All vertices message vertex 0 in superstep 0."""
+        if ctx.superstep == 0:
+            if ctx.vertex != 0:
+                ctx.send(0, ctx.vertex)
+        elif messages:
+            ctx.value = min(messages)
+        ctx.vote_to_halt()
+
+
+class _RunawayProgram(VertexProgram):
+    """Never halts (each vertex keeps messaging itself)."""
+
+    def initial_value(self, vertex, ctx):
+        """Unused."""
+        return None
+
+    def max_supersteps(self):
+        """Small bound so the engine aborts quickly."""
+        return 5
+
+    def compute(self, ctx, messages):
+        """Keep self-messaging forever."""
+        ctx.send(ctx.vertex, "again")
+        ctx.vote_to_halt()
+
+
+@pytest.fixture
+def line_graph():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+class TestExecution:
+    def test_message_delivery(self, line_graph, cluster_spec):
+        engine = PregelEngine(line_graph, cluster_spec)
+        result = engine.run(_EchoProgram())
+        # Messages received equal each vertex's degree.
+        assert result.values == {0: 1, 1: 2, 2: 2, 3: 1}
+
+    def test_supersteps_counted(self, line_graph, cluster_spec):
+        engine = PregelEngine(line_graph, cluster_spec)
+        result = engine.run(_EchoProgram())
+        # Superstep 0 sends, superstep 1 digests, superstep 2 finds
+        # no messages and the computation stops.
+        assert result.supersteps == 2
+
+    def test_persistent_aggregator(self, line_graph, cluster_spec):
+        engine = PregelEngine(line_graph, cluster_spec)
+        result = engine.run(_AggregatingProgram())
+        assert result.aggregated["count"] == 4
+
+    def test_combiner_collapses_messages(self, cluster_spec):
+        star = Graph.from_edges([(0, i) for i in range(1, 30)])
+        engine = PregelEngine(star, cluster_spec)
+        result = engine.run(_CombinerProgram())
+        assert result.values[0] == 1
+        profile = engine.meter.profile
+        sends = profile.rounds[1]  # init, superstep-0, ...
+        # At most one message per (worker, target) pair crossed.
+        assert (
+            sends.local_messages + sends.remote_messages
+            <= cluster_spec.num_workers
+        )
+
+    def test_runaway_program_aborts(self, line_graph, cluster_spec):
+        engine = PregelEngine(line_graph, cluster_spec)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            engine.run(_RunawayProgram())
+
+
+class TestCostAccounting:
+    def test_rounds_recorded(self, line_graph, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        engine = PregelEngine(line_graph, cluster_spec, meter)
+        engine.run(_EchoProgram())
+        names = [r.name for r in meter.profile.rounds]
+        assert names[0] == "init"
+        assert names[1] == "superstep-0"
+
+    def test_memory_loaded_and_released(self, line_graph, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        engine = PregelEngine(line_graph, cluster_spec, meter)
+        engine.run(_EchoProgram())
+        assert meter.profile.peak_memory > 0
+        for worker in range(cluster_spec.num_workers):
+            assert meter.memory_in_use(worker) == 0.0
+
+    def test_remote_vs_local_messages(self, cluster_spec):
+        # With 10 workers and hash partitioning, most star messages
+        # cross worker boundaries.
+        star = Graph.from_edges([(0, i) for i in range(1, 50)])
+        meter = CostMeter(cluster_spec)
+        engine = PregelEngine(star, cluster_spec, meter)
+        engine.run(_EchoProgram())
+        assert meter.profile.total_remote_bytes > 0
+
+
+class TestPartitioning:
+    def test_partition_stable(self):
+        assert partition_of(123, 10) == partition_of(123, 10)
+
+    def test_partition_in_range(self):
+        assert all(0 <= partition_of(v, 7) < 7 for v in range(1000))
+
+    def test_partition_spread(self):
+        counts = [0] * 10
+        for vertex in range(10000):
+            counts[partition_of(vertex, 10)] += 1
+        assert max(counts) < 2 * min(counts)

@@ -1,0 +1,138 @@
+"""Direct unit tests for the Pregel vertex programs.
+
+The equivalence suite proves outputs match the references; these tests
+pin the *mechanics* of each program — combiners, supersteps, message
+volumes, aggregator usage — that the cost model depends on.
+"""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.graph.graph import Graph
+from repro.platforms.pregel.engine import PregelEngine
+from repro.platforms.pregel.programs import (
+    BFSProgram,
+    CDProgram,
+    ConnProgram,
+    EvoProgram,
+    StatsProgram,
+)
+
+
+@pytest.fixture
+def path_graph():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+class TestBFSProgram:
+    def test_supersteps_equal_eccentricity_plus_two(self, path_graph, cluster_spec):
+        engine = PregelEngine(path_graph, cluster_spec)
+        result = engine.run(BFSProgram(source=0))
+        # Distances 0..4: four frontier expansions, one superstep in
+        # which the last vertex's redundant message is digested, and
+        # one that finds the frontier empty.
+        assert result.supersteps == 6
+
+    def test_min_combiner_used(self):
+        assert BFSProgram(source=0).combiner() is min
+
+    def test_unreached_stay_unreachable(self, cluster_spec):
+        graph = Graph.from_edges([(0, 1)], vertices=[9])
+        engine = PregelEngine(graph, cluster_spec)
+        result = engine.run(BFSProgram(source=0))
+        assert result.values[9] == -1
+
+
+class TestConnProgram:
+    def test_frontier_shrinks(self, cluster_spec, path_graph):
+        meter = CostMeter(cluster_spec)
+        engine = PregelEngine(path_graph, cluster_spec, meter)
+        engine.run(ConnProgram())
+        active = [r.active_vertices for r in meter.profile.rounds[1:]]
+        # Label propagation: all active at first, then only improvers.
+        assert active[0] == path_graph.num_vertices
+        assert active[-1] < active[0]
+
+    def test_messages_only_on_improvement(self, cluster_spec):
+        # A star centered at the minimum: converges in 2 supersteps.
+        star = Graph.from_edges([(0, i) for i in range(1, 6)])
+        engine = PregelEngine(star, cluster_spec)
+        result = engine.run(ConnProgram())
+        assert result.supersteps <= 3
+
+
+class TestCDProgram:
+    def test_runs_exactly_max_iterations_rounds(self, cluster_spec, path_graph):
+        engine = PregelEngine(path_graph, cluster_spec)
+        result = engine.run(CDProgram(max_iterations=4))
+        # Supersteps: initial send + up to 4 propagation + final halt.
+        assert result.supersteps <= 6
+
+    def test_zero_iterations_keeps_own_labels(self, cluster_spec, path_graph):
+        engine = PregelEngine(path_graph, cluster_spec)
+        result = engine.run(CDProgram(max_iterations=0))
+        assert {v: val[0] for v, val in result.values.items()} == {
+            int(v): int(v) for v in path_graph.vertices
+        }
+
+    def test_early_stop_on_convergence(self, cluster_spec):
+        # A triangle collapses to one label after two propagation
+        # steps; the change aggregator then stops the run well before
+        # the 50-iteration cap.
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        engine = PregelEngine(graph, cluster_spec)
+        result = engine.run(CDProgram(max_iterations=50))
+        assert result.supersteps < 10
+
+    def test_dyads_oscillate_to_the_cap(self, cluster_spec):
+        # Known synchronous-LPA behaviour: two-vertex components swap
+        # labels forever, so the iteration cap is what stops them —
+        # and every platform reproduces the same final state (the
+        # reference oscillates identically).
+        graph = Graph.from_edges([(0, 1), (10, 11)])
+        engine = PregelEngine(graph, cluster_spec)
+        result = engine.run(CDProgram(max_iterations=20))
+        assert result.supersteps >= 20
+
+
+class TestStatsProgram:
+    def test_aggregators(self, cluster_spec):
+        triangle = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        engine = PregelEngine(triangle, cluster_spec)
+        result = engine.run(StatsProgram())
+        assert result.aggregated["vertices"] == 3
+        assert result.aggregated["edges"] == 6  # both arc directions
+        assert result.aggregated["clustering_sum"] == pytest.approx(3.0)
+
+    def test_message_bytes_scale_with_degree(self):
+        program = StatsProgram()
+        assert program.message_size((1, 2, 3)) == 24.0
+        assert program.message_size((1,)) == 8.0
+
+    def test_two_supersteps(self, cluster_spec, path_graph):
+        engine = PregelEngine(path_graph, cluster_spec)
+        result = engine.run(StatsProgram())
+        assert result.supersteps == 2
+
+
+class TestEvoProgram:
+    def test_ambassadors_burn_at_depth_zero(self, cluster_spec, path_graph):
+        program = EvoProgram(
+            ambassadors={100: 2}, p_forward=0.0, max_hops=2, seed=1
+        )
+        engine = PregelEngine(path_graph, cluster_spec)
+        result = engine.run(program)
+        # p=0: no spreading, only the ambassador burns.
+        burned = {v for v, arrivals in result.values.items() if arrivals}
+        assert burned == {2}
+
+    def test_max_hops_bounds_supersteps(self, cluster_spec, path_graph):
+        program = EvoProgram(
+            ambassadors={100: 0}, p_forward=0.9, max_hops=2, seed=1
+        )
+        engine = PregelEngine(path_graph, cluster_spec)
+        result = engine.run(program)
+        assert result.supersteps <= program.max_supersteps()
+        # Nothing beyond 2 hops from the ambassador burns.
+        burned = {v for v, arrivals in result.values.items() if arrivals}
+        assert burned <= {0, 1, 2}

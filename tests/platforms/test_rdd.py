@@ -1,0 +1,135 @@
+"""Unit tests for the RDD substrate."""
+
+import pytest
+
+from repro.core.cost import CostMeter
+from repro.platforms.rddgraph.rdd import RDD, RDDContext
+
+
+@pytest.fixture
+def context(cluster_spec):
+    return RDDContext(cluster_spec)
+
+
+class TestCreation:
+    def test_parallelize_round_robin(self, context):
+        rdd = context.parallelize(range(25))
+        assert rdd.count() == 25
+        assert sorted(rdd.collect()) == list(range(25))
+        assert rdd.partitioner is None
+
+    def test_parallelize_pairs_hash_partitioned(self, context):
+        rdd = context.parallelize_pairs([(i, i * 2) for i in range(20)])
+        assert rdd.partitioner == "hash"
+        assert dict(rdd.collect()) == {i: i * 2 for i in range(20)}
+
+
+class TestNarrow:
+    def test_map(self, context):
+        rdd = context.parallelize(range(10)).map(lambda x: x * x)
+        assert sorted(rdd.collect()) == [x * x for x in range(10)]
+        assert rdd.partitioner is None
+
+    def test_map_values_keeps_partitioner(self, context):
+        rdd = context.parallelize_pairs([(1, 2), (3, 4)]).map_values(str)
+        assert rdd.partitioner == "hash"
+        assert dict(rdd.collect()) == {1: "2", 3: "4"}
+
+    def test_filter(self, context):
+        rdd = context.parallelize(range(10)).filter(lambda x: x % 2 == 0)
+        assert sorted(rdd.collect()) == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, context):
+        rdd = context.parallelize([1, 2]).flat_map(lambda x: [x] * x)
+        assert sorted(rdd.collect()) == [1, 2, 2]
+
+
+class TestWide:
+    def test_reduce_by_key(self, context):
+        pairs = [(i % 3, 1) for i in range(30)]
+        rdd = context.parallelize_pairs(pairs).reduce_by_key(lambda a, b: a + b)
+        assert dict(rdd.collect()) == {0: 10, 1: 10, 2: 10}
+
+    def test_group_by_key(self, context):
+        pairs = [(1, "a"), (2, "b"), (1, "c")]
+        rdd = context.parallelize_pairs(pairs).group_by_key()
+        grouped = dict(rdd.collect())
+        assert sorted(grouped[1]) == ["a", "c"]
+        assert grouped[2] == ["b"]
+
+    def test_join(self, context):
+        left = context.parallelize_pairs([(1, "l1"), (2, "l2")])
+        right = context.parallelize_pairs([(1, "r1"), (3, "r3")])
+        joined = dict(left.join(right).collect())
+        assert joined == {1: ("l1", "r1")}
+
+    def test_left_outer_join(self, context):
+        left = context.parallelize_pairs([(1, "l1"), (2, "l2")])
+        right = context.parallelize_pairs([(1, "r1")])
+        joined = dict(left.left_outer_join(right).collect())
+        assert joined == {1: ("l1", "r1"), 2: ("l2", None)}
+
+    def test_join_duplicates_multiply(self, context):
+        left = context.parallelize_pairs([(1, "a")])
+        right = context.parallelize_pairs([(1, "x"), (1, "y")])
+        joined = left.join(right).collect()
+        assert sorted(v for _k, v in joined) == [("a", "x"), ("a", "y")]
+
+    def test_distinct(self, context):
+        rdd = context.parallelize([1, 2, 2, 3, 3, 3]).distinct()
+        assert sorted(rdd.collect()) == [1, 2, 3]
+
+    def test_shuffle_skipped_when_copartitioned(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        context = RDDContext(cluster_spec, meter)
+        pairs = context.parallelize_pairs([(i, 1) for i in range(100)])
+        before = meter.profile.total_remote_bytes
+        pairs.reduce_by_key(lambda a, b: a + b)
+        # Already hash-partitioned: the reduce needs no network.
+        assert meter.profile.total_remote_bytes == before
+
+    def test_shuffle_charged_when_unpartitioned(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        context = RDDContext(cluster_spec, meter)
+        pairs = context.parallelize([(i, 1) for i in range(100)])
+        before = meter.profile.total_remote_bytes
+        pairs.reduce_by_key(lambda a, b: a + b)
+        assert meter.profile.total_remote_bytes > before
+
+
+class TestMemory:
+    def test_materialized_rdds_occupy_memory(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        context = RDDContext(cluster_spec, meter)
+        rdd = context.parallelize(range(1000))
+        held = sum(meter.memory_in_use(w) for w in range(cluster_spec.num_workers))
+        assert held > 0
+        rdd.unpersist()
+        assert all(
+            meter.memory_in_use(w) == 0.0
+            for w in range(cluster_spec.num_workers)
+        )
+
+    def test_unpersist_idempotent(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        context = RDDContext(cluster_spec, meter)
+        rdd = context.parallelize(range(10))
+        rdd.unpersist()
+        rdd.unpersist()  # no error, no double release
+        assert all(
+            meter.memory_in_use(w) == 0.0
+            for w in range(cluster_spec.num_workers)
+        )
+
+    def test_generations_stack_until_unpersisted(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        context = RDDContext(cluster_spec, meter)
+        first = context.parallelize(range(1000))
+        second = first.map(lambda x: x)
+        held = sum(meter.memory_in_use(w) for w in range(cluster_spec.num_workers))
+        first_bytes = sum(
+            48.0 for _ in range(1000)
+        )
+        assert held >= 2 * first_bytes * 0.9
+        first.unpersist()
+        second.unpersist()

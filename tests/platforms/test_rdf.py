@@ -1,0 +1,126 @@
+"""Unit tests for the RDF triple store and SPARQL subset."""
+
+import pytest
+
+from repro.algorithms import bfs
+from repro.graph.generators import rmat_graph
+from repro.graph.graph import Graph
+from repro.platforms.columnar.rdf import (
+    KNOWS,
+    RDFStore,
+    SparqlError,
+    graph_to_triples,
+)
+
+
+@pytest.fixture
+def store():
+    return RDFStore(
+        [
+            ("alice", KNOWS, "bob"),
+            ("bob", KNOWS, "alice"),
+            ("bob", KNOWS, "carol"),
+            ("carol", KNOWS, "bob"),
+            ("alice", "worksAt", "cwi"),
+            ("carol", "worksAt", "tudelft"),
+        ]
+    )
+
+
+class TestStore:
+    def test_triples_deduplicated(self):
+        store = RDFStore([("a", "p", "b"), ("a", "p", "b")])
+        assert store.num_triples == 1
+
+    def test_dictionary_roundtrip(self, store):
+        term_id = store.term_id("alice")
+        assert store.term(term_id) == "alice"
+        assert store.term_id("nobody") is None
+
+    def test_match_by_subject(self, store):
+        rows = sorted(store.match(subject="alice"))
+        assert rows == [
+            ("alice", KNOWS, "bob"),
+            ("alice", "worksAt", "cwi"),
+        ]
+
+    def test_match_by_predicate(self, store):
+        rows = list(store.match(predicate="worksAt"))
+        assert len(rows) == 2
+
+    def test_match_by_object(self, store):
+        rows = list(store.match(obj="bob"))
+        assert {s for s, _p, _o in rows} == {"alice", "carol"}
+
+    def test_match_fully_bound(self, store):
+        assert list(store.match("alice", KNOWS, "bob")) == [
+            ("alice", KNOWS, "bob")
+        ]
+        assert list(store.match("alice", KNOWS, "carol")) == []
+
+    def test_match_unknown_term(self, store):
+        assert list(store.match(subject="nobody")) == []
+
+    def test_compressed(self, store):
+        assert store.compressed_bytes > 0
+        # Three indexes of 6 triples beat raw 3x3x8-byte storage.
+        assert store.compressed_bytes < 3 * store.num_triples * 24
+
+
+class TestSparql:
+    def test_single_pattern(self, store):
+        rows = store.query("SELECT ?x WHERE { <alice> <knows> ?x . }")
+        assert rows == [{"x": "bob"}]
+
+    def test_join_on_shared_variable(self, store):
+        rows = store.query(
+            "SELECT ?x ?where WHERE { <bob> <knows> ?x . "
+            "?x <worksAt> ?where . }"
+        )
+        assert {(r["x"], r["where"]) for r in rows} == {
+            ("alice", "cwi"),
+            ("carol", "tudelft"),
+        }
+
+    def test_count(self, store):
+        assert store.query(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s <knows> ?o . }"
+        ) == 4
+
+    def test_transitive_path(self, store):
+        rows = store.query("SELECT ?x WHERE { <alice> <knows>+ ?x . }")
+        assert {r["x"] for r in rows} == {"alice", "bob", "carol"}
+
+    def test_transitive_needs_bound_subject(self, store):
+        with pytest.raises(SparqlError, match="bound subject"):
+            store.query("SELECT ?x WHERE { ?x <knows>+ ?y . }")
+
+    def test_unsupported_shape(self, store):
+        with pytest.raises(SparqlError):
+            store.query("ASK { ?s ?p ?o }")
+
+    def test_malformed_pattern(self, store):
+        with pytest.raises(SparqlError, match="triple pattern"):
+            store.query("SELECT ?x WHERE { <alice> ?x . }")
+
+    def test_variables_everywhere(self, store):
+        rows = store.query("SELECT ?s ?o WHERE { ?s <worksAt> ?o . }")
+        assert len(rows) == 2
+
+
+class TestGraphBridge:
+    def test_graph_to_triples_symmetric(self):
+        graph = Graph.from_edges([(0, 1)])
+        triples = graph_to_triples(graph)
+        assert ("person:0", KNOWS, "person:1") in triples
+        assert ("person:1", KNOWS, "person:0") in triples
+
+    def test_transitive_equals_bfs_reachability(self):
+        graph = rmat_graph(7, seed=9)
+        store = RDFStore(graph_to_triples(graph))
+        source = int(graph.vertices[0])
+        reached = store.query(
+            f"SELECT ?x WHERE {{ <person:{source}> <knows>+ ?x . }}"
+        )
+        expected = sum(1 for d in bfs(graph, source).values() if d >= 0)
+        assert len(reached) == expected

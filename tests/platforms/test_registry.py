@@ -1,0 +1,53 @@
+"""Unit tests for the platform registry."""
+
+import pytest
+
+from repro.core.cost import ClusterSpec
+from repro.core.errors import ConfigurationError
+from repro.core.platform_api import GraphHandle, Platform
+from repro.platforms.registry import (
+    available_platforms,
+    create_platform,
+    register_platform,
+)
+
+
+def test_builtin_platforms_registered():
+    assert set(available_platforms()) >= {"giraph", "mapreduce", "graphx", "neo4j"}
+
+
+def test_create_known_platform(cluster_spec):
+    platform = create_platform("giraph", cluster_spec)
+    assert platform.name == "giraph"
+    assert platform.cluster is cluster_spec
+
+
+def test_unknown_platform(cluster_spec):
+    with pytest.raises(ConfigurationError, match="unknown platform"):
+        create_platform("spark-streaming", cluster_spec)
+
+
+def test_third_party_registration(cluster_spec):
+    class _Custom(Platform):
+        name = "custom-engine"
+
+        def _load(self, name, graph):
+            return GraphHandle(name=name, platform=self.name, graph=graph)
+
+        def _execute(self, handle, algorithm, params):  # pragma: no cover
+            raise NotImplementedError
+
+    register_platform("custom-engine", _Custom)
+    try:
+        assert "custom-engine" in available_platforms()
+        platform = create_platform("custom-engine", cluster_spec)
+        assert isinstance(platform, _Custom)
+    finally:
+        from repro.platforms import registry
+
+        registry._REGISTRY.pop("custom-engine", None)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigurationError):
+        register_platform("", lambda cluster: None)

@@ -1,0 +1,51 @@
+"""Tests for the one-call convenience API."""
+
+import pytest
+
+import repro
+from repro.core.workload import Algorithm
+from repro.graph.generators import rmat_graph
+
+
+def test_run_benchmark_with_catalog_names():
+    suite = repro.run_benchmark(
+        ["graph500-7"], platforms=["giraph"], algorithms=["BFS"]
+    )
+    assert len(suite.results) == 1
+    assert suite.results[0].succeeded
+    assert suite.results[0].algorithm is Algorithm.BFS
+
+
+def test_run_benchmark_with_graph_objects():
+    graph = rmat_graph(6, seed=2)
+    suite = repro.run_benchmark(
+        {"mine": graph}, platforms=["neo4j"], algorithms=[Algorithm.CONN]
+    )
+    (result,) = suite.results
+    assert result.graph_name == "mine"
+    assert result.succeeded
+
+
+def test_render_report():
+    suite = repro.run_benchmark(
+        ["graph500-7"], platforms=["giraph"], algorithms=["STATS"]
+    )
+    text = repro.render_report(suite, configuration={"run": "api-test"})
+    assert "Graphalytics benchmark report" in text
+    assert "run = api-test" in text
+
+
+def test_time_limit_flows_through():
+    suite = repro.run_benchmark(
+        ["graph500-7"],
+        platforms=["giraph"],
+        algorithms=["BFS"],
+        time_limit_seconds=1e-6,
+    )
+    (result,) = suite.results
+    assert result.failure_reason == "time-limit"
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        repro.run_benchmark(["graph500-7"], algorithms=["pagerank"])

@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command(tmp_path, capsys):
+    report = tmp_path / "report.txt"
+    db = tmp_path / "results.jsonl"
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph,neo4j",
+            "--algorithms", "BFS,CONN",
+            "--report", str(report),
+            "--results-db", str(db),
+        ]
+    )
+    assert code == 0
+    assert report.exists()
+    out = capsys.readouterr().out
+    assert "Graphalytics benchmark report" in out
+    assert "results appended" in out
+    assert db.exists()
+
+
+def test_run_command_no_validate(tmp_path):
+    report = tmp_path / "report.txt"
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph",
+            "--algorithms", "STATS",
+            "--no-validate",
+            "--report", str(report),
+        ]
+    )
+    assert code == 0
+
+
+def test_datagen_command(tmp_path, capsys):
+    output = tmp_path / "social.e"
+    code = main(
+        [
+            "datagen",
+            "--persons", "500",
+            "--distribution", "geometric",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    assert output.exists()
+    assert "500 persons" in capsys.readouterr().out
+
+
+def test_characterize_command(capsys):
+    code = main(["characterize", "graph500-7"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "graph500-7" in out
+    assert "AvgCC" in out
+
+
+def test_quality_command(capsys):
+    code = main(["quality", "--root", "src/repro/core"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean-complexity" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_run_command_html_report(tmp_path):
+    html = tmp_path / "report.html"
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph",
+            "--algorithms", "STATS",
+            "--report", str(tmp_path / "report.txt"),
+            "--html", str(html),
+        ]
+    )
+    assert code == 0
+    assert html.exists()
+    assert "<html" in html.read_text()
+
+
+def test_datagen_weibull(tmp_path):
+    output = tmp_path / "w.e"
+    code = main(
+        ["datagen", "--persons", "300", "--distribution", "weibull",
+         "--output", str(output)]
+    )
+    assert code == 0
+    assert output.exists()
+
+
+def test_leaderboard_command(tmp_path, capsys):
+    db = tmp_path / "results.jsonl"
+    main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph,neo4j",
+            "--algorithms", "CONN",
+            "--report", str(tmp_path / "r.txt"),
+            "--results-db", str(db),
+        ]
+    )
+    capsys.readouterr()
+    code = main(
+        ["leaderboard", "--results-db", str(db),
+         "--graph", "graph500-7", "--algorithm", "conn"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1. neo4j" in out or "1. giraph" in out
+
+
+def test_leaderboard_empty(tmp_path, capsys):
+    code = main(
+        ["leaderboard", "--results-db", str(tmp_path / "none.jsonl"),
+         "--graph", "g", "--algorithm", "BFS"]
+    )
+    assert code == 1
+
+
+def test_run_with_config_file(tmp_path, capsys):
+    config = tmp_path / "bench.ini"
+    config.write_text(
+        "[benchmark]\n"
+        "platforms = giraph\n"
+        "graphs = graph500-7\n"
+        "algorithms = STATS\n"
+    )
+    code = main(
+        [
+            "run",
+            "--config", str(config),
+            "--graphs", "graph500-7",
+            "--report", str(tmp_path / "r.txt"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "giraph" in out
+    assert "neo4j" not in out.split("Runtime")[1]  # only configured platform ran
+
+
+def test_cli_flags_override_config(tmp_path, capsys):
+    config = tmp_path / "bench.ini"
+    config.write_text("[benchmark]\nplatforms = giraph\nalgorithms = STATS\n")
+    code = main(
+        [
+            "run",
+            "--config", str(config),
+            "--graphs", "graph500-7",
+            "--algorithms", "CONN",
+            "--report", str(tmp_path / "r.txt"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CONN" in out
+    assert "STATS    graph500-7" not in out

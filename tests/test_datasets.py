@@ -1,0 +1,89 @@
+"""Tests for the dataset catalog and Table 1 stand-ins."""
+
+import pytest
+
+from repro.datasets import (
+    TABLE1_PAPER_VALUES,
+    graph500_graph,
+    load_dataset,
+    snb_graph,
+    standin_graph,
+    standin_names,
+)
+from repro.graph.properties import graph_characteristics
+
+
+class TestCatalog:
+    def test_graph500_name(self):
+        graph = load_dataset("graph500-8")
+        assert graph.num_vertices == 256
+
+    def test_snb_name(self):
+        graph = load_dataset("snb-500")
+        assert graph.num_vertices == 500
+
+    def test_standin_names_resolve(self):
+        for name in standin_names():
+            assert load_dataset(name) is not None
+            break  # one is enough here; the full set is tested below
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("twitter")
+
+    def test_malformed_scale(self):
+        with pytest.raises(ValueError, match="integer"):
+            load_dataset("graph500-big")
+
+    def test_deterministic(self):
+        assert load_dataset("graph500-8") == load_dataset("graph500-8")
+        assert snb_graph(400, seed=1) == snb_graph(400, seed=1)
+        assert graph500_graph(8, seed=1) != graph500_graph(8, seed=2)
+
+
+class TestStandins:
+    def test_five_standins(self):
+        assert standin_names() == [
+            "amazon",
+            "livejournal",
+            "patents",
+            "wikipedia",
+            "youtube",
+        ]
+
+    def test_unknown_standin(self):
+        with pytest.raises(ValueError, match="unknown stand-in"):
+            standin_graph("facebook")
+
+    def test_scale_divisor_validation(self):
+        with pytest.raises(ValueError):
+            standin_graph("amazon", scale_divisor=0)
+
+    @pytest.mark.parametrize("name", ["amazon", "youtube", "wikipedia"])
+    def test_structural_signature(self, name):
+        """Stand-ins land in the paper's region of the config space."""
+        spec = TABLE1_PAPER_VALUES[name]
+        graph = standin_graph(name, scale_divisor=512)
+        row = graph_characteristics(graph, name)
+        # Edge density preserved within a factor of two.
+        paper_density = spec.edges_millions / spec.nodes_millions
+        density = row.num_edges / row.num_vertices
+        assert 0.5 * paper_density < density < 2.0 * paper_density
+        # Clustering within the right magnitude band.
+        assert 0.4 * spec.average_clustering < row.average_clustering
+        assert row.average_clustering < 2.5 * spec.average_clustering
+
+    def test_configuration_space_heterogeneous(self):
+        """The paper's core Table 1 observation, on our stand-ins."""
+        rows = {
+            name: graph_characteristics(standin_graph(name, scale_divisor=512))
+            for name in standin_names()
+        }
+        clusterings = [r.average_clustering for r in rows.values()]
+        # High-clustering and low-clustering graphs both present.
+        assert max(clusterings) > 5 * min(clusterings)
+        # Both assortativity signs present.
+        signs = {r.assortativity > 0 for r in rows.values()}
+        assert signs == {True, False}
+        # Amazon has the highest clustering, as in the paper.
+        assert rows["amazon"].average_clustering == max(clusterings)

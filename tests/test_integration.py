@@ -1,0 +1,105 @@
+"""End-to-end integration: the full paper workflow in miniature.
+
+Reproduces the paper's Section 2.3 user journey: generate/add graphs,
+configure platforms, choose a workload, run the benchmark, and get the
+report — then checks the paper's headline result shapes on the small
+scale the test budget allows.
+"""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkCore
+from repro.core.chokepoints import analyze_profile
+from repro.core.config import load_benchmark_config
+from repro.core.cost import ClusterSpec
+from repro.core.report import ReportGenerator
+from repro.core.results_db import ResultsDatabase
+from repro.core.validation import OutputValidator
+from repro.core.workload import Algorithm
+from repro.datagen.datagen import Datagen, DatagenConfig
+from repro.graph.generators import rmat_graph
+from repro.platforms.registry import create_platform
+
+
+@pytest.fixture(scope="module")
+def suite_and_graphs():
+    distributed = ClusterSpec.paper_distributed()
+    platforms = [
+        create_platform("giraph", distributed),
+        create_platform("mapreduce", distributed),
+        create_platform("graphx", distributed),
+        create_platform("neo4j", ClusterSpec.paper_single_node()),
+    ]
+    graphs = {
+        "graph500-8": rmat_graph(8, edge_factor=8, seed=2),
+        "snb-tiny": Datagen(DatagenConfig(num_persons=400, seed=3)).generate(),
+    }
+    core = BenchmarkCore(platforms, graphs, validator=OutputValidator())
+    return core.run(), graphs
+
+
+def test_everything_succeeds_and_validates(suite_and_graphs):
+    suite, graphs = suite_and_graphs
+    assert len(suite.results) == 4 * 2 * len(Algorithm)
+    assert not suite.failures()
+
+
+def test_figure4_shape_mapreduce_slowest(suite_and_graphs):
+    """MapReduce is far slower than the in-memory platforms."""
+    suite, _graphs = suite_and_graphs
+    for graph in ("graph500-8", "snb-tiny"):
+        for algorithm in (Algorithm.BFS, Algorithm.CONN):
+            mapreduce = suite.lookup("mapreduce", graph, algorithm)
+            giraph = suite.lookup("giraph", graph, algorithm)
+            assert mapreduce.runtime_seconds > 2.5 * giraph.runtime_seconds
+
+
+def test_figure4_shape_neo4j_fast_when_it_fits(suite_and_graphs):
+    """Single-node performance beats the distributed stack at small scale."""
+    suite, _graphs = suite_and_graphs
+    for algorithm in Algorithm:
+        neo4j = suite.lookup("neo4j", "graph500-8", algorithm)
+        giraph = suite.lookup("giraph", "graph500-8", algorithm)
+        assert neo4j.runtime_seconds < giraph.runtime_seconds
+
+
+def test_report_and_database_flow(suite_and_graphs, tmp_path):
+    suite, _graphs = suite_and_graphs
+    report_path = ReportGenerator().write(suite, tmp_path / "report.txt")
+    text = report_path.read_text()
+    for platform in ("giraph", "mapreduce", "graphx", "neo4j"):
+        assert platform in text
+    db = ResultsDatabase(tmp_path / "db.jsonl")
+    assert db.submit(suite) == len(suite.results)
+    assert db.best_runtime("giraph", "graph500-8", "BFS") is not None
+
+
+def test_chokepoint_indicators_available(suite_and_graphs):
+    suite, _graphs = suite_and_graphs
+    stats_run = suite.lookup("giraph", "graph500-8", Algorithm.STATS)
+    report = analyze_profile(stats_run.run.profile)
+    # STATS ships adjacency lists: the network choke point dominates.
+    assert report.total_remote_bytes > 0
+    bfs_run = suite.lookup("giraph", "graph500-8", Algorithm.BFS)
+    bfs_report = analyze_profile(bfs_run.run.profile)
+    assert bfs_report.total_remote_bytes < report.total_remote_bytes
+
+
+def test_config_file_driven_run(tmp_path):
+    config_path = tmp_path / "bench.ini"
+    config_path.write_text(
+        "[benchmark]\n"
+        "platforms = giraph\n"
+        "algorithms = BFS\n"
+        "time_limit_seconds = 100000\n"
+    )
+    spec, time_limit = load_benchmark_config(config_path)
+    core = BenchmarkCore(
+        [create_platform("giraph", ClusterSpec.paper_distributed())],
+        {"g": rmat_graph(7, seed=4)},
+        validator=OutputValidator(),
+        time_limit_seconds=time_limit,
+    )
+    suite = core.run(spec)
+    assert len(suite.results) == 1
+    assert suite.results[0].succeeded
