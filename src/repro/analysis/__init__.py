@@ -1,0 +1,77 @@
+"""Static analysis subsystem (Section 3.5): the quality gate.
+
+A pluggable, domain-aware rule engine replacing the original
+single-file analyzer. Besides the generic bug patterns (bare excepts,
+mutable defaults, ``== None``), it enforces this repository's
+simulation contract: wall-clock and unseeded-randomness bans inside
+the engines (``determinism``), charged work for every engine loop over
+simulated data (``cost-accounting``), and freedom from cross-vertex
+shared-state races in BSP kernels (``bsp-race``). A committed baseline
+snapshot plus ``graphalytics quality --check`` turns the analyzer into
+the commit gate the paper describes.
+"""
+
+from repro.analysis.baseline import (
+    GateResult,
+    Regression,
+    compare_to_baseline,
+    detect_regressions,
+    load_baseline,
+    quality_gate,
+    save_baseline,
+    snapshot,
+)
+from repro.analysis.engine import (
+    AnalysisConfig,
+    ModuleContext,
+    Rule,
+    analyze_file,
+    analyze_source,
+    analyze_tree,
+    default_rules,
+    register_rule,
+    registered_rules,
+)
+from repro.analysis.model import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    FileReport,
+    Finding,
+    FunctionMetrics,
+    QualityReport,
+    severity_rank,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "severity_rank",
+    "Finding",
+    "FunctionMetrics",
+    "FileReport",
+    "QualityReport",
+    "AnalysisConfig",
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "default_rules",
+    "analyze_source",
+    "analyze_file",
+    "analyze_tree",
+    "Regression",
+    "GateResult",
+    "snapshot",
+    "save_baseline",
+    "load_baseline",
+    "compare_to_baseline",
+    "detect_regressions",
+    "quality_gate",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,204 @@
+"""Baseline snapshots and the severity-aware quality gate.
+
+The paper (Section 3.5): "all code commits are statically analyzed
+[...] which automatically signals regressions, such as an increase in
+the number of potential bugs". The baseline is a committed JSON
+snapshot of the analysis (``.quality-baseline.json``); the gate
+compares a fresh report against it and fails — with the offending
+rule ids — when any rule's finding count grows, when error-severity
+findings appear, when mean complexity inflates, or when documentation
+coverage drops.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.model import ERROR, WARNING, QualityReport, severity_rank
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Regression",
+    "GateResult",
+    "snapshot",
+    "save_baseline",
+    "load_baseline",
+    "compare_to_baseline",
+    "detect_regressions",
+    "quality_gate",
+]
+
+BASELINE_VERSION = 1
+
+#: Relative mean-complexity growth tolerated before signalling.
+_COMPLEXITY_TOLERANCE = 1.10
+#: Absolute documentation-coverage drop tolerated before signalling.
+_DOC_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One signalled regression, with the severity it gates at."""
+
+    message: str
+    severity: str = WARNING
+    rule: str | None = None
+
+    def __str__(self):
+        return self.message
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one quality-gate evaluation."""
+
+    passed: bool
+    regressions: tuple[Regression, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code the CLI should return."""
+        return 0 if self.passed else 1
+
+
+def snapshot(report: QualityReport) -> dict:
+    """The JSON-serializable baseline snapshot of a report."""
+    return {
+        "version": BASELINE_VERSION,
+        "files": len(report.files),
+        "lines_of_code": report.total_lines,
+        "functions": report.total_functions,
+        "total_findings": report.total_findings,
+        "suppressed_findings": report.total_suppressed,
+        "mean_complexity": round(report.mean_complexity, 4),
+        "documented_share": round(report.documented_share, 4),
+        "findings_by_rule": dict(sorted(report.findings_by_rule().items())),
+        "findings_by_severity": report.findings_by_severity(),
+    }
+
+
+def save_baseline(report: QualityReport, path: str | Path) -> Path:
+    """Write a baseline snapshot to disk; returns the path written."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(snapshot(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Read a baseline snapshot from disk."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    return data
+
+
+def _severity_of_rule(report: QualityReport, rule: str) -> str:
+    worst = WARNING
+    for _, finding in report.iter_findings():
+        if finding.rule == rule and (
+            severity_rank(finding.severity) > severity_rank(worst)
+        ):
+            worst = finding.severity
+    return worst
+
+
+def compare_to_baseline(
+    baseline: dict, report: QualityReport
+) -> list[Regression]:
+    """Severity-aware regression signals of a report versus a baseline."""
+    regressions: list[Regression] = []
+    before_total = baseline.get("total_findings", 0)
+    if report.total_findings > before_total:
+        regressions.append(
+            Regression(
+                f"potential bugs increased: {before_total} -> "
+                f"{report.total_findings}",
+                severity=WARNING,
+            )
+        )
+    before_rules = baseline.get("findings_by_rule", {})
+    for rule, count in sorted(report.findings_by_rule().items()):
+        before = before_rules.get(rule, 0)
+        if count > before:
+            severity = _severity_of_rule(report, rule)
+            regressions.append(
+                Regression(
+                    f"[{rule}] findings increased: {before} -> {count} "
+                    f"({severity})",
+                    severity=severity,
+                    rule=rule,
+                )
+            )
+    before_errors = baseline.get("findings_by_severity", {}).get(ERROR, 0)
+    after_errors = report.findings_by_severity().get(ERROR, 0)
+    if after_errors > before_errors:
+        regressions.append(
+            Regression(
+                f"error-severity findings increased: {before_errors} -> "
+                f"{after_errors}",
+                severity=ERROR,
+            )
+        )
+    before_complexity = baseline.get("mean_complexity", 0.0)
+    if report.mean_complexity > before_complexity * _COMPLEXITY_TOLERANCE:
+        regressions.append(
+            Regression(
+                f"mean complexity increased: {before_complexity:.2f} -> "
+                f"{report.mean_complexity:.2f}",
+                severity=WARNING,
+            )
+        )
+    before_docs = baseline.get("documented_share", 0.0)
+    if report.documented_share < before_docs - _DOC_TOLERANCE:
+        regressions.append(
+            Regression(
+                f"documentation coverage dropped: {before_docs:.0%} -> "
+                f"{report.documented_share:.0%}",
+                severity=WARNING,
+            )
+        )
+    return regressions
+
+
+def detect_regressions(
+    before: QualityReport | dict, after: QualityReport
+) -> list[str]:
+    """SonarQube-style regression signals between two reports.
+
+    Accepts either a live report or a loaded baseline snapshot for
+    ``before``; returns human-readable signal strings (the original
+    Section 3.5 API, kept for compatibility).
+    """
+    baseline = before if isinstance(before, dict) else snapshot(before)
+    return [str(regression) for regression in compare_to_baseline(baseline, after)]
+
+
+def quality_gate(
+    report: QualityReport, baseline: dict | None = None
+) -> GateResult:
+    """Evaluate the quality gate for a report.
+
+    With a baseline, any regression versus the snapshot fails the
+    gate. Without one, the gate fails on error-severity findings —
+    the bootstrap behaviour before a baseline is committed.
+    """
+    if baseline is not None:
+        regressions = tuple(compare_to_baseline(baseline, report))
+        return GateResult(passed=not regressions, regressions=regressions)
+    regressions = tuple(
+        Regression(
+            f"[{finding.rule}] {file_report.path}:{finding.line}: "
+            f"{finding.message}",
+            severity=ERROR,
+            rule=finding.rule,
+        )
+        for file_report, finding in report.error_findings()
+    )
+    return GateResult(passed=not regressions, regressions=regressions)

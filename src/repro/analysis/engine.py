@@ -1,0 +1,345 @@
+"""The pluggable rule engine behind ``graphalytics quality``.
+
+Rules are small classes with an ``id``, ``severity`` and ``category``
+registered in a module-level registry; an :class:`AnalysisConfig`
+enables or disables them, and ``# quality: ignore[rule-id]`` comments
+suppress individual findings at the offending line. The engine parses
+each file once, collects function metrics (cyclomatic complexity,
+length, documentation), and hands the module to every enabled rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.model import (
+    ERROR,
+    FileReport,
+    Finding,
+    FunctionMetrics,
+    QualityReport,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "default_rules",
+    "analyze_source",
+    "analyze_file",
+    "analyze_tree",
+]
+
+#: Decision points that add one to cyclomatic complexity.
+_BRANCH_NODES = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ExceptHandler,
+    ast.With,
+    ast.AsyncWith,
+    ast.Assert,
+    ast.IfExp,
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: ``# quality: ignore`` or ``# quality: ignore[rule-a, rule-b]``.
+_SUPPRESSION = re.compile(
+    r"#\s*quality:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
+)
+
+#: Sentinel meaning "every rule is suppressed on this line".
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Configuration of one analysis run.
+
+    ``disabled`` removes rules by id; ``enabled_only``, when set,
+    restricts the run to exactly those rule ids. ``max_complexity``
+    parameterizes the ``high-complexity`` rule.
+    """
+
+    disabled: frozenset[str] = frozenset()
+    enabled_only: frozenset[str] | None = None
+    max_complexity: int = 25
+
+    def is_enabled(self, rule_id: str) -> bool:
+        """Whether a rule id participates in this run."""
+        if rule_id in self.disabled:
+            return False
+        if self.enabled_only is not None:
+            return rule_id in self.enabled_only
+        return True
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule sees about one parsed module."""
+
+    path: str
+    tree: ast.Module
+    lines: list[str]
+    config: AnalysisConfig
+    functions: list[FunctionMetrics] = field(default_factory=list)
+
+    @property
+    def posix_path(self) -> str:
+        """The module path with forward slashes (for scope matching)."""
+        return Path(self.path).as_posix()
+
+    def in_scope(self, prefixes: Iterable[str]) -> bool:
+        """Whether the module lies under any of the path fragments."""
+        path = self.posix_path
+        return any(fragment in path for fragment in prefixes)
+
+
+class Rule:
+    """Base class of all analysis rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    registration happens through :func:`register_rule`.
+    """
+
+    id: str = ""
+    severity: str = "warning"
+    category: str = "bug"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def finding(self, message: str, line: int) -> Finding:
+        """Construct a finding carrying this rule's id and severity."""
+        return Finding(
+            rule=self.id,
+            message=message,
+            line=line,
+            severity=self.severity,
+            category=self.category,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule_class.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    """The rule registry (id -> rule class), as a copy."""
+    _load_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def default_rules(config: AnalysisConfig) -> list[Rule]:
+    """Instantiate every registered rule the config enables."""
+    _load_builtin_rules()
+    return [
+        rule_class()
+        for rule_id, rule_class in sorted(_REGISTRY.items())
+        if config.is_enabled(rule_id)
+    ]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so the registry self-populates regardless of
+    # which analysis module the caller imported first.
+    from repro.analysis import rules_bsp  # noqa: F401
+    from repro.analysis import rules_determinism  # noqa: F401
+    from repro.analysis import rules_generic  # noqa: F401
+
+
+# -- metrics ---------------------------------------------------------------
+
+
+def _function_complexity(node: ast.AST) -> int:
+    """Cyclomatic complexity of one function, nested functions excluded.
+
+    Each ``ast.BoolOp`` contributes one decision per *extra* operand
+    (``a or b or c`` adds 2), and the walk stops at nested function
+    boundaries: a closure's branches belong to the closure's own
+    metrics, not to the enclosing function's.
+    """
+    complexity = 1
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _FUNCTION_NODES + (ast.Lambda,)):
+            continue
+        if isinstance(child, ast.BoolOp):
+            complexity += len(child.values) - 1
+        elif isinstance(child, _BRANCH_NODES):
+            complexity += 1
+        stack.extend(ast.iter_child_nodes(child))
+    return complexity
+
+
+class _MetricsCollector(ast.NodeVisitor):
+    """Collects per-function metrics for one module."""
+
+    def __init__(self):
+        self.functions: list[FunctionMetrics] = []
+        self._function_depth = 0
+
+    def _visit_function(self, node) -> None:
+        end = getattr(node, "end_lineno", node.lineno)
+        self.functions.append(
+            FunctionMetrics(
+                name=node.name,
+                line=node.lineno,
+                complexity=_function_complexity(node),
+                length=end - node.lineno + 1,
+                has_docstring=ast.get_docstring(node) is not None,
+                nested=self._function_depth > 0,
+            )
+        )
+        self._function_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Collect metrics for a function definition."""
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Collect metrics for an async function definition."""
+        self._visit_function(node)
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+def _suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there."""
+    suppressed: dict[int, set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None or not rules.strip():
+            suppressed[number] = {_ALL_RULES}
+        else:
+            suppressed[number] = {
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            }
+    return suppressed
+
+
+def _is_suppressed(finding: Finding, suppressed: dict[int, set[str]]) -> bool:
+    rules = suppressed.get(finding.line)
+    if rules is None:
+        return False
+    return _ALL_RULES in rules or finding.rule in rules
+
+
+# -- analysis entry points -------------------------------------------------
+
+
+def _parse_error_report(path: str, message: str, line: int) -> FileReport:
+    return FileReport(
+        path=path,
+        findings=[
+            Finding(
+                rule="parse-error",
+                message=message,
+                line=line,
+                severity=ERROR,
+                category="parse",
+            )
+        ],
+    )
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    config: AnalysisConfig | None = None,
+) -> FileReport:
+    """Analyze one Python source string."""
+    config = config or AnalysisConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return _parse_error_report(
+            path, f"syntax error: {error.msg}", error.lineno or 1
+        )
+    except ValueError as error:  # e.g. null bytes in the source
+        return _parse_error_report(path, f"unparseable source: {error}", 1)
+
+    lines = source.splitlines()
+    collector = _MetricsCollector()
+    collector.visit(tree)
+    module = ModuleContext(
+        path=path,
+        tree=tree,
+        lines=lines,
+        config=config,
+        functions=collector.functions,
+    )
+    suppressed = _suppressions(lines)
+    findings: list[Finding] = []
+    suppressed_count = 0
+    for rule in default_rules(config):
+        for finding in rule.check(module):
+            if _is_suppressed(finding, suppressed):
+                suppressed_count += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.rule))
+    lines_of_code = sum(
+        1
+        for line in lines
+        if line.strip() and not line.strip().startswith("#")
+    )
+    return FileReport(
+        path=path,
+        lines_of_code=lines_of_code,
+        functions=collector.functions,
+        findings=findings,
+        suppressed=suppressed_count,
+    )
+
+
+def analyze_file(
+    path: str | Path, config: AnalysisConfig | None = None
+) -> FileReport:
+    """Analyze one Python file; unreadable files yield a parse-error."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return _parse_error_report(str(path), "file is not valid UTF-8", 1)
+    except OSError as error:
+        return _parse_error_report(str(path), f"unreadable file: {error}", 1)
+    return analyze_source(source, str(path), config)
+
+
+def analyze_tree(
+    root: str | Path, config: AnalysisConfig | None = None
+) -> QualityReport:
+    """Analyze every ``*.py`` file under a directory."""
+    root = Path(root)
+    report = QualityReport()
+    for file_path in sorted(root.rglob("*.py")):
+        report.files.append(analyze_file(file_path, config))
+    return report

@@ -1,0 +1,182 @@
+"""Data model of the static-analysis subsystem (Section 3.5).
+
+Findings carry a severity (``error`` > ``warning`` > ``info``) and a
+category so that the quality gate can fail builds on regressions of
+the severe classes while merely reporting the informational ones —
+the SonarQube behaviour the paper describes ("all code commits are
+statically analyzed [...] which automatically signals regressions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "severity_rank",
+    "Finding",
+    "FunctionMetrics",
+    "FileReport",
+    "QualityReport",
+]
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+SEVERITIES = (ERROR, WARNING, INFO)
+
+_RANK = {ERROR: 2, WARNING: 1, INFO: 0}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (higher is more severe)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ValueError(f"unknown severity {severity!r}") from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One potential defect discovered by static analysis."""
+
+    rule: str
+    message: str
+    line: int
+    severity: str = WARNING
+    category: str = "bug"
+
+
+@dataclass(frozen=True)
+class FunctionMetrics:
+    """Static metrics of one function or method."""
+
+    name: str
+    line: int
+    complexity: int
+    length: int
+    has_docstring: bool
+    #: True for closures defined inside another function; excluded
+    #: from documentation coverage (they are not API surface).
+    nested: bool = False
+
+
+@dataclass
+class FileReport:
+    """Metrics and findings for one source file."""
+
+    path: str
+    lines_of_code: int = 0
+    functions: list[FunctionMetrics] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings silenced by ``# quality: ignore[...]`` comments.
+    suppressed: int = 0
+
+    @property
+    def max_complexity(self) -> int:
+        """Highest cyclomatic complexity in the file."""
+        return max((f.complexity for f in self.functions), default=0)
+
+    @property
+    def documented_share(self) -> float:
+        """Fraction of public top-level functions with docstrings."""
+        public = [
+            f
+            for f in self.functions
+            if not f.name.startswith("_") and not f.nested
+        ]
+        if not public:
+            return 1.0
+        return sum(1 for f in public if f.has_docstring) / len(public)
+
+    def error_findings(self) -> list[Finding]:
+        """The file's error-severity findings."""
+        return [f for f in self.findings if f.severity == ERROR]
+
+
+@dataclass
+class QualityReport:
+    """Aggregate report over a source tree."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    @property
+    def total_lines(self) -> int:
+        """Non-blank, non-comment lines over all files."""
+        return sum(f.lines_of_code for f in self.files)
+
+    @property
+    def total_functions(self) -> int:
+        """Function definitions over all files."""
+        return sum(len(f.functions) for f in self.files)
+
+    @property
+    def total_findings(self) -> int:
+        """Potential bugs over all files."""
+        return sum(len(f.findings) for f in self.files)
+
+    @property
+    def total_suppressed(self) -> int:
+        """Findings silenced by suppression comments over all files."""
+        return sum(f.suppressed for f in self.files)
+
+    @property
+    def mean_complexity(self) -> float:
+        """Mean cyclomatic complexity over all functions."""
+        metrics = [m.complexity for f in self.files for m in f.functions]
+        return sum(metrics) / len(metrics) if metrics else 0.0
+
+    @property
+    def documented_share(self) -> float:
+        """Fraction of public top-level functions with docstrings."""
+        public = [
+            m
+            for f in self.files
+            for m in f.functions
+            if not m.name.startswith("_") and not m.nested
+        ]
+        if not public:
+            return 1.0
+        return sum(1 for m in public if m.has_docstring) / len(public)
+
+    def iter_findings(self):
+        """Yield ``(file_report, finding)`` pairs over all files."""
+        for file_report in self.files:
+            for finding in file_report.findings:
+                yield file_report, finding
+
+    def findings_by_rule(self) -> dict[str, int]:
+        """Finding counts keyed by rule id."""
+        counts: dict[str, int] = {}
+        for _, finding in self.iter_findings():
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def findings_by_severity(self) -> dict[str, int]:
+        """Finding counts keyed by severity."""
+        counts = {severity: 0 for severity in SEVERITIES}
+        for _, finding in self.iter_findings():
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def error_findings(self) -> list[tuple[FileReport, Finding]]:
+        """All error-severity findings with their files."""
+        return [
+            (file_report, finding)
+            for file_report, finding in self.iter_findings()
+            if finding.severity == ERROR
+        ]
+
+    def summary(self) -> str:
+        """One-line aggregate summary (the report header)."""
+        return (
+            f"files={len(self.files)} loc={self.total_lines} "
+            f"functions={self.total_functions} "
+            f"mean-complexity={self.mean_complexity:.2f} "
+            f"documented={self.documented_share:.0%} "
+            f"potential-bugs={self.total_findings}"
+        )

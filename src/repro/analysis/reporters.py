@@ -1,0 +1,77 @@
+"""Text and JSON reporters for quality reports.
+
+The text rendering is what ``graphalytics quality`` prints (summary
+line, most complex files, findings with severities); the JSON
+rendering is the machine-readable artifact CI tooling consumes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import snapshot
+from repro.analysis.model import QualityReport, severity_rank
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: QualityReport, worst_files: int = 5) -> str:
+    """Human-readable quality report."""
+    lines = [report.summary()]
+    ranked = sorted(
+        report.files, key=lambda f: f.max_complexity, reverse=True
+    )[:worst_files]
+    if ranked:
+        lines.append("most complex files:")
+        lines.extend(
+            f"  {file_report.path}: max complexity {file_report.max_complexity}"
+            for file_report in ranked
+        )
+    findings = sorted(
+        report.iter_findings(),
+        key=lambda pair: (
+            -severity_rank(pair[1].severity),
+            pair[0].path,
+            pair[1].line,
+        ),
+    )
+    for file_report, finding in findings:
+        lines.append(
+            f"  {file_report.path}:{finding.line}: {finding.severity} "
+            f"[{finding.rule}] {finding.message}"
+        )
+    if report.total_suppressed:
+        lines.append(
+            f"  ({report.total_suppressed} finding(s) suppressed by "
+            "'# quality: ignore' comments)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: QualityReport) -> str:
+    """Machine-readable quality report (one JSON document)."""
+    document = {
+        "summary": snapshot(report),
+        "files": [
+            {
+                "path": file_report.path,
+                "lines_of_code": file_report.lines_of_code,
+                "functions": len(file_report.functions),
+                "max_complexity": file_report.max_complexity,
+                "documented_share": round(file_report.documented_share, 4),
+                "suppressed": file_report.suppressed,
+                "findings": [
+                    {
+                        "rule": finding.rule,
+                        "severity": finding.severity,
+                        "category": finding.category,
+                        "line": finding.line,
+                        "message": finding.message,
+                    }
+                    for finding in file_report.findings
+                ],
+            }
+            for file_report in report.files
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

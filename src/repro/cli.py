@@ -11,13 +11,15 @@ command implements that workflow:
   and write the report;
 * ``graphalytics datagen`` — generate a synthetic graph to files;
 * ``graphalytics characterize`` — print a Table 1 row for a dataset;
-* ``graphalytics quality`` — the Section 3.5 code-quality report.
+* ``graphalytics quality`` — the Section 3.5 code-quality report and
+  baseline quality gate (``--check`` / ``--update-baseline``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.benchmark import BenchmarkCore
 from repro.core.cost import ClusterSpec
@@ -26,7 +28,15 @@ from repro.core.results_db import ResultsDatabase
 from repro.core.validation import OutputValidator
 from repro.core.config import load_benchmark_config
 from repro.core.workload import Algorithm, BenchmarkRunSpec
-from repro.core.quality import analyze_tree
+from repro.analysis import (
+    AnalysisConfig,
+    analyze_tree,
+    load_baseline,
+    quality_gate,
+    render_json,
+    render_text,
+    save_baseline,
+)
 from repro.datagen.datagen import Datagen, DatagenConfig
 from repro.datasets.catalog import load_dataset
 from repro.graph.io import write_edge_list
@@ -76,6 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also write an HTML report to this path")
     run.add_argument("--results-db", default=None,
                      help="optional JSONL results database to append to")
+    run.add_argument("--with-quality", action="store_true",
+                     help="embed the Section 3.5 code-quality section "
+                     "(analysis of ./src) in the report")
 
     datagen = commands.add_parser("datagen", help="generate a synthetic graph")
     datagen.add_argument("--persons", type=int, default=10000)
@@ -90,9 +103,21 @@ def _build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("dataset", help="catalog name, e.g. patents")
 
     quality = commands.add_parser(
-        "quality", help="static code-quality report (Section 3.5)"
+        "quality", help="static code-quality report and gate (Section 3.5)"
     )
     quality.add_argument("--root", default="src", help="source tree to analyze")
+    quality.add_argument("--json", default=None, metavar="PATH",
+                         help="also write a JSON report to this path")
+    quality.add_argument("--baseline", default=None, metavar="PATH",
+                         help="baseline snapshot for regression checking")
+    quality.add_argument("--check", action="store_true",
+                         help="gate: exit non-zero on regressions versus the "
+                         "baseline (or on error-severity findings when no "
+                         "baseline is given)")
+    quality.add_argument("--update-baseline", action="store_true",
+                         help="write the current analysis as the new baseline")
+    quality.add_argument("--disable", default=None, metavar="RULES",
+                         help="comma-separated rule ids to disable")
 
     leaderboard = commands.add_parser(
         "leaderboard",
@@ -157,8 +182,9 @@ def _command_run(args: argparse.Namespace) -> int:
             "cluster": distributed.name,
         }
     )
-    path = generator.write(suite, args.report)
-    print(generator.render(suite))
+    quality = analyze_tree("src") if args.with_quality else None
+    path = generator.write(suite, args.report, quality=quality)
+    print(generator.render(suite, quality=quality))
     print(f"\nreport written to {path}")
     if args.html:
         html_path = generator.write_html(suite, args.html)
@@ -197,16 +223,41 @@ def _command_characterize(args: argparse.Namespace) -> int:
 
 
 def _command_quality(args: argparse.Namespace) -> int:
-    report = analyze_tree(args.root)
-    print(report.summary())
-    worst = sorted(report.files, key=lambda f: f.max_complexity, reverse=True)[:5]
-    print("most complex files:")
-    for file_report in worst:
-        print(f"  {file_report.path}: max complexity {file_report.max_complexity}")
-    for file_report in report.files:
-        for finding in file_report.findings:
-            print(f"  {file_report.path}:{finding.line}: [{finding.rule}] "
-                  f"{finding.message}")
+    config = AnalysisConfig()
+    if args.disable:
+        config = AnalysisConfig(
+            disabled=frozenset(
+                rule.strip() for rule in args.disable.split(",") if rule.strip()
+            )
+        )
+    report = analyze_tree(args.root, config)
+    print(render_text(report))
+    if args.json:
+        Path(args.json).write_text(render_json(report), encoding="utf-8")
+        print(f"JSON report written to {args.json}")
+    if args.update_baseline:
+        path = save_baseline(report, args.baseline or ".quality-baseline.json")
+        print(f"baseline written to {path}")
+        return 0
+    if args.check:
+        baseline = None
+        if args.baseline:
+            try:
+                baseline = load_baseline(args.baseline)
+            except FileNotFoundError:
+                print(f"error: baseline {args.baseline!r} does not exist "
+                      "(create one with --update-baseline)")
+                return 2
+            except ValueError as exc:
+                print(f"error: unreadable baseline {args.baseline!r}: {exc}")
+                return 2
+        gate = quality_gate(report, baseline)
+        if not gate.passed:
+            print("quality gate FAILED:")
+            for regression in gate.regressions:
+                print(f"  {regression.severity}: {regression.message}")
+            return gate.exit_code
+        print("quality gate passed")
     return 0
 
 

@@ -1,25 +1,24 @@
 """Code-quality reporting for the reference implementations (Section 3.5).
 
-The paper: "in Graphalytics, the code for the reference
-implementations is accompanied by code quality reports, such as code
-complexity, bugs discovered through static analysis, etc. [...] all
-code commits are statically analyzed by SonarQube, which automatically
-signals regressions, such as an increase in the number of potential
-bugs."
-
-This module is that analyzer for the reproduction itself: an AST-based
-static analysis producing per-file and aggregate metrics (cyclomatic
-complexity, function length, documentation coverage) and potential-bug
-findings (bare excepts, mutable default arguments, ``== None``
-comparisons), plus SonarQube-style regression detection between two
-reports.
+Compatibility shim: the analyzer grew into the pluggable, domain-aware
+rule engine in :mod:`repro.analysis` (determinism lint,
+cost-accounting lint, BSP race detector, baseline quality gate). This
+module re-exports the original API — ``analyze_source``/``analyze_file``
+/``analyze_tree`` producing :class:`QualityReport` objects, and
+``detect_regressions`` producing SonarQube-style signal strings — so
+existing callers keep working unchanged.
 """
 
-from __future__ import annotations
-
-import ast
-from dataclasses import dataclass, field
-from pathlib import Path
+from repro.analysis import (
+    FileReport,
+    Finding,
+    FunctionMetrics,
+    QualityReport,
+    analyze_file,
+    analyze_source,
+    analyze_tree,
+    detect_regressions,
+)
 
 __all__ = [
     "FunctionMetrics",
@@ -31,249 +30,3 @@ __all__ = [
     "analyze_tree",
     "detect_regressions",
 ]
-
-_BRANCH_NODES = (
-    ast.If,
-    ast.For,
-    ast.While,
-    ast.ExceptHandler,
-    ast.With,
-    ast.Assert,
-    ast.BoolOp,
-    ast.IfExp,
-)
-
-
-@dataclass(frozen=True)
-class FunctionMetrics:
-    """Static metrics of one function or method."""
-
-    name: str
-    line: int
-    complexity: int
-    length: int
-    has_docstring: bool
-    #: True for closures defined inside another function; excluded
-    #: from documentation coverage (they are not API surface).
-    nested: bool = False
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One potential bug discovered by static analysis."""
-
-    rule: str
-    message: str
-    line: int
-
-
-@dataclass
-class FileReport:
-    """Metrics and findings for one source file."""
-
-    path: str
-    lines_of_code: int = 0
-    functions: list[FunctionMetrics] = field(default_factory=list)
-    findings: list[Finding] = field(default_factory=list)
-
-    @property
-    def max_complexity(self) -> int:
-        """Highest cyclomatic complexity in the file."""
-        return max((f.complexity for f in self.functions), default=0)
-
-    @property
-    def documented_share(self) -> float:
-        """Fraction of public top-level functions with docstrings."""
-        public = [
-            f
-            for f in self.functions
-            if not f.name.startswith("_") and not f.nested
-        ]
-        if not public:
-            return 1.0
-        return sum(1 for f in public if f.has_docstring) / len(public)
-
-
-@dataclass
-class QualityReport:
-    """Aggregate report over a source tree."""
-
-    files: list[FileReport] = field(default_factory=list)
-
-    @property
-    def total_lines(self) -> int:
-        """Non-blank, non-comment lines over all files."""
-        return sum(f.lines_of_code for f in self.files)
-
-    @property
-    def total_functions(self) -> int:
-        """Function definitions over all files."""
-        return sum(len(f.functions) for f in self.files)
-
-    @property
-    def total_findings(self) -> int:
-        """Potential bugs over all files."""
-        return sum(len(f.findings) for f in self.files)
-
-    @property
-    def mean_complexity(self) -> float:
-        """Mean cyclomatic complexity over all functions."""
-        metrics = [m.complexity for f in self.files for m in f.functions]
-        return sum(metrics) / len(metrics) if metrics else 0.0
-
-    @property
-    def documented_share(self) -> float:
-        """Fraction of public top-level functions with docstrings."""
-        public = [
-            m
-            for f in self.files
-            for m in f.functions
-            if not m.name.startswith("_") and not m.nested
-        ]
-        if not public:
-            return 1.0
-        return sum(1 for m in public if m.has_docstring) / len(public)
-
-    def summary(self) -> str:
-        """One-line aggregate summary (the report header)."""
-        return (
-            f"files={len(self.files)} loc={self.total_lines} "
-            f"functions={self.total_functions} "
-            f"mean-complexity={self.mean_complexity:.2f} "
-            f"documented={self.documented_share:.0%} "
-            f"potential-bugs={self.total_findings}"
-        )
-
-
-class _Analyzer(ast.NodeVisitor):
-    """Collects function metrics and bug-pattern findings."""
-
-    def __init__(self):
-        self.functions: list[FunctionMetrics] = []
-        self.findings: list[Finding] = []
-        self._function_depth = 0
-
-    # -- functions -------------------------------------------------------
-
-    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        complexity = 1 + sum(
-            isinstance(child, _BRANCH_NODES) for child in ast.walk(node)
-        )
-        end = getattr(node, "end_lineno", node.lineno)
-        self.functions.append(
-            FunctionMetrics(
-                name=node.name,
-                line=node.lineno,
-                complexity=complexity,
-                length=end - node.lineno + 1,
-                has_docstring=ast.get_docstring(node) is not None,
-                nested=self._function_depth > 0,
-            )
-        )
-        self._check_mutable_defaults(node)
-        self._function_depth += 1
-        try:
-            self.generic_visit(node)
-        finally:
-            self._function_depth -= 1
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        """Collect metrics for a function definition."""
-        self._visit_function(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        """Collect metrics for an async function definition."""
-        self._visit_function(node)
-
-    def _check_mutable_defaults(self, node) -> None:
-        for default in list(node.args.defaults) + list(node.args.kw_defaults):
-            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
-                self.findings.append(
-                    Finding(
-                        rule="mutable-default",
-                        message=f"function {node.name!r} has a mutable default",
-                        line=default.lineno,
-                    )
-                )
-
-    # -- bug patterns ------------------------------------------------------
-
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        """Flag bare except clauses."""
-        if node.type is None:
-            self.findings.append(
-                Finding(
-                    rule="bare-except",
-                    message="bare 'except:' swallows all errors",
-                    line=node.lineno,
-                )
-            )
-        self.generic_visit(node)
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        """Flag equality comparisons against None."""
-        for op, comparator in zip(node.ops, node.comparators):
-            is_none = isinstance(comparator, ast.Constant) and comparator.value is None
-            if is_none and isinstance(op, (ast.Eq, ast.NotEq)):
-                self.findings.append(
-                    Finding(
-                        rule="eq-none",
-                        message="compare to None with 'is', not '=='",
-                        line=node.lineno,
-                    )
-                )
-        self.generic_visit(node)
-
-
-def analyze_source(source: str, path: str = "<string>") -> FileReport:
-    """Analyze one Python source string."""
-    tree = ast.parse(source, filename=path)
-    analyzer = _Analyzer()
-    analyzer.visit(tree)
-    lines_of_code = sum(
-        1
-        for line in source.splitlines()
-        if line.strip() and not line.strip().startswith("#")
-    )
-    return FileReport(
-        path=path,
-        lines_of_code=lines_of_code,
-        functions=analyzer.functions,
-        findings=analyzer.findings,
-    )
-
-
-def analyze_file(path: str | Path) -> FileReport:
-    """Analyze one Python file."""
-    path = Path(path)
-    return analyze_source(path.read_text(encoding="utf-8"), str(path))
-
-
-def analyze_tree(root: str | Path) -> QualityReport:
-    """Analyze every ``*.py`` file under a directory."""
-    root = Path(root)
-    report = QualityReport()
-    for file_path in sorted(root.rglob("*.py")):
-        report.files.append(analyze_file(file_path))
-    return report
-
-
-def detect_regressions(before: QualityReport, after: QualityReport) -> list[str]:
-    """SonarQube-style regression signals between two reports."""
-    signals: list[str] = []
-    if after.total_findings > before.total_findings:
-        signals.append(
-            f"potential bugs increased: {before.total_findings} -> "
-            f"{after.total_findings}"
-        )
-    if after.mean_complexity > before.mean_complexity * 1.10:
-        signals.append(
-            f"mean complexity increased: {before.mean_complexity:.2f} -> "
-            f"{after.mean_complexity:.2f}"
-        )
-    if after.documented_share < before.documented_share - 0.05:
-        signals.append(
-            f"documentation coverage dropped: {before.documented_share:.0%} -> "
-            f"{after.documented_share:.0%}"
-        )
-    return signals

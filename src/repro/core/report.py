@@ -140,10 +140,36 @@ class ReportGenerator:
             f"{bars}{suffix} rounds={len(activity)} peak-active={peak}"
         )
 
+    def quality_section(self, quality) -> str:
+        """Section 3.5 code-quality summary for one analysis report.
+
+        ``quality`` is a :class:`repro.analysis.QualityReport`; the
+        paper ships benchmark results together with code-quality
+        reports of the reference implementations, so the benchmark
+        report embeds the analyzer's aggregate view.
+        """
+        lines = ["Code quality (Section 3.5):", f"  {quality.summary()}"]
+        severities = quality.findings_by_severity()
+        lines.append(
+            "  findings: "
+            + " ".join(f"{sev}={count}" for sev, count in severities.items())
+            + f" suppressed={quality.total_suppressed}"
+        )
+        for file_report, finding in quality.iter_findings():
+            lines.append(
+                f"  {file_report.path}:{finding.line}: {finding.severity} "
+                f"[{finding.rule}] {finding.message}"
+            )
+        return "\n".join(lines)
+
     # -- full report --------------------------------------------------------
 
-    def render(self, suite: BenchmarkSuiteResult) -> str:
-        """The complete benchmark report as text."""
+    def render(self, suite: BenchmarkSuiteResult, quality=None) -> str:
+        """The complete benchmark report as text.
+
+        ``quality`` optionally embeds a code-quality analysis
+        (:class:`repro.analysis.QualityReport`) as its own section.
+        """
         sections = ["Graphalytics benchmark report", "=" * 31]
         if self.configuration:
             sections.append("Configuration:")
@@ -159,13 +185,18 @@ class ReportGenerator:
         sections.append(self.failure_section(suite))
         sections.append("")
         sections.append(self.detail_section(suite))
+        if quality is not None:
+            sections.append("")
+            sections.append(self.quality_section(quality))
         return "\n".join(sections)
 
-    def write(self, suite: BenchmarkSuiteResult, path: str | Path) -> Path:
+    def write(
+        self, suite: BenchmarkSuiteResult, path: str | Path, quality=None
+    ) -> Path:
         """Render and save the report; returns the path written."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.render(suite), encoding="utf-8")
+        path.write_text(self.render(suite, quality=quality), encoding="utf-8")
         return path
 
     # -- HTML ----------------------------------------------------------------

@@ -40,7 +40,8 @@ class StoredResult:
         if result.run is not None:
             cluster = result.run.profile.cluster.name
         return cls(
-            submitted_at=time.time(),
+            # Real submission timestamp of the archived result row.
+            submitted_at=time.time(),  # quality: ignore[determinism]
             platform=result.platform,
             graph=result.graph_name,
             algorithm=result.algorithm.value,

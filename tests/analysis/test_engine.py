@@ -1,0 +1,177 @@
+"""Unit tests for the rule engine: metrics, suppression, config, errors."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    Rule,
+    analyze_file,
+    analyze_source,
+    analyze_tree,
+    register_rule,
+    registered_rules,
+)
+
+
+def _analyze(code: str, path: str = "<string>", config=None):
+    return analyze_source(textwrap.dedent(code), path, config)
+
+
+class TestComplexity:
+    def test_nested_function_branches_not_counted_into_enclosing(self):
+        report = _analyze(
+            """
+            def outer(x):
+                def closure(y):
+                    if y > 0:
+                        for i in range(y):
+                            if i % 2:
+                                pass
+                    return y
+                return closure(x)
+            """
+        )
+        by_name = {m.name: m for m in report.functions}
+        assert by_name["outer"].complexity == 1
+        assert by_name["closure"].complexity == 4
+        assert by_name["closure"].nested
+
+    def test_boolop_counts_extra_operands(self):
+        report = _analyze(
+            """
+            def f(a, b, c):
+                if a or b or c:
+                    return 1
+                return 0
+            """
+        )
+        # base + if + (3-operand BoolOp adds 2)
+        assert report.functions[0].complexity == 4
+
+    def test_two_operand_boolop_adds_one(self):
+        report = _analyze("def f(a, b):\n    return a and b\n")
+        assert report.functions[0].complexity == 2
+
+    def test_lambda_body_excluded(self):
+        report = _analyze(
+            "def f(items):\n    return sorted(items, key=lambda x: x if x else 0)\n"
+        )
+        assert report.functions[0].complexity == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self):
+        report = _analyze("def broken(:\n")
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert report.findings[0].severity == "error"
+
+    def test_null_bytes_become_finding(self):
+        report = analyze_source("x = 1\x00", "bad.py")
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+    def test_non_utf8_file_becomes_finding(self, tmp_path):
+        path = tmp_path / "latin.py"
+        path.write_bytes("x = '\xe9'\n".encode("latin-1"))
+        report = analyze_file(path)
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+    def test_tree_analysis_survives_broken_files(self, tmp_path):
+        (tmp_path / "good.py").write_text("def f():\n    pass\n")
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        report = analyze_tree(tmp_path)
+        assert len(report.files) == 2
+        assert report.findings_by_rule() == {"parse-error": 1}
+
+
+class TestSuppression:
+    def test_same_line_rule_suppression(self):
+        report = _analyze(
+            "def f(x):\n    return x == None  # quality: ignore[eq-none]\n"
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_bare_ignore_suppresses_all_rules(self):
+        report = _analyze("def f(x):\n    return x == None  # quality: ignore\n")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        report = _analyze(
+            "def f(x):\n    return x == None  # quality: ignore[bare-except]\n"
+        )
+        assert [f.rule for f in report.findings] == ["eq-none"]
+
+    def test_multiple_rule_ids(self):
+        report = _analyze(
+            "def f(x):\n"
+            "    return x == None  # quality: ignore[bare-except, eq-none]\n"
+        )
+        assert report.findings == []
+
+
+class TestConfig:
+    def test_disable_rule(self):
+        config = AnalysisConfig(disabled=frozenset({"eq-none"}))
+        report = _analyze("def f(x):\n    return x == None\n", config=config)
+        assert report.findings == []
+
+    def test_enabled_only(self):
+        config = AnalysisConfig(enabled_only=frozenset({"bare-except"}))
+        report = _analyze(
+            """
+            def f(x=[]):
+                try:
+                    return x == None
+                except:
+                    pass
+            """,
+            config=config,
+        )
+        assert [f.rule for f in report.findings] == ["bare-except"]
+
+    def test_high_complexity_ceiling(self):
+        config = AnalysisConfig(max_complexity=2)
+        report = _analyze(
+            """
+            def branchy(x):
+                if x > 0:
+                    for i in range(x):
+                        if i % 2:
+                            pass
+                return x
+            """,
+            config=config,
+        )
+        assert [f.rule for f in report.findings] == ["high-complexity"]
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        rules = registered_rules()
+        for rule_id in (
+            "bare-except",
+            "mutable-default",
+            "eq-none",
+            "high-complexity",
+            "determinism",
+            "cost-accounting",
+            "bsp-race",
+        ):
+            assert rule_id in rules
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(Rule):
+            id = "eq-none"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_rule(Duplicate)
+
+    def test_missing_id_rejected(self):
+        class Anonymous(Rule):
+            pass
+
+        with pytest.raises(ValueError, match="no rule id"):
+            register_rule(Anonymous)

@@ -1,0 +1,76 @@
+"""Unit tests for the text/JSON reporters and report integration."""
+
+import json
+
+from repro.analysis import QualityReport, analyze_source, render_json, render_text
+
+BUGGY = "def f(x=[]):\n    return x\n"
+SUPPRESSED = "def f(x):\n    return x == None  # quality: ignore[eq-none]\n"
+
+
+def _report() -> QualityReport:
+    return QualityReport(
+        files=[
+            analyze_source(BUGGY, "buggy.py"),
+            analyze_source(SUPPRESSED, "quiet.py"),
+        ]
+    )
+
+
+class TestTextReporter:
+    def test_contains_summary_and_findings(self):
+        text = render_text(_report())
+        assert "potential-bugs=1" in text
+        assert "buggy.py:1: warning [mutable-default]" in text
+
+    def test_reports_suppressed_count(self):
+        text = render_text(_report())
+        assert "1 finding(s) suppressed" in text
+
+    def test_errors_sort_first(self):
+        racy = (
+            "class Bad(VertexProgram):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self.count += 1\n"
+        )
+        report = QualityReport(
+            files=[
+                analyze_source(BUGGY, "a_buggy.py"),
+                analyze_source(racy, "src/repro/platforms/z/programs.py"),
+            ]
+        )
+        text = render_text(report)
+        assert text.index("[bsp-race]") < text.index("[mutable-default]")
+
+
+class TestJsonReporter:
+    def test_round_trips_through_json(self):
+        document = json.loads(render_json(_report()))
+        assert document["summary"]["total_findings"] == 1
+        assert document["summary"]["suppressed_findings"] == 1
+        by_path = {entry["path"]: entry for entry in document["files"]}
+        assert by_path["buggy.py"]["findings"][0]["rule"] == "mutable-default"
+        assert by_path["quiet.py"]["suppressed"] == 1
+
+
+class TestBenchmarkReportIntegration:
+    def test_render_embeds_quality_section(self):
+        from repro.core.benchmark import BenchmarkCore
+        from repro.core.cost import ClusterSpec
+        from repro.core.report import ReportGenerator
+        from repro.core.workload import Algorithm, BenchmarkRunSpec
+        from repro.graph.generators import rmat_graph
+        from repro.platforms.pregel.driver import GiraphPlatform
+
+        core = BenchmarkCore(
+            [GiraphPlatform(ClusterSpec.paper_distributed())],
+            {"tiny": rmat_graph(5, edge_factor=3, seed=3)},
+        )
+        suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+        generator = ReportGenerator()
+        text = generator.render(suite, quality=_report())
+        assert "Code quality (Section 3.5):" in text
+        assert "potential-bugs=1" in text
+        assert "[mutable-default]" in text
+        # Without a quality report the section is absent.
+        assert "Code quality" not in generator.render(suite)

@@ -1,0 +1,181 @@
+"""Unit tests for the BSP race detector."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze_file, analyze_source
+
+PROGRAMS_PATH = "src/repro/platforms/fake/programs.py"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _findings(code: str):
+    report = analyze_source(textwrap.dedent(code), PROGRAMS_PATH)
+    return [f for f in report.findings if f.rule == "bsp-race"]
+
+
+class TestSharedProgramState:
+    def test_self_attribute_write_flagged(self):
+        findings = _findings(
+            """
+            class Counting(VertexProgram):
+                def compute(self, ctx, messages):
+                    self.invocations += 1
+                    ctx.vote_to_halt()
+            """
+        )
+        assert len(findings) == 1
+        assert "shared program state" in findings[0].message
+
+    def test_self_container_mutation_flagged(self):
+        findings = _findings(
+            """
+            class Caching(VertexProgram):
+                def compute(self, ctx, messages):
+                    self.seen.add(ctx.vertex)
+                    ctx.vote_to_halt()
+            """
+        )
+        assert len(findings) == 1
+
+    def test_self_subscript_write_flagged(self):
+        findings = _findings(
+            """
+            class Tabulating(VertexProgram):
+                def compute(self, ctx, messages):
+                    self.table[ctx.vertex] = len(messages)
+            """
+        )
+        assert len(findings) == 1
+
+    def test_self_reads_allowed(self):
+        findings = _findings(
+            """
+            class Parametrized(VertexProgram):
+                def compute(self, ctx, messages):
+                    if ctx.vertex == self.source:
+                        ctx.value = 0
+                    ctx.vote_to_halt()
+            """
+        )
+        assert findings == []
+
+
+class TestClosureState:
+    def test_closure_mutation_flagged(self):
+        findings = _findings(
+            """
+            def make_program(results):
+                class Leaky(VertexProgram):
+                    def compute(self, ctx, messages):
+                        results.append(ctx.vertex)
+                return Leaky()
+            """
+        )
+        assert len(findings) == 1
+        assert "captured state" in findings[0].message
+
+    def test_global_declaration_write_flagged(self):
+        findings = _findings(
+            """
+            total = 0
+            class Summing(VertexProgram):
+                def compute(self, ctx, messages):
+                    global total
+                    total += len(messages)
+            """
+        )
+        assert len(findings) == 1
+        assert "global" in findings[0].message
+
+    def test_closure_subscript_write_flagged(self):
+        findings = _findings(
+            """
+            def make_program(table):
+                class Writing(VertexProgram):
+                    def compute(self, ctx, messages):
+                        table[ctx.vertex] = 1
+                return Writing()
+            """
+        )
+        assert len(findings) == 1
+
+
+class TestEngineInternals:
+    def test_private_context_access_flagged(self):
+        findings = _findings(
+            """
+            class Peeking(VertexProgram):
+                def compute(self, ctx, messages):
+                    neighbor_value = ctx._engine.values[0]
+            """
+        )
+        assert len(findings) == 1
+        assert "engine internals" in findings[0].message
+
+
+class TestSanctionedPatterns:
+    def test_ctx_api_and_locals_allowed(self):
+        findings = _findings(
+            """
+            class WellBehaved(VertexProgram):
+                def compute(self, ctx, messages):
+                    burned = ctx.value
+                    best: dict[int, float] = {}
+                    for label, score in messages:
+                        best[label] = max(best.get(label, 0.0), score)
+                    burned.add(ctx.superstep)
+                    if best:
+                        ctx.value = min(best)
+                        ctx.send_to_neighbors(ctx.value)
+                    ctx.aggregate("changes", 1)
+                    ctx.vote_to_halt()
+            """
+        )
+        assert findings == []
+
+    def test_gas_kernels_analyzed(self):
+        findings = _findings(
+            """
+            class BadGather(GASProgram):
+                def gather(self, vertex, value, neighbor, nv, nd):
+                    self.partials[vertex] = nv
+                    return nv
+            """
+        )
+        assert len(findings) == 1
+
+    def test_non_program_classes_untouched(self):
+        findings = _findings(
+            """
+            class Engine:
+                def compute(self, ctx, messages):
+                    self.state[0] = 1
+            """
+        )
+        assert findings == []
+
+    def test_non_kernel_methods_untouched(self):
+        findings = _findings(
+            """
+            class Configured(VertexProgram):
+                def configure(self, value):
+                    self.value = value
+            """
+        )
+        assert findings == []
+
+
+class TestShippedPrograms:
+    def test_pregel_programs_race_free(self):
+        report = analyze_file(
+            REPO_ROOT / "src/repro/platforms/pregel/programs.py"
+        )
+        assert [f for f in report.findings if f.rule == "bsp-race"] == []
+
+    def test_gas_programs_race_free(self):
+        report = analyze_file(
+            REPO_ROOT / "src/repro/platforms/gas/programs.py"
+        )
+        assert [f for f in report.findings if f.rule == "bsp-race"] == []

@@ -71,6 +71,147 @@ def test_quality_command(capsys):
     assert "mean-complexity" in out
 
 
+def _write_fake_platform_tree(root, engine_source):
+    package = root / "repro" / "platforms" / "fake"
+    package.mkdir(parents=True)
+    (package / "engine.py").write_text(engine_source)
+    return root
+
+
+def test_quality_gate_round_trip(tmp_path, capsys):
+    tree = _write_fake_platform_tree(
+        tmp_path / "clean",
+        'def step(meter):\n    """Doc."""\n    meter.charge_compute(0, 1)\n',
+    )
+    baseline = tmp_path / "baseline.json"
+    code = main(
+        ["quality", "--root", str(tree), "--update-baseline",
+         "--baseline", str(baseline)]
+    )
+    assert code == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    code = main(
+        ["quality", "--root", str(tree), "--baseline", str(baseline), "--check"]
+    )
+    assert code == 0
+    assert "quality gate passed" in capsys.readouterr().out
+
+
+def test_quality_gate_fails_on_planted_determinism_bug(tmp_path, capsys):
+    tree = _write_fake_platform_tree(
+        tmp_path / "clean",
+        'def step(meter):\n    """Doc."""\n    meter.charge_compute(0, 1)\n',
+    )
+    baseline = tmp_path / "baseline.json"
+    main(["quality", "--root", str(tree), "--update-baseline",
+          "--baseline", str(baseline)])
+    capsys.readouterr()
+    engine = tree / "repro" / "platforms" / "fake" / "engine.py"
+    engine.write_text(
+        engine.read_text()
+        + "import random\n\n\ndef jitter():\n"
+        '    """Doc."""\n    return random.random()\n'
+    )
+    code = main(
+        ["quality", "--root", str(tree), "--baseline", str(baseline), "--check"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "quality gate FAILED" in out
+    assert "[determinism]" in out
+
+
+def test_quality_gate_fails_on_uncharged_loop(tmp_path, capsys):
+    tree = _write_fake_platform_tree(
+        tmp_path / "clean",
+        'def step(meter):\n    """Doc."""\n    meter.charge_compute(0, 1)\n',
+    )
+    baseline = tmp_path / "baseline.json"
+    main(["quality", "--root", str(tree), "--update-baseline",
+          "--baseline", str(baseline)])
+    capsys.readouterr()
+    engine = tree / "repro" / "platforms" / "fake" / "engine.py"
+    engine.write_text(
+        engine.read_text()
+        + "\n\ndef scan(self):\n"
+        '    """Doc."""\n'
+        "    total = 0\n"
+        "    for vertex in self.adjacency:\n"
+        "        total += vertex\n"
+        "    return total\n"
+    )
+    code = main(
+        ["quality", "--root", str(tree), "--baseline", str(baseline), "--check"]
+    )
+    assert code == 1
+    assert "[cost-accounting]" in capsys.readouterr().out
+
+
+def test_quality_check_without_baseline_gates_on_errors(tmp_path, capsys):
+    tree = _write_fake_platform_tree(
+        tmp_path / "dirty",
+        "import random\n\n\ndef jitter():\n"
+        '    """Doc."""\n    return random.random()\n',
+    )
+    code = main(["quality", "--root", str(tree), "--check"])
+    assert code == 1
+    assert "[determinism]" in capsys.readouterr().out
+
+
+def test_quality_check_missing_baseline_is_clean_error(tmp_path, capsys):
+    code = main(
+        ["quality", "--root", "src/repro/analysis",
+         "--baseline", str(tmp_path / "absent.json"), "--check"]
+    )
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().out
+
+
+def test_quality_check_corrupt_baseline_is_clean_error(tmp_path, capsys):
+    bad = tmp_path / "corrupt.json"
+    bad.write_text("{not json")
+    code = main(
+        ["quality", "--root", "src/repro/analysis",
+         "--baseline", str(bad), "--check"]
+    )
+    assert code == 2
+    assert "unreadable baseline" in capsys.readouterr().out
+
+
+def test_quality_json_report(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "quality.json"
+    code = main(
+        ["quality", "--root", "src/repro/analysis", "--json", str(out_path)]
+    )
+    assert code == 0
+    document = json.loads(out_path.read_text())
+    assert document["summary"]["files"] > 0
+
+
+def test_quality_disable_rule(tmp_path, capsys):
+    tree = _write_fake_platform_tree(
+        tmp_path / "dirty",
+        "import random\n\n\ndef jitter():\n"
+        '    """Doc."""\n    return random.random()\n',
+    )
+    code = main(
+        ["quality", "--root", str(tree), "--check", "--disable", "determinism"]
+    )
+    assert code == 0
+
+
+def test_shipped_tree_passes_committed_baseline(capsys):
+    code = main(
+        ["quality", "--root", "src", "--baseline", ".quality-baseline.json",
+         "--check"]
+    )
+    assert code == 0
+    assert "quality gate passed" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
