@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.cost import ClusterSpec
 from repro.datasets import load_dataset, standin_graph
+from repro.graph.generators import rmat_graph
 
 #: The paper's graphs are ~2048x larger than the bench graphs below;
 #: all throughputs scale down with them.
@@ -60,6 +61,34 @@ def benchmark_graphs() -> dict:
         "patents*": standin_graph("patents", scale_divisor=2048),
         "snb-1000*": load_dataset("snb-8000"),
     }
+
+
+#: Generator registry for :func:`graph_cache`. Every factory takes
+#: ``(scale, seed, **kwargs)`` and is fully deterministic.
+_GENERATORS = {
+    "rmat": rmat_graph,
+}
+
+
+@pytest.fixture(scope="session")
+def graph_cache():
+    """Session-scoped memoized graph generation.
+
+    Generating the larger R-MAT graphs dominates several benches'
+    setup time; this cache hands out one shared instance per
+    ``(generator, scale, seed)`` key (plus any extra generator
+    keywords). Sharing is safe because every consumer treats graphs
+    as immutable — the platform drivers never mutate their inputs.
+    """
+    cache: dict = {}
+
+    def get(generator: str, scale: int, seed: int, **kwargs):
+        key = (generator, scale, seed, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            cache[key] = _GENERATORS[generator](scale=scale, seed=seed, **kwargs)
+        return cache[key]
+
+    return get
 
 
 def print_table(title: str, lines: list[str]) -> None:

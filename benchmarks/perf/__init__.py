@@ -1,0 +1,1 @@
+"""Tracked kernel micro-benchmarks (see ``repro.perf``)."""

@@ -1,0 +1,82 @@
+"""Tracked perf bars for the vectorized kernel paths.
+
+Runs the ``repro.perf`` harness on the tracked configuration — R-MAT
+scale 13 with edge factor 16, ~131k directed edges (the "~100k-edge
+graph" the targets are stated against) — refreshes the repository's
+``BENCH_kernels.json``, and asserts the speedup floors:
+
+* every converted platform's vectorized BFS frontier kernel must beat
+  the scalar path by at least 3x;
+* both paths must report identical simulated seconds (the
+  accounting-equivalence contract; ``tests/test_bulk_equivalence.py``
+  checks it structurally, this checks it end-to-end at scale).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import run_perf, write_report
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TRACKED_REPORT = REPO_ROOT / "BENCH_kernels.json"
+
+#: The BFS frontier kernels with a hard speedup floor. MapReduce's
+#: batched path is bookkeeping-only (the shuffle accounting), so it
+#: carries no floor — it just must not regress below parity-ish.
+BFS_FRONTIER_KERNELS = (
+    "pregel-bfs-frontier",
+    "gas-bfs-frontier",
+    "graphx-bfs-frontier",
+)
+SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def perf_report(graph_cache):
+    """One harness run on the tracked graph, shared by every test."""
+    graph = graph_cache("rmat", 13, 1, edge_factor=16, directed=True)
+    report = run_perf(scale=13, edge_factor=16, seed=1, repeats=2, graph=graph)
+    write_report(report, TRACKED_REPORT)
+    return report
+
+
+def test_graph_is_the_tracked_configuration(perf_report):
+    assert perf_report.graph["edges"] >= 100_000
+
+
+@pytest.mark.parametrize("kernel", BFS_FRONTIER_KERNELS)
+def test_bfs_frontier_speedup(perf_report, kernel):
+    timing = perf_report.lookup(kernel)
+    assert timing is not None, f"kernel {kernel} not measured"
+    assert timing.speedup >= SPEEDUP_FLOOR, (
+        f"{kernel}: bulk path only {timing.speedup:.1f}x over scalar "
+        f"(floor {SPEEDUP_FLOOR}x); bulk={timing.bulk_wall_seconds:.3f}s "
+        f"scalar={timing.scalar_wall_seconds:.3f}s"
+    )
+
+
+def test_conn_frontier_also_vectorized(perf_report):
+    # CONN shares the frontier machinery; a regression that only hits
+    # CONN (e.g. a fallback to scalar) should fail loudly here.
+    for kernel in ("pregel-conn-frontier", "gas-conn-frontier",
+                   "graphx-conn-frontier"):
+        timing = perf_report.lookup(kernel)
+        assert timing is not None and timing.speedup >= SPEEDUP_FLOOR, kernel
+
+
+def test_simulated_seconds_identical_on_every_kernel(perf_report):
+    mismatched = [t.name for t in perf_report.kernels if not t.simulated_match]
+    assert mismatched == []
+
+
+def test_tracked_report_written(perf_report):
+    payload = json.loads(TRACKED_REPORT.read_text(encoding="utf-8"))
+    assert payload["schema"] == "graphalytics-perf/1"
+    assert payload["graph"]["edges"] == perf_report.graph["edges"]
+    for kernel in payload["kernels"]:
+        assert kernel["bulk_wall_seconds"] > 0
+        assert kernel["scalar_wall_seconds"] > 0
+        assert kernel["simulated_seconds"] > 0
+        assert kernel["simulated_match"] is True

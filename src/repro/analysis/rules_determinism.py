@@ -138,6 +138,11 @@ COST_BASENAMES = {
     "graphx.py",
     "store.py",
     "traversal.py",
+    # The vectorized kernel paths charge through the batched
+    # CostMeter APIs (charge_compute_bulk, charge_messages_bulk);
+    # their loops are bound by the same contract as the scalar
+    # engines'.
+    "bulk.py",
 }
 
 #: Identifier fragments marking a loop as simulated work.
@@ -193,6 +198,9 @@ def _costed_token(expr: ast.AST) -> str | None:
 
 
 def _has_accounting(func: ast.AST) -> bool:
+    # The "charge_" prefix covers the scalar APIs (charge_compute,
+    # charge_message, ...) and the batched ones (charge_compute_bulk,
+    # charge_messages_bulk) alike; see tests/analysis for the pin.
     for node in ast.walk(func):
         if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
             attr = node.func.attr

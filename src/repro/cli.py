@@ -78,6 +78,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="comma-separated subset of STATS,BFS,CONN,CD,EVO")
     run.add_argument("--time-limit", type=float, default=None,
                      help="simulated-seconds budget per run")
+    run.add_argument("--parallel", type=int, default=1, metavar="N",
+                     help="run (platform, graph) pairs over N worker "
+                     "processes (results identical to sequential)")
     run.add_argument("--no-validate", action="store_true",
                      help="skip output validation")
     run.add_argument("--report", default="graphalytics-report.txt",
@@ -118,6 +121,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the current analysis as the new baseline")
     quality.add_argument("--disable", default=None, metavar="RULES",
                          help="comma-separated rule ids to disable")
+
+    perf = commands.add_parser(
+        "perf", help="micro-benchmark the bulk vs scalar kernel paths"
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="small graph, single repeat (smoke mode)")
+    perf.add_argument("--scale", type=int, default=13,
+                      help="R-MAT scale (default 13: ~131k edges)")
+    perf.add_argument("--edge-factor", type=int, default=16,
+                      help="R-MAT edges per vertex")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="timing repeats per path (best-of)")
+    perf.add_argument("--kernels", default=None,
+                      help="comma-separated kernel names (default: all)")
+    perf.add_argument("--output", default="BENCH_kernels.json",
+                      help="JSON report path")
 
     leaderboard = commands.add_parser(
         "leaderboard",
@@ -174,7 +193,7 @@ def _command_run(args: argparse.Namespace) -> int:
         validator=OutputValidator() if validate else None,
         time_limit_seconds=time_limit,
     )
-    suite = core.run(BenchmarkRunSpec(algorithms=algorithms))
+    suite = core.run(BenchmarkRunSpec(algorithms=algorithms), parallel=args.parallel)
     generator = ReportGenerator(
         configuration={
             "platforms": ",".join(sorted(p.name for p in platforms)),
@@ -261,6 +280,36 @@ def _command_quality(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_perf(args: argparse.Namespace) -> int:
+    from repro.perf import default_kernels, run_perf, write_report
+
+    scale, edge_factor, repeats = args.scale, args.edge_factor, args.repeats
+    if args.quick:
+        scale, edge_factor, repeats = 8, 8, 1
+    kernels = None
+    if args.kernels:
+        wanted = {name.strip() for name in args.kernels.split(",")}
+        kernels = [k for k in default_kernels() if k.name in wanted]
+        unknown = wanted - {k.name for k in kernels}
+        if unknown:
+            print(f"error: unknown kernels {sorted(unknown)}; choose from "
+                  f"{[k.name for k in default_kernels()]}")
+            return 2
+    report = run_perf(
+        scale=scale, edge_factor=edge_factor, repeats=repeats, kernels=kernels
+    )
+    print(f"{'kernel':<24}{'bulk s':>10}{'scalar s':>10}{'speedup':>9}  sim-match")
+    for timing in report.kernels:
+        print(
+            f"{timing.name:<24}{timing.bulk_wall_seconds:>10.4f}"
+            f"{timing.scalar_wall_seconds:>10.4f}{timing.speedup:>8.1f}x"
+            f"  {'yes' if timing.simulated_match else 'NO'}"
+        )
+    path = write_report(report, args.output)
+    print(f"\nkernel timings written to {path}")
+    return 0 if all(t.simulated_match for t in report.kernels) else 1
+
+
 def _command_leaderboard(args: argparse.Namespace) -> int:
     db = ResultsDatabase(args.results_db)
     ranking = db.leaderboard(args.graph, args.algorithm.upper())
@@ -281,6 +330,7 @@ def main(argv: list[str] | None = None) -> int:
         "datagen": _command_datagen,
         "characterize": _command_characterize,
         "quality": _command_quality,
+        "perf": _command_perf,
         "leaderboard": _command_leaderboard,
     }
     return handlers[args.command](args)

@@ -11,7 +11,12 @@ generator and results database.
 
 from __future__ import annotations
 
+import concurrent.futures
+import random
+import zlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.errors import PlatformFailure, ValidationFailure
 from repro.core.metrics import kteps
@@ -21,12 +26,29 @@ from repro.core.validation import OutputValidator
 from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
 from repro.graph.graph import Graph
 
-__all__ = ["BenchmarkResult", "BenchmarkSuiteResult", "BenchmarkCore"]
+__all__ = [
+    "BenchmarkResult",
+    "BenchmarkSuiteResult",
+    "BenchmarkCore",
+    "combo_seed",
+]
 
 #: Result status values.
 SUCCESS = "success"
 FAILED = "failed"
 INVALID = "invalid"
+
+
+def combo_seed(platform_name: str, graph_name: str) -> int:
+    """Deterministic RNG seed for one (platform, graph) combination.
+
+    Derived with CRC32 (not the salted builtin ``hash``) so every
+    interpreter process — sequential run, or any worker of the
+    parallel suite runner — pins the same seed for the same
+    combination, making results independent of scheduling and process
+    placement.
+    """
+    return zlib.crc32(f"{platform_name}/{graph_name}".encode("utf-8"))
 
 
 @dataclass
@@ -123,41 +145,91 @@ class BenchmarkCore:
         self.time_limit_seconds = time_limit_seconds
         self.monitor = SystemMonitor()
 
-    def run(self, spec: BenchmarkRunSpec | None = None) -> BenchmarkSuiteResult:
-        """Execute the benchmark for a run spec (default: everything)."""
+    def run(
+        self, spec: BenchmarkRunSpec | None = None, parallel: int = 1
+    ) -> BenchmarkSuiteResult:
+        """Execute the benchmark for a run spec (default: everything).
+
+        ``parallel=n`` (n > 1) distributes the selected (platform,
+        graph) pairs over a pool of ``n`` worker processes. Each pair
+        stays whole — its ETL still happens exactly once, in the
+        process that runs its algorithms — and every pair's RNG is
+        pinned to :func:`combo_seed` before it executes, so the suite
+        result is identical to a sequential run (modulo the real
+        wall-clock fields ``wall_seconds``/``etl_seconds``), in the
+        same spec order, regardless of worker count or scheduling.
+        """
         spec = spec or BenchmarkRunSpec()
+        pairs = [
+            (platform, graph_name, graph)
+            for platform in self.platforms
+            if spec.selects_platform(platform.name)
+            for graph_name, graph in sorted(self.graphs.items())
+            if spec.selects_graph(graph_name)
+        ]
         suite = BenchmarkSuiteResult()
-        for platform in self.platforms:
-            if not spec.selects_platform(platform.name):
-                continue
-            supported = set(platform.supported_algorithms())
-            for graph_name, graph in sorted(self.graphs.items()):
-                if not spec.selects_graph(graph_name):
-                    continue
-                handle = None
-                for algorithm in Algorithm:
-                    if not spec.selects_algorithm(algorithm):
-                        continue
-                    if algorithm not in supported:
-                        continue
-                    if handle is None:
-                        # ETL once per (platform, graph); ETL failures
-                        # fail every algorithm on that combination.
-                        try:
-                            handle = platform.upload_graph(graph_name, graph)
-                        except PlatformFailure as failure:
-                            suite.results.extend(
-                                self._etl_failures(
-                                    platform, graph_name, spec, supported, failure
-                                )
-                            )
-                            break
-                    suite.results.append(
-                        self._run_one(platform, handle, graph, algorithm, spec)
-                    )
-                if handle is not None:
-                    platform.delete_graph(handle)
+        if parallel <= 1 or len(pairs) <= 1:
+            for platform, graph_name, graph in pairs:
+                suite.results.extend(
+                    self._run_pair(platform, graph_name, graph, spec)
+                )
+            return suite
+        tasks = [
+            _PairTask(
+                platform=platform,
+                graph_name=graph_name,
+                graph=graph,
+                validator=self.validator,
+                time_limit_seconds=self.time_limit_seconds,
+                spec=spec,
+            )
+            for platform, graph_name, graph in pairs
+        ]
+        workers = min(parallel, len(tasks))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            # ``map`` yields in submission order: results merge in
+            # spec order no matter which worker finishes first.
+            for results in pool.map(_run_pair_task, tasks):
+                suite.results.extend(results)
         return suite
+
+    def _run_pair(
+        self, platform: Platform, graph_name: str, graph: Graph, spec: BenchmarkRunSpec
+    ) -> list[BenchmarkResult]:
+        """All selected algorithms of one (platform, graph) pair."""
+        # Pinning the global RNGs to the per-combo seed is the
+        # determinism mechanism here, not a violation of it: every
+        # process — sequential or pool worker — replays the same
+        # stream for the same (platform, graph).
+        seed = combo_seed(platform.name, graph_name)
+        random.seed(seed)  # quality: ignore[determinism]
+        np.random.seed(seed & 0xFFFFFFFF)  # quality: ignore[determinism]
+        supported = set(platform.supported_algorithms())
+        results: list[BenchmarkResult] = []
+        handle = None
+        for algorithm in Algorithm:
+            if not spec.selects_algorithm(algorithm):
+                continue
+            if algorithm not in supported:
+                continue
+            if handle is None:
+                # ETL once per (platform, graph); ETL failures
+                # fail every algorithm on that combination.
+                try:
+                    handle = platform.upload_graph(graph_name, graph)
+                except PlatformFailure as failure:
+                    results.extend(
+                        self._etl_failures(
+                            platform, graph_name, spec, supported, failure
+                        )
+                    )
+                    break
+            results.append(
+                self._run_one(platform, handle, graph, algorithm, spec)
+            )
+        if handle is not None:
+            platform.delete_graph(handle)
+        return results
 
     def _etl_failures(
         self,
@@ -234,3 +306,31 @@ class BenchmarkCore:
         pass; the metric normalizes by the graph's edge count.
         """
         return 2.0 * graph.to_undirected().num_edges
+
+
+@dataclass
+class _PairTask:
+    """One (platform, graph) work unit shipped to a pool worker.
+
+    Everything a child process needs to run the pair exactly as the
+    sequential loop would; module-level (with the worker function) so
+    the payload pickles under every start method.
+    """
+
+    platform: Platform
+    graph_name: str
+    graph: Graph
+    validator: OutputValidator | None
+    time_limit_seconds: float | None
+    spec: BenchmarkRunSpec
+
+
+def _run_pair_task(task: _PairTask) -> list[BenchmarkResult]:
+    """Pool-worker entry: rebuild a single-pair core and run it."""
+    core = BenchmarkCore(
+        [task.platform],
+        {task.graph_name: task.graph},
+        validator=task.validator,
+        time_limit_seconds=task.time_limit_seconds,
+    )
+    return core._run_pair(task.platform, task.graph_name, task.graph, task.spec)

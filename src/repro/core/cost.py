@@ -357,6 +357,44 @@ class CostMeter:
         """Cache-missing accesses (pointer chasing, hash probes)."""
         self._require_round().random_accesses_per_worker[worker] += count
 
+    def charge_compute_bulk(
+        self, worker: int, ops: float, random_accesses: float = 0.0
+    ) -> None:
+        """Batched equivalent of many :meth:`charge_compute` /
+        :meth:`charge_random_access` calls against one worker.
+
+        All charges in this codebase are integer-valued (operation
+        counts, access counts), and float64 addition of integers below
+        2**53 is exact, so one bulk charge of a pre-summed total is
+        bit-identical to the equivalent scalar call sequence. Bulk
+        engine paths rely on that exactness; see
+        ``tests/core/test_cost.py``.
+        """
+        record = self._require_round()
+        record.ops_per_worker[worker] += ops
+        if random_accesses:
+            record.random_accesses_per_worker[worker] += random_accesses
+
+    def charge_messages_bulk(
+        self, src_worker: int, dst_worker: int, count: int, payload_bytes: float
+    ) -> None:
+        """Batched equivalent of ``count`` :meth:`charge_message` calls
+        between one (src, dst) worker pair with a common payload size.
+
+        Local delivery (``src == dst``) costs no network, exactly as in
+        the scalar API; remote delivery charges
+        ``count * (payload_bytes + MESSAGE_OVERHEAD_BYTES)`` bytes,
+        which is exact for the integer-valued payloads the engines use.
+        """
+        record = self._require_round()
+        if src_worker == dst_worker:
+            record.local_messages += count
+        else:
+            record.remote_messages += count
+            record.remote_bytes += count * (
+                payload_bytes + self.MESSAGE_OVERHEAD_BYTES
+            )
+
     def charge_message(
         self, src_worker: int, dst_worker: int, payload_bytes: float, count: int = 1
     ) -> None:

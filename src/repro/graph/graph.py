@@ -150,39 +150,62 @@ class Graph:
         directed: bool = False,
     ):
         self.directed = directed
-        self._vertex_ids = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
-        self._index_of = {int(v): i for i, v in enumerate(self._vertex_ids)}
+        if not isinstance(vertices, np.ndarray):
+            vertices = list(vertices)
+        self._vertex_ids = np.unique(np.asarray(vertices, dtype=np.int64))
+        self._index_cache: dict[int, int] | None = None
+        self._directed_view: "Graph" | None = None
+        self._undirected_view: "Graph" | None = None
         n = len(self._vertex_ids)
 
-        seen: set[tuple[int, int]] = set()
-        for source, target in edges:
-            source, target = int(source), int(target)
-            if source not in self._index_of or target not in self._index_of:
-                raise ValueError(
-                    f"edge ({source}, {target}) references an unregistered vertex"
-                )
-            key = (source, target)
-            if not directed and source > target:
-                key = (target, source)
-            seen.add(key)
-        edge_array = np.asarray(sorted(seen), dtype=np.int64).reshape(-1, 2)
-        self._edge_list = edge_array
-
-        # Build CSR adjacency over dense indices.
-        if len(edge_array):
-            src_idx = np.fromiter(
-                (self._index_of[int(s)] for s in edge_array[:, 0]),
-                dtype=np.int64,
-                count=len(edge_array),
-            )
-            dst_idx = np.fromiter(
-                (self._index_of[int(t)] for t in edge_array[:, 1]),
-                dtype=np.int64,
-                count=len(edge_array),
+        # Vectorized edge processing: map endpoints to dense indices
+        # (validating membership), canonicalize undirected edges, and
+        # deduplicate through a single integer key per edge.
+        if not isinstance(edges, np.ndarray):
+            edges = list(edges)
+            edge_array = (
+                np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+                if edges
+                else np.empty((0, 2), dtype=np.int64)
             )
         else:
-            src_idx = np.empty(0, dtype=np.int64)
-            dst_idx = np.empty(0, dtype=np.int64)
+            edge_array = edges.astype(np.int64, copy=False).reshape(-1, 2)
+        flat = edge_array.ravel()
+        if len(flat) and n == 0:
+            source, target = int(edge_array[0, 0]), int(edge_array[0, 1])
+            raise ValueError(
+                f"edge ({source}, {target}) references an unregistered vertex"
+            )
+        positions = np.searchsorted(self._vertex_ids, flat)
+        if len(flat):
+            positions = np.minimum(positions, n - 1)
+            bad = self._vertex_ids[positions] != flat
+            if bad.any():
+                row = int(np.nonzero(bad)[0][0]) // 2
+                source, target = (
+                    int(edge_array[row, 0]),
+                    int(edge_array[row, 1]),
+                )
+                raise ValueError(
+                    f"edge ({source}, {target}) references an unregistered "
+                    "vertex"
+                )
+        src_idx = positions[0::2]
+        dst_idx = positions[1::2]
+        if not directed and len(src_idx):
+            src_idx, dst_idx = (
+                np.minimum(src_idx, dst_idx),
+                np.maximum(src_idx, dst_idx),
+            )
+        if len(src_idx):
+            # Dense indices preserve id order, so deduplicating the
+            # combined key also sorts edges by (source, target) id.
+            keys = np.unique(src_idx * n + dst_idx)
+            src_idx = keys // n
+            dst_idx = keys % n
+        self._edge_list = np.column_stack(
+            [self._vertex_ids[src_idx], self._vertex_ids[dst_idx]]
+        ).reshape(-1, 2)
 
         if directed:
             self._offsets, self._targets = _build_csr(n, src_idx, dst_idx)
@@ -192,6 +215,15 @@ class Graph:
             all_dst = np.concatenate([dst_idx, src_idx])
             self._offsets, self._targets = _build_csr(n, all_src, all_dst)
             self._in_offsets, self._in_targets = self._offsets, self._targets
+
+    @property
+    def _index_of(self) -> dict[int, int]:
+        """Vertex id -> dense index mapping, built on first use."""
+        if self._index_cache is None:
+            self._index_cache = {
+                int(v): i for i, v in enumerate(self._vertex_ids)
+            }
+        return self._index_cache
 
     # -- constructors -------------------------------------------------
 
@@ -303,21 +335,98 @@ class Graph:
         """Array of degrees ordered by ascending vertex id."""
         return np.diff(self._offsets)
 
+    # -- vectorized (bulk) accessors -----------------------------------
+
+    def indices_of(self, vertices: Iterable[int]) -> np.ndarray:
+        """Map vertex identifiers to dense CSR indices, vectorized.
+
+        The dense index of a vertex is its position in
+        :attr:`vertices`; bulk kernels use it to address the CSR
+        arrays returned by :meth:`csr`. Raises ``KeyError`` if any id
+        is not in the graph.
+        """
+        if not isinstance(vertices, np.ndarray):
+            vertices = list(vertices)
+        ids = np.asarray(vertices, dtype=np.int64)
+        if len(ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        if len(self._vertex_ids) == 0:
+            raise KeyError(f"vertices not in graph: {ids[:5].tolist()}")
+        idx = np.searchsorted(self._vertex_ids, ids)
+        idx = np.minimum(idx, len(self._vertex_ids) - 1)
+        if not np.array_equal(self._vertex_ids[idx], ids):
+            bad = ids[self._vertex_ids[idx] != ids]
+            raise KeyError(f"vertices not in graph: {bad[:5].tolist()}")
+        return idx
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw out-adjacency CSR arrays ``(offsets, targets)``.
+
+        Both arrays are over *dense indices* (see :meth:`indices_of`)
+        and must be treated as read-only; they are shared with the
+        graph instance.
+        """
+        return self._offsets, self._targets
+
+    def out_degrees(self) -> np.ndarray:
+        """Vectorized out-degrees ordered by ascending vertex id.
+
+        For undirected graphs this is the total degree. Entry ``i``
+        corresponds to ``vertices[i]``, so combined with
+        :meth:`indices_of` it replaces per-vertex :meth:`degree` calls
+        in hot loops.
+        """
+        return np.diff(self._offsets)
+
+    def frontier_neighbors(self, frontier: Iterable[int]) -> np.ndarray:
+        """Concatenated out-neighbor ids of every frontier vertex.
+
+        The result lists neighbors *with multiplicity*, grouped by
+        frontier vertex in the given frontier order (each group sorted
+        ascending, like :meth:`neighbors`). One call replaces
+        ``len(frontier)`` per-vertex ``neighbors()`` CSR slices — the
+        core primitive of the bulk BFS/CONN kernels.
+        """
+        idx = self.indices_of(frontier)
+        starts = self._offsets[idx]
+        counts = self._offsets[idx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Standard CSR gather: positions[i] walks each slice in turn.
+        bounds = np.cumsum(counts)
+        positions = np.arange(total, dtype=np.int64)
+        positions += np.repeat(starts - (bounds - counts), counts)
+        return self._vertex_ids[self._targets[positions]]
+
     # -- derived graphs -----------------------------------------------
 
     def to_undirected(self) -> "Graph":
-        """Undirected view: every directed edge becomes undirected."""
+        """Undirected view: every directed edge becomes undirected.
+
+        The view is computed once and cached — graphs are immutable,
+        and engines request the same view repeatedly.
+        """
         if not self.directed:
             return self
-        return Graph(self._vertex_ids, self._edge_list, directed=False)
+        if self._undirected_view is None:
+            self._undirected_view = Graph(
+                self._vertex_ids, self._edge_list, directed=False
+            )
+        return self._undirected_view
 
     def to_directed(self) -> "Graph":
-        """Directed view: every undirected edge becomes two arcs."""
+        """Directed view: every undirected edge becomes two arcs.
+
+        Cached like :meth:`to_undirected`.
+        """
         if self.directed:
             return self
-        reversed_edges = self._edge_list[:, ::-1]
-        both = np.concatenate([self._edge_list, reversed_edges])
-        return Graph(self._vertex_ids, both, directed=True)
+        if self._directed_view is None:
+            reversed_edges = self._edge_list[:, ::-1]
+            both = np.concatenate([self._edge_list, reversed_edges])
+            self._directed_view = Graph(self._vertex_ids, both, directed=True)
+        return self._directed_view
 
     def subgraph(self, vertices: Iterable[int]) -> "Graph":
         """Induced subgraph on the given vertex set."""

@@ -53,11 +53,18 @@ class GraphCharacteristics:
 
 
 def _neighbor_sets(graph: Graph) -> dict[int, set[int]]:
-    """Per-vertex neighbor sets on the undirected view."""
+    """Per-vertex neighbor sets on the undirected view.
+
+    Uses one bulk :meth:`Graph.frontier_neighbors` CSR gather instead
+    of ``num_vertices`` per-vertex ``neighbors()`` slices.
+    """
     undirected = graph.to_undirected()
+    vertices = undirected.vertices
+    flat = undirected.frontier_neighbors(vertices)
+    bounds = np.cumsum(undirected.out_degrees())[:-1]
     return {
-        int(v): set(int(u) for u in undirected.neighbors(int(v)))
-        for v in undirected.vertices
+        int(v): set(chunk.tolist())
+        for v, chunk in zip(vertices, np.split(flat, bounds))
     }
 
 
@@ -142,14 +149,16 @@ def degree_assortativity(graph: Graph) -> float:
     undirected = graph.to_undirected()
     if undirected.num_edges == 0:
         return float("nan")
-    degrees = undirected.degrees()
+    degrees = undirected.out_degrees().astype(np.float64)
+    edges = undirected.edges
+    # Each undirected edge contributes both orientations, making the
+    # correlation symmetric.
+    dx = degrees[undirected.indices_of(edges[:, 0])]
+    dy = degrees[undirected.indices_of(edges[:, 1])]
     x = np.empty(undirected.num_edges * 2, dtype=np.float64)
     y = np.empty(undirected.num_edges * 2, dtype=np.float64)
-    for i, (source, target) in enumerate(undirected.iter_edges()):
-        # Each undirected edge contributes both orientations, making
-        # the correlation symmetric.
-        x[2 * i], y[2 * i] = degrees[source], degrees[target]
-        x[2 * i + 1], y[2 * i + 1] = degrees[target], degrees[source]
+    x[0::2], y[0::2] = dx, dy
+    x[1::2], y[1::2] = dy, dx
     x_std = np.std(x)
     y_std = np.std(y)
     if x_std == 0 or y_std == 0:

@@ -1,0 +1,28 @@
+"""Tracked micro-benchmark harness for the vectorized kernel paths.
+
+Times each platform's hot kernel (the per-round frontier expansion)
+twice — once through the numpy bulk path, once through the scalar
+per-record path — and records wall-clock seconds, the speedup, and
+both paths' simulated seconds (which must match exactly; the bulk
+paths are accounting-preserving). Results are written to
+``BENCH_kernels.json`` so speedups are tracked in the repository; see
+EXPERIMENTS.md for the file format.
+"""
+
+from repro.perf.harness import (
+    KernelSpec,
+    KernelTiming,
+    PerfReport,
+    default_kernels,
+    run_perf,
+    write_report,
+)
+
+__all__ = [
+    "KernelSpec",
+    "KernelTiming",
+    "PerfReport",
+    "default_kernels",
+    "run_perf",
+    "write_report",
+]

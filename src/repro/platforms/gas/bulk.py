@@ -1,0 +1,359 @@
+"""Vectorized (bulk) round execution for the GAS engine.
+
+The scalar engine runs Python-level ``gather``/``apply``/``scatter``
+calls per incident arc and per active vertex, with one ``CostMeter``
+charge per event. For programs whose phases are elementwise numpy
+expressions with a ``min`` gather sum — BFS distance pulling and
+HashMin label propagation — a whole round collapses into a handful of
+CSR array operations, with per-worker tallies computed by
+``np.bincount`` and charged through the batched
+:meth:`~repro.core.cost.CostMeter.charge_compute_bulk` /
+:meth:`~repro.core.cost.CostMeter.charge_messages_bulk` APIs.
+
+The contract, verified by ``tests/test_bulk_equivalence.py``: a bulk
+run produces *bit-identical* outputs and cost profiles to the scalar
+path. The charge structure below therefore mirrors
+``GASEngine._run_rounds`` exactly:
+
+* gather — one op per incident arc of every active vertex, on the
+  worker that owns the edge (charged whether or not the arc
+  contributes);
+* mirror→master — per distinct ``(vertex, worker)`` pair holding a
+  partial, one ``gather_bytes`` message to the master when the holder
+  is not the master itself, plus one combine op on the master;
+* apply — one op per active vertex on its master; when the value
+  changed, one ``value_bytes`` message from the master to every
+  mirror;
+* scatter — one op per incident arc on the owning worker.
+
+A program opts in by returning a :class:`GASBulkKernel` from
+:meth:`~repro.platforms.gas.engine.GASProgram.bulk_rounds`; the engine
+falls back to the scalar path for everything else (and always for
+:meth:`~repro.platforms.gas.engine.GASEngine.run_async`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.algorithms.bfs import UNREACHABLE
+
+__all__ = ["GASBulkKernel", "GASBFSBulkKernel", "GASConnBulkKernel", "BulkRoundRunner"]
+
+
+class GASBulkKernel(abc.ABC):
+    """Vectorized counterpart of a :class:`GASProgram`'s three phases.
+
+    Kernels operate on dense vertex indices (positions in
+    ``graph.vertices``) and integer-valued numpy arrays. The runner
+    owns all cost accounting; a kernel only transforms values and
+    decides which arcs contribute and which vertices activate.
+    """
+
+    #: Combination of gather contributions (``gather_sum`` semantics).
+    reduce = np.minimum
+
+    @abc.abstractmethod
+    def initial_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Dense initial value array (one entry per vertex id)."""
+
+    @abc.abstractmethod
+    def initially_active(
+        self, vertex_ids: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Sorted dense indices of the round-0 active set."""
+
+    @abc.abstractmethod
+    def gather_arcs(
+        self, neighbor_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-arc contributions from the neighbors' current values.
+
+        Returns ``(mask, contributions)`` where ``mask`` marks the
+        arcs that contribute (scalar ``gather`` returned non-``None``)
+        and ``contributions`` holds one value per *masked* arc.
+        """
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        active: np.ndarray,
+        old_values: np.ndarray,
+        gathered_mask: np.ndarray,
+        gathered: np.ndarray,
+    ) -> np.ndarray:
+        """New value per active vertex from the combined gathers.
+
+        ``gathered`` is only meaningful where ``gathered_mask`` is
+        set (vertices whose gather produced at least one
+        contribution).
+        """
+
+    def scatter_flags(
+        self, old_values: np.ndarray, new_values: np.ndarray
+    ) -> np.ndarray:
+        """Which active vertices activate their neighbors (per vertex).
+
+        BFS and CONN scatter predicates depend only on the vertex's
+        own old/new value, so one flag per active vertex expands to
+        all of its incident arcs.
+        """
+        return new_values != old_values
+
+
+class GASBFSBulkKernel(GASBulkKernel):
+    """Vectorized GAS BFS (pull the minimum neighbor distance).
+
+    Mirrors :class:`~repro.platforms.gas.programs.GASBFSProgram`: only
+    the source starts active; reached neighbors offer ``distance + 1``;
+    a newly reached vertex adopts the minimum offer and wakes its
+    neighbors.
+    """
+
+    def __init__(self, source: int):
+        self.source = source
+        self._source_idx: int | None = None
+
+    def initial_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """All vertices start unreached; remembers the source index."""
+        position = int(np.searchsorted(vertex_ids, self.source))
+        self._source_idx = (
+            position
+            if position < len(vertex_ids)
+            and vertex_ids[position] == self.source
+            else None
+        )
+        return np.full(len(vertex_ids), UNREACHABLE, dtype=np.int64)
+
+    def initially_active(self, vertex_ids, values):
+        """Only the source starts active (nothing if it is absent)."""
+        if self._source_idx is None:
+            return np.empty(0, dtype=np.int64)
+        return np.array([self._source_idx], dtype=np.int64)
+
+    def gather_arcs(self, neighbor_values):
+        """Reached neighbors offer ``their distance + 1``."""
+        mask = neighbor_values != UNREACHABLE
+        return mask, neighbor_values[mask] + 1
+
+    def apply(self, active, old_values, gathered_mask, gathered):
+        """Adopt the gathered distance on first reach (source: 0)."""
+        new_values = old_values.copy()
+        unreached = old_values == UNREACHABLE
+        adopt = unreached & gathered_mask
+        new_values[adopt] = gathered[adopt]
+        # The source bootstraps to 0 regardless of gathers, exactly
+        # like the scalar apply's `vertex == source` branch.
+        source_here = unreached & (active == self._source_idx)
+        new_values[source_here] = 0
+        return new_values
+
+
+class GASConnBulkKernel(GASBulkKernel):
+    """Vectorized GAS CONN (minimum-label propagation).
+
+    Mirrors :class:`~repro.platforms.gas.programs.GASConnProgram`:
+    everyone starts active in its own component; every arc offers the
+    neighbor's label; a vertex adopts a strictly smaller label and
+    wakes its neighbors.
+    """
+
+    def initial_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Every vertex starts labeled with its own id."""
+        return vertex_ids.astype(np.int64, copy=True)
+
+    def initially_active(self, vertex_ids, values):
+        """Everyone participates in round 0."""
+        return np.arange(len(vertex_ids), dtype=np.int64)
+
+    def gather_arcs(self, neighbor_values):
+        """Every arc offers the neighbor's current label."""
+        return np.ones(len(neighbor_values), dtype=bool), neighbor_values
+
+    def apply(self, active, old_values, gathered_mask, gathered):
+        """Adopt a smaller label when one arrived."""
+        adopt = gathered_mask & (gathered < old_values)
+        return np.where(adopt, gathered, old_values)
+
+    def scatter_flags(self, old_values, new_values):
+        """A shrunken label wakes the neighbors that can still improve."""
+        return new_values < old_values
+
+
+class BulkRoundRunner:
+    """Drives a :class:`GASBulkKernel` with exact scalar-path costs.
+
+    Instantiated by :meth:`GASEngine.run` when the program offers a
+    kernel and the engine's bulk path is enabled; reads the engine's
+    vectorized vertex-cut arrays (arc owners, masters, mirror lists)
+    so every per-worker tally matches the scalar loops bit for bit.
+    """
+
+    def __init__(self, engine, program, kernel: GASBulkKernel):
+        self.engine = engine
+        self.program = program
+        self.kernel = kernel
+        graph = engine.graph
+        self.ids = graph.vertices
+        self.offsets, self.targets = graph.csr()
+        self.n = graph.num_vertices
+        self.num_workers = engine.spec.num_workers
+        self.masters = engine.masters
+        self.arc_workers = engine.arc_workers
+        self.mirror_offsets, self.mirror_workers = engine.mirror_csr
+        self.gather_payload = float(program.gather_bytes)
+        self.value_payload = float(program.value_bytes)
+
+    def run(self):
+        """Execute to quiescence; returns a scalar-identical result."""
+        from repro.platforms.gas.engine import GASResult
+
+        meter, program, kernel = self.engine.meter, self.program, self.kernel
+        values = kernel.initial_values(self.ids)
+        active = kernel.initially_active(self.ids, values)
+
+        rounds = 0
+        while len(active) and rounds < program.max_rounds():
+            meter.begin_round(f"gas-{rounds}")
+            arc_owner, arc_neighbor, arc_counts = self._expand_arcs(active)
+            # Gather: one op per incident arc, on the edge's worker,
+            # contributing or not.
+            arc_ops = np.bincount(arc_owner, minlength=self.num_workers)
+            self._charge_ops(arc_ops)
+            mask, contributions = kernel.gather_arcs(values[arc_neighbor])
+            gathered_vertices, gathered = self._exchange_partials(
+                np.repeat(active, arc_counts)[mask], arc_owner[mask], contributions
+            )
+            # Spread the per-vertex gathers over the active set.
+            slots = np.searchsorted(active, gathered_vertices)
+            gathered_mask = np.zeros(len(active), dtype=bool)
+            gathered_mask[slots] = True
+            gathered_full = np.zeros(len(active), dtype=np.int64)
+            gathered_full[slots] = gathered
+            # Apply: one op per active vertex on its master; broadcast
+            # changed values to the mirrors.
+            self._charge_ops(
+                np.bincount(self.masters[active], minlength=self.num_workers)
+            )
+            old_values = values[active]
+            new_values = kernel.apply(active, old_values, gathered_mask, gathered_full)
+            self._broadcast_changes(active[new_values != old_values])
+            # Scatter: one op per incident arc on the edge's worker.
+            self._charge_ops(arc_ops)
+            flags = kernel.scatter_flags(old_values, new_values)
+            next_active = np.unique(arc_neighbor[np.repeat(flags, arc_counts)])
+            values[active] = new_values
+            meter.end_round(active_vertices=len(active))
+            active = next_active
+            rounds += 1
+        if len(active):
+            raise RuntimeError(
+                f"{type(program).__name__} exceeded {program.max_rounds()} rounds"
+            )
+        return GASResult(
+            values={
+                int(vertex): int(value)
+                for vertex, value in zip(self.ids, values)
+            },
+            rounds=rounds,
+            replication_factor=self.engine.replication_factor,
+        )
+
+    # -- phase helpers ------------------------------------------------
+
+    def _expand_arcs(
+        self, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Incident arcs of the active set from the CSR arrays.
+
+        Returns ``(owner_workers, neighbor_indices, per_vertex_counts)``
+        grouped by active vertex — the same arc enumeration the scalar
+        gather and scatter loops walk.
+        """
+        starts = self.offsets[active]
+        counts = self.offsets[active + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, counts
+        bounds = np.cumsum(counts)
+        positions = np.arange(total, dtype=np.int64)
+        positions += np.repeat(starts - (bounds - counts), counts)
+        return self.arc_workers[positions], self.targets[positions], counts
+
+    def _exchange_partials(
+        self,
+        contrib_vertices: np.ndarray,
+        contrib_workers: np.ndarray,
+        contributions: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Combine contributions per (vertex, worker), sync to masters.
+
+        Charges one ``gather_bytes`` message per partial held off its
+        vertex's master and one combine op per partial on the master,
+        exactly like the scalar mirror→master exchange. Returns the
+        sorted vertices that gathered anything and their combined
+        values.
+        """
+        if len(contrib_vertices) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        key = contrib_vertices * self.num_workers + contrib_workers
+        order = np.argsort(key, kind="stable")
+        pair_keys, first = np.unique(key[order], return_index=True)
+        partials = self.kernel.reduce.reduceat(contributions[order], first)
+        pair_vertex = pair_keys // self.num_workers
+        pair_worker = pair_keys % self.num_workers
+        pair_master = self.masters[pair_vertex]
+        remote = pair_worker != pair_master
+        self._charge_pair_messages(
+            pair_worker[remote], pair_master[remote], self.gather_payload
+        )
+        # One combine op on the master per per-worker partial.
+        self._charge_ops(np.bincount(pair_master, minlength=self.num_workers))
+        gathered_vertices, vertex_first = np.unique(pair_vertex, return_index=True)
+        gathered = self.kernel.reduce.reduceat(partials, vertex_first)
+        return gathered_vertices, gathered
+
+    def _broadcast_changes(self, changed: np.ndarray) -> None:
+        """Master→mirror value messages for every changed vertex."""
+        if len(changed) == 0:
+            return
+        starts = self.mirror_offsets[changed]
+        counts = self.mirror_offsets[changed + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return
+        bounds = np.cumsum(counts)
+        positions = np.arange(total, dtype=np.int64)
+        positions += np.repeat(starts - (bounds - counts), counts)
+        self._charge_pair_messages(
+            np.repeat(self.masters[changed], counts),
+            self.mirror_workers[positions],
+            self.value_payload,
+        )
+
+    # -- charging helpers ---------------------------------------------
+
+    def _charge_ops(self, ops_per_worker: np.ndarray) -> None:
+        """Charge precomputed per-worker op tallies in bulk."""
+        meter = self.engine.meter
+        for worker in np.nonzero(ops_per_worker)[0]:
+            meter.charge_compute_bulk(int(worker), float(ops_per_worker[worker]))
+
+    def _charge_pair_messages(
+        self, src_workers: np.ndarray, dst_workers: np.ndarray, payload: float
+    ) -> None:
+        """Bulk-charge one message per (src, dst) worker-pair member."""
+        meter = self.engine.meter
+        pair = src_workers * self.num_workers + dst_workers
+        pair_counts = np.bincount(pair, minlength=self.num_workers ** 2)
+        for index in np.nonzero(pair_counts)[0]:
+            meter.charge_messages_bulk(
+                int(index) // self.num_workers,
+                int(index) % self.num_workers,
+                int(pair_counts[index]),
+                payload,
+            )

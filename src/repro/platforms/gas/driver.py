@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.algorithms.evo import ambassador_for
 from repro.algorithms.stats import GraphStats
 from repro.core import etl
-from repro.core.cost import CostMeter, RunProfile
+from repro.core.cost import ClusterSpec, CostMeter, RunProfile
 from repro.core.platform_api import GraphHandle, Platform
 from repro.core.workload import Algorithm, AlgorithmParams
 from repro.graph.graph import Graph
@@ -32,6 +32,13 @@ class GraphLabPlatform(Platform):
     """
 
     name = "graphlab"
+
+    def __init__(self, cluster: ClusterSpec, bulk: bool = True):
+        super().__init__(cluster)
+        #: Vectorized round path for programs that support it;
+        #: ``bulk=False`` forces the scalar per-arc path (the cost
+        #: profile is identical either way).
+        self.bulk = bulk
 
     def _load(self, name: str, graph: Graph) -> GraphHandle:
         undirected = graph.to_undirected()
@@ -66,7 +73,7 @@ class GraphLabPlatform(Platform):
     ) -> tuple[object, RunProfile]:
         meter = CostMeter(self.cluster)
         meter.charge_startup()
-        engine = GASEngine(handle.graph, self.cluster, meter)
+        engine = GASEngine(handle.graph, self.cluster, meter, bulk=self.bulk)
         adjacency: dict[int, tuple[int, ...]] = handle.detail["adjacency"]
         program = self._build_program(handle, adjacency, algorithm, params)
         result = engine.run(program)

@@ -27,6 +27,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.core.cost import ClusterSpec, CostMeter
 from repro.graph.graph import Graph
 
@@ -93,6 +95,18 @@ class GASProgram(abc.ABC):
         """Safety bound on GAS rounds."""
         return 200
 
+    def bulk_rounds(self):
+        """Optional vectorized whole-round kernel.
+
+        Programs whose gather/apply/scatter phases are elementwise
+        expressions with a ``min`` gather sum and fixed message sizes
+        may return a :class:`~repro.platforms.gas.bulk.GASBulkKernel`;
+        the engine then executes synchronous rounds as numpy
+        operations with bit-identical cost accounting. The default
+        ``None`` keeps the scalar per-arc path.
+        """
+        return None
+
 
 @dataclass
 class GASResult:
@@ -119,42 +133,168 @@ class _VertexTopology:
 class GASEngine:
     """Runs GAS programs over a vertex-cut partitioning."""
 
-    def __init__(self, graph: Graph, spec: ClusterSpec, meter: CostMeter | None = None):
+    def __init__(
+        self,
+        graph: Graph,
+        spec: ClusterSpec,
+        meter: CostMeter | None = None,
+        bulk: bool = True,
+    ):
         undirected = graph.to_undirected()
+        self.graph = undirected
         self.spec = spec
         self.meter = meter or CostMeter(spec)
-        self.adjacency = {
-            int(v): [int(u) for u in undirected.neighbors(int(v))]
-            for v in undirected.vertices
-        }
-        self.degrees = {v: len(adj) for v, adj in self.adjacency.items()}
+        #: Take the vectorized round path for programs that offer a
+        #: :meth:`GASProgram.bulk_rounds` kernel; ``False`` forces the
+        #: scalar per-arc path (the escape hatch).
+        self.bulk = bulk
 
-        # The vertex cut: edges to workers, vertices to replica sets.
-        self.edge_worker: dict[tuple[int, int], int] = {}
-        self.topology: dict[int, _VertexTopology] = {
-            v: _VertexTopology(master=(v * _KNUTH & 0xFFFFFFFF) % spec.num_workers)
+        # The vertex cut, computed vectorized over the CSR arrays.
+        # For non-negative ids, uint64 wraparound preserves the low 32
+        # bits of each product, so these equal the scalar
+        # :func:`edge_partition_of` / master hash element-wise.
+        workers = np.uint64(spec.num_workers)
+        ids = undirected.vertices
+        n = undirected.num_vertices
+        hashed = ids.astype(np.uint64) * np.uint64(_KNUTH)
+        self._masters = (
+            (hashed & np.uint64(0xFFFFFFFF)) % workers
+        ).astype(np.int64)
+        arc_source = np.repeat(
+            np.arange(n, dtype=np.int64), undirected.out_degrees()
+        )
+        _, arc_target = undirected.csr()
+        self._arc_workers = self._cut_workers(
+            ids[arc_source], ids[arc_target], workers
+        )
+        edges = undirected.edges
+        self._edges_per_worker = [
+            int(count)
+            for count in np.bincount(
+                self._cut_workers(edges[:, 0], edges[:, 1], workers),
+                minlength=spec.num_workers,
+            )
+        ]
+        # Replica placement: a vertex lives on every worker owning one
+        # of its arcs, plus its master.
+        replica_pairs = np.unique(
+            np.concatenate(
+                [
+                    arc_source * spec.num_workers + self._arc_workers,
+                    np.arange(n, dtype=np.int64) * spec.num_workers
+                    + self._masters,
+                ]
+            )
+        )
+        replica_vertices = replica_pairs // spec.num_workers
+        replica_workers = replica_pairs % spec.num_workers
+        self._replicas_per_worker = np.bincount(
+            replica_workers, minlength=spec.num_workers
+        )
+        self._total_replicas = len(replica_pairs)
+        mirror = replica_workers != self._masters[replica_vertices]
+        self._mirror_workers = replica_workers[mirror]
+        self._mirror_offsets = np.concatenate(
+            [
+                np.zeros(1, dtype=np.int64),
+                np.cumsum(np.bincount(replica_vertices[mirror], minlength=n)),
+            ]
+        )
+        # Per-vertex Python structures are built lazily: the bulk path
+        # never touches them and skips their O(edges) construction.
+        self._adjacency: dict[int, list[int]] | None = None
+        self._degrees: dict[int, int] | None = None
+        self._edge_worker: dict[tuple[int, int], int] | None = None
+        self._topology: dict[int, _VertexTopology] | None = None
+        self._resident = [0.0] * spec.num_workers
+
+    @staticmethod
+    def _cut_workers(
+        source_ids: np.ndarray, target_ids: np.ndarray, num_workers: np.uint64
+    ) -> np.ndarray:
+        """Vectorized :func:`edge_partition_of` over id arrays."""
+        low = np.minimum(source_ids, target_ids).astype(np.uint64)
+        high = np.maximum(source_ids, target_ids).astype(np.uint64)
+        mixed = (
+            (low * np.uint64(_KNUTH)) ^ (high * np.uint64(0x9E3779B9))
+        ) & np.uint64(0xFFFFFFFF)
+        return (mixed % num_workers).astype(np.int64)
+
+    # -- lazy per-vertex structures -----------------------------------------
+
+    @property
+    def adjacency(self) -> dict[int, list[int]]:
+        """Neighbor lists as Python ints, built on first (scalar) use."""
+        if self._adjacency is None:
+            self._adjacency = {
+                int(v): [int(u) for u in self.graph.neighbors(int(v))]
+                for v in self.graph.vertices
+            }
+        return self._adjacency
+
+    @property
+    def degrees(self) -> dict[int, int]:
+        """Vertex id -> degree, built on first (scalar) use."""
+        if self._degrees is None:
+            self._degrees = {v: len(adj) for v, adj in self.adjacency.items()}
+        return self._degrees
+
+    @property
+    def edge_worker(self) -> dict[tuple[int, int], int]:
+        """Canonical edge -> owning worker, built on first (scalar) use."""
+        if self._edge_worker is None:
+            self._build_cut_dicts()
+        return self._edge_worker
+
+    @property
+    def topology(self) -> dict[int, _VertexTopology]:
+        """Vertex id -> replica placement, built on first (scalar) use."""
+        if self._topology is None:
+            self._build_cut_dicts()
+        return self._topology
+
+    def _build_cut_dicts(self) -> None:
+        """Materialize the scalar path's edge/replica dictionaries."""
+        self._topology = {
+            v: _VertexTopology(
+                master=(v * _KNUTH & 0xFFFFFFFF) % self.spec.num_workers
+            )
             for v in self.adjacency
         }
-        self._edges_per_worker = [0] * spec.num_workers
-        for source, target in undirected.iter_edges():
-            worker = edge_partition_of(source, target, spec.num_workers)
-            self.edge_worker[(source, target)] = worker
-            self._edges_per_worker[worker] += 1
+        self._edge_worker = {}
+        # Placement bookkeeping for the scalar path, not simulated
+        # work: the engine charges for graph loading in _load.
+        for source, target in self.graph.iter_edges():  # quality: ignore[cost-accounting]
+            worker = edge_partition_of(source, target, self.spec.num_workers)
+            self._edge_worker[(source, target)] = worker
             for endpoint in (source, target):
-                topo = self.topology[endpoint]
+                topo = self._topology[endpoint]
                 if worker != topo.master:
                     topo.mirrors.add(worker)
-        self._resident = [0.0] * spec.num_workers
 
     # -- placement metadata -------------------------------------------------
 
     @property
+    def masters(self) -> np.ndarray:
+        """Master worker of each vertex, ordered by dense vertex index."""
+        return self._masters
+
+    @property
+    def arc_workers(self) -> np.ndarray:
+        """Owning worker of each CSR arc (aligned with ``graph.csr()``)."""
+        return self._arc_workers
+
+    @property
+    def mirror_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex mirror workers as ``(offsets, workers)`` CSR arrays."""
+        return self._mirror_offsets, self._mirror_workers
+
+    @property
     def replication_factor(self) -> float:
         """Mean replicas per vertex (PowerGraph's key metric)."""
-        if not self.topology:
+        if self.graph.num_vertices == 0:
             return 1.0
-        total = sum(len(t.replicas) for t in self.topology.values())
-        return total / len(self.topology)
+        return self._total_replicas / self.graph.num_vertices
 
     def _edge_owner(self, u: int, v: int) -> int:
         key = (u, v) if u <= v else (v, u)
@@ -163,13 +303,13 @@ class GASEngine:
     # -- memory ---------------------------------------------------------------
 
     def _load(self, program: GASProgram) -> None:
-        per_worker = [0.0] * self.spec.num_workers
-        for topo in self.topology.values():
-            for worker in topo.replicas:
-                per_worker[worker] += REPLICA_BYTES + program.value_bytes
-        for worker, edges in enumerate(self._edges_per_worker):
-            per_worker[worker] += edges * EDGE_BYTES
-        for worker, resident in enumerate(per_worker):
+        # count * integer-valued-bytes is exactly the scalar per-replica
+        # accumulation (float64 integer arithmetic below 2**53).
+        per_worker = self._replicas_per_worker * (
+            REPLICA_BYTES + program.value_bytes
+        ) + np.asarray(self._edges_per_worker, dtype=np.float64) * EDGE_BYTES
+        for worker in range(self.spec.num_workers):
+            resident = float(per_worker[worker])
             self._resident[worker] = resident
             self.meter.allocate_memory(worker, resident)
 
@@ -181,9 +321,21 @@ class GASEngine:
     # -- execution --------------------------------------------------------------
 
     def run(self, program: GASProgram) -> GASResult:
-        """Execute the program to quiescence; returns final values."""
+        """Execute the program to quiescence; returns final values.
+
+        Programs that provide a :meth:`GASProgram.bulk_rounds` kernel
+        run through the vectorized round path (unless the engine was
+        built with ``bulk=False``); the cost profile is identical
+        either way.
+        """
+        # Imported here: the bulk module depends on this one.
+        from repro.platforms.gas.bulk import BulkRoundRunner
+
+        kernel = program.bulk_rounds() if self.bulk else None
         self._load(program)
         try:
+            if kernel is not None:
+                return BulkRoundRunner(self, program, kernel).run()
             return self._run_rounds(program)
         finally:
             self._unload()

@@ -11,6 +11,7 @@ from typing import Any
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.platforms.gas.bulk import GASBFSBulkKernel, GASConnBulkKernel
 from repro.platforms.gas.engine import GASProgram
 
 __all__ = [
@@ -38,6 +39,10 @@ class GASBFSProgram(GASProgram):
     def initially_active(self, vertex: int) -> bool:
         """Only the source starts active."""
         return vertex == self.source
+
+    def bulk_rounds(self):
+        """Vectorized distance-pulling kernel (same semantics)."""
+        return GASBFSBulkKernel(self.source)
 
     def gather(self, vertex, value, neighbor, neighbor_value, neighbor_degree):
         """A reached neighbor offers distance ``neighbor + 1``."""
@@ -81,6 +86,10 @@ class GASConnProgram(GASProgram):
     def initially_active(self, vertex: int) -> bool:
         """Everyone participates in round 0."""
         return True
+
+    def bulk_rounds(self):
+        """Vectorized HashMin propagation kernel (same semantics)."""
+        return GASConnBulkKernel()
 
     def gather(self, vertex, value, neighbor, neighbor_value, neighbor_degree):
         """Offer the neighbor's current label."""

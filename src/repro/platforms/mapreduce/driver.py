@@ -6,7 +6,7 @@ from repro.algorithms.bfs import UNREACHABLE
 from repro.algorithms.evo import ambassador_for
 from repro.algorithms.stats import GraphStats
 from repro.core import etl
-from repro.core.cost import CostMeter, RunProfile
+from repro.core.cost import ClusterSpec, CostMeter, RunProfile
 from repro.core.platform_api import GraphHandle, Platform
 from repro.core.workload import Algorithm, AlgorithmParams
 
@@ -41,6 +41,13 @@ class MapReducePlatform(Platform):
     #: real Hadoop — the benchmark's time limit triggers first.
     MAX_ITERATIONS = 100
 
+    def __init__(self, cluster: ClusterSpec, bulk: bool = True):
+        super().__init__(cluster)
+        #: Batched shuffle/byte accounting in the engine; ``bulk=False``
+        #: forces the per-record scalar charges (the cost profile is
+        #: identical either way).
+        self.bulk = bulk
+
     def _load(self, name: str, graph: Graph) -> GraphHandle:
         undirected = graph.to_undirected()
         adjacency = {
@@ -64,7 +71,7 @@ class MapReducePlatform(Platform):
         self, handle: GraphHandle, algorithm: Algorithm, params: AlgorithmParams
     ) -> tuple[object, RunProfile]:
         meter = CostMeter(self.cluster)
-        engine = MapReduceEngine(self.cluster, meter)
+        engine = MapReduceEngine(self.cluster, meter, bulk=self.bulk)
         adjacency: dict[int, tuple[int, ...]] = handle.detail["adjacency"]
         try:
             if algorithm is Algorithm.BFS:

@@ -28,12 +28,22 @@ from __future__ import annotations
 
 import abc
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+import numpy as np
+
 from repro.core.cost import ClusterSpec, CostMeter
 
-__all__ = ["MapReduceJob", "JobResult", "MapReduceEngine"]
+__all__ = [
+    "MapReduceJob",
+    "JobResult",
+    "MapReduceEngine",
+    "record_size",
+    "record_bytes_total",
+    "reduce_worker",
+]
 
 #: Serialized size of one key-value record (Writable overhead included).
 RECORD_BYTES = 24.0
@@ -62,6 +72,42 @@ def record_size(key: Any, value: Any) -> float:
             if isinstance(element, (list, tuple, set, frozenset)):
                 size += ELEMENT_BYTES * len(element)
     return size
+
+
+def record_bytes_total(records: list[tuple[Any, Any]]) -> float:
+    """Batched equivalent of ``sum(record_size(k, v) for k, v in records)``.
+
+    Counts collection elements in one fused pass and applies the
+    per-record constants once at the end. Exact, not approximate:
+    every term is an integer-valued float below 2**53, so
+    ``RECORD_BYTES * n + ELEMENT_BYTES * elements`` is bit-identical
+    to the scalar per-record sum (see ``CostMeter.charge_compute_bulk``
+    for the argument).
+    """
+    elements = 0
+    for _key, value in records:
+        if isinstance(value, (list, tuple, set, frozenset)):
+            elements += len(value)
+            for element in value:
+                if isinstance(element, (list, tuple, set, frozenset)):
+                    elements += len(element)
+    return RECORD_BYTES * len(records) + ELEMENT_BYTES * elements
+
+
+def reduce_worker(key: Any, num_workers: int) -> int:
+    """Stable reduce-task assignment (Hadoop's HashPartitioner).
+
+    Integer keys keep Hadoop's ``key % num_reducers`` placement; any
+    other key hashes via CRC32 of its ``repr`` so the assignment is
+    identical across interpreter processes. The builtin ``hash`` is
+    *not* usable here: ``hash(str)`` is salted by ``PYTHONHASHSEED``,
+    so per-worker charges — and therefore simulated times — would
+    differ between the parallel suite runner's worker processes and a
+    sequential run.
+    """
+    if isinstance(key, int):
+        return key % num_workers
+    return zlib.crc32(repr(key).encode("utf-8")) % num_workers
 
 
 class MapReduceJob(abc.ABC):
@@ -96,9 +142,18 @@ class JobResult:
 class MapReduceEngine:
     """Executes job chains over a simulated YARN cluster."""
 
-    def __init__(self, spec: ClusterSpec, meter: CostMeter | None = None):
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        meter: CostMeter | None = None,
+        bulk: bool = True,
+    ):
         self.spec = spec
         self.meter = meter or CostMeter(spec)
+        #: Batched shuffle accounting (fused byte totals, bincount
+        #: per-worker charges); ``bulk=False`` forces the per-record
+        #: scalar charges. The cost profile is identical either way.
+        self.bulk = bulk
         self.sort_buffer_bytes = min(
             SORT_BUFFER_BYTES,
             SORT_BUFFER_MEMORY_FRACTION * spec.memory_bytes_per_worker,
@@ -125,18 +180,30 @@ class MapReduceEngine:
 
         # ---- map phase ---------------------------------------------------
         meter.begin_round(f"map-{job.name}")
-        input_bytes = sum(record_size(k, v) for k, v in input_records)
+        input_bytes = self._records_bytes(input_records)
         meter.charge_disk_read(0, input_bytes)
 
         intermediate: list[tuple[Any, Any]] = []
-        per_worker_records = [0.0] * spec.num_workers
-        for index, (key, value) in enumerate(input_records):
-            worker = index % spec.num_workers  # input splits round-robin
-            emitted = list(job.map(key, value, counters))
-            per_worker_records[worker] += 1 + len(emitted)
-            intermediate.extend(emitted)
-        for worker, records in enumerate(per_worker_records):
-            meter.charge_compute(worker, records * RECORD_CPU_OPS)
+        if self.bulk:
+            emit_counts: list[int] = []
+            for key, value in input_records:
+                emitted = list(job.map(key, value, counters))
+                emit_counts.append(len(emitted))
+                intermediate.extend(emitted)
+            # Input splits are assigned round-robin by record index.
+            self._charge_records_bulk(
+                np.arange(len(input_records)) % spec.num_workers,
+                1.0 + np.asarray(emit_counts, dtype=np.float64),
+            )
+        else:
+            per_worker_records = [0.0] * spec.num_workers
+            for index, (key, value) in enumerate(input_records):
+                worker = index % spec.num_workers  # input splits round-robin
+                emitted = list(job.map(key, value, counters))
+                per_worker_records[worker] += 1 + len(emitted)
+                intermediate.extend(emitted)
+            for worker, records in enumerate(per_worker_records):
+                meter.charge_compute(worker, records * RECORD_CPU_OPS)
 
         # Map-side combine per (map task, key) group.
         grouped: dict[Any, list] = {}
@@ -146,7 +213,7 @@ class MapReduceEngine:
         for key, values in grouped.items():
             for value in job.combine(key, values):
                 combined.append((key, value))
-        map_output_bytes = sum(record_size(k, v) for k, v in combined)
+        map_output_bytes = self._records_bytes(combined)
         # Spill to local disk, then reducers fetch.
         meter.charge_disk_write(0, map_output_bytes)
         meter.end_round(active_vertices=len(input_records))
@@ -161,7 +228,10 @@ class MapReduceEngine:
         if combined:
             sort_ops = len(combined) * max(1.0, math.log2(len(combined))) * 2.0
             for worker in range(spec.num_workers):
-                meter.charge_compute(worker, sort_ops / spec.num_workers)
+                if self.bulk:
+                    meter.charge_compute_bulk(worker, sort_ops / spec.num_workers)
+                else:
+                    meter.charge_compute(worker, sort_ops / spec.num_workers)
         meter.end_round()
 
         # ---- reduce phase ---------------------------------------------------
@@ -169,19 +239,73 @@ class MapReduceEngine:
         by_key: dict[Any, list] = {}
         for key, value in combined:
             by_key.setdefault(key, []).append(value)
+        keys = sorted(by_key, key=repr)
         output: list[tuple[Any, Any]] = []
-        reduce_per_worker = [0.0] * spec.num_workers
-        for key in sorted(by_key, key=repr):
-            worker = hash(key) % spec.num_workers
-            emitted = list(job.reduce(key, by_key[key], counters))
-            reduce_per_worker[worker] += len(by_key[key]) + len(emitted)
-            output.extend(emitted)
-        for worker, records in enumerate(reduce_per_worker):
-            meter.charge_compute(worker, records * RECORD_CPU_OPS)
-        output_bytes = sum(record_size(k, v) for k, v in output)
+        if self.bulk:
+            key_records: list[int] = []
+            for key in keys:
+                emitted = list(job.reduce(key, by_key[key], counters))
+                key_records.append(len(by_key[key]) + len(emitted))
+                output.extend(emitted)
+            self._charge_records_bulk(
+                self._reduce_workers(keys),
+                np.asarray(key_records, dtype=np.float64),
+            )
+        else:
+            reduce_per_worker = [0.0] * spec.num_workers
+            for key in keys:
+                worker = reduce_worker(key, spec.num_workers)
+                emitted = list(job.reduce(key, by_key[key], counters))
+                reduce_per_worker[worker] += len(by_key[key]) + len(emitted)
+                output.extend(emitted)
+            for worker, records in enumerate(reduce_per_worker):
+                meter.charge_compute(worker, records * RECORD_CPU_OPS)
+        output_bytes = self._records_bytes(output)
         # HDFS write with replication; replicas cross the network.
         meter.charge_disk_write(0, output_bytes * HDFS_REPLICATION)
         meter.charge_shuffle(output_bytes * (HDFS_REPLICATION - 1))
         meter.end_round()
 
         return JobResult(output=output, counters=counters)
+
+    # -- batched accounting ------------------------------------------------
+
+    def _records_bytes(self, records: list[tuple[Any, Any]]) -> float:
+        """Serialized size of a record batch (fused pass when bulk)."""
+        if self.bulk:
+            return record_bytes_total(records)
+        return sum(record_size(k, v) for k, v in records)
+
+    def _reduce_workers(self, keys: list) -> np.ndarray:
+        """Vectorized :func:`reduce_worker` over a batch of keys.
+
+        Integer keys — the common case, vertex ids — reduce in one
+        modulo over the array; anything else falls back to the scalar
+        partitioner per key.
+        """
+        try:
+            key_array = np.asarray(keys, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return np.fromiter(
+                (reduce_worker(key, self.spec.num_workers) for key in keys),
+                dtype=np.int64,
+                count=len(keys),
+            )
+        return key_array % self.spec.num_workers
+
+    def _charge_records_bulk(
+        self, workers: np.ndarray, records: np.ndarray
+    ) -> None:
+        """Charge per-record CPU for a batch grouped by worker.
+
+        Integer record counts sum exactly under float64 regardless of
+        order, so one bulk charge per worker is bit-identical to the
+        scalar per-record accumulation.
+        """
+        per_worker = np.bincount(
+            workers, weights=records, minlength=self.spec.num_workers
+        )
+        for worker in np.nonzero(per_worker)[0]:
+            self.meter.charge_compute_bulk(
+                int(worker), float(per_worker[worker]) * RECORD_CPU_OPS
+            )

@@ -1,0 +1,338 @@
+"""Vectorized (bulk) superstep execution for the Pregel engine.
+
+The scalar engine runs one Python-level ``compute`` call per vertex
+and one ``CostMeter`` charge per vertex/message. For data-parallel
+programs whose per-vertex kernel is a pure function of the merged
+inbox — BFS frontier expansion and HashMin label propagation — the
+whole superstep can instead run as a handful of numpy operations over
+the CSR arrays, with per-worker op/message tallies computed by
+``np.bincount`` and charged through the batched
+:meth:`~repro.core.cost.CostMeter.charge_compute_bulk` /
+:meth:`~repro.core.cost.CostMeter.charge_messages_bulk` APIs.
+
+The contract, verified by ``tests/test_bulk_equivalence.py``: a bulk
+run produces *bit-identical* outputs and cost profiles to the scalar
+path. The charge structure below therefore mirrors
+``PregelEngine._run_supersteps`` exactly:
+
+* one op per computed vertex plus one per merged message digested;
+* per distinct ``(target, source worker)`` pair, one message charge
+  (sender-side combining) and queued-buffer memory on the receiving
+  worker; every further send into the pair is one combine op on the
+  source worker;
+* at the barrier, queued buffers are released and the merged inbox is
+  re-accounted on the receiving workers;
+* adaptive central supersteps run everything on worker 0 with no
+  barrier, exactly like the scalar engine.
+
+A program opts in by returning a :class:`BulkVertexKernel` from
+:meth:`~repro.platforms.pregel.engine.VertexProgram.bulk_step`; the
+kernel only applies to programs with a ``min`` combiner, fixed-size
+messages, no aggregators, and vote-to-halt-every-superstep semantics
+(the engine falls back to the scalar path for everything else).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.algorithms.bfs import UNREACHABLE
+
+__all__ = ["BulkVertexKernel", "BFSBulkKernel", "ConnBulkKernel", "BulkSuperstepRunner"]
+
+
+class BulkVertexKernel(abc.ABC):
+    """Vectorized counterpart of a :class:`VertexProgram`'s compute.
+
+    Kernels operate on dense vertex indices (positions in
+    ``graph.vertices``) and integer-valued numpy arrays. The runner
+    owns all cost accounting; a kernel only transforms values and
+    decides who sends what.
+    """
+
+    #: Receiver-side reduction over combined messages (min semantics).
+    reduce = np.minimum
+
+    @abc.abstractmethod
+    def initial_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Dense initial value array (one entry per vertex id)."""
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        superstep: int,
+        values: np.ndarray,
+        frontier: np.ndarray,
+        merged: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One whole superstep over the compute set.
+
+        ``frontier`` holds the dense indices of the vertices computing
+        this superstep (all vertices at superstep 0, message targets
+        afterwards) and ``merged`` the combined message per frontier
+        vertex (``None`` at superstep 0). Mutates ``values`` in place
+        and returns ``(senders, send_values)``: the dense indices that
+        send to their out-neighbors and the value each one sends.
+        """
+
+
+class BFSBulkKernel(BulkVertexKernel):
+    """Vectorized BFS frontier expansion (min combiner).
+
+    Mirrors :class:`~repro.platforms.pregel.programs.BFSProgram`: the
+    source seeds distance 0 at superstep 0; afterwards unreached
+    message targets adopt the merged (minimum) distance and forward
+    ``distance + 1``.
+    """
+
+    def __init__(self, source: int):
+        self.source = source
+        self._source_idx: int | None = None
+
+    def initial_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """All vertices start unreached; remembers the source index."""
+        position = int(np.searchsorted(vertex_ids, self.source))
+        self._source_idx = (
+            position
+            if position < len(vertex_ids)
+            and vertex_ids[position] == self.source
+            else None
+        )
+        return np.full(len(vertex_ids), UNREACHABLE, dtype=np.int64)
+
+    def compute(self, superstep, values, frontier, merged):
+        """One BFS superstep (see :class:`BulkVertexKernel`)."""
+        empty = np.empty(0, dtype=np.int64)
+        if superstep == 0:
+            if self._source_idx is None:
+                return empty, empty
+            values[self._source_idx] = 0
+            return (
+                np.array([self._source_idx], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )
+        fresh = values[frontier] == UNREACHABLE
+        newly = frontier[fresh]
+        values[newly] = merged[fresh]
+        return newly, merged[fresh] + 1
+
+
+class ConnBulkKernel(BulkVertexKernel):
+    """Vectorized HashMin label propagation (min combiner).
+
+    Mirrors :class:`~repro.platforms.pregel.programs.ConnProgram`:
+    every vertex broadcasts its own label at superstep 0; afterwards a
+    vertex adopts and re-broadcasts any strictly smaller merged label.
+    """
+
+    def initial_values(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Every vertex starts labeled with its own id."""
+        return vertex_ids.astype(np.int64, copy=True)
+
+    def compute(self, superstep, values, frontier, merged):
+        """One HashMin superstep (see :class:`BulkVertexKernel`)."""
+        if superstep == 0:
+            return frontier, values[frontier].copy()
+        adopt = merged < values[frontier]
+        newly = frontier[adopt]
+        values[newly] = merged[adopt]
+        return newly, merged[adopt]
+
+
+class BulkSuperstepRunner:
+    """Drives a :class:`BulkVertexKernel` with exact scalar-path costs.
+
+    Instantiated by :meth:`PregelEngine.run` when the program offers a
+    kernel and the engine's bulk path is enabled; shares the engine's
+    meter, partition map, and queued-message bookkeeping so that
+    memory accounting (including the final release) matches the
+    scalar path bit for bit.
+    """
+
+    def __init__(self, engine, program, kernel: BulkVertexKernel):
+        from repro.platforms.pregel.engine import MESSAGE_BYTES
+
+        self.engine = engine
+        self.program = program
+        self.kernel = kernel
+        graph = engine.graph
+        self.ids = graph.vertices
+        self.offsets, self.targets = graph.csr()
+        self.n = graph.num_vertices
+        self.num_workers = engine.spec.num_workers
+        self.workers = engine.worker_array
+        #: Queued bytes per message: payload plus buffer overhead.
+        self.message_memory = float(program.message_bytes) + MESSAGE_BYTES
+        self.payload = float(program.message_bytes)
+
+    def run(self):
+        """Execute to halting; returns a scalar-identical result."""
+        from repro.platforms.pregel.engine import PregelResult
+
+        engine, meter, program = self.engine, self.engine.meter, self.program
+        values = self.kernel.initial_values(self.ids)
+
+        meter.begin_round("init")
+        self._charge_ops(np.bincount(self.workers, minlength=self.num_workers))
+        meter.end_round(active_vertices=self.n)
+
+        frontier = np.arange(self.n, dtype=np.int64)
+        merged: np.ndarray | None = None
+        superstep = 0
+        while superstep < program.max_supersteps():
+            if len(frontier) == 0:
+                break
+            central = (
+                engine.adaptive_central_fraction is not None
+                and len(frontier) < engine.adaptive_central_fraction * self.n
+            )
+            engine._central_mode = central
+            meter.begin_round(
+                f"superstep-{superstep}" + ("-central" if central else ""),
+                barrier=not central,
+            )
+            computed = len(frontier)
+            self._charge_compute(frontier, central, messages=min(superstep, 1))
+            senders, send_values = self.kernel.compute(
+                superstep, values, frontier, merged
+            )
+            frontier, merged = self._deliver(senders, send_values, central)
+            meter.end_round(active_vertices=computed)
+            superstep += 1
+        else:
+            raise RuntimeError(
+                f"{type(program).__name__} exceeded "
+                f"{program.max_supersteps()} supersteps"
+            )
+
+        self._release_queued()
+        return PregelResult(
+            values={
+                int(vertex): int(value)
+                for vertex, value in zip(self.ids, values)
+            },
+            supersteps=superstep,
+            aggregated={},
+        )
+
+    # -- charging helpers ---------------------------------------------
+
+    def _charge_ops(self, ops_per_worker: np.ndarray) -> None:
+        """Charge precomputed per-worker op tallies in bulk."""
+        meter = self.engine.meter
+        for worker in np.nonzero(ops_per_worker)[0]:
+            meter.charge_compute_bulk(int(worker), float(ops_per_worker[worker]))
+
+    def _charge_compute(
+        self, frontier: np.ndarray, central: bool, messages: int
+    ) -> None:
+        """One op per computed vertex plus one per digested message."""
+        if central:
+            ops = np.zeros(self.num_workers, dtype=np.int64)
+            ops[0] = len(frontier) * (1 + messages)
+        else:
+            ops = np.bincount(
+                self.workers[frontier], minlength=self.num_workers
+            ) * (1 + messages)
+        self._charge_ops(ops)
+
+    def _deliver(
+        self, senders: np.ndarray, send_values: np.ndarray, central: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Expand sends over the CSR, charge them, run the barrier.
+
+        Returns the next superstep's ``(frontier, merged)``.
+        """
+        if len(senders):
+            starts = self.offsets[senders]
+            counts = self.offsets[senders + 1] - starts
+            total = int(counts.sum())
+        else:
+            total = 0
+        if total == 0:
+            self._barrier_memory(np.empty(0, dtype=np.int64), central)
+            return np.empty(0, dtype=np.int64), None
+
+        bounds = np.cumsum(counts)
+        positions = np.arange(total, dtype=np.int64)
+        positions += np.repeat(starts - (bounds - counts), counts)
+        flat_dst = self.targets[positions]
+        flat_values = np.repeat(send_values, counts)
+        if central:
+            flat_src_w = np.zeros(total, dtype=np.int64)
+        else:
+            flat_src_w = np.repeat(self.workers[senders], counts)
+
+        # Sender-side combining: one wire message per distinct
+        # (target, source worker) pair, one combine op per duplicate.
+        key = flat_dst * self.num_workers + flat_src_w
+        unique_keys, group_sizes = np.unique(key, return_counts=True)
+        pair_dst = unique_keys // self.num_workers
+        pair_src_w = unique_keys % self.num_workers
+        pair_dst_w = (
+            np.zeros(len(pair_dst), dtype=np.int64)
+            if central
+            else self.workers[pair_dst]
+        )
+        self._charge_messages(pair_src_w, pair_dst_w)
+        extra = np.bincount(
+            pair_src_w,
+            weights=(group_sizes - 1).astype(np.float64),
+            minlength=self.num_workers,
+        )
+        self._charge_ops(extra)
+        self._queue_memory(pair_dst_w)
+
+        # Receiver-side merge: reduce all values aimed at each target.
+        order = np.argsort(flat_dst, kind="stable")
+        sorted_dst = flat_dst[order]
+        new_frontier, first = np.unique(sorted_dst, return_index=True)
+        merged = self.kernel.reduce.reduceat(flat_values[order], first)
+        self._barrier_memory(new_frontier, central)
+        return new_frontier, merged
+
+    def _charge_messages(
+        self, src_workers: np.ndarray, dst_workers: np.ndarray
+    ) -> None:
+        """Bulk-charge one message per (src, dst) worker-pair member."""
+        meter = self.engine.meter
+        pair = src_workers * self.num_workers + dst_workers
+        pair_counts = np.bincount(pair, minlength=self.num_workers ** 2)
+        for index in np.nonzero(pair_counts)[0]:
+            meter.charge_messages_bulk(
+                int(index) // self.num_workers,
+                int(index) % self.num_workers,
+                int(pair_counts[index]),
+                self.payload,
+            )
+
+    def _queue_memory(self, dst_workers: np.ndarray) -> None:
+        """Allocate queued-message buffers on the receiving workers."""
+        engine, meter = self.engine, self.engine.meter
+        per_worker = (
+            np.bincount(dst_workers, minlength=self.num_workers)
+            * self.message_memory
+        )
+        for worker in np.nonzero(per_worker)[0]:
+            engine._message_bytes_queued[worker] += per_worker[worker]
+            meter.allocate_memory(int(worker), float(per_worker[worker]))
+
+    def _barrier_memory(self, new_frontier: np.ndarray, central: bool) -> None:
+        """Release queued buffers, re-account the merged inbox."""
+        self._release_queued()
+        if len(new_frontier) == 0:
+            return
+        if central:
+            receivers = np.zeros(len(new_frontier), dtype=np.int64)
+        else:
+            receivers = self.workers[new_frontier]
+        self._queue_memory(receivers)
+
+    def _release_queued(self) -> None:
+        """Release all queued message memory (scalar barrier step)."""
+        engine, meter = self.engine, self.engine.meter
+        for worker in range(self.num_workers):
+            meter.release_memory(worker, engine._message_bytes_queued[worker])
+            engine._message_bytes_queued[worker] = 0.0

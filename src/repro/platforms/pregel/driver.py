@@ -32,6 +32,13 @@ class GiraphPlatform(Platform):
 
     name = "giraph"
 
+    def __init__(self, cluster: ClusterSpec, bulk: bool = True):
+        super().__init__(cluster)
+        #: Vectorized superstep path for programs that support it;
+        #: ``bulk=False`` forces the scalar per-vertex path (the cost
+        #: profile is identical either way).
+        self.bulk = bulk
+
     def _load(self, name: str, graph: Graph) -> GraphHandle:
         undirected = graph.to_undirected()
         storage = (
@@ -59,7 +66,7 @@ class GiraphPlatform(Platform):
     ) -> tuple[object, RunProfile]:
         meter = CostMeter(self.cluster)
         meter.charge_startup()
-        engine = PregelEngine(handle.graph, self.cluster, meter)
+        engine = PregelEngine(handle.graph, self.cluster, meter, bulk=self.bulk)
         program = self._build_program(handle.graph, algorithm, params)
         result = engine.run(program)
         output = self._extract_output(handle.graph, algorithm, params, result)

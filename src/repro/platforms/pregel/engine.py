@@ -23,6 +23,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.core.cost import ClusterSpec, CostMeter
 from repro.graph.graph import Graph
 
@@ -79,6 +81,19 @@ class VertexProgram(abc.ABC):
     def max_supersteps(self) -> int:
         """Safety bound; engines abort beyond it."""
         return 200
+
+    def bulk_step(self):
+        """Optional vectorized whole-superstep kernel.
+
+        Programs whose compute is a pure function of the merged inbox
+        (min combiner, fixed message size, no aggregators,
+        vote-to-halt every superstep) may return a
+        :class:`~repro.platforms.pregel.bulk.BulkVertexKernel`; the
+        engine then executes supersteps as numpy frontier operations
+        with bit-identical cost accounting. The default ``None`` keeps
+        the scalar per-vertex path.
+        """
+        return None
 
 
 @dataclass
@@ -171,24 +186,29 @@ class PregelEngine:
         meter: CostMeter | None = None,
         partition: dict[int, int] | None = None,
         adaptive_central_fraction: float | None = None,
+        bulk: bool = True,
     ):
         self.graph = graph.to_directed() if not graph.directed else graph
-        # Vertex programs see out-adjacency; Graphalytics loads
-        # undirected graphs as symmetric arc sets.
-        self.adjacency: dict[int, list[int]] = {
-            int(v): [int(u) for u in self.graph.neighbors(int(v))]
-            for v in self.graph.vertices
-        }
         self.spec = spec
         self.meter = meter or CostMeter(spec)
+        # Per-vertex structures (the adjacency dict and the partition
+        # dict) are built lazily: the bulk path never touches them and
+        # skips their O(vertices) Python construction entirely.
+        self._adjacency: dict[int, list[int]] | None = None
+        vertex_ids = self.graph.vertices
         if partition is None:
             # Giraph's default hash partitioning; alternatives live in
-            # :mod:`repro.platforms.pregel.partitioning`.
-            partition = {
-                v: partition_of(v, spec.num_workers) for v in self.adjacency
-            }
+            # :mod:`repro.platforms.pregel.partitioning`. Computed
+            # vectorized: for non-negative ids, unsigned wraparound
+            # preserves the low 32 bits of the product, so this equals
+            # :func:`partition_of` element-wise.
+            hashed = vertex_ids.astype(np.uint64) * np.uint64(_KNUTH)
+            self._worker_array = (
+                (hashed & np.uint64(0xFFFFFFFF)) % np.uint64(spec.num_workers)
+            ).astype(np.int64)
+            self._partition_dict: dict[int, int] | None = None
         else:
-            missing = set(self.adjacency) - set(partition)
+            missing = set(int(v) for v in vertex_ids) - set(partition)
             if missing:
                 raise ValueError(f"partition map misses {len(missing)} vertices")
             out_of_range = {
@@ -200,7 +220,12 @@ class PregelEngine:
                 raise ValueError(
                     f"partition map assigns unknown workers: {out_of_range}"
                 )
-        self.partition: dict[int, int] = dict(partition)
+            self._partition_dict = dict(partition)
+            self._worker_array = np.fromiter(
+                (self._partition_dict[int(v)] for v in vertex_ids),
+                dtype=np.int64,
+                count=len(vertex_ids),
+            )
         # The paper's remedy for low-activity tails: "adaptive
         # switching of distributed computation to central computation
         # to handle iterations with little work". When the active set
@@ -211,6 +236,10 @@ class PregelEngine:
         ):
             raise ValueError("adaptive_central_fraction must be in (0, 1]")
         self.adaptive_central_fraction = adaptive_central_fraction
+        #: Take the vectorized path for programs that offer a
+        #: :meth:`VertexProgram.bulk_step` kernel; ``False`` forces the
+        #: scalar per-vertex path (the escape hatch).
+        self.bulk = bulk
         self._central_mode = False
         self.aggregated: dict[str, Any] = {}
         self._pending_aggregates: dict[str, Any] = {}
@@ -221,16 +250,50 @@ class PregelEngine:
         self._message_bytes_queued: list[float] = [0.0] * spec.num_workers
         self._program: VertexProgram | None = None
 
+    # -- lazy per-vertex structures ----------------------------------------
+
+    @property
+    def adjacency(self) -> dict[int, list[int]]:
+        """Out-adjacency as Python lists, built on first (scalar) use.
+
+        Vertex programs see out-adjacency; Graphalytics loads
+        undirected graphs as symmetric arc sets.
+        """
+        if self._adjacency is None:
+            self._adjacency = {
+                int(v): [int(u) for u in self.graph.neighbors(int(v))]
+                for v in self.graph.vertices
+            }
+        return self._adjacency
+
+    @property
+    def partition(self) -> dict[int, int]:
+        """Vertex id -> worker mapping (built lazily for the default)."""
+        if self._partition_dict is None:
+            self._partition_dict = {
+                int(v): int(w)
+                for v, w in zip(self.graph.vertices, self._worker_array)
+            }
+        return self._partition_dict
+
+    @property
+    def worker_array(self) -> np.ndarray:
+        """Worker of each vertex, ordered by dense vertex index."""
+        return self._worker_array
+
     # -- memory ------------------------------------------------------------
 
     def load_partitions(self, program: VertexProgram) -> None:
         """Charge the resident partition memory of the loaded graph."""
-        per_worker_vertices = [0] * self.spec.num_workers
-        per_worker_edges = [0] * self.spec.num_workers
-        for vertex, neighbors in self.adjacency.items():
-            worker = self.partition[vertex]
-            per_worker_vertices[worker] += 1
-            per_worker_edges[worker] += len(neighbors)
+        workers = self._worker_array
+        per_worker_vertices = np.bincount(
+            workers, minlength=self.spec.num_workers
+        )
+        per_worker_edges = np.bincount(
+            workers,
+            weights=self.graph.out_degrees().astype(np.float64),
+            minlength=self.spec.num_workers,
+        )
         for worker in range(self.spec.num_workers):
             resident = (
                 per_worker_vertices[worker] * (VERTEX_BYTES + program.value_bytes)
@@ -284,10 +347,22 @@ class PregelEngine:
     # -- execution ------------------------------------------------------------
 
     def run(self, program: VertexProgram) -> PregelResult:
-        """Execute the program to halting; returns final vertex values."""
+        """Execute the program to halting; returns final vertex values.
+
+        Programs that provide a :meth:`VertexProgram.bulk_step` kernel
+        run through the vectorized superstep path (unless the engine
+        was built with ``bulk=False``); the cost profile is identical
+        either way.
+        """
+        # Imported here: the bulk module depends on this one.
+        from repro.platforms.pregel.bulk import BulkSuperstepRunner
+
         self._program = program
         self.load_partitions(program)
         try:
+            kernel = program.bulk_step() if self.bulk else None
+            if kernel is not None:
+                return BulkSuperstepRunner(self, program, kernel).run()
             return self._run_supersteps(program)
         finally:
             self.unload_partitions()

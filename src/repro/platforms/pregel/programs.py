@@ -18,6 +18,7 @@ from typing import Any
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.platforms.pregel.bulk import BFSBulkKernel, ConnBulkKernel
 from repro.platforms.pregel.engine import VertexContext, VertexProgram
 
 __all__ = [
@@ -50,6 +51,10 @@ class BFSProgram(VertexProgram):
         """Sender-side message combiner."""
         return min
 
+    def bulk_step(self):
+        """Vectorized frontier-expansion kernel (same semantics)."""
+        return BFSBulkKernel(self.source)
+
     def compute(self, ctx: VertexContext, messages: list) -> None:
         """Per-vertex kernel (see :class:`VertexProgram`)."""
         if ctx.superstep == 0:
@@ -80,6 +85,10 @@ class ConnProgram(VertexProgram):
     def combiner(self):
         """Sender-side message combiner."""
         return min
+
+    def bulk_step(self):
+        """Vectorized HashMin propagation kernel (same semantics)."""
+        return ConnBulkKernel()
 
     def compute(self, ctx: VertexContext, messages: list) -> None:
         """Per-vertex kernel (see :class:`VertexProgram`)."""

@@ -1,0 +1,380 @@
+"""Vectorized (bulk) execution of the GraphX Pregel loop.
+
+The scalar path runs BFS and CONN through the real RDD substrate: one
+Python closure call and one dict operation per record per stage. For
+these two algorithms every stage's *records* are fixed-shape integer
+pairs, so the whole loop collapses into numpy array operations — while
+the :class:`~repro.core.cost.CostMeter` event sequence is replayed
+verbatim from per-worker record counts.
+
+The contract, verified by ``tests/test_bulk_equivalence.py``: a bulk
+run produces *bit-identical* outputs and cost profiles to the scalar
+path. That works because every scalar charge is a per-record constant:
+
+* each stage charges ``records * RECORD_CPU_OPS`` per worker and
+  materializes ``records * bytes-per-record`` of cached memory, where
+  the per-record footprint depends only on the record *shape*
+  (``(id, int)`` pairs: 48 bytes; ``(id, (int, flag))`` vertex values:
+  80; join triplets: 112) — so count × constant reproduces the scalar
+  float accumulation exactly (integer-valued float64 sums below 2**53);
+* the ``reduceByKey`` shuffle moves the map-side-combined ``(dst,
+  source-partition)`` pairs whose key does not hash home, 24 wire
+  bytes each;
+* vertex-side join inputs lost their partitioner to ``map`` but stay
+  physically hash-aligned, so their re-shuffle charges zero bytes —
+  the bulk path makes the same (empty) ``charge_shuffle`` call;
+* stage names consume the context's shared stage counter in the same
+  order, and every materialize/unpersist allocates/releases the same
+  per-worker byte totals at the same point in the sequence.
+
+The runner is engaged by :class:`~repro.platforms.rddgraph.driver.
+GraphXPlatform` when built with ``bulk=True`` (the default);
+``bulk=False`` forces the scalar RDD path.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.algorithms.bfs import UNREACHABLE
+from repro.graph.graph import Graph
+from repro.platforms.rddgraph.graphx import GraphXGraph
+from repro.platforms.rddgraph.rdd import RECORD_CPU_OPS
+
+__all__ = [
+    "RDDBulkKernel",
+    "RDDBFSBulkKernel",
+    "RDDConnBulkKernel",
+    "BulkPregelRunner",
+    "graphx_bfs_bulk",
+    "graphx_conn_bulk",
+]
+
+_KNUTH = 2654435761
+
+#: Cached bytes of one ``(id, int)`` record (``RECORD_MEMORY_BYTES``).
+_PAIR_BYTES = 48.0
+#: Cached bytes of one ``(id, (value, flag))`` vertex record.
+_VERTEX_BYTES = 80.0
+#: Cached bytes of one join output ``(id, (other, (value, flag)))``.
+_JOINED_BYTES = 112.0
+#: Wire bytes of one shuffled ``(id, int)`` record.
+_PAIR_WIRE_BYTES = 24.0
+#: Wire bytes of one collected ``(id, (value, flag))`` record.
+_VERTEX_WIRE_BYTES = 40.0
+
+
+class RDDBulkKernel(abc.ABC):
+    """Vectorized counterpart of one GraphX Pregel algorithm.
+
+    Kernels hold the dense per-vertex ``values`` and ``changed``
+    arrays the scalar algorithms encode in their vertex-value tuples;
+    the runner owns all cost accounting.
+    """
+
+    #: Receiver-side merge of messages per target (min semantics).
+    reduce = np.minimum
+
+    @abc.abstractmethod
+    def initial(self, vertex_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(values, changed)`` arrays before the first iteration."""
+
+    @abc.abstractmethod
+    def send_mask(
+        self, values: np.ndarray, changed: np.ndarray
+    ) -> np.ndarray:
+        """Which vertices emit a message along every out-arc."""
+
+    @abc.abstractmethod
+    def message_values(self, sender_values: np.ndarray) -> np.ndarray:
+        """The message payload per sending arc, from the arc's source."""
+
+    @abc.abstractmethod
+    def absorb(
+        self,
+        values: np.ndarray,
+        changed: np.ndarray,
+        targets: np.ndarray,
+        incoming: np.ndarray,
+    ) -> None:
+        """The vertex program: fold merged messages into the state.
+
+        Mutates ``values``/``changed`` in place; vertices without
+        messages always end the iteration unchanged (scalar ``vprog``
+        returns ``changed=False`` for them).
+        """
+
+
+class RDDBFSBulkKernel(RDDBulkKernel):
+    """Vectorized GraphX BFS (value = ``(distance, changed)``).
+
+    Mirrors :func:`~repro.platforms.rddgraph.algorithms.graphx_bfs`:
+    the source starts changed at distance 0; changed, reached vertices
+    offer ``distance + 1`` along every arc; unreached targets adopt
+    the minimum offer.
+    """
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def initial(self, vertex_ids):
+        """Source at distance 0 and changed; everyone else unreached."""
+        values = np.full(len(vertex_ids), UNREACHABLE, dtype=np.int64)
+        changed = np.zeros(len(vertex_ids), dtype=bool)
+        position = int(np.searchsorted(vertex_ids, self.source))
+        if position < len(vertex_ids) and vertex_ids[position] == self.source:
+            values[position] = 0
+            changed[position] = True
+        return values, changed
+
+    def send_mask(self, values, changed):
+        """Changed *and* reached vertices broadcast their distance."""
+        return changed & (values != UNREACHABLE)
+
+    def message_values(self, sender_values):
+        """A reached sender offers ``its distance + 1``."""
+        return sender_values + 1
+
+    def absorb(self, values, changed, targets, incoming):
+        """Unreached targets adopt the merged (minimum) distance."""
+        changed[:] = False
+        fresh = values[targets] == UNREACHABLE
+        newly = targets[fresh]
+        values[newly] = incoming[fresh]
+        changed[newly] = True
+
+
+class RDDConnBulkKernel(RDDBulkKernel):
+    """Vectorized GraphX connected components (HashMin).
+
+    Mirrors :meth:`GraphXGraph.connected_components`: everyone starts
+    changed in its own component; changed vertices broadcast their
+    label; a strictly smaller merged label is adopted.
+    """
+
+    def initial(self, vertex_ids):
+        """Every vertex starts changed, labeled with its own id."""
+        return (
+            vertex_ids.astype(np.int64, copy=True),
+            np.ones(len(vertex_ids), dtype=bool),
+        )
+
+    def send_mask(self, values, changed):
+        """Vertices whose label shrank last iteration broadcast it."""
+        return changed
+
+    def message_values(self, sender_values):
+        """The sender offers its current component label."""
+        return sender_values
+
+    def absorb(self, values, changed, targets, incoming):
+        """Adopt a strictly smaller merged label."""
+        changed[:] = False
+        adopt = incoming < values[targets]
+        newly = targets[adopt]
+        values[newly] = incoming[adopt]
+        changed[newly] = True
+
+
+class BulkPregelRunner:
+    """Replays the scalar RDD Pregel loop's cost events, vectorized.
+
+    Built from the :class:`GraphXGraph` (for the shared meter and
+    stage counter) and the underlying :class:`Graph` (for the CSR
+    arrays the scalar path re-derives record by record).
+    """
+
+    def __init__(self, graphx: GraphXGraph, graph: Graph, kernel: RDDBulkKernel):
+        self.context = graphx.context
+        self.meter = self.context.meter
+        self.kernel = kernel
+        undirected = graph.to_undirected()
+        self.ids = undirected.vertices
+        self.num_workers = self.context.spec.num_workers
+        workers = np.uint64(self.num_workers)
+        hashed = self.ids.astype(np.uint64) * np.uint64(_KNUTH)
+        #: ``_key_partition`` of every vertex id, vectorized.
+        self.vertex_workers = (
+            (hashed & np.uint64(0xFFFFFFFF)) % workers
+        ).astype(np.int64)
+        degrees = undirected.out_degrees()
+        self.arc_source = np.repeat(
+            np.arange(len(self.ids), dtype=np.int64), degrees
+        )
+        _, self.arc_target = undirected.csr()
+        self.arc_workers = self.vertex_workers[self.arc_source]
+        self.vertices_per_worker = np.bincount(
+            self.vertex_workers, minlength=self.num_workers
+        )
+        self.arcs_per_worker = np.bincount(
+            self.arc_workers, minlength=self.num_workers
+        )
+
+    # -- the loop -----------------------------------------------------
+
+    def run(self, max_iterations: int) -> tuple[np.ndarray, str]:
+        """Execute the Pregel loop; returns final values and RDD name."""
+        kernel, meter = self.kernel, self.meter
+        values, changed = kernel.initial(self.ids)
+        arcs, vertices = self.arcs_per_worker, self.vertices_per_worker
+        total_vertices = int(vertices.sum())
+
+        self._narrow_stage("mapVertices", vertices, vertices, total_vertices)
+        self._allocate(_VERTEX_BYTES * vertices)
+        name = "mapVertices"
+        has_previous = False
+        for _iteration in range(max_iterations):
+            # triplets = edges ⋈ vertices: a full edge-RDD scan.
+            self._begin_stage("triplets")
+            meter.charge_shuffle(0.0, count=0)  # vertex side, all local
+            self._charge_counts(2 * arcs + vertices)
+            self._charge_probes(arcs)
+            meter.end_round(active_vertices=int(arcs.sum()))
+            self._allocate(_JOINED_BYTES * arcs)
+            # sendMsg: one flat_map over every triplet.
+            sending = kernel.send_mask(values, changed)
+            arc_mask = sending[self.arc_source]
+            message_targets = self.arc_target[arc_mask]
+            message_workers = self.arc_workers[arc_mask]
+            messages = np.bincount(message_workers, minlength=self.num_workers)
+            self._narrow_stage(
+                "sendMsg", arcs, messages, int(messages.sum())
+            )
+            self._allocate(_PAIR_BYTES * messages)
+            # mergeMsg: map-side combine, shuffle home, final reduce.
+            payloads = kernel.message_values(values[self.arc_source[arc_mask]])
+            self._begin_stage("mergeMsg")
+            self._charge_counts(messages)
+            pair_keys = np.unique(
+                message_targets * self.num_workers + message_workers
+            )
+            pair_target = pair_keys // self.num_workers
+            pair_worker = pair_keys % self.num_workers
+            remote = int(
+                np.count_nonzero(
+                    pair_worker != self.vertex_workers[pair_target]
+                )
+            )
+            meter.charge_shuffle(remote * _PAIR_WIRE_BYTES, count=remote)
+            received = np.bincount(
+                self.vertex_workers[pair_target], minlength=self.num_workers
+            )
+            self._charge_counts(received)
+            order = np.argsort(message_targets, kind="stable")
+            targets, first = np.unique(
+                message_targets[order], return_index=True
+            )
+            incoming = (
+                kernel.reduce.reduceat(payloads[order], first)
+                if len(targets)
+                else np.empty(0, dtype=np.int64)
+            )
+            merged = np.bincount(
+                self.vertex_workers[targets], minlength=self.num_workers
+            )
+            meter.end_round(active_vertices=len(targets))
+            self._allocate(_PAIR_BYTES * merged)
+            self._release(_JOINED_BYTES * arcs)  # triplets.unpersist()
+            self._release(_PAIR_BYTES * messages)  # messages.unpersist()
+            if len(targets) == 0:
+                self._release(_PAIR_BYTES * merged)  # merged.unpersist()
+                break
+            # vprog: left-outer-join the merged messages, map the program.
+            self._begin_stage("vprog-join")
+            meter.charge_shuffle(0.0, count=0)  # vertex side, all local
+            self._charge_counts(2 * vertices + merged)
+            self._charge_probes(vertices)
+            meter.end_round(active_vertices=total_vertices)
+            self._allocate(_JOINED_BYTES * vertices)
+            self._narrow_stage("vprog", vertices, vertices, total_vertices)
+            self._allocate(_VERTEX_BYTES * vertices)
+            self._release(_JOINED_BYTES * vertices)  # joined.unpersist()
+            self._release(_PAIR_BYTES * merged)  # merged.unpersist()
+            if has_previous:  # lineage: previous generation released now
+                self._release(_VERTEX_BYTES * vertices)
+            has_previous = True
+            name = "vprog"
+            kernel.absorb(values, changed, targets, incoming)
+        if has_previous:
+            self._release(_VERTEX_BYTES * vertices)
+        return values, name
+
+    def collect(self, name: str, record_wire_bytes: float) -> None:
+        """Replay :meth:`RDD.collect`'s charges for the final RDD."""
+        meter = self.meter
+        meter.begin_round(f"collect-{name}")
+        self._charge_counts(self.vertices_per_worker)
+        total = int(self.vertices_per_worker.sum())
+        meter.charge_shuffle(total * record_wire_bytes, count=total)
+        meter.end_round(active_vertices=total)
+
+    def map_values_stage(self, name: str) -> None:
+        """Replay one narrow ``map_values`` stage over the vertex RDD."""
+        vertices = self.vertices_per_worker
+        self._narrow_stage(name, vertices, vertices, int(vertices.sum()))
+        self._allocate(_PAIR_BYTES * vertices)
+
+    # -- charge helpers -----------------------------------------------
+
+    def _begin_stage(self, suffix: str) -> None:
+        """Open a round named with the context's shared stage counter."""
+        self.meter.begin_round(f"stage-{next(self.context._stage)}-{suffix}")
+
+    def _narrow_stage(
+        self,
+        suffix: str,
+        in_counts: np.ndarray,
+        out_counts: np.ndarray,
+        produced: int,
+    ) -> None:
+        """One narrow transformation: per-record CPU in and out."""
+        self._begin_stage(suffix)
+        self._charge_counts(in_counts + out_counts)
+        self.meter.end_round(active_vertices=produced)
+
+    def _charge_counts(self, records_per_worker: np.ndarray) -> None:
+        """Charge ``records * RECORD_CPU_OPS`` per worker, batched."""
+        for worker in np.nonzero(records_per_worker)[0]:
+            self.meter.charge_compute_bulk(
+                int(worker), float(records_per_worker[worker]) * RECORD_CPU_OPS
+            )
+
+    def _charge_probes(self, probes_per_worker: np.ndarray) -> None:
+        """Charge hash-join probes as random accesses, batched."""
+        for worker in np.nonzero(probes_per_worker)[0]:
+            self.meter.charge_compute_bulk(
+                int(worker), 0.0, random_accesses=float(probes_per_worker[worker])
+            )
+
+    def _allocate(self, bytes_per_worker: np.ndarray) -> None:
+        """Materialize an RDD: cached bytes on every worker."""
+        for worker in range(self.num_workers):
+            self.meter.allocate_memory(worker, float(bytes_per_worker[worker]))
+
+    def _release(self, bytes_per_worker: np.ndarray) -> None:
+        """Unpersist an RDD: release its cached bytes."""
+        for worker in range(self.num_workers):
+            self.meter.release_memory(worker, float(bytes_per_worker[worker]))
+
+
+def graphx_bfs_bulk(
+    graphx: GraphXGraph, graph: Graph, source: int, max_iterations: int = 100
+) -> dict[int, int]:
+    """Bulk twin of :func:`~repro.platforms.rddgraph.algorithms.graphx_bfs`."""
+    runner = BulkPregelRunner(graphx, graph, RDDBFSBulkKernel(source))
+    values, name = runner.run(max_iterations)
+    runner.collect(name, _VERTEX_WIRE_BYTES)
+    return {int(v): int(d) for v, d in zip(runner.ids, values)}
+
+
+def graphx_conn_bulk(
+    graphx: GraphXGraph, graph: Graph, max_iterations: int = 100
+) -> dict[int, int]:
+    """Bulk twin of :func:`~repro.platforms.rddgraph.algorithms.graphx_conn`."""
+    runner = BulkPregelRunner(graphx, graph, RDDConnBulkKernel())
+    values, _name = runner.run(max_iterations)
+    runner.map_values_stage("components")
+    runner.collect("components", _PAIR_WIRE_BYTES)
+    return {int(v): int(c) for v, c in zip(runner.ids, values)}

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.algorithms.evo import ambassador_for
 from repro.core import etl
-from repro.core.cost import CostMeter, RunProfile
+from repro.core.cost import ClusterSpec, CostMeter, RunProfile
 from repro.core.platform_api import GraphHandle, Platform
 from repro.core.workload import Algorithm, AlgorithmParams
 from repro.graph.graph import Graph
@@ -15,6 +15,7 @@ from repro.platforms.rddgraph.algorithms import (
     graphx_evo,
     graphx_stats,
 )
+from repro.platforms.rddgraph.bulk import graphx_bfs_bulk, graphx_conn_bulk
 from repro.platforms.rddgraph.graphx import GraphXGraph
 from repro.platforms.rddgraph.rdd import RDDContext
 
@@ -31,6 +32,13 @@ class GraphXPlatform(Platform):
     """
 
     name = "graphx"
+
+    def __init__(self, cluster: ClusterSpec, bulk: bool = True):
+        super().__init__(cluster)
+        #: Vectorized Pregel-loop path for BFS/CONN; ``bulk=False``
+        #: forces the scalar per-record RDD path (the cost profile is
+        #: identical either way).
+        self.bulk = bulk
 
     def _load(self, name: str, graph: Graph) -> GraphHandle:
         undirected = graph.to_undirected()
@@ -80,8 +88,12 @@ class GraphXPlatform(Platform):
     def _dispatch(self, graph, adjacency, algorithm, params, handle):
         if algorithm is Algorithm.BFS:
             source = params.resolve_bfs_source(handle.graph)
+            if self.bulk:
+                return graphx_bfs_bulk(graph, handle.graph, source)
             return graphx_bfs(graph, source)
         if algorithm is Algorithm.CONN:
+            if self.bulk:
+                return graphx_conn_bulk(graph, handle.graph)
             return graphx_conn(graph)
         if algorithm is Algorithm.CD:
             degrees = dict(graph.degrees().collect())

@@ -26,6 +26,7 @@ charges the shared :class:`~repro.core.cost.CostMeter`:
 from __future__ import annotations
 
 import itertools
+import zlib
 from typing import Any, Callable, Iterable
 
 from repro.core.cost import ClusterSpec, CostMeter
@@ -50,10 +51,16 @@ _KNUTH = 2654435761
 
 
 def _key_partition(key: Any, num_partitions: int) -> int:
-    """Deterministic hash partitioning (stable across runs)."""
+    """Deterministic hash partitioning (stable across runs).
+
+    Non-integer keys hash via CRC32 of their ``repr`` rather than the
+    builtin ``hash``, whose string salt (``PYTHONHASHSEED``) would
+    place records differently in each interpreter process — the
+    parallel suite runner requires identical placement everywhere.
+    """
     if isinstance(key, int):
         return ((key * _KNUTH) & 0xFFFFFFFF) % num_partitions
-    return (hash(repr(key)) & 0x7FFFFFFF) % num_partitions
+    return (zlib.crc32(repr(key).encode("utf-8")) & 0x7FFFFFFF) % num_partitions
 
 
 def _value_memory(value: Any) -> float:

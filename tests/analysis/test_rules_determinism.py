@@ -141,3 +141,31 @@ class TestCostAccounting:
                 self.totals[worker] = 0
         """
         assert _rules(code, ENGINE_PATH) == []
+
+    def test_bulk_charges_count_as_accounting(self):
+        # The batched CostMeter APIs discharge the contract exactly
+        # like their scalar counterparts.
+        code = """
+        def expand(self, meter):
+            for worker, ops in enumerate(self.frontier_ops):
+                meter.charge_compute_bulk(worker, ops)
+        """
+        assert _rules(code, ENGINE_PATH) == []
+        code = """
+        def exchange(self, meter):
+            for pair in self.message_pairs:
+                meter.charge_messages_bulk(pair[0], pair[1], 10, 8.0)
+        """
+        assert _rules(code, ENGINE_PATH) == []
+
+    def test_bulk_modules_in_scope(self):
+        # The vectorized kernel modules are engine code: an uncharged
+        # frontier loop there is a finding too.
+        bulk_path = "src/repro/platforms/fake/bulk.py"
+        assert _rules(UNCHARGED_LOOP, bulk_path) == ["cost-accounting"]
+        code = """
+        def expand(self, meter):
+            for chunk in self.frontier_chunks:
+                meter.charge_compute_bulk(0, float(chunk.size))
+        """
+        assert _rules(code, bulk_path) == []

@@ -178,3 +178,88 @@ class TestRepetitions:
         (result,) = suite.results
         first, second = result.repetition_runtimes
         assert first == pytest.approx(second)
+
+
+def _canonical(suite):
+    """A suite with every real wall-clock field stripped.
+
+    What remains must be byte-identical between sequential and
+    parallel execution — the parallel runner's contract.
+    """
+    canon = []
+    for result in suite.results:
+        run = None
+        if result.run is not None:
+            profile = result.run.profile
+            rounds = tuple(
+                (
+                    record.name,
+                    tuple(record.ops_per_worker),
+                    tuple(record.random_accesses_per_worker),
+                    record.local_messages,
+                    record.remote_messages,
+                    record.remote_bytes,
+                    record.disk_read_bytes,
+                    record.disk_write_bytes,
+                    record.active_vertices,
+                    record.barrier_seconds,
+                    record.seconds,
+                )
+                for record in profile.rounds
+            )
+            run = (
+                result.run.platform,
+                result.run.graph_name,
+                result.run.algorithm,
+                repr(result.run.output),
+                rounds,
+                profile.simulated_seconds,
+                profile.total_messages,
+                tuple(profile.peak_memory_per_worker),
+            )
+        canon.append(
+            (
+                result.platform,
+                result.graph_name,
+                result.algorithm,
+                result.status,
+                result.runtime_seconds,
+                result.kteps,
+                result.failure_reason,
+                tuple(result.repetition_runtimes),
+                tuple(result.samples),
+                run,
+            )
+        )
+    return canon
+
+
+class TestParallelRunner:
+    def test_parallel_identical_to_sequential(self, cluster_spec):
+        graphs = {
+            "a": rmat_graph(6, edge_factor=4, seed=1),
+            "b": rmat_graph(5, edge_factor=4, seed=2),
+        }
+        make = lambda: BenchmarkCore(
+            [GiraphPlatform(cluster_spec)], graphs, validator=OutputValidator()
+        )
+        spec = BenchmarkRunSpec(algorithms=[Algorithm.BFS, Algorithm.CONN])
+        sequential = make().run(spec)
+        parallel = make().run(spec, parallel=2)
+        assert _canonical(parallel) == _canonical(sequential)
+
+    def test_parallel_merges_in_spec_order(self, cluster_spec):
+        graphs = {
+            "a": rmat_graph(5, edge_factor=4, seed=1),
+            "b": rmat_graph(5, edge_factor=4, seed=2),
+        }
+        core = BenchmarkCore([GiraphPlatform(cluster_spec)], graphs)
+        suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]), parallel=2)
+        assert [r.graph_name for r in suite.results] == ["a", "b"]
+
+    def test_parallel_preserves_failures(self, graphs, cluster_spec):
+        core = BenchmarkCore([_EtlFailingPlatform(cluster_spec)], graphs)
+        suite = core.run(parallel=2)
+        assert suite.results
+        assert all(r.status == FAILED for r in suite.results)
+        assert all("ETL" in r.failure_reason for r in suite.results)

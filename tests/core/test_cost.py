@@ -155,6 +155,75 @@ class TestMemoryTracking:
         assert meter.memory_in_use(0) == 0.0
 
 
+class TestBulkCharges:
+    """Bulk charges must be *exactly* equivalent to scalar sequences.
+
+    This invariant is what lets the vectorized engine paths claim
+    bit-identical cost profiles (ISSUE 2 tentpole part 1).
+    """
+
+    def _scalar_round(self, meter):
+        meter.begin_round("scalar")
+        for _ in range(137):
+            meter.charge_compute(0, 3)
+        for _ in range(41):
+            meter.charge_random_access(0, 2)
+        for _ in range(29):
+            meter.charge_message(1, 2, 8.0)
+        for _ in range(17):
+            meter.charge_message(2, 2, 8.0)
+        return meter.end_round(active_vertices=137)
+
+    def _bulk_round(self, meter):
+        meter.begin_round("bulk")
+        meter.charge_compute_bulk(0, 137 * 3, random_accesses=41 * 2)
+        meter.charge_messages_bulk(1, 2, 29, 8.0)
+        meter.charge_messages_bulk(2, 2, 17, 8.0)
+        return meter.end_round(active_vertices=137)
+
+    def test_bulk_round_equals_scalar_round_exactly(self, cluster_spec):
+        scalar = self._scalar_round(CostMeter(cluster_spec))
+        bulk = self._bulk_round(CostMeter(cluster_spec))
+        assert bulk.ops_per_worker == scalar.ops_per_worker
+        assert (
+            bulk.random_accesses_per_worker == scalar.random_accesses_per_worker
+        )
+        assert bulk.local_messages == scalar.local_messages
+        assert bulk.remote_messages == scalar.remote_messages
+        assert bulk.remote_bytes == scalar.remote_bytes
+        # Exact equality, not approx: derived seconds match bit-for-bit.
+        assert bulk.seconds == scalar.seconds
+        assert bulk.compute_seconds == scalar.compute_seconds
+        assert bulk.network_seconds == scalar.network_seconds
+
+    def test_bulk_profile_equals_scalar_profile(self, cluster_spec):
+        scalar_meter = CostMeter(cluster_spec)
+        bulk_meter = CostMeter(cluster_spec)
+        self._scalar_round(scalar_meter)
+        self._bulk_round(bulk_meter)
+        scalar, bulk = scalar_meter.profile, bulk_meter.profile
+        assert bulk.simulated_seconds == scalar.simulated_seconds
+        assert bulk.total_messages == scalar.total_messages
+        assert bulk.total_remote_bytes == scalar.total_remote_bytes
+        assert bulk.total_random_accesses == scalar.total_random_accesses
+
+    def test_local_bulk_messages_cost_no_network(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("local")
+        meter.charge_messages_bulk(3, 3, 12, 8.0)
+        record = meter.end_round()
+        assert record.local_messages == 12
+        assert record.remote_messages == 0
+        assert record.remote_bytes == 0.0
+
+    def test_bulk_charge_outside_round_rejected(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        with pytest.raises(RuntimeError):
+            meter.charge_compute_bulk(0, 10)
+        with pytest.raises(RuntimeError):
+            meter.charge_messages_bulk(0, 1, 2, 8.0)
+
+
 class TestRunProfile:
     def test_aggregates(self, cluster_spec):
         meter = CostMeter(cluster_spec)

@@ -158,3 +158,63 @@ class TestGraph:
         neighbors = triangle_graph.neighbors(0)
         assert isinstance(neighbors, np.ndarray)
         assert set(neighbors.tolist()) == {1, 2}
+
+
+class TestBulkAccessors:
+    """The vectorized CSR helpers behind the bulk engine kernels."""
+
+    def test_out_degrees_matches_per_vertex_degree(self, triangle_graph):
+        degrees = triangle_graph.out_degrees()
+        for position, vertex in enumerate(triangle_graph.vertices):
+            assert degrees[position] == triangle_graph.degree(int(vertex))
+
+    def test_out_degrees_directed(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 2)], directed=True)
+        assert graph.out_degrees().tolist() == [2, 1, 0]
+
+    def test_indices_of_round_trips(self, triangle_graph):
+        ids = triangle_graph.vertices
+        idx = triangle_graph.indices_of(ids)
+        assert np.array_equal(triangle_graph.vertices[idx], ids)
+        # Sparse, unsorted ids map correctly too.
+        sparse = Graph.from_edges([(10, 30), (30, 700)])
+        assert sparse.indices_of([700, 10]).tolist() == [2, 0]
+
+    def test_indices_of_rejects_unknown_vertices(self, triangle_graph):
+        with pytest.raises(KeyError):
+            triangle_graph.indices_of([0, 99])
+        with pytest.raises(KeyError):
+            Graph([], []).indices_of([1])
+
+    def test_indices_of_empty(self, triangle_graph):
+        assert triangle_graph.indices_of([]).tolist() == []
+
+    def test_csr_arrays_describe_adjacency(self, triangle_graph):
+        offsets, targets = triangle_graph.csr()
+        assert len(offsets) == triangle_graph.num_vertices + 1
+        idx = triangle_graph.indices_of([2])[0]
+        row = targets[offsets[idx] : offsets[idx + 1]]
+        assert set(triangle_graph.vertices[row].tolist()) == {0, 1, 3}
+
+    def test_frontier_neighbors_matches_per_vertex_slices(
+        self, triangle_graph
+    ):
+        frontier = [2, 0, 4]
+        expected = np.concatenate(
+            [triangle_graph.neighbors(v) for v in frontier]
+        )
+        got = triangle_graph.frontier_neighbors(frontier)
+        assert np.array_equal(got, expected)
+
+    def test_frontier_neighbors_keeps_multiplicity(self, triangle_graph):
+        doubled = triangle_graph.frontier_neighbors([3, 3])
+        assert doubled.tolist() == [2, 2]
+
+    def test_frontier_neighbors_empty_cases(self, triangle_graph):
+        assert triangle_graph.frontier_neighbors([]).tolist() == []
+        assert triangle_graph.frontier_neighbors([4]).tolist() == []
+
+    def test_frontier_neighbors_sparse_ids(self):
+        graph = Graph.from_edges([(10, 30), (30, 700), (10, 700)])
+        got = graph.frontier_neighbors([30, 10])
+        assert got.tolist() == [10, 700, 30, 700]

@@ -1,0 +1,113 @@
+"""Exact scalar/bulk equivalence across every converted platform.
+
+The vectorized bulk paths (``pregel/bulk.py``, ``gas/bulk.py``,
+``rddgraph/bulk.py``, and the batched MapReduce shuffle accounting)
+promise *bit-identical* results to the scalar per-record paths — not
+approximately equal. The charges they batch are all integer-valued
+floats, and float64 addition of integers below 2**53 is exact, so one
+bulk charge of a pre-summed total equals the scalar call sequence
+bit for bit (see ``CostMeter.charge_compute_bulk``).
+
+These tests hold every platform to that contract on BFS and CONN —
+the two algorithms with bulk kernels — over a directed graph, an
+undirected graph, and a graph with sparse vertex ids plus an isolated
+vertex. "Identical" means the algorithm outputs, the per-round charge
+structure, and the profile totals (``simulated_seconds``,
+``total_messages``, peak memory) all compare equal with ``==``.
+"""
+
+import pytest
+
+from repro.core.cost import ClusterSpec
+from repro.core.workload import Algorithm, AlgorithmParams
+from repro.graph.generators import rmat_graph
+from repro.graph.graph import Graph
+from repro.platforms.gas.driver import GraphLabPlatform
+from repro.platforms.mapreduce.driver import MapReducePlatform
+from repro.platforms.pregel.driver import GiraphPlatform
+from repro.platforms.rddgraph.driver import GraphXPlatform
+
+#: Every platform with a bulk toggle.
+CONVERTED_PLATFORMS = [
+    GiraphPlatform,
+    GraphLabPlatform,
+    GraphXPlatform,
+    MapReducePlatform,
+]
+
+BULK_ALGORITHMS = [Algorithm.BFS, Algorithm.CONN]
+
+
+def _sparse_id_graph() -> Graph:
+    """Non-contiguous vertex ids, an isolated vertex, two components."""
+    return Graph.from_edges(
+        [(10, 20), (20, 400), (400, 10), (7, 9)],
+        vertices=[10, 20, 400, 7, 9, 100_000],
+        directed=False,
+    )
+
+
+GRAPHS = {
+    "rmat-directed": lambda: rmat_graph(
+        scale=7, edge_factor=8, seed=42, directed=True
+    ),
+    "rmat-undirected": lambda: rmat_graph(
+        scale=6, edge_factor=8, seed=7, directed=False
+    ),
+    "sparse-ids": _sparse_id_graph,
+}
+
+
+def profile_key(profile):
+    """Everything a profile says, minus nothing: the exactness bar."""
+    rounds = tuple(
+        (
+            record.name,
+            tuple(record.ops_per_worker),
+            tuple(record.random_accesses_per_worker),
+            record.local_messages,
+            record.remote_messages,
+            record.remote_bytes,
+            record.disk_read_bytes,
+            record.disk_write_bytes,
+            record.active_vertices,
+            record.barrier_seconds,
+            record.seconds,
+        )
+        for record in profile.rounds
+    )
+    return (
+        rounds,
+        profile.simulated_seconds,
+        profile.total_messages,
+        tuple(profile.peak_memory_per_worker),
+        profile.startup_seconds,
+    )
+
+
+def _run(platform_cls, bulk: bool, graph: Graph, algorithm: Algorithm):
+    platform = platform_cls(ClusterSpec.paper_distributed(), bulk=bulk)
+    handle = platform.upload_graph("equivalence", graph)
+    run = platform.run_algorithm(handle, algorithm, AlgorithmParams())
+    return run.output, profile_key(run.profile)
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("algorithm", BULK_ALGORITHMS, ids=lambda a: a.value)
+@pytest.mark.parametrize(
+    "platform_cls", CONVERTED_PLATFORMS, ids=lambda cls: cls.name
+)
+def test_bulk_path_is_bit_identical(platform_cls, algorithm, graph_name):
+    graph = GRAPHS[graph_name]()
+    bulk_output, bulk_profile = _run(platform_cls, True, graph, algorithm)
+    scalar_output, scalar_profile = _run(platform_cls, False, graph, algorithm)
+    assert bulk_output == scalar_output
+    assert bulk_profile == scalar_profile
+
+
+@pytest.mark.parametrize(
+    "platform_cls", CONVERTED_PLATFORMS, ids=lambda cls: cls.name
+)
+def test_bulk_is_the_default(platform_cls):
+    # The fast path must be what the benchmark actually runs.
+    assert platform_cls(ClusterSpec.paper_distributed()).bulk is True

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -272,6 +274,32 @@ def test_leaderboard_empty(tmp_path, capsys):
          "--graph", "g", "--algorithm", "BFS"]
     )
     assert code == 1
+
+
+def test_perf_command_quick(tmp_path, capsys):
+    output = tmp_path / "BENCH_kernels.json"
+    code = main(["perf", "--quick", "--output", str(output)])
+    assert code == 0
+    assert "kernel timings written" in capsys.readouterr().out
+    payload = json.loads(output.read_text(encoding="utf-8"))
+    assert payload["schema"] == "graphalytics-perf/1"
+    assert payload["repeats"] == 1
+    names = [kernel["name"] for kernel in payload["kernels"]]
+    assert "pregel-bfs-frontier" in names
+    for kernel in payload["kernels"]:
+        # Per-kernel wall-clock and simulated-seconds fields, well
+        # formed: the contract the tracked report relies on.
+        assert kernel["bulk_wall_seconds"] > 0.0
+        assert kernel["scalar_wall_seconds"] > 0.0
+        assert kernel["simulated_seconds"] > 0.0
+        assert kernel["simulated_seconds"] == kernel["scalar_simulated_seconds"]
+        assert kernel["simulated_match"] is True
+
+
+def test_perf_command_rejects_unknown_kernel(capsys):
+    code = main(["perf", "--quick", "--kernels", "no-such-kernel"])
+    assert code == 2
+    assert "unknown kernels" in capsys.readouterr().out
 
 
 def test_run_with_config_file(tmp_path, capsys):
