@@ -21,6 +21,7 @@ from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
 from repro.datasets.catalog import load_dataset
 from repro.graph.graph import Graph
 from repro.platforms.registry import create_platform_fleet
+from repro.robustness import FaultPlan, apply_mem_limit
 
 __all__ = ["run_benchmark", "render_report"]
 
@@ -33,6 +34,10 @@ def run_benchmark(
     params: AlgorithmParams | None = None,
     validate: bool = True,
     time_limit_seconds: float | None = None,
+    mem_limit_bytes: float | None = None,
+    timeout_seconds: float | None = None,
+    fault_plan: "FaultPlan | str | None" = None,
+    max_retries: int = 0,
 ) -> BenchmarkSuiteResult:
     """Run the benchmark with one call.
 
@@ -57,6 +62,20 @@ def run_benchmark(
     time_limit_seconds:
         Simulated-runtime budget per run; exceeding it records a
         ``time-limit`` failure.
+    mem_limit_bytes:
+        Per-worker simulated memory cap applied to every platform in
+        the fleet; too-large graphs record deterministic
+        ``FAILED(out-of-memory)`` cells (the paper's Figure 4
+        missing values).
+    timeout_seconds:
+        Typed per-run budget enforced inside the driver API
+        (``timeout`` failure cells).
+    fault_plan:
+        A :class:`~repro.robustness.faults.FaultPlan` or its CLI spec
+        string (e.g. ``"crash:worker=2,round=5"``); seeded fault
+        injection per (platform, graph, algorithm) cell.
+    max_retries:
+        Bounded retries for transient injected faults.
     """
     if isinstance(graphs, dict):
         graph_map = dict(graphs)
@@ -71,11 +90,19 @@ def run_benchmark(
     fleet = create_platform_fleet(
         cluster or ClusterSpec.paper_distributed(), names=platforms
     )
+    if mem_limit_bytes is not None:
+        for platform in fleet:
+            apply_mem_limit(platform, mem_limit_bytes)
+    if isinstance(fault_plan, str):
+        fault_plan = FaultPlan.parse(fault_plan)
     core = BenchmarkCore(
         fleet,
         graph_map,
         validator=OutputValidator() if validate else None,
         time_limit_seconds=time_limit_seconds,
+        timeout_seconds=timeout_seconds,
+        fault_plan=fault_plan,
+        max_retries=max_retries,
     )
     return core.run(
         BenchmarkRunSpec(

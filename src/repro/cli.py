@@ -12,7 +12,15 @@ command implements that workflow:
 * ``graphalytics datagen`` — generate a synthetic graph to files;
 * ``graphalytics characterize`` — print a Table 1 row for a dataset;
 * ``graphalytics quality`` — the Section 3.5 code-quality report and
-  baseline quality gate (``--check`` / ``--update-baseline``).
+  baseline quality gate (``--check`` / ``--update-baseline``);
+* ``graphalytics selfcheck`` — one command chaining the tier-1 test
+  suite, the quality gate, and the quick perf harness.
+
+``run`` also exposes the deterministic failure envelope: ``--mem-limit``
+caps every worker's simulated memory (reproducing the paper's
+out-of-memory failure cells), ``--timeout`` sets a typed per-run
+budget, and ``--inject`` activates seeded fault injection
+(stragglers, worker crashes, message loss) with bounded ``--retries``.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.datasets.catalog import load_dataset
 from repro.graph.io import write_edge_list
 from repro.graph.properties import graph_characteristics
 from repro.platforms.registry import available_platforms, create_platform_fleet
+from repro.robustness import FaultPlan, apply_mem_limit, parse_bytes
 
 __all__ = ["main"]
 
@@ -78,6 +87,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="comma-separated subset of STATS,BFS,CONN,CD,EVO")
     run.add_argument("--time-limit", type=float, default=None,
                      help="simulated-seconds budget per run")
+    run.add_argument("--mem-limit", default=None, metavar="BYTES",
+                     help="per-worker simulated memory cap, e.g. 512M or "
+                     "2G; platforms whose footprint exceeds it record "
+                     "deterministic FAILED(OOM) cells")
+    run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="typed per-run simulated timeout budget "
+                     "(records FAILED(timeout) cells)")
+    run.add_argument("--inject", default=None, metavar="SPEC",
+                     help="fault-injection plan, e.g. "
+                     "'straggler:workers=0,factor=4;crash:worker=2,round=5;"
+                     "msgloss:rate=0.01,seed=7;transient:attempts=1'")
+    run.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="bounded retries for transient injected faults")
+    run.add_argument("--retry-backoff", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="simulated linear backoff per retry attempt")
     run.add_argument("--parallel", type=int, default=1, metavar="N",
                      help="run (platform, graph) pairs over N worker "
                      "processes (results identical to sequential)")
@@ -138,6 +163,20 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--output", default="BENCH_kernels.json",
                       help="JSON report path")
 
+    selfcheck = commands.add_parser(
+        "selfcheck",
+        help="chain the tier-1 test suite, quality gate, and quick perf "
+        "harness in one command",
+    )
+    selfcheck.add_argument("--fast", action="store_true",
+                           help="skip tests marked slow (-m 'not slow')")
+    selfcheck.add_argument("--skip-tests", action="store_true",
+                           help="skip the pytest stage")
+    selfcheck.add_argument("--skip-quality", action="store_true",
+                           help="skip the quality-gate stage")
+    selfcheck.add_argument("--skip-perf", action="store_true",
+                           help="skip the quick perf stage")
+
     leaderboard = commands.add_parser(
         "leaderboard",
         help="rank platforms from a results database (the public results vision)",
@@ -186,21 +225,36 @@ def _command_run(args: argparse.Namespace) -> int:
 
     distributed = ClusterSpec.paper_distributed()
     platforms = create_platform_fleet(distributed, names=platform_names)
+    mem_limit = None
+    if args.mem_limit:
+        mem_limit = parse_bytes(args.mem_limit)
+        for platform in platforms:
+            apply_mem_limit(platform, mem_limit)
+    fault_plan = FaultPlan.parse(args.inject) if args.inject else None
     graphs = {name: load_dataset(name) for name in graph_names}
     core = BenchmarkCore(
         platforms,
         graphs,
         validator=OutputValidator() if validate else None,
         time_limit_seconds=time_limit,
+        timeout_seconds=args.timeout,
+        fault_plan=fault_plan,
+        max_retries=args.retries,
+        retry_backoff_seconds=args.retry_backoff,
     )
     suite = core.run(BenchmarkRunSpec(algorithms=algorithms), parallel=args.parallel)
-    generator = ReportGenerator(
-        configuration={
-            "platforms": ",".join(sorted(p.name for p in platforms)),
-            "graphs": ",".join(sorted(graphs)),
-            "cluster": distributed.name,
-        }
-    )
+    configuration = {
+        "platforms": ",".join(sorted(p.name for p in platforms)),
+        "graphs": ",".join(sorted(graphs)),
+        "cluster": distributed.name,
+    }
+    if mem_limit is not None:
+        configuration["mem-limit"] = f"{int(mem_limit)} bytes/worker"
+    if args.timeout is not None:
+        configuration["timeout"] = f"{args.timeout} s"
+    if fault_plan is not None:
+        configuration["inject"] = args.inject
+    generator = ReportGenerator(configuration=configuration)
     quality = analyze_tree("src") if args.with_quality else None
     path = generator.write(suite, args.report, quality=quality)
     print(generator.render(suite, quality=quality))
@@ -310,6 +364,71 @@ def _command_perf(args: argparse.Namespace) -> int:
     return 0 if all(t.simulated_match for t in report.kernels) else 1
 
 
+def _command_selfcheck(args: argparse.Namespace) -> int:
+    """One command that answers "is this checkout healthy?".
+
+    Chains the repo's own verification stages — tier-1 pytest suite,
+    static-analysis quality gate against the checked-in baseline, and
+    the quick perf harness (bulk/scalar equivalence) — and reports a
+    pass/fail summary. ``make check`` delegates here.
+    """
+    import subprocess
+
+    stages: list[tuple[str, str]] = []
+
+    def record(name: str, passed: bool) -> bool:
+        stages.append((name, "ok" if passed else "FAILED"))
+        return passed
+
+    exit_code = 0
+    if args.skip_tests:
+        stages.append(("tests", "skipped"))
+    else:
+        command = [sys.executable, "-m", "pytest", "-x", "-q"]
+        if args.fast:
+            command += ["-m", "not slow"]
+        print(f"selfcheck: running {' '.join(command)}")
+        proc = subprocess.run(command)
+        if not record("tests", proc.returncode == 0):
+            exit_code = 1
+
+    if args.skip_quality:
+        stages.append(("quality gate", "skipped"))
+    else:
+        print("selfcheck: running quality gate")
+        report = analyze_tree("src")
+        baseline = None
+        baseline_path = Path(".quality-baseline.json")
+        if baseline_path.exists():
+            baseline = load_baseline(baseline_path)
+        gate = quality_gate(report, baseline)
+        if not gate.passed:
+            for regression in gate.regressions:
+                print(f"  {regression.severity}: {regression.message}")
+        if not record("quality gate", gate.passed):
+            exit_code = 1
+
+    if args.skip_perf:
+        stages.append(("perf --quick", "skipped"))
+    else:
+        from repro.perf import run_perf
+
+        print("selfcheck: running quick perf harness")
+        perf_report = run_perf(scale=8, edge_factor=8, repeats=1)
+        matched = all(t.simulated_match for t in perf_report.kernels)
+        for timing in perf_report.kernels:
+            if not timing.simulated_match:
+                print(f"  {timing.name}: bulk/scalar simulated-cost mismatch")
+        if not record("perf --quick", matched):
+            exit_code = 1
+
+    print("\nselfcheck summary:")
+    for name, status in stages:
+        print(f"  {name:<14} {status}")
+    print("selfcheck: " + ("PASS" if exit_code == 0 else "FAIL"))
+    return exit_code
+
+
 def _command_leaderboard(args: argparse.Namespace) -> int:
     db = ResultsDatabase(args.results_db)
     ranking = db.leaderboard(args.graph, args.algorithm.upper())
@@ -331,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
         "characterize": _command_characterize,
         "quality": _command_quality,
         "perf": _command_perf,
+        "selfcheck": _command_selfcheck,
         "leaderboard": _command_leaderboard,
     }
     return handlers[args.command](args)

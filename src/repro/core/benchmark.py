@@ -18,13 +18,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.errors import PlatformFailure, ValidationFailure
+from repro.core.errors import PlatformFailure, SuiteWorkerError, ValidationFailure
 from repro.core.metrics import kteps
 from repro.core.monitor import SystemMonitor, UtilizationSample
 from repro.core.platform_api import Platform, PlatformRun
 from repro.core.validation import OutputValidator
 from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
 from repro.graph.graph import Graph
+from repro.robustness.faults import FaultInjector, FaultPlan
 
 __all__ = [
     "BenchmarkResult",
@@ -67,6 +68,12 @@ class BenchmarkResult:
     #: Per-repetition runtimes when the run spec asks for several;
     #: ``runtime_seconds`` is then their arithmetic mean.
     repetition_runtimes: list[float] = field(default_factory=list)
+    #: Algorithm-execution attempts this cell took (> 1 after retries
+    #: of injected transient faults).
+    attempts: int = 1
+    #: Simulated backoff seconds spent between retry attempts (kept
+    #: out of ``runtime_seconds``, which measures the successful run).
+    backoff_seconds: float = 0.0
 
     @property
     def succeeded(self) -> bool:
@@ -123,10 +130,29 @@ class BenchmarkCore:
     validator:
         Output validator; pass ``None`` to skip validation entirely.
     time_limit_seconds:
-        Simulated-runtime budget per execution; runs exceeding it are
-        recorded as ``time-limit`` failures (the paper's "due to time
-        constraints, MapReduce was not able to complete some
-        algorithms").
+        Simulated-runtime budget per execution, checked by the core
+        after the run completes; runs exceeding it are recorded as
+        ``time-limit`` failures (the paper's "due to time constraints,
+        MapReduce was not able to complete some algorithms").
+    timeout_seconds:
+        Per-run budget enforced *inside* the driver API: exceeding it
+        raises a typed :class:`~repro.core.errors.SimulatedTimeout`,
+        recorded as a ``timeout`` failure cell.
+    fault_plan:
+        Optional :class:`~repro.robustness.faults.FaultPlan`; a fresh
+        seeded injector is bound per (platform, graph, algorithm)
+        combination, so injection is deterministic per cell.
+    max_retries:
+        Bounded retry budget for *transient* failures (injected
+        faults whose plan allows later attempts to succeed).
+    retry_backoff_seconds:
+        Simulated backoff added per retry attempt (linear backoff:
+        attempt *n* waits ``n * retry_backoff_seconds``).
+    strict:
+        ``False`` (default) records unexpected non-platform errors as
+        ``FAILED(error: ...)`` cells — graceful degradation, the
+        suite keeps running; ``True`` re-raises them (wrapped with
+        their combo metadata).
     """
 
     def __init__(
@@ -135,14 +161,26 @@ class BenchmarkCore:
         graphs: dict[str, Graph],
         validator: OutputValidator | None = None,
         time_limit_seconds: float | None = None,
+        timeout_seconds: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 1.0,
+        strict: bool = False,
     ):
         names = [p.name for p in platforms]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate platform names: {names}")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.platforms = platforms
         self.graphs = graphs
         self.validator = validator
         self.time_limit_seconds = time_limit_seconds
+        self.timeout_seconds = timeout_seconds
+        self.fault_plan = fault_plan
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.strict = strict
         self.monitor = SystemMonitor()
 
     def run(
@@ -181,6 +219,11 @@ class BenchmarkCore:
                 graph=graph,
                 validator=self.validator,
                 time_limit_seconds=self.time_limit_seconds,
+                timeout_seconds=self.timeout_seconds,
+                fault_plan=self.fault_plan,
+                max_retries=self.max_retries,
+                retry_backoff_seconds=self.retry_backoff_seconds,
+                strict=self.strict,
                 spec=spec,
             )
             for platform, graph_name, graph in pairs
@@ -204,6 +247,12 @@ class BenchmarkCore:
         seed = combo_seed(platform.name, graph_name)
         random.seed(seed)  # quality: ignore[determinism]
         np.random.seed(seed & 0xFFFFFFFF)  # quality: ignore[determinism]
+        # Robustness knobs are (re)bound per pair: fault injection
+        # never leaks from one combination into the next, and ETL runs
+        # fault-free (faults target algorithm executions).
+        platform.faults = None
+        if self.timeout_seconds is not None:
+            platform.timeout_seconds = self.timeout_seconds
         supported = set(platform.supported_algorithms())
         results: list[BenchmarkResult] = []
         handle = None
@@ -224,11 +273,33 @@ class BenchmarkCore:
                         )
                     )
                     break
+                except Exception as exc:
+                    # Harness bugs during ETL keep their combo context
+                    # even across process-pool boundaries; without
+                    # strict mode they degrade to FAILED cells.
+                    if self.strict:
+                        raise SuiteWorkerError(
+                            platform.name,
+                            graph_name,
+                            f"ETL: {type(exc).__name__}: {exc}",
+                        ) from exc
+                    failure = PlatformFailure(
+                        platform.name,
+                        f"error: {type(exc).__name__}: {exc}",
+                        "unexpected ETL error",
+                    )
+                    results.extend(
+                        self._etl_failures(
+                            platform, graph_name, spec, supported, failure
+                        )
+                    )
+                    break
             results.append(
                 self._run_one(platform, handle, graph, algorithm, spec)
             )
         if handle is not None:
             platform.delete_graph(handle)
+        platform.faults = None
         return results
 
     def _etl_failures(
@@ -265,16 +336,48 @@ class BenchmarkCore:
             algorithm=algorithm,
             status=FAILED,
         )
+        if self.fault_plan is not None:
+            # Fresh injector per combo: the attempt counter advances
+            # across retries of this cell only, and the seeded fault
+            # schedule is identical on every suite run.
+            platform.faults = FaultInjector(self.fault_plan, platform.name)
         repetitions = max(spec.repetitions, 1)
+        attempts = 0
         runtimes: list[float] = []
         run = None
-        try:
-            for _repetition in range(repetitions):
-                run = platform.run_algorithm(handle, algorithm, spec.params)
-                runtimes.append(run.simulated_seconds)
-        except PlatformFailure as failure:
-            base.failure_reason = failure.reason
-            return base
+        while True:
+            attempts += 1
+            runtimes = []
+            try:
+                for _repetition in range(repetitions):
+                    run = platform.run_algorithm(handle, algorithm, spec.params)
+                    runtimes.append(run.simulated_seconds)
+            except PlatformFailure as failure:
+                if failure.transient and attempts <= self.max_retries:
+                    # Linear backoff, in simulated seconds; the retry
+                    # itself re-executes deterministically.
+                    base.backoff_seconds += (
+                        attempts * self.retry_backoff_seconds
+                    )
+                    continue
+                base.failure_reason = failure.reason
+                base.attempts = attempts
+                return base
+            except Exception as exc:
+                # Graceful degradation: an unexpected (non-platform)
+                # error becomes a FAILED cell instead of aborting the
+                # suite — unless the core runs strict.
+                if self.strict:
+                    raise SuiteWorkerError(
+                        platform.name,
+                        handle.name,
+                        f"{algorithm.value}: {type(exc).__name__}: {exc}",
+                    ) from exc
+                base.failure_reason = f"error: {type(exc).__name__}: {exc}"
+                base.attempts = attempts
+                return base
+            break
+        base.attempts = attempts
         base.repetition_runtimes = runtimes
         runtime = sum(runtimes) / len(runtimes)
         if self.time_limit_seconds is not None and runtime > self.time_limit_seconds:
@@ -322,15 +425,41 @@ class _PairTask:
     graph: Graph
     validator: OutputValidator | None
     time_limit_seconds: float | None
+    timeout_seconds: float | None
+    fault_plan: FaultPlan | None
+    max_retries: int
+    retry_backoff_seconds: float
+    strict: bool
     spec: BenchmarkRunSpec
 
 
 def _run_pair_task(task: _PairTask) -> list[BenchmarkResult]:
-    """Pool-worker entry: rebuild a single-pair core and run it."""
+    """Pool-worker entry: rebuild a single-pair core and run it.
+
+    Any exception escaping the pair is re-raised as a picklable
+    :class:`~repro.core.errors.SuiteWorkerError` carrying the
+    (platform, graph) combo, so a parallel suite failure names the
+    work unit instead of surfacing a bare traceback from an anonymous
+    worker process.
+    """
     core = BenchmarkCore(
         [task.platform],
         {task.graph_name: task.graph},
         validator=task.validator,
         time_limit_seconds=task.time_limit_seconds,
+        timeout_seconds=task.timeout_seconds,
+        fault_plan=task.fault_plan,
+        max_retries=task.max_retries,
+        retry_backoff_seconds=task.retry_backoff_seconds,
+        strict=task.strict,
     )
-    return core._run_pair(task.platform, task.graph_name, task.graph, task.spec)
+    try:
+        return core._run_pair(task.platform, task.graph_name, task.graph, task.spec)
+    except SuiteWorkerError:
+        raise
+    except Exception as exc:
+        raise SuiteWorkerError(
+            task.platform.name,
+            task.graph_name,
+            f"{type(exc).__name__}: {exc}",
+        ) from exc

@@ -38,18 +38,26 @@ __all__ = [
 class MemoryBudgetExceeded(Exception):
     """Raised by the meter when a worker exceeds its memory budget.
 
-    Platform drivers catch this and convert it into a
-    :class:`~repro.core.errors.PlatformFailure` so the Benchmark Core
-    records a failure instead of crashing.
+    The platform driver API catches this and converts it into a typed
+    :class:`~repro.core.errors.SimulatedOOM` so the Benchmark Core
+    records a failure instead of crashing. ``round_name`` pins *where*
+    the budget broke (e.g. ``superstep-12``); the charge sequence is
+    deterministic, so the same configuration breaks at the same round
+    with the same message on every run.
     """
 
-    def __init__(self, worker: int, used: float, budget: float):
+    def __init__(
+        self, worker: int, used: float, budget: float,
+        round_name: str | None = None,
+    ):
         self.worker = worker
         self.used = used
         self.budget = budget
+        self.round_name = round_name
+        where = f" during {round_name}" if round_name else ""
         super().__init__(
             f"worker {worker} needs {used / 2**30:.2f} GiB, "
-            f"budget is {budget / 2**30:.2f} GiB"
+            f"budget is {budget / 2**30:.2f} GiB{where}"
         )
 
 
@@ -285,9 +293,17 @@ class CostMeter:
     #: Serialized bytes per message envelope on top of the payload.
     MESSAGE_OVERHEAD_BYTES = 16.0
 
-    def __init__(self, spec: ClusterSpec, enforce_memory: bool = True):
+    def __init__(
+        self, spec: ClusterSpec, enforce_memory: bool = True, faults=None
+    ):
         self.spec = spec
         self.enforce_memory = enforce_memory
+        #: Optional :class:`repro.robustness.faults.FaultInjector`; the
+        #: meter consults it when rounds open (worker crashes), when
+        #: remote messages are charged (channel loss), and when rounds
+        #: close (straggler slowdown) — which is what makes fault
+        #: injection uniform across every engine that charges a meter.
+        self.faults = faults
         self.profile = RunProfile(
             cluster=spec,
             peak_memory_per_worker=[0.0] * spec.num_workers,
@@ -310,6 +326,8 @@ class CostMeter:
         """Open a new round; charges accumulate until end_round."""
         if self._current is not None:
             raise RuntimeError("previous round not ended")
+        if self.faults is not None:
+            self.faults.on_round_begin(len(self.profile.rounds))
         self._current = RoundRecord(
             name=name,
             ops_per_worker=[0.0] * self.spec.num_workers,
@@ -328,6 +346,15 @@ class CostMeter:
             rand * spec.random_access_seconds
             for rand in record.random_accesses_per_worker
         )
+        if self.faults is not None:
+            # An injected straggler repeats the round's barrier
+            # physics: the slowest worker extends the whole round.
+            record.compute_seconds += self.faults.straggler_penalty_seconds(
+                record.ops_per_worker,
+                record.random_accesses_per_worker,
+                spec.worker_ops_per_second,
+                spec.random_access_seconds,
+            )
         record.network_seconds = (
             record.remote_bytes / (spec.num_workers * spec.network_bandwidth)
             if record.remote_bytes
@@ -390,6 +417,10 @@ class CostMeter:
         if src_worker == dst_worker:
             record.local_messages += count
         else:
+            if self.faults is not None:
+                self.faults.on_messages(
+                    src_worker, dst_worker, len(self.profile.rounds), count
+                )
             record.remote_messages += count
             record.remote_bytes += count * (
                 payload_bytes + self.MESSAGE_OVERHEAD_BYTES
@@ -403,6 +434,10 @@ class CostMeter:
         if src_worker == dst_worker:
             record.local_messages += count
         else:
+            if self.faults is not None:
+                self.faults.on_messages(
+                    src_worker, dst_worker, len(self.profile.rounds), count
+                )
             record.remote_messages += count
             record.remote_bytes += count * (payload_bytes + self.MESSAGE_OVERHEAD_BYTES)
 
@@ -432,7 +467,10 @@ class CostMeter:
         peak[worker] = max(peak[worker], self._memory[worker])
         if self.enforce_memory and self._memory[worker] > self.spec.memory_bytes_per_worker:
             raise MemoryBudgetExceeded(
-                worker, self._memory[worker], self.spec.memory_bytes_per_worker
+                worker,
+                self._memory[worker],
+                self.spec.memory_bytes_per_worker,
+                round_name=self._current.name if self._current else None,
             )
 
     def release_memory(self, worker: int, num_bytes: float) -> None:

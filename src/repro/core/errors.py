@@ -5,6 +5,9 @@ from __future__ import annotations
 __all__ = [
     "GraphalyticsError",
     "PlatformFailure",
+    "SimulatedOOM",
+    "SimulatedTimeout",
+    "SuiteWorkerError",
     "ValidationFailure",
     "ConfigurationError",
 ]
@@ -32,6 +35,10 @@ class PlatformFailure(GraphalyticsError):
         Human-readable explanation for the report.
     """
 
+    #: Whether a retry may succeed (set by injected transient faults);
+    #: the Benchmark Core only retries transient failures.
+    transient: bool = False
+
     def __init__(self, platform: str, reason: str, detail: str = ""):
         self.platform = platform
         self.reason = reason
@@ -40,6 +47,62 @@ class PlatformFailure(GraphalyticsError):
         if detail:
             message = f"{message} ({detail})"
         super().__init__(message)
+
+
+class SimulatedOOM(PlatformFailure):
+    """A platform exceeded its (simulated) per-worker memory budget.
+
+    The typed form of the paper's out-of-memory failure cells
+    (Figure 4: Giraph/GraphX dying on the large Graph500 scales,
+    Neo4j's single-machine memory wall). The cost model is
+    deterministic, so a given (platform, graph, ``--mem-limit``)
+    combination raises this at the same superstep — with the same
+    detail string — on every run.
+    """
+
+    def __init__(self, platform: str, detail: str = ""):
+        super().__init__(platform, "out-of-memory", detail)
+
+
+class SimulatedTimeout(PlatformFailure):
+    """An algorithm run exceeded its simulated-runtime budget.
+
+    The typed form of the paper's time-limit failures ("due to time
+    constraints, MapReduce was not able to complete some algorithms").
+    """
+
+    def __init__(
+        self, platform: str, simulated_seconds: float, budget_seconds: float
+    ):
+        self.simulated_seconds = simulated_seconds
+        self.budget_seconds = budget_seconds
+        super().__init__(
+            platform,
+            "timeout",
+            f"simulated {simulated_seconds:.1f} s exceeds the "
+            f"{budget_seconds:.1f} s budget",
+        )
+
+
+class SuiteWorkerError(GraphalyticsError):
+    """An unexpected (non-platform) error while running one combo.
+
+    Raised by the suite runner when harness code — not the simulated
+    platform — fails, so the (platform, graph) combination that broke
+    is never lost, even when the error crossed a process-pool boundary
+    where the original traceback context would otherwise vanish.
+    """
+
+    def __init__(self, platform: str, graph_name: str, detail: str):
+        self.platform = platform
+        self.graph_name = graph_name
+        self.detail = detail
+        super().__init__(f"{platform}/{graph_name}: {detail}")
+
+    def __reduce__(self):
+        # Exceptions with multi-argument constructors need an explicit
+        # recipe to survive the process-pool pickle round trip.
+        return (SuiteWorkerError, (self.platform, self.graph_name, self.detail))
 
 
 class ValidationFailure(GraphalyticsError):

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.cost import ClusterSpec, MemoryBudgetExceeded, RunProfile
-from repro.core.errors import PlatformFailure
+from repro.core.errors import SimulatedOOM, SimulatedTimeout
 from repro.core.workload import Algorithm, AlgorithmParams
 from repro.graph.graph import Graph
 
@@ -69,10 +69,14 @@ class Platform(abc.ABC):
     """Base class of all platform drivers.
 
     Subclasses set :attr:`name` and implement :meth:`_load` and
-    :meth:`_execute`; the base class wraps them with timing and
-    converts memory-budget violations into
-    :class:`~repro.core.errors.PlatformFailure` so the Benchmark Core
-    records failures as Figure 4's "missing values".
+    :meth:`_execute`; the base class wraps them with timing, converts
+    memory-budget violations into typed
+    :class:`~repro.core.errors.SimulatedOOM` failures, and enforces
+    the per-run :attr:`timeout_seconds` budget as a typed
+    :class:`~repro.core.errors.SimulatedTimeout` — so the Benchmark
+    Core records failures as Figure 4's "missing values" instead of
+    crashing, and never sees a bare ``Exception`` for a simulated
+    platform limit.
     """
 
     #: Registry name, e.g. ``"giraph"``.
@@ -83,6 +87,14 @@ class Platform(abc.ABC):
 
     def __init__(self, cluster: ClusterSpec):
         self.cluster = cluster
+        #: Optional :class:`repro.robustness.faults.FaultInjector`;
+        #: drivers hand it to every cost meter they build, and the
+        #: base class advances its attempt counter per execution (the
+        #: mechanism behind transient faults and bounded retry).
+        self.faults = None
+        #: Simulated-seconds budget per algorithm run; exceeding it
+        #: raises a typed :class:`SimulatedTimeout`.
+        self.timeout_seconds: float | None = None
 
     # -- public API --------------------------------------------------
 
@@ -94,7 +106,7 @@ class Platform(abc.ABC):
         try:
             handle = self._load(name, graph)
         except MemoryBudgetExceeded as exc:
-            raise PlatformFailure(self.name, "out-of-memory", str(exc)) from exc
+            raise SimulatedOOM(self.name, str(exc)) from exc
         handle.etl_seconds = time.perf_counter() - start  # quality: ignore[determinism]
         return handle
 
@@ -111,13 +123,22 @@ class Platform(abc.ABC):
                 f"not {self.name!r}"
             )
         params = params or AlgorithmParams()
+        if self.faults is not None:
+            self.faults.begin_attempt()
         # Harness-overhead measurement, as above.
         start = time.perf_counter()  # quality: ignore[determinism]
         try:
             output, profile = self._execute(handle, algorithm, params)
         except MemoryBudgetExceeded as exc:
-            raise PlatformFailure(self.name, "out-of-memory", str(exc)) from exc
+            raise SimulatedOOM(self.name, str(exc)) from exc
         wall = time.perf_counter() - start  # quality: ignore[determinism]
+        if (
+            self.timeout_seconds is not None
+            and profile.simulated_seconds > self.timeout_seconds
+        ):
+            raise SimulatedTimeout(
+                self.name, profile.simulated_seconds, self.timeout_seconds
+            )
         return PlatformRun(
             platform=self.name,
             graph_name=handle.name,

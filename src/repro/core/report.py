@@ -21,6 +21,35 @@ __all__ = ["ReportGenerator"]
 
 _MISSING = "—"
 
+#: Failure-reason prefixes mapped to short matrix-cell labels; checked
+#: in order, first match wins. Reasons with an ``ETL: `` prefix match
+#: the same labels (an ETL out-of-memory is still an OOM cell).
+_FAILURE_LABELS = (
+    ("out-of-memory", "OOM"),
+    ("timeout", "T/O"),
+    ("time-limit", "T/O"),
+    ("worker-crash", "CRASH"),
+    ("message-loss", "LOST"),
+)
+
+
+def _failure_label(result) -> str:
+    """Short matrix-cell label for a failed/invalid result.
+
+    The paper's Figure 4 leaves failed cells blank; the labels keep
+    the matrix compact while still telling OOM apart from timeouts
+    ("—" is reserved for combinations that were never run).
+    """
+    if result.status == "invalid":
+        return "INV"
+    reason = result.failure_reason or ""
+    if reason.startswith("ETL: "):
+        reason = reason[len("ETL: "):]
+    for prefix, label in _FAILURE_LABELS:
+        if reason.startswith(prefix):
+            return label
+    return "FAIL"
+
 
 def _format_runtime(seconds: float | None) -> str:
     if seconds is None:
@@ -59,7 +88,12 @@ class ReportGenerator:
                         cells.append(f"{_MISSING:>12}")
                         continue
                     any_cell = True
-                    cells.append(f"{_format_runtime(result.runtime_seconds):>12}")
+                    if result.succeeded:
+                        cells.append(
+                            f"{_format_runtime(result.runtime_seconds):>12}"
+                        )
+                    else:
+                        cells.append(f"{_failure_label(result):>12}")
                 if any_cell:
                     lines.append(
                         f"{algorithm.value:<8} {graph:<16}" + "".join(cells)
@@ -177,7 +211,10 @@ class ReportGenerator:
                 sections.append(f"  {key} = {self.configuration[key]}")
             sections.append("")
         sections.append("Runtime [s] per algorithm, graph, and platform")
-        sections.append("(missing values indicate failures)")
+        sections.append(
+            "(missing values indicate failures; failed cells are "
+            "labeled OOM / T/O / CRASH / LOST / INV / FAIL by cause)"
+        )
         sections.append(self.runtime_matrix(suite))
         sections.append("")
         sections.append(self.kteps_matrix(suite, Algorithm.CONN))
@@ -232,7 +269,7 @@ class ReportGenerator:
                             reason = _escape(result.failure_reason or "failed")
                             cells.append(
                                 f'<td class="failure" title="{reason}">'
-                                f"{_MISSING}</td>"
+                                f"{_failure_label(result)}</td>"
                             )
                     if relevant:
                         rows.append(
@@ -270,7 +307,8 @@ td.failure {{ background: #fdd; text-align: center; }}
 <h2>Configuration</h2>
 <table><tbody>{config_rows}</tbody></table>
 <h2>Runtime [s] per algorithm, graph, and platform</h2>
-<p>Missing values (highlighted) indicate failures.</p>
+<p>Failed cells (highlighted) are labeled by cause; hover for the
+full failure reason.</p>
 <table>
 <thead><tr><th>algorithm</th><th>graph</th>{header_cells}</tr></thead>
 <tbody>

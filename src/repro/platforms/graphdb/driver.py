@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core import etl
 from repro.core.cost import ClusterSpec, CostMeter, MemoryBudgetExceeded, RunProfile
-from repro.core.errors import PlatformFailure
+from repro.core.errors import SimulatedOOM
 from repro.core.platform_api import GraphHandle, Platform
 from repro.core.workload import Algorithm, AlgorithmParams
 from repro.graph.graph import Graph
@@ -45,7 +45,7 @@ class Neo4jPlatform(Platform):
                 store.create_relationship(source, target)
         except MemoryBudgetExceeded as exc:
             store.release()
-            raise PlatformFailure(self.name, "out-of-memory", str(exc)) from exc
+            raise SimulatedOOM(self.name, str(exc)) from exc
         self._stores[name] = (store, meter)
         storage = meter.memory_in_use(0)
         # ETL: transactional inserts — every relationship updates two
@@ -80,7 +80,7 @@ class Neo4jPlatform(Platform):
         store: GraphStore = handle.detail["store"]
         # Each run gets a fresh meter but shares the loaded store's
         # memory accounting baseline.
-        meter = CostMeter(self.cluster)
+        meter = CostMeter(self.cluster, faults=self.faults)
         meter.allocate_memory(0, handle.storage_bytes)
         original_meter = store.meter
         store.meter = meter

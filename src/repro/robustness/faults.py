@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the platform simulations.
+
+A :class:`FaultPlan` declares *which* faults to inject (stragglers, a
+worker crash at round *k*, seeded message-channel loss) and *when*
+they stop (``transient_attempts``); a :class:`FaultInjector` carries
+the per-combo state (attempt counter, seeded RNG) and is consulted by
+every :class:`~repro.core.cost.CostMeter` the platform drivers build,
+which is what makes the hooks uniform across the pregel, gas,
+rddgraph, and mapreduce engines — and every other engine that charges
+the meter.
+
+Determinism contract: for a fixed plan, the same (platform, graph,
+algorithm) combination experiences the same faults at the same rounds
+on every run — the RNG is reseeded from ``(plan.seed, attempt)`` at
+each attempt, and the engines' charge sequences are themselves
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.robustness.errors import SimulatedMessageLoss, SimulatedWorkerCrash
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject.
+
+    Attributes
+    ----------
+    straggler_workers:
+        Workers whose compute runs ``straggler_factor`` times slower.
+    straggler_factor:
+        Slowdown multiplier for straggler workers (1.0 = no effect).
+    crash_worker, crash_round:
+        Kill this worker when the engine opens round ``crash_round``
+        (rounds are counted over a whole run: 0 is the first round the
+        meter opens — for the BSP engines the initialization round).
+    message_loss_rate:
+        Per-message probability that a *remote* channel drops traffic;
+        decided by the seeded RNG, and surfaced as a detected
+        :class:`~repro.robustness.errors.SimulatedMessageLoss`.
+    seed:
+        RNG seed for the message-loss decisions.
+    transient_attempts:
+        Faults fire only during the first N algorithm executions of a
+        combo; 0 means the faults are permanent. A positive value
+        marks raised faults *transient*, which is what allows the
+        Benchmark Core's bounded retry to succeed.
+    """
+
+    straggler_workers: tuple[int, ...] = ()
+    straggler_factor: float = 1.0
+    crash_worker: int | None = None
+    crash_round: int | None = None
+    message_loss_rate: float = 0.0
+    seed: int = 0
+    transient_attempts: int = 0
+
+    def __post_init__(self):
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1.0")
+        if not 0.0 <= self.message_loss_rate <= 1.0:
+            raise ValueError("message_loss_rate must be in [0, 1]")
+        if self.transient_attempts < 0:
+            raise ValueError("transient_attempts must be >= 0")
+        if (self.crash_round is None) != (self.crash_worker is None):
+            raise ValueError(
+                "crash_worker and crash_round must be set together"
+            )
+
+    @property
+    def transient(self) -> bool:
+        """Whether faults from this plan allow a retry to succeed."""
+        return self.transient_attempts > 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a CLI spec string.
+
+        Format: semicolon-separated clauses, each ``kind:key=value,...``::
+
+            straggler:workers=0|3,factor=4
+            crash:worker=2,round=5
+            msgloss:rate=0.01,seed=7
+            transient:attempts=1
+
+        Example: ``--inject "crash:worker=0,round=1;transient:attempts=1"``.
+        """
+        fields: dict = {}
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, body = clause.partition(":")
+            kind = kind.strip().lower()
+            options = {}
+            for item in body.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, sep, value = item.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"malformed fault option {item!r} in clause {clause!r}"
+                    )
+                options[key.strip().lower()] = value.strip()
+            try:
+                if kind == "straggler":
+                    fields["straggler_workers"] = tuple(
+                        int(w) for w in options.pop("workers").split("|")
+                    )
+                    fields["straggler_factor"] = float(options.pop("factor", 2.0))
+                elif kind == "crash":
+                    fields["crash_worker"] = int(options.pop("worker"))
+                    fields["crash_round"] = int(options.pop("round"))
+                elif kind == "msgloss":
+                    fields["message_loss_rate"] = float(options.pop("rate"))
+                    fields["seed"] = int(options.pop("seed", 0))
+                elif kind == "transient":
+                    fields["transient_attempts"] = int(options.pop("attempts", 1))
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+            except KeyError as missing:
+                raise ValueError(
+                    f"fault clause {clause!r} is missing option {missing}"
+                ) from None
+            if options:
+                raise ValueError(
+                    f"unknown options {sorted(options)} in fault clause "
+                    f"{clause!r}"
+                )
+        return cls(**fields)
+
+
+class FaultInjector:
+    """Per-combo fault state the cost meters consult.
+
+    One injector is created for every (platform, graph, algorithm)
+    combination; :meth:`begin_attempt` is called by the platform driver
+    API at the start of every algorithm execution, so retries of the
+    same combo see the attempt counter advance — which is how
+    transient faults stop firing.
+    """
+
+    def __init__(self, plan: FaultPlan, platform: str = ""):
+        self.plan = plan
+        self.platform = platform
+        self.attempt = 0
+        self._rng = random.Random(plan.seed)
+
+    def begin_attempt(self) -> int:
+        """Advance to the next algorithm execution; reseeds the RNG."""
+        self.attempt += 1
+        self._rng = random.Random((self.plan.seed << 8) ^ self.attempt)
+        return self.attempt
+
+    @property
+    def armed(self) -> bool:
+        """Whether faults fire during the current attempt."""
+        if self.plan.transient_attempts == 0:
+            return True
+        return self.attempt <= self.plan.transient_attempts
+
+    # -- hooks called by CostMeter ------------------------------------
+
+    def on_round_begin(self, round_index: int) -> None:
+        """Raise the configured worker crash when its round opens."""
+        plan = self.plan
+        if (
+            self.armed
+            and plan.crash_round is not None
+            and round_index == plan.crash_round
+        ):
+            raise SimulatedWorkerCrash(
+                self.platform or "platform",
+                plan.crash_worker,
+                round_index,
+                transient=plan.transient,
+            )
+
+    def on_messages(
+        self, src_worker: int, dst_worker: int, round_index: int, count: int = 1
+    ) -> None:
+        """Seeded loss decision for remote traffic; local is lossless."""
+        rate = self.plan.message_loss_rate
+        if not self.armed or rate <= 0.0 or src_worker == dst_worker:
+            return
+        if count < 1:
+            return
+        # Probability that at least one of `count` messages is lost;
+        # one RNG draw per charge keeps bulk and scalar paths cheap
+        # and the decision sequence deterministic.
+        loss_probability = 1.0 - (1.0 - rate) ** count
+        if self._rng.random() < loss_probability:
+            raise SimulatedMessageLoss(
+                self.platform or "platform",
+                src_worker,
+                dst_worker,
+                round_index,
+                transient=self.plan.transient,
+            )
+
+    def straggler_penalty_seconds(
+        self,
+        ops_per_worker: list[float],
+        random_accesses_per_worker: list[float],
+        ops_per_second: float,
+        random_access_seconds: float,
+    ) -> float:
+        """Extra compute seconds the slowest straggler adds to a round.
+
+        A straggler performs the same work at ``1/straggler_factor``
+        speed; because BSP rounds end at a barrier, the round is
+        extended by the *worst* straggler's slowdown.
+        """
+        plan = self.plan
+        if not self.armed or plan.straggler_factor <= 1.0:
+            return 0.0
+        penalty = 0.0
+        for worker in plan.straggler_workers:
+            if not 0 <= worker < len(ops_per_worker):
+                continue
+            base = (
+                ops_per_worker[worker] / ops_per_second
+                + random_accesses_per_worker[worker] * random_access_seconds
+            )
+            penalty = max(penalty, (plan.straggler_factor - 1.0) * base)
+        return penalty

@@ -1,17 +1,19 @@
 """Unit and integration tests for the Benchmark Core."""
 
 import dataclasses
+import pickle
 
 import pytest
 
 from repro.core.benchmark import FAILED, INVALID, SUCCESS, BenchmarkCore
 from repro.core.cost import ClusterSpec, CostMeter
-from repro.core.errors import PlatformFailure
+from repro.core.errors import PlatformFailure, SuiteWorkerError
 from repro.core.platform_api import GraphHandle, Platform
 from repro.core.validation import OutputValidator
 from repro.core.workload import Algorithm, BenchmarkRunSpec
 from repro.graph.generators import rmat_graph
 from repro.platforms.pregel.driver import GiraphPlatform
+from repro.robustness.faults import FaultPlan
 
 
 class _BrokenPlatform(Platform):
@@ -56,6 +58,56 @@ class _EtlFailingPlatform(Platform):
 
     def _execute(self, handle, algorithm, params):  # pragma: no cover
         raise AssertionError("never reached")
+
+
+class _BuggyPlatform(Platform):
+    """Raises a bare (non-platform) exception — a harness bug."""
+
+    name = "buggy"
+
+    def _load(self, name, graph):
+        return GraphHandle(name=name, platform=self.name, graph=graph)
+
+    def supported_algorithms(self):
+        return [Algorithm.BFS]
+
+    def _execute(self, handle, algorithm, params):
+        raise RuntimeError("unexpected harness bug")
+
+
+class _TransientFailure(PlatformFailure):
+    transient = True
+
+
+class _FlakyPlatform(Platform):
+    """Fails with a transient error until the configured attempt."""
+
+    name = "flaky"
+
+    def __init__(self, cluster, succeed_on_attempt=2):
+        super().__init__(cluster)
+        self.succeed_on_attempt = succeed_on_attempt
+        self.calls = 0
+
+    def _load(self, name, graph):
+        return GraphHandle(name=name, platform=self.name, graph=graph)
+
+    def supported_algorithms(self):
+        return [Algorithm.CONN]
+
+    def _execute(self, handle, algorithm, params):
+        self.calls += 1
+        if self.calls < self.succeed_on_attempt:
+            raise _TransientFailure(self.name, "worker-crash", "flaky")
+        meter = CostMeter(self.cluster)
+        meter.begin_round("compute")
+        meter.charge_compute(0, 10)
+        meter.end_round()
+        labels = {}
+        for source, target in handle.graph.to_undirected().iter_edges():
+            labels.setdefault(source, source)
+            labels.setdefault(target, target)
+        return labels, meter.profile
 
 
 @pytest.fixture
@@ -263,3 +315,107 @@ class TestParallelRunner:
         assert suite.results
         assert all(r.status == FAILED for r in suite.results)
         assert all("ETL" in r.failure_reason for r in suite.results)
+
+
+class TestGracefulDegradation:
+    def test_unexpected_error_becomes_failed_cell(self, graphs, cluster_spec):
+        core = BenchmarkCore([_BuggyPlatform(cluster_spec)], graphs)
+        suite = core.run()
+        (result,) = suite.results
+        assert result.status == FAILED
+        assert result.failure_reason == "error: RuntimeError: unexpected harness bug"
+
+    def test_strict_mode_raises_with_combo_context(self, graphs, cluster_spec):
+        core = BenchmarkCore([_BuggyPlatform(cluster_spec)], graphs, strict=True)
+        with pytest.raises(SuiteWorkerError) as error:
+            core.run()
+        assert error.value.platform == "buggy"
+        assert error.value.graph_name == "tiny"
+        assert "RuntimeError" in error.value.detail
+        assert "BFS" in error.value.detail
+
+    def test_degraded_suite_keeps_running(self, graphs, cluster_spec):
+        """A buggy platform costs its own cells, not the suite."""
+        core = BenchmarkCore(
+            [_BuggyPlatform(cluster_spec), GiraphPlatform(cluster_spec)], graphs
+        )
+        suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+        by_platform = {r.platform: r for r in suite.results}
+        assert by_platform["buggy"].status == FAILED
+        assert by_platform["giraph"].status == SUCCESS
+
+
+class TestWorkerErrorContext:
+    """Regression: parallel worker exceptions keep their combo."""
+
+    def test_parallel_strict_error_names_the_combo(self, graphs, cluster_spec):
+        core = BenchmarkCore(
+            [_BuggyPlatform(cluster_spec), GiraphPlatform(cluster_spec)],
+            graphs,
+            strict=True,
+        )
+        with pytest.raises(SuiteWorkerError) as error:
+            core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]), parallel=2)
+        # The (platform, graph) combo survived the process boundary.
+        assert error.value.platform == "buggy"
+        assert error.value.graph_name == "tiny"
+
+    def test_worker_error_survives_pickling(self):
+        original = SuiteWorkerError("giraph", "patents", "BFS: KeyError: 7")
+        clone = pickle.loads(pickle.dumps(original))
+        assert isinstance(clone, SuiteWorkerError)
+        assert clone.platform == "giraph"
+        assert clone.graph_name == "patents"
+        assert clone.detail == "BFS: KeyError: 7"
+        assert str(clone) == str(original)
+
+
+class TestRetry:
+    def test_transient_failure_retried_until_success(self, graphs, cluster_spec):
+        platform = _FlakyPlatform(cluster_spec, succeed_on_attempt=3)
+        core = BenchmarkCore(
+            [platform], graphs, max_retries=2, retry_backoff_seconds=0.5
+        )
+        suite = core.run()
+        (result,) = suite.results
+        assert result.status == SUCCESS
+        assert result.attempts == 3
+        # Linear backoff: 1*0.5 + 2*0.5.
+        assert result.backoff_seconds == pytest.approx(1.5)
+
+    def test_retry_budget_exhausted_records_failure(self, graphs, cluster_spec):
+        platform = _FlakyPlatform(cluster_spec, succeed_on_attempt=5)
+        core = BenchmarkCore([platform], graphs, max_retries=1)
+        suite = core.run()
+        (result,) = suite.results
+        assert result.status == FAILED
+        assert result.failure_reason == "worker-crash"
+        assert result.attempts == 2
+
+    def test_permanent_failures_never_retried(self, graphs, cluster_spec):
+        core = BenchmarkCore([_CrashingPlatform(cluster_spec)], graphs, max_retries=3)
+        suite = core.run()
+        assert all(r.attempts == 1 for r in suite.results)
+
+    def test_negative_retries_rejected(self, graphs, cluster_spec):
+        with pytest.raises(ValueError, match="max_retries"):
+            BenchmarkCore([GiraphPlatform(cluster_spec)], graphs, max_retries=-1)
+
+    def test_fault_plan_flows_through_parallel_runner(self, cluster_spec):
+        """Injected transient faults retry identically in pool workers."""
+        graphs = {"tiny": rmat_graph(5, edge_factor=4, seed=3)}
+        plan = FaultPlan(crash_worker=0, crash_round=0, transient_attempts=1)
+        make = lambda: BenchmarkCore(
+            [GiraphPlatform(cluster_spec)],
+            graphs,
+            fault_plan=plan,
+            max_retries=1,
+        )
+        spec = BenchmarkRunSpec(algorithms=[Algorithm.BFS])
+        sequential = make().run(spec)
+        parallel = make().run(spec, parallel=2)
+        for suite in (sequential, parallel):
+            (result,) = suite.results
+            assert result.status == SUCCESS
+            assert result.attempts == 2
+        assert _canonical(sequential) == _canonical(parallel)

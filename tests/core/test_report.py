@@ -61,7 +61,40 @@ def test_write_to_file(suite, tmp_path):
     assert "Graphalytics benchmark report" in path.read_text()
 
 
-def test_missing_values_rendered_as_dash():
+def test_failure_cells_labeled_by_cause():
+    from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
+
+    def failed(platform, reason, status="failed"):
+        return BenchmarkResult(
+            platform=platform,
+            graph_name="g",
+            algorithm=Algorithm.BFS,
+            status=status,
+            failure_reason=reason,
+        )
+
+    suite = BenchmarkSuiteResult(
+        results=[
+            failed("giraph", "out-of-memory"),
+            failed("graphx", "ETL: out-of-memory"),
+            failed("mapreduce", "time-limit"),
+            failed("neo4j", "worker-crash: worker 2 crashed in round 5"),
+            failed("medusa", "message-loss: channel 0->1 dropped"),
+            failed("virtuoso", "timeout"),
+            failed("graphlab", "ranks differ", status="invalid"),
+            failed("stratosphere", "error: KeyError: 'x'"),
+        ]
+    )
+    matrix = ReportGenerator().runtime_matrix(suite)
+    for label in ("OOM", "T/O", "CRASH", "LOST", "INV", "FAIL"):
+        assert label in matrix
+    # The dash is reserved for combinations that never ran.
+    assert "—" not in matrix
+    failures = ReportGenerator().failure_section(suite)
+    assert "out-of-memory" in failures
+
+
+def test_absent_combo_rendered_as_dash():
     from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
 
     suite = BenchmarkSuiteResult(
@@ -70,12 +103,18 @@ def test_missing_values_rendered_as_dash():
                 platform="giraph",
                 graph_name="g",
                 algorithm=Algorithm.BFS,
-                status="failed",
-                failure_reason="out-of-memory",
-            )
+                status="success",
+                runtime_seconds=1.0,
+            ),
+            BenchmarkResult(
+                platform="neo4j",
+                graph_name="h",
+                algorithm=Algorithm.BFS,
+                status="success",
+                runtime_seconds=2.0,
+            ),
         ]
     )
+    # giraph never ran graph "h" and neo4j never ran "g": dashes.
     matrix = ReportGenerator().runtime_matrix(suite)
     assert "—" in matrix
-    failures = ReportGenerator().failure_section(suite)
-    assert "out-of-memory" in failures

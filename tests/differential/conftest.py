@@ -1,0 +1,84 @@
+"""Fixtures for the cross-platform differential harness.
+
+A seeded fuzzer produces a pool of small adversarial graphs —
+directed and undirected construction, disconnected components,
+self-loops, duplicate edges, singleton vertices — on which every
+platform must reproduce the reference outputs exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.cost import ClusterSpec
+from repro.graph.graph import Graph
+from repro.platforms.columnar.driver import VirtuosoPlatform
+from repro.platforms.dataflow.driver import StratospherePlatform
+from repro.platforms.gas.driver import GraphLabPlatform
+from repro.platforms.gpu.driver import MedusaPlatform
+from repro.platforms.graphdb.driver import Neo4jPlatform
+from repro.platforms.mapreduce.driver import MapReducePlatform
+from repro.platforms.pregel.driver import GiraphPlatform
+from repro.platforms.rddgraph.driver import GraphXPlatform
+
+PLATFORM_FACTORIES = {
+    "giraph": lambda: GiraphPlatform(ClusterSpec.paper_distributed()),
+    "graphlab": lambda: GraphLabPlatform(ClusterSpec.paper_distributed()),
+    "graphx": lambda: GraphXPlatform(ClusterSpec.paper_distributed()),
+    "mapreduce": lambda: MapReducePlatform(ClusterSpec.paper_distributed()),
+    "medusa": lambda: MedusaPlatform(),
+    "neo4j": lambda: Neo4jPlatform(),
+    "stratosphere": lambda: StratospherePlatform(ClusterSpec.paper_distributed()),
+    "virtuoso": lambda: VirtuosoPlatform(),
+}
+
+#: Number of fuzzed graphs in the differential pool.
+NUM_FUZZED_GRAPHS = 20
+
+
+def fuzzed_graph(index: int) -> Graph:
+    """Deterministic adversarial graph number ``index``.
+
+    Every structural edge case the builder and the platforms must
+    agree on is exercised across the pool: the fuzzer mixes dense and
+    sparse random graphs, splits some graphs into disconnected
+    clusters, sprinkles self-loops (dropped by the builder) and
+    duplicate edges (deduplicated), and appends isolated vertices.
+    """
+    rng = random.Random(0xD1FF ^ index)
+    num_clusters = 1 + index % 3  # 1, 2, or 3 components
+    edges: list[tuple[int, int]] = []
+    base = 0
+    for _cluster in range(num_clusters):
+        size = rng.randint(3, 8)
+        density = rng.choice([0.25, 0.5, 0.9])
+        for u in range(size):
+            for v in range(u + 1, size):
+                if rng.random() < density:
+                    if index % 2:  # exercise both arc orientations
+                        edges.append((base + v, base + u))
+                    else:
+                        edges.append((base + u, base + v))
+        # A spanning path keeps each cluster connected (so components
+        # match cluster count and BFS has nontrivial depth).
+        for u in range(size - 1):
+            edges.append((base + u, base + u + 1))
+        base += size + rng.randint(0, 2)  # id gaps between clusters
+    # Self-loops: dropped by the graph builder, platforms never see them.
+    for _ in range(index % 4):
+        vertex = rng.randrange(base) if base else 0
+        edges.append((vertex, vertex))
+    # Duplicate edges: deduplicated by the builder.
+    for _ in range(index % 3):
+        if edges:
+            edges.append(rng.choice(edges))
+    rng.shuffle(edges)
+    # Singleton vertices (never mentioned by any edge).
+    singletons = [base + 100 + i for i in range(index % 3)]
+    return Graph.from_edges(edges, vertices=singletons)
+
+
+FUZZED_GRAPHS = {
+    f"fuzz-{index:02d}": fuzzed_graph(index)
+    for index in range(NUM_FUZZED_GRAPHS)
+}

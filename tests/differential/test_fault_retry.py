@@ -1,0 +1,75 @@
+"""Differential harness with transient fault injection and retry.
+
+The acceptance property for the resilience layer: with a transient
+worker crash injected into every first attempt and one bounded retry,
+the whole matrix still completes successfully — and the validated
+outputs are unchanged, so recovery is invisible in the results.
+"""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkCore
+from repro.core.cost import ClusterSpec
+from repro.core.validation import OutputValidator
+from repro.core.workload import Algorithm, BenchmarkRunSpec
+from repro.platforms.registry import create_platform_fleet
+from repro.robustness import FaultPlan
+
+from tests.differential.conftest import fuzzed_graph
+
+#: First attempt of every cell crashes worker 0 when its first round
+#: opens; the fault is spent after that attempt, so one retry wins.
+TRANSIENT_CRASH = FaultPlan(
+    crash_worker=0, crash_round=0, transient_attempts=1
+)
+
+ALGORITHMS = [Algorithm.BFS, Algorithm.CONN, Algorithm.CD, Algorithm.STATS]
+
+
+def _run(fault_plan=None, max_retries=0):
+    fleet = create_platform_fleet(ClusterSpec.paper_distributed())
+    core = BenchmarkCore(
+        fleet,
+        {"fuzz": fuzzed_graph(5)},
+        validator=OutputValidator(),
+        fault_plan=fault_plan,
+        max_retries=max_retries,
+    )
+    return core.run(BenchmarkRunSpec(algorithms=ALGORITHMS))
+
+
+@pytest.mark.slow
+def test_transient_crash_with_retry_completes_the_matrix():
+    suite = _run(fault_plan=TRANSIENT_CRASH, max_retries=1)
+    assert suite.results
+    for result in suite.results:
+        assert result.succeeded, (
+            f"{result.platform}/{result.algorithm.value}: "
+            f"{result.failure_reason}"
+        )
+        # Every cell needed exactly one retry and paid its backoff.
+        assert result.attempts == 2
+        assert result.backoff_seconds > 0
+
+
+@pytest.mark.slow
+def test_transient_crash_without_retry_fails_the_matrix():
+    suite = _run(fault_plan=TRANSIENT_CRASH, max_retries=0)
+    for result in suite.results:
+        assert not result.succeeded
+        assert result.failure_reason == "worker-crash"
+        assert result.attempts == 1
+
+
+@pytest.mark.slow
+def test_recovered_runs_match_fault_free_runs():
+    """Retry recovery is invisible: runtimes and outputs of the
+    recovered suite equal the fault-free suite's."""
+    recovered = _run(fault_plan=TRANSIENT_CRASH, max_retries=1)
+    clean = _run()
+    assert len(recovered.results) == len(clean.results)
+    for with_fault, without in zip(recovered.results, clean.results):
+        assert with_fault.platform == without.platform
+        assert with_fault.algorithm == without.algorithm
+        assert with_fault.runtime_seconds == without.runtime_seconds
+        assert repr(with_fault.run.output) == repr(without.run.output)

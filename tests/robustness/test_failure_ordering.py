@@ -1,0 +1,101 @@
+"""Acceptance test: the paper's qualitative failure ordering.
+
+Figure 4 of the paper reports that the graph database cannot process
+graphs beyond one machine's memory, and that GraphX runs out of
+memory before Giraph on the same cluster. With a single shared
+``--mem-limit``, the reproduction shows the same ordering as
+deterministic ``FAILED(out-of-memory)`` cells: Neo4j fails first (on
+both graph sizes), GraphX fails on the larger graph only, Giraph on
+neither — and the rendered failure matrix is bit-identical across
+consecutive runs.
+"""
+
+import pytest
+
+from repro.core.benchmark import BenchmarkCore
+from repro.core.cost import ClusterSpec
+from repro.core.report import ReportGenerator
+from repro.core.workload import Algorithm, BenchmarkRunSpec
+from repro.graph.generators import rmat_graph
+from repro.platforms.registry import create_platform_fleet
+from repro.robustness import apply_mem_limit, estimate_footprint
+
+#: Shared per-worker budget separating the three platforms on the two
+#: graphs below (between GraphX's ~89 KiB and Neo4j's ~91 KiB peak on
+#: the small graph; far under both on the large one).
+MEM_LIMIT = 90_000.0
+
+PLATFORMS = ["giraph", "graphx", "neo4j"]
+
+
+def _graphs():
+    return {
+        "small": rmat_graph(8, edge_factor=8, seed=21),
+        "large": rmat_graph(9, edge_factor=8, seed=21),
+    }
+
+
+def _run_suite():
+    fleet = create_platform_fleet(
+        ClusterSpec.paper_distributed(), names=PLATFORMS
+    )
+    for platform in fleet:
+        apply_mem_limit(platform, MEM_LIMIT)
+    core = BenchmarkCore(fleet, _graphs())
+    return core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return _run_suite()
+
+
+def _status(suite, platform, graph):
+    result = suite.lookup(platform, graph, Algorithm.BFS)
+    assert result is not None
+    return result
+
+
+class TestPaperFailureOrdering:
+    def test_graphdb_fails_first(self, suite):
+        """Neo4j's single machine holds the whole record store: it is
+        the first platform past the budget, on both graph sizes."""
+        for graph in ("small", "large"):
+            result = _status(suite, "neo4j", graph)
+            assert not result.succeeded
+            assert "out-of-memory" in result.failure_reason
+
+    def test_rddgraph_fails_before_pregel(self, suite):
+        """GraphX's fat RDD records die on the large graph while
+        Giraph's primitive adjacency still fits."""
+        assert _status(suite, "graphx", "small").succeeded
+        large = _status(suite, "graphx", "large")
+        assert not large.succeeded
+        assert "out-of-memory" in large.failure_reason
+
+    def test_pregel_survives_both(self, suite):
+        for graph in ("small", "large"):
+            assert _status(suite, "giraph", graph).succeeded
+
+    def test_footprint_model_predicts_the_ordering(self):
+        """The declarative model ranks the platforms the same way the
+        executed suite does — it is usable for choosing limits."""
+        workers = ClusterSpec.paper_distributed().num_workers
+        for graph in _graphs().values():
+            floors = {
+                name: estimate_footprint(name, graph, workers).bytes_per_worker
+                for name in PLATFORMS
+            }
+            assert floors["neo4j"] > floors["graphx"] > floors["giraph"]
+
+
+def test_failure_matrix_bit_identical_across_runs():
+    """The full acceptance property: two consecutive suite executions
+    render the same report, byte for byte, failure cells included."""
+    generator = ReportGenerator(
+        configuration={"mem-limit": f"{int(MEM_LIMIT)} bytes/worker"}
+    )
+    first = generator.render(_run_suite())
+    second = generator.render(_run_suite())
+    assert first == second
+    assert "OOM" in first

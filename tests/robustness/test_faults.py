@@ -1,0 +1,151 @@
+"""Unit tests for the fault plan, its parser, and the injector."""
+
+import pytest
+
+from repro.robustness.errors import SimulatedMessageLoss, SimulatedWorkerCrash
+from repro.robustness.faults import FaultInjector, FaultPlan
+
+
+class TestFaultPlan:
+    def test_defaults_are_inert(self):
+        plan = FaultPlan()
+        assert plan.straggler_workers == ()
+        assert plan.message_loss_rate == 0.0
+        assert plan.crash_round is None
+        assert not plan.transient
+
+    def test_transient_property(self):
+        assert FaultPlan(transient_attempts=1).transient
+        assert not FaultPlan(transient_attempts=0).transient
+
+    def test_crash_fields_must_pair(self):
+        with pytest.raises(ValueError, match="together"):
+            FaultPlan(crash_worker=2)
+        with pytest.raises(ValueError, match="together"):
+            FaultPlan(crash_round=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="straggler_factor"):
+            FaultPlan(straggler_factor=0.5)
+        with pytest.raises(ValueError, match="message_loss_rate"):
+            FaultPlan(message_loss_rate=1.5)
+        with pytest.raises(ValueError, match="transient_attempts"):
+            FaultPlan(transient_attempts=-1)
+
+
+class TestFaultPlanParse:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "straggler:workers=0|3,factor=4;crash:worker=2,round=5;"
+            "msgloss:rate=0.01,seed=7;transient:attempts=1"
+        )
+        assert plan.straggler_workers == (0, 3)
+        assert plan.straggler_factor == 4.0
+        assert plan.crash_worker == 2
+        assert plan.crash_round == 5
+        assert plan.message_loss_rate == 0.01
+        assert plan.seed == 7
+        assert plan.transient_attempts == 1
+
+    def test_single_clause(self):
+        plan = FaultPlan.parse("crash:worker=0,round=1")
+        assert plan.crash_worker == 0
+        assert plan.crash_round == 1
+        assert not plan.transient
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("meteor:impact=1")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown options"):
+            FaultPlan.parse("crash:worker=0,round=1,color=red")
+
+    def test_missing_option_rejected(self):
+        with pytest.raises(ValueError, match="missing option"):
+            FaultPlan.parse("crash:worker=0")
+
+
+class TestFaultInjector:
+    def test_crash_fires_at_configured_round(self):
+        injector = FaultInjector(
+            FaultPlan(crash_worker=2, crash_round=3), "giraph"
+        )
+        injector.begin_attempt()
+        for benign_round in (0, 1, 2):
+            injector.on_round_begin(benign_round)
+        with pytest.raises(SimulatedWorkerCrash) as failure:
+            injector.on_round_begin(3)
+        assert failure.value.worker == 2
+        assert failure.value.round_index == 3
+        assert failure.value.reason == "worker-crash"
+        assert not failure.value.transient
+
+    def test_transient_crash_stops_after_budget(self):
+        plan = FaultPlan(crash_worker=0, crash_round=0, transient_attempts=1)
+        injector = FaultInjector(plan, "giraph")
+        injector.begin_attempt()
+        with pytest.raises(SimulatedWorkerCrash) as failure:
+            injector.on_round_begin(0)
+        assert failure.value.transient
+        injector.begin_attempt()  # second attempt: fault is spent
+        injector.on_round_begin(0)
+
+    def test_message_loss_is_seeded_and_remote_only(self):
+        plan = FaultPlan(message_loss_rate=0.5, seed=11)
+        outcomes = []
+        for _trial in range(2):
+            injector = FaultInjector(plan, "giraph")
+            injector.begin_attempt()
+            trial = []
+            for step in range(50):
+                try:
+                    injector.on_messages(0, 1, round_index=0, count=1)
+                    trial.append(False)
+                except SimulatedMessageLoss:
+                    trial.append(True)
+            outcomes.append(tuple(trial))
+        # Deterministic: both trials see the identical loss schedule.
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0])
+        # Local traffic never raises, whatever the RNG says.
+        injector = FaultInjector(plan, "giraph")
+        injector.begin_attempt()
+        for _step in range(50):
+            injector.on_messages(3, 3, round_index=0, count=10)
+
+    def test_bulk_loss_probability_grows_with_count(self):
+        plan = FaultPlan(message_loss_rate=0.01, seed=3)
+        injector = FaultInjector(plan, "giraph")
+        injector.begin_attempt()
+        with pytest.raises(SimulatedMessageLoss):
+            # One charge of a million messages is near-certain to trip.
+            injector.on_messages(0, 1, round_index=0, count=1_000_000)
+
+    def test_straggler_penalty_scales_worst_worker(self):
+        plan = FaultPlan(straggler_workers=(1,), straggler_factor=3.0)
+        injector = FaultInjector(plan, "giraph")
+        injector.begin_attempt()
+        penalty = injector.straggler_penalty_seconds(
+            ops_per_worker=[100.0, 200.0],
+            random_accesses_per_worker=[0.0, 0.0],
+            ops_per_second=100.0,
+            random_access_seconds=0.0,
+        )
+        # Worker 1 takes 2 s at full speed; 3x slower adds 4 s.
+        assert penalty == pytest.approx(4.0)
+
+    def test_straggler_ignores_out_of_range_workers(self):
+        plan = FaultPlan(straggler_workers=(9,), straggler_factor=2.0)
+        injector = FaultInjector(plan, "giraph")
+        injector.begin_attempt()
+        assert injector.straggler_penalty_seconds(
+            [1.0], [0.0], 1.0, 0.0
+        ) == 0.0
+
+    def test_inert_plan_never_fires(self):
+        injector = FaultInjector(FaultPlan(), "giraph")
+        injector.begin_attempt()
+        injector.on_round_begin(0)
+        injector.on_messages(0, 1, round_index=0, count=100)
+        assert injector.straggler_penalty_seconds([1.0], [1.0], 1.0, 1.0) == 0.0

@@ -324,6 +324,93 @@ def test_run_with_config_file(tmp_path, capsys):
     assert "neo4j" not in out.split("Runtime")[1]  # only configured platform ran
 
 
+def test_run_with_mem_limit_records_failure_cells(tmp_path, capsys):
+    report = tmp_path / "report.txt"
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph,neo4j",
+            "--algorithms", "BFS",
+            "--mem-limit", "16K",
+            "--report", str(report),
+        ]
+    )
+    # Mixed outcome: giraph fits, neo4j OOMs; the run itself succeeds.
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "OOM" in out
+    assert "out-of-memory" in out
+    assert "mem-limit = 16384 bytes/worker" in out
+
+
+def test_run_with_timeout_records_failure_cells(tmp_path, capsys):
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph,neo4j",
+            "--algorithms", "BFS",
+            "--timeout", "1e-9",
+            "--report", str(tmp_path / "report.txt"),
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "T/O" in out
+    assert "timeout" in out
+
+
+def test_run_with_injected_transient_fault_and_retry(tmp_path, capsys):
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph",
+            "--algorithms", "BFS",
+            "--inject", "crash:worker=0,round=0;transient:attempts=1",
+            "--retries", "1",
+            "--report", str(tmp_path / "report.txt"),
+        ]
+    )
+    assert code == 0  # the retry recovered every cell
+    assert "No failures." in capsys.readouterr().out
+
+
+def test_run_with_permanent_injected_crash(tmp_path, capsys):
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph",
+            "--algorithms", "BFS",
+            "--inject", "crash:worker=0,round=0",
+            "--report", str(tmp_path / "report.txt"),
+        ]
+    )
+    assert code == 1
+    assert "worker-crash" in capsys.readouterr().out
+
+
+def test_selfcheck_smoke(capsys):
+    # --skip-tests: selfcheck must not recurse into the suite that is
+    # running it; the quality-gate and quick-perf stages run for real.
+    code = main(["selfcheck", "--skip-tests"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "selfcheck summary:" in out
+    assert "tests          skipped" in out
+    assert "quality gate   ok" in out
+    assert "perf --quick   ok" in out
+    assert "selfcheck: PASS" in out
+
+
+def test_selfcheck_all_stages_skippable(capsys):
+    code = main(["selfcheck", "--skip-tests", "--skip-quality", "--skip-perf"])
+    assert code == 0
+    assert "selfcheck: PASS" in capsys.readouterr().out
+
+
 def test_cli_flags_override_config(tmp_path, capsys):
     config = tmp_path / "bench.ini"
     config.write_text("[benchmark]\nplatforms = giraph\nalgorithms = STATS\n")
