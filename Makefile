@@ -7,7 +7,7 @@ export PYTHONPATH := src
 
 COVERAGE_FLOOR := $(shell cat .coverage-floor 2>/dev/null || echo 0)
 
-.PHONY: check test test-fast quality perf coverage
+.PHONY: check test test-fast quality perf trace-smoke coverage
 
 check:
 	$(PYTHON) -m repro.cli selfcheck
@@ -23,6 +23,21 @@ quality:
 
 perf:
 	$(PYTHON) -m repro.cli perf --quick
+
+# End-to-end observability smoke: run one tiny traced benchmark,
+# summarize the trace, and self-compare it under the regression gate
+# (any flagged regression against itself is a tracing bug).
+TRACE_SMOKE_DIR := .trace-smoke
+trace-smoke:
+	rm -rf $(TRACE_SMOKE_DIR)
+	$(PYTHON) -m repro.cli run --platforms giraph --graphs graph500-8 \
+		--algorithms BFS --trace $(TRACE_SMOKE_DIR) \
+		--report $(TRACE_SMOKE_DIR)/report.txt >/dev/null
+	$(PYTHON) -m repro.cli trace $(TRACE_SMOKE_DIR)/giraph_graph500-8_BFS.jsonl
+	$(PYTHON) -m repro.cli analyze --check \
+		$(TRACE_SMOKE_DIR)/giraph_graph500-8_BFS.jsonl \
+		$(TRACE_SMOKE_DIR)/giraph_graph500-8_BFS.jsonl
+	rm -rf $(TRACE_SMOKE_DIR)
 
 # Line-coverage report with a checked-in floor (.coverage-floor, in
 # percent). pytest-cov is an optional dependency: when it is not

@@ -13,8 +13,15 @@ command implements that workflow:
 * ``graphalytics characterize`` — print a Table 1 row for a dataset;
 * ``graphalytics quality`` — the Section 3.5 code-quality report and
   baseline quality gate (``--check`` / ``--update-baseline``);
+* ``graphalytics trace`` — summarize a structured JSONL run trace
+  (written by ``run --trace DIR``): attempts, rounds, faults, and the
+  dominant choke point;
+* ``graphalytics analyze`` — compare two runs (traces, results
+  databases, or submission documents) and flag regressions in time,
+  network bytes, rounds, and dominant choke point;
 * ``graphalytics selfcheck`` — one command chaining the tier-1 test
-  suite, the quality gate, and the quick perf harness.
+  suite, the quality gate, the quick perf harness, and the
+  trace-replay check.
 
 ``run`` also exposes the deterministic failure envelope: ``--mem-limit``
 caps every worker's simulated memory (reproducing the paper's
@@ -106,6 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--parallel", type=int, default=1, metavar="N",
                      help="run (platform, graph) pairs over N worker "
                      "processes (results identical to sequential)")
+    run.add_argument("--trace", default=None, metavar="DIR",
+                     help="write a structured JSONL trace per (platform, "
+                     "graph, algorithm) cell into this directory "
+                     "(inspect with 'graphalytics trace', compare with "
+                     "'graphalytics analyze')")
     run.add_argument("--no-validate", action="store_true",
                      help="skip output validation")
     run.add_argument("--report", default="graphalytics-report.txt",
@@ -163,10 +175,34 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--output", default="BENCH_kernels.json",
                       help="JSON report path")
 
+    trace = commands.add_parser(
+        "trace",
+        help="summarize a structured JSONL run trace (from run --trace)",
+    )
+    trace.add_argument("trace", help="JSONL trace file of one benchmark cell")
+    trace.add_argument("--rounds", action="store_true",
+                       help="also list every round span")
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="compare two runs (traces/results-dbs/submissions) and flag "
+        "regressions",
+    )
+    analyze.add_argument("old", help="baseline: trace, results db, or "
+                         "submission document")
+    analyze.add_argument("new", help="candidate, same formats")
+    analyze.add_argument("--threshold", type=float, default=0.05,
+                         metavar="FRACTION",
+                         help="relative growth tolerated before a metric "
+                         "counts as regressed (default 0.05)")
+    analyze.add_argument("--check", action="store_true",
+                         help="gate: exit non-zero when regressions are "
+                         "found")
+
     selfcheck = commands.add_parser(
         "selfcheck",
-        help="chain the tier-1 test suite, quality gate, and quick perf "
-        "harness in one command",
+        help="chain the tier-1 test suite, quality gate, quick perf "
+        "harness, and trace-replay check in one command",
     )
     selfcheck.add_argument("--fast", action="store_true",
                            help="skip tests marked slow (-m 'not slow')")
@@ -176,6 +212,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="skip the quality-gate stage")
     selfcheck.add_argument("--skip-perf", action="store_true",
                            help="skip the quick perf stage")
+    selfcheck.add_argument("--skip-trace", action="store_true",
+                           help="skip the trace-replay stage")
 
     leaderboard = commands.add_parser(
         "leaderboard",
@@ -188,7 +226,12 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _resolve_run_selection(args: argparse.Namespace):
+    """Merge CLI flags with an optional config file into run settings.
+
+    Returns ``(platform_names, graph_names, algorithms, time_limit,
+    validate)``; explicit flags always win over the config file.
+    """
     config_spec = None
     config_time_limit = None
     if args.config:
@@ -222,6 +265,13 @@ def _command_run(args: argparse.Namespace) -> int:
     validate = not args.no_validate
     if config_spec is not None and not config_spec.validate_outputs:
         validate = False
+    return platform_names, graph_names, algorithms, time_limit, validate
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    (
+        platform_names, graph_names, algorithms, time_limit, validate,
+    ) = _resolve_run_selection(args)
 
     distributed = ClusterSpec.paper_distributed()
     platforms = create_platform_fleet(distributed, names=platform_names)
@@ -241,6 +291,7 @@ def _command_run(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         max_retries=args.retries,
         retry_backoff_seconds=args.retry_backoff,
+        trace_dir=args.trace,
     )
     suite = core.run(BenchmarkRunSpec(algorithms=algorithms), parallel=args.parallel)
     configuration = {
@@ -254,6 +305,14 @@ def _command_run(args: argparse.Namespace) -> int:
         configuration["timeout"] = f"{args.timeout} s"
     if fault_plan is not None:
         configuration["inject"] = args.inject
+    if args.trace:
+        configuration["trace"] = args.trace
+    _write_run_artifacts(args, suite, configuration)
+    return 0 if not suite.failures() or suite.successes() else 1
+
+
+def _write_run_artifacts(args, suite, configuration) -> None:
+    """Emit the report and optional HTML/results-db/trace artifacts."""
     generator = ReportGenerator(configuration=configuration)
     quality = analyze_tree("src") if args.with_quality else None
     path = generator.write(suite, args.report, quality=quality)
@@ -265,7 +324,9 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.results_db:
         written = ResultsDatabase(args.results_db).submit(suite)
         print(f"{written} results appended to {args.results_db}")
-    return 0 if not suite.failures() or suite.successes() else 1
+    if args.trace:
+        traced = sum(1 for r in suite.results if r.trace_path)
+        print(f"{traced} trace file(s) written to {args.trace}")
 
 
 def _command_datagen(args: argparse.Namespace) -> int:
@@ -364,13 +425,82 @@ def _command_perf(args: argparse.Namespace) -> int:
     return 0 if all(t.simulated_match for t in report.kernels) else 1
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.core.chokepoints import analyze_profile
+    from repro.observability import parse_trace, read_trace
+
+    try:
+        attempts = parse_trace(read_trace(args.trace))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}")
+        return 2
+    if not attempts:
+        print(f"error: {args.trace} contains no run attempts")
+        return 2
+    for attempt in attempts:
+        print(
+            f"attempt {attempt.attempt}: {attempt.platform}/{attempt.graph}/"
+            f"{attempt.algorithm.lower()}  status={attempt.status}"
+        )
+        if attempt.complete:
+            profile = attempt.to_profile()
+            report = analyze_profile(profile)
+            print(
+                f"  rounds={profile.num_rounds} "
+                f"simulated={profile.simulated_seconds:.2f} s "
+                f"net={profile.total_remote_bytes / 2**20:.2f} MiB "
+                f"peak-mem={profile.peak_memory / 2**20:.2f} MiB "
+                f"dominant={report.dominant()}"
+            )
+        if args.rounds:
+            for record in attempt.rounds:
+                print(
+                    f"    {record.name:<20} {record.seconds:9.3f} s "
+                    f"net={record.remote_bytes / 2**20:8.2f} MiB "
+                    f"active={record.active_vertices}"
+                )
+        for fault in attempt.faults:
+            print(
+                f"  fault@round {fault.get('round')}: {fault.get('kind')} "
+                f"({fault.get('detail')})"
+            )
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    from repro.observability import compare_metrics, load_metrics
+
+    try:
+        old = load_metrics(args.old)
+        new = load_metrics(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    regressions = compare_metrics(old, new, threshold=args.threshold)
+    matched = sum(1 for key in old if key in new)
+    print(
+        f"compared {matched} matched run(s) "
+        f"({len(old)} baseline, {len(new)} candidate, "
+        f"threshold {args.threshold:.0%})"
+    )
+    if not regressions:
+        print("no regressions")
+        return 0
+    print(f"{len(regressions)} regression(s):")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 1 if args.check else 0
+
+
 def _command_selfcheck(args: argparse.Namespace) -> int:
     """One command that answers "is this checkout healthy?".
 
     Chains the repo's own verification stages — tier-1 pytest suite,
-    static-analysis quality gate against the checked-in baseline, and
-    the quick perf harness (bulk/scalar equivalence) — and reports a
-    pass/fail summary. ``make check`` delegates here.
+    static-analysis quality gate against the checked-in baseline, the
+    quick perf harness (bulk/scalar equivalence), and the trace-replay
+    check (a traced run's JSONL re-aggregates to the exact recorded
+    profile and self-compares clean under ``analyze --check``) — and
+    reports a pass/fail summary. ``make check`` delegates here.
     """
     import subprocess
 
@@ -422,6 +552,43 @@ def _command_selfcheck(args: argparse.Namespace) -> int:
         if not record("perf --quick", matched):
             exit_code = 1
 
+    if args.skip_trace:
+        stages.append(("trace replay", "skipped"))
+    else:
+        import tempfile
+
+        from repro.observability import verify_replay
+
+        print("selfcheck: running trace-replay check")
+        passed = False
+        with tempfile.TemporaryDirectory() as tmp:
+            graphs = {"graph500-8": load_dataset("graph500-8")}
+            platforms = create_platform_fleet(
+                ClusterSpec.paper_distributed(), names=["giraph"]
+            )
+            core = BenchmarkCore(platforms, graphs, trace_dir=tmp)
+            suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+            result = suite.results[0]
+            if not (result.succeeded and result.trace_path):
+                print(f"  traced run failed: {result.failure_reason}")
+            else:
+                mismatches = verify_replay(
+                    result.trace_path, result.run.profile
+                )
+                for mismatch in mismatches:
+                    print(f"  replay mismatch: {mismatch}")
+                analyze_args = argparse.Namespace(
+                    old=result.trace_path,
+                    new=result.trace_path,
+                    threshold=0.05,
+                    check=True,
+                )
+                passed = (
+                    not mismatches and _command_analyze(analyze_args) == 0
+                )
+        if not record("trace replay", passed):
+            exit_code = 1
+
     print("\nselfcheck summary:")
     for name, status in stages:
         print(f"  {name:<14} {status}")
@@ -450,6 +617,8 @@ def main(argv: list[str] | None = None) -> int:
         "characterize": _command_characterize,
         "quality": _command_quality,
         "perf": _command_perf,
+        "trace": _command_trace,
+        "analyze": _command_analyze,
         "selfcheck": _command_selfcheck,
         "leaderboard": _command_leaderboard,
     }

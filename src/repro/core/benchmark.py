@@ -15,9 +15,11 @@ import concurrent.futures
 import random
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.core.chokepoints import ChokePointReport, analyze_profile
 from repro.core.errors import PlatformFailure, SuiteWorkerError, ValidationFailure
 from repro.core.metrics import kteps
 from repro.core.monitor import SystemMonitor, UtilizationSample
@@ -25,6 +27,7 @@ from repro.core.platform_api import Platform, PlatformRun
 from repro.core.validation import OutputValidator
 from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
 from repro.graph.graph import Graph
+from repro.observability.sinks import JsonlTraceWriter
 from repro.robustness.faults import FaultInjector, FaultPlan
 
 __all__ = [
@@ -74,6 +77,12 @@ class BenchmarkResult:
     #: Simulated backoff seconds spent between retry attempts (kept
     #: out of ``runtime_seconds``, which measures the successful run).
     backoff_seconds: float = 0.0
+    #: Choke-point indicators of the recorded run (paper Section 2.1);
+    #: populated whenever a run profile exists, so report matrices and
+    #: database rows can show each cell's dominant choke point.
+    chokepoints: ChokePointReport | None = None
+    #: Where this cell's JSONL trace landed, when tracing was on.
+    trace_path: str | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -153,6 +162,14 @@ class BenchmarkCore:
         ``FAILED(error: ...)`` cells — graceful degradation, the
         suite keeps running; ``True`` re-raises them (wrapped with
         their combo metadata).
+    trace_dir:
+        When set, every (platform, graph, algorithm) cell writes a
+        structured JSONL trace
+        (``<platform>_<graph>_<algorithm>.jsonl``) into this
+        directory via an attached
+        :class:`~repro.observability.JsonlTraceWriter`. Tracing is
+        observe-only: recorded profiles are bit-identical with or
+        without it.
     """
 
     def __init__(
@@ -166,6 +183,7 @@ class BenchmarkCore:
         max_retries: int = 0,
         retry_backoff_seconds: float = 1.0,
         strict: bool = False,
+        trace_dir: str | Path | None = None,
     ):
         names = [p.name for p in platforms]
         if len(set(names)) != len(names):
@@ -181,6 +199,7 @@ class BenchmarkCore:
         self.max_retries = max_retries
         self.retry_backoff_seconds = retry_backoff_seconds
         self.strict = strict
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.monitor = SystemMonitor()
 
     def run(
@@ -225,6 +244,7 @@ class BenchmarkCore:
                 retry_backoff_seconds=self.retry_backoff_seconds,
                 strict=self.strict,
                 spec=spec,
+                trace_dir=self.trace_dir,
             )
             for platform, graph_name, graph in pairs
         ]
@@ -330,6 +350,35 @@ class BenchmarkCore:
         algorithm: Algorithm,
         spec: BenchmarkRunSpec,
     ) -> BenchmarkResult:
+        """One cell, with the per-cell trace writer attached around it."""
+        writer = None
+        saved_sinks = platform.sinks
+        if self.trace_dir is not None:
+            cell = f"{platform.name}_{handle.name}_{algorithm.value}"
+            writer = JsonlTraceWriter(
+                self.trace_dir / f"{cell.replace('/', '-')}.jsonl"
+            )
+            platform.sinks = saved_sinks + (writer,)
+        try:
+            result = self._execute_cell(platform, handle, graph, algorithm, spec)
+        finally:
+            # Restore whatever sinks the caller had attached; the
+            # per-cell writer never leaks into the next cell.
+            platform.sinks = saved_sinks
+            if writer is not None:
+                writer.close()
+        if writer is not None:
+            result.trace_path = str(writer.path)
+        return result
+
+    def _execute_cell(
+        self,
+        platform: Platform,
+        handle,
+        graph: Graph,
+        algorithm: Algorithm,
+        spec: BenchmarkRunSpec,
+    ) -> BenchmarkResult:
         base = BenchmarkResult(
             platform=platform.name,
             graph_name=handle.name,
@@ -379,6 +428,11 @@ class BenchmarkCore:
             break
         base.attempts = attempts
         base.repetition_runtimes = runtimes
+        if run is not None:
+            # Choke-point indicators travel with the result so report
+            # cells and database rows can label their bottleneck even
+            # for time-limit or invalid outcomes.
+            base.chokepoints = analyze_profile(run.profile)
         runtime = sum(runtimes) / len(runtimes)
         if self.time_limit_seconds is not None and runtime > self.time_limit_seconds:
             base.failure_reason = "time-limit"
@@ -431,6 +485,7 @@ class _PairTask:
     retry_backoff_seconds: float
     strict: bool
     spec: BenchmarkRunSpec
+    trace_dir: Path | None = None
 
 
 def _run_pair_task(task: _PairTask) -> list[BenchmarkResult]:
@@ -452,6 +507,7 @@ def _run_pair_task(task: _PairTask) -> list[BenchmarkResult]:
         max_retries=task.max_retries,
         retry_backoff_seconds=task.retry_backoff_seconds,
         strict=task.strict,
+        trace_dir=task.trace_dir,
     )
     try:
         return core._run_pair(task.platform, task.graph_name, task.graph, task.spec)

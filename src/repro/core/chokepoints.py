@@ -21,9 +21,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.cost import RunProfile
+from repro.core.cost import RoundRecord, RunProfile
 
-__all__ = ["ChokePointReport", "analyze_profile"]
+__all__ = ["ChokePointReport", "DOMINANT_LETTERS", "analyze_profile"]
+
+#: One-letter labels for report matrix cells (N/M/L/S).
+DOMINANT_LETTERS = {
+    "network": "N",
+    "memory": "M",
+    "locality": "L",
+    "skew": "S",
+}
 
 
 @dataclass(frozen=True)
@@ -61,6 +69,15 @@ class ChokePointReport:
         }
         return max(scores, key=scores.get)
 
+    def dominant_letter(self) -> str:
+        """One-letter label of :meth:`dominant` for matrix cells."""
+        return DOMINANT_LETTERS[self.dominant()]
+
+
+def _combined_work(record: RoundRecord) -> float:
+    """Sequential ops plus random accesses, summed over workers."""
+    return record.total_ops + sum(record.random_accesses_per_worker)
+
 
 def analyze_profile(
     profile: RunProfile, tail_threshold: float = 0.01
@@ -85,8 +102,13 @@ def analyze_profile(
     random_accesses = profile.total_random_accesses
     accesses = sequential_ops + random_accesses
 
-    skews = [r.skew for r in rounds if r.total_ops > 0]
-    busiest = max(rounds, key=lambda r: r.total_ops, default=None)
+    # Skew is defined over *combined* per-worker work (RoundRecord.skew
+    # counts sequential ops plus random accesses), so the sample filter
+    # and the busiest-round pick must use the same measure — filtering
+    # on total_ops alone dropped rounds whose work is purely random
+    # accesses (e.g. pointer-chasing traversal rounds).
+    skews = [r.skew for r in rounds if _combined_work(r) > 0]
+    busiest = max(rounds, key=_combined_work, default=None)
     busiest_skew = busiest.skew if busiest is not None else 1.0
     max_active = max((r.active_vertices for r in rounds), default=0)
     tail_rounds = sum(

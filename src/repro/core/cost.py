@@ -288,22 +288,41 @@ class CostMeter:
         meter.charge_message(src_worker, dst_worker, payload_bytes)
         meter.end_round(active_vertices=n)
         profile = meter.profile
+
+    Observability: ``sinks`` is a tuple of
+    :class:`repro.observability.TraceSink`-shaped observers that
+    receive structured events — round begin/end, message/shuffle/
+    disk/memory charges, and fault annotations. The contract is
+    *zero overhead when no sink is attached*: every emission site is
+    guarded by ``if self.sinks`` and sinks never mutate charges, so
+    with ``sinks=()`` the charge path is the exact pre-hook code and
+    recorded profiles are bit-identical with or without observers
+    (enforced by ``tests/observability/``). Per-``charge_compute``
+    events are deliberately not emitted — the hot path stays clean and
+    round-end spans carry the full per-worker breakdown instead.
     """
 
     #: Serialized bytes per message envelope on top of the payload.
     MESSAGE_OVERHEAD_BYTES = 16.0
 
     def __init__(
-        self, spec: ClusterSpec, enforce_memory: bool = True, faults=None
+        self,
+        spec: ClusterSpec,
+        enforce_memory: bool = True,
+        faults=None,
+        sinks=(),
     ):
         self.spec = spec
         self.enforce_memory = enforce_memory
         #: Optional :class:`repro.robustness.faults.FaultInjector`; the
         #: meter consults it when rounds open (worker crashes), when
-        #: remote messages are charged (channel loss), and when rounds
-        #: close (straggler slowdown) — which is what makes fault
-        #: injection uniform across every engine that charges a meter.
+        #: remote messages or shuffles are charged (channel loss), and
+        #: when rounds close (straggler slowdown) — which is what makes
+        #: fault injection uniform across every engine that charges a
+        #: meter.
         self.faults = faults
+        #: Attached trace sinks (observe-only; may be empty).
+        self.sinks = tuple(sinks) if sinks else ()
         self.profile = RunProfile(
             cluster=spec,
             peak_memory_per_worker=[0.0] * spec.num_workers,
@@ -311,11 +330,40 @@ class CostMeter:
         self._current: RoundRecord | None = None
         self._memory = [0.0] * spec.num_workers
 
+    # -- event emission ---------------------------------------------------
+
+    def _emit_charge(self, kind: str, **fields) -> None:
+        round_index = len(self.profile.rounds)
+        for sink in self.sinks:
+            sink.on_charge(kind, round_index, fields)
+
+    def _emit_fault(self, kind: str, detail: str) -> None:
+        for sink in self.sinks:
+            sink.on_fault(kind, len(self.profile.rounds), detail)
+
+    def _consult_faults(self, hook, *args) -> None:
+        """Call a fault-injector hook, annotating raised faults.
+
+        The injector communicates by raising typed failures; when
+        sinks are attached the raised fault is emitted as a trace
+        event before it propagates, so traces record *why* a run died.
+        """
+        try:
+            hook(*args)
+        except Exception as fault:
+            if self.sinks:
+                self._emit_fault(
+                    getattr(fault, "reason", type(fault).__name__), str(fault)
+                )
+            raise
+
     # -- rounds ----------------------------------------------------------
 
     def charge_startup(self) -> None:
         """Fixed job-submission overhead (charged once per run)."""
         self.profile.startup_seconds += self.spec.startup_seconds
+        if self.sinks:
+            self._emit_charge("startup", seconds=self.spec.startup_seconds)
 
     @property
     def in_round(self) -> bool:
@@ -327,7 +375,13 @@ class CostMeter:
         if self._current is not None:
             raise RuntimeError("previous round not ended")
         if self.faults is not None:
-            self.faults.on_round_begin(len(self.profile.rounds))
+            self._consult_faults(
+                self.faults.on_round_begin, len(self.profile.rounds)
+            )
+        if self.sinks:
+            index = len(self.profile.rounds)
+            for sink in self.sinks:
+                sink.on_round_begin(index, name, barrier)
         self._current = RoundRecord(
             name=name,
             ops_per_worker=[0.0] * self.spec.num_workers,
@@ -335,26 +389,43 @@ class CostMeter:
             barrier=barrier,
         )
 
-    def end_round(self, active_vertices: int = 0) -> RoundRecord:
-        """Close the round, converting charges into simulated time."""
+    def end_round(
+        self, active_vertices: int = 0, barrier_seconds: float | None = None
+    ) -> RoundRecord:
+        """Close the round, converting charges into simulated time.
+
+        ``barrier_seconds`` overrides the cluster's barrier cost for
+        this round (e.g. a GPU kernel launch + host sync standing in
+        for a cluster-wide barrier). Overriding here — rather than
+        patching the returned record — keeps the closed record
+        immutable, which the trace sinks rely on: the emitted span is
+        the final word on the round.
+        """
         record = self._require_round()
         spec = self.spec
         record.active_vertices = active_vertices
+        # BSP barrier physics: the round lasts as long as its slowest
+        # worker's *combined* work (sequential ops plus cache-missing
+        # accesses). Taking max(ops) and max(random) separately would
+        # overcharge rounds where the compute-heavy and locality-heavy
+        # workers differ — no single worker pays both maxima.
         record.compute_seconds = max(
-            ops / spec.worker_ops_per_second for ops in record.ops_per_worker
-        ) + max(
-            rand * spec.random_access_seconds
-            for rand in record.random_accesses_per_worker
+            ops / spec.worker_ops_per_second + rand * spec.random_access_seconds
+            for ops, rand in zip(
+                record.ops_per_worker, record.random_accesses_per_worker
+            )
         )
+        straggler_penalty = 0.0
         if self.faults is not None:
             # An injected straggler repeats the round's barrier
             # physics: the slowest worker extends the whole round.
-            record.compute_seconds += self.faults.straggler_penalty_seconds(
+            straggler_penalty = self.faults.straggler_penalty_seconds(
                 record.ops_per_worker,
                 record.random_accesses_per_worker,
                 spec.worker_ops_per_second,
                 spec.random_access_seconds,
             )
+            record.compute_seconds += straggler_penalty
         record.network_seconds = (
             record.remote_bytes / (spec.num_workers * spec.network_bandwidth)
             if record.remote_bytes
@@ -364,9 +435,17 @@ class CostMeter:
             (record.disk_read_bytes + record.disk_write_bytes)
             / (spec.num_workers * spec.disk_bandwidth)
         )
-        record.barrier_seconds = spec.barrier_seconds if record.barrier else 0.0
+        record.barrier_seconds = (
+            barrier_seconds
+            if barrier_seconds is not None
+            else (spec.barrier_seconds if record.barrier else 0.0)
+        )
         self.profile.rounds.append(record)
         self._current = None
+        if self.sinks:
+            index = len(self.profile.rounds) - 1
+            for sink in self.sinks:
+                sink.on_round_end(index, record, straggler_penalty)
         return record
 
     def _require_round(self) -> RoundRecord:
@@ -418,12 +497,21 @@ class CostMeter:
             record.local_messages += count
         else:
             if self.faults is not None:
-                self.faults.on_messages(
-                    src_worker, dst_worker, len(self.profile.rounds), count
+                self._consult_faults(
+                    self.faults.on_messages,
+                    src_worker, dst_worker, len(self.profile.rounds), count,
                 )
             record.remote_messages += count
             record.remote_bytes += count * (
                 payload_bytes + self.MESSAGE_OVERHEAD_BYTES
+            )
+        if self.sinks:
+            self._emit_charge(
+                "message",
+                src_worker=src_worker,
+                dst_worker=dst_worker,
+                count=count,
+                payload_bytes=payload_bytes,
             )
 
     def charge_message(
@@ -435,28 +523,62 @@ class CostMeter:
             record.local_messages += count
         else:
             if self.faults is not None:
-                self.faults.on_messages(
-                    src_worker, dst_worker, len(self.profile.rounds), count
+                self._consult_faults(
+                    self.faults.on_messages,
+                    src_worker, dst_worker, len(self.profile.rounds), count,
                 )
             record.remote_messages += count
             record.remote_bytes += count * (payload_bytes + self.MESSAGE_OVERHEAD_BYTES)
+        if self.sinks:
+            self._emit_charge(
+                "message",
+                src_worker=src_worker,
+                dst_worker=dst_worker,
+                count=count,
+                payload_bytes=payload_bytes,
+            )
 
     def charge_shuffle(self, num_bytes: float, count: int = 0) -> None:
         """Bulk data redistribution between workers (MapReduce shuffle,
         RDD wide dependency). The bytes are charged as remote traffic
         without per-message envelopes — engines that shuffle serialize
-        in bulk."""
+        in bulk.
+
+        Shuffle traffic crosses worker boundaries exactly like
+        per-message remote delivery, so it consults the fault
+        injector's channel-loss decision too — ``--inject`` message
+        loss is uniform across BSP messaging *and* MapReduce/dataflow/
+        RDD shuffles. Empty shuffles (no bytes) and single-worker
+        clusters stay on the lossless local path.
+        """
         record = self._require_round()
+        if (
+            self.faults is not None
+            and num_bytes
+            and self.spec.num_workers > 1
+        ):
+            # Byte-only shuffles (count=0) still move at least one
+            # record's worth of remote traffic for the loss decision.
+            self._consult_faults(
+                self.faults.on_messages,
+                0, 1, len(self.profile.rounds), max(count, 1),
+            )
         record.remote_messages += count
         record.remote_bytes += num_bytes
+        if self.sinks:
+            self._emit_charge("shuffle", num_bytes=num_bytes, count=count)
 
     def charge_disk_read(self, worker: int, num_bytes: float) -> None:
         """Bytes read from disk during this round."""
         self._require_round().disk_read_bytes += num_bytes
+        if self.sinks:
+            self._emit_charge("disk-read", worker=worker, num_bytes=num_bytes)
 
     def charge_disk_write(self, worker: int, num_bytes: float) -> None:
         """Bytes written to disk during this round."""
         self._require_round().disk_write_bytes += num_bytes
+        if self.sinks:
+            self._emit_charge("disk-write", worker=worker, num_bytes=num_bytes)
 
     # -- memory ----------------------------------------------------------
 
@@ -465,17 +587,34 @@ class CostMeter:
         self._memory[worker] += num_bytes
         peak = self.profile.peak_memory_per_worker
         peak[worker] = max(peak[worker], self._memory[worker])
+        if self.sinks:
+            self._emit_charge(
+                "memory",
+                worker=worker,
+                delta_bytes=num_bytes,
+                in_use_bytes=self._memory[worker],
+            )
         if self.enforce_memory and self._memory[worker] > self.spec.memory_bytes_per_worker:
-            raise MemoryBudgetExceeded(
+            budget_violation = MemoryBudgetExceeded(
                 worker,
                 self._memory[worker],
                 self.spec.memory_bytes_per_worker,
                 round_name=self._current.name if self._current else None,
             )
+            if self.sinks:
+                self._emit_fault("out-of-memory", str(budget_violation))
+            raise budget_violation
 
     def release_memory(self, worker: int, num_bytes: float) -> None:
         """Lower the worker's live memory (floors at zero)."""
         self._memory[worker] = max(0.0, self._memory[worker] - num_bytes)
+        if self.sinks:
+            self._emit_charge(
+                "memory",
+                worker=worker,
+                delta_bytes=-num_bytes,
+                in_use_bytes=self._memory[worker],
+            )
 
     def memory_in_use(self, worker: int) -> float:
         """The worker's current live memory in bytes."""

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 import csv
 import resource
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.cost import RunProfile
+from repro.core.cost import RoundRecord, RunProfile
 
-__all__ = ["UtilizationSample", "SystemMonitor"]
+__all__ = ["UtilizationSample", "SystemMonitor", "sample_from_record"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,39 @@ class UtilizationSample:
     network_bytes: float
     active_vertices: int
     skew: float
+
+
+def sample_from_record(record: RoundRecord, clock: float) -> UtilizationSample:
+    """One utilization sample from one round record.
+
+    CPU utilization is the mean worker busy fraction within the
+    round: with BSP barriers, stragglers leave other workers idle,
+    so utilization is (mean work) / (max work) — directly exposing
+    the skewed-execution-intensity choke point. ``clock`` is the
+    simulated time at which the round *ends*.
+
+    This is the single sample-construction path: the profile-based
+    :meth:`SystemMonitor.samples_from_profile` and the live
+    :class:`repro.observability.MonitorSink` both build their series
+    here, so the CSV export cannot drift from the trace stream.
+    """
+    per_worker = [
+        ops + rand
+        for ops, rand in zip(
+            record.ops_per_worker, record.random_accesses_per_worker
+        )
+    ]
+    busiest = max(per_worker) if per_worker else 0.0
+    mean = sum(per_worker) / len(per_worker) if per_worker else 0.0
+    utilization = (mean / busiest) if busiest > 0 else 0.0
+    return UtilizationSample(
+        round_name=record.name,
+        timestamp=clock,
+        cpu_utilization=utilization,
+        network_bytes=record.remote_bytes,
+        active_vertices=record.active_vertices,
+        skew=record.skew,
+    )
 
 
 class SystemMonitor:
@@ -48,35 +82,20 @@ class SystemMonitor:
     def samples_from_profile(self, profile: RunProfile) -> list[UtilizationSample]:
         """One utilization sample per round of a simulated run.
 
-        CPU utilization is the mean worker busy fraction within the
-        round: with BSP barriers, stragglers leave other workers idle,
-        so utilization is (mean work) / (max work) — directly exposing
-        the skewed-execution-intensity choke point.
+        Rebased on the observability layer: a
+        :class:`~repro.observability.MonitorSink` replays the profile's
+        rounds through the same ``on_round_end`` hook a live tracing
+        run feeds, so this path and the streaming path produce
+        identical series by construction.
         """
-        samples: list[UtilizationSample] = []
-        clock = 0.0
-        for record in profile.rounds:
-            per_worker = [
-                ops + rand
-                for ops, rand in zip(
-                    record.ops_per_worker, record.random_accesses_per_worker
-                )
-            ]
-            busiest = max(per_worker) if per_worker else 0.0
-            mean = sum(per_worker) / len(per_worker) if per_worker else 0.0
-            utilization = (mean / busiest) if busiest > 0 else 0.0
-            clock += record.seconds
-            samples.append(
-                UtilizationSample(
-                    round_name=record.name,
-                    timestamp=clock,
-                    cpu_utilization=utilization,
-                    network_bytes=record.remote_bytes,
-                    active_vertices=record.active_vertices,
-                    skew=record.skew,
-                )
-            )
-        return samples
+        # Imported here: the sink module builds on this module's
+        # sample format, so the top-level dependency points the other
+        # way (observability -> monitor).
+        from repro.observability.sinks import MonitorSink
+
+        sink = MonitorSink()
+        sink.replay_profile(profile)
+        return sink.samples
 
     def write_csv(
         self, samples: list[UtilizationSample], path: str | Path
@@ -118,10 +137,14 @@ class SystemMonitor:
     def host_statistics(self) -> dict[str, float]:
         """Wall/CPU time and peak RSS of the benchmarking process."""
         usage = resource.getrusage(resource.RUSAGE_SELF)
+        # getrusage reports ru_maxrss in kilobytes on Linux (and most
+        # BSDs) but in *bytes* on macOS; scaling unconditionally would
+        # overstate Darwin peaks by 1024x.
+        maxrss_unit = 1 if sys.platform == "darwin" else 1024
         return {
             "wall_seconds": time.perf_counter()  # quality: ignore[determinism]
             - self._start_wall,
             "cpu_seconds": time.process_time()  # quality: ignore[determinism]
             - self._start_cpu,
-            "max_rss_bytes": float(usage.ru_maxrss * 1024),
+            "max_rss_bytes": float(usage.ru_maxrss * maxrss_unit),
         }

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.cost import ClusterSpec, MemoryBudgetExceeded, RunProfile
-from repro.core.errors import SimulatedOOM, SimulatedTimeout
+from repro.core.errors import PlatformFailure, SimulatedOOM, SimulatedTimeout
 from repro.core.workload import Algorithm, AlgorithmParams
 from repro.graph.graph import Graph
 
@@ -92,6 +92,11 @@ class Platform(abc.ABC):
         #: base class advances its attempt counter per execution (the
         #: mechanism behind transient faults and bounded retry).
         self.faults = None
+        #: Attached :class:`repro.observability.TraceSink` observers;
+        #: drivers hand them to every algorithm cost meter they build,
+        #: and the base class brackets each execution with
+        #: run-begin/run-end events. Empty by default (zero overhead).
+        self.sinks: tuple = ()
         #: Simulated-seconds budget per algorithm run; exceeding it
         #: raises a typed :class:`SimulatedTimeout`.
         self.timeout_seconds: float | None = None
@@ -125,20 +130,32 @@ class Platform(abc.ABC):
         params = params or AlgorithmParams()
         if self.faults is not None:
             self.faults.begin_attempt()
+        if self.sinks:
+            for sink in self.sinks:
+                sink.on_run_begin(
+                    self.name, handle.name, algorithm.value, self.cluster
+                )
         # Harness-overhead measurement, as above.
         start = time.perf_counter()  # quality: ignore[determinism]
         try:
             output, profile = self._execute(handle, algorithm, params)
         except MemoryBudgetExceeded as exc:
+            self._emit_run_end(None, "out-of-memory")
             raise SimulatedOOM(self.name, str(exc)) from exc
+        except PlatformFailure as exc:
+            self._emit_run_end(None, exc.reason)
+            raise
         wall = time.perf_counter() - start  # quality: ignore[determinism]
         if (
             self.timeout_seconds is not None
             and profile.simulated_seconds > self.timeout_seconds
         ):
-            raise SimulatedTimeout(
+            timeout = SimulatedTimeout(
                 self.name, profile.simulated_seconds, self.timeout_seconds
             )
+            self._emit_run_end(profile, timeout.reason)
+            raise timeout
+        self._emit_run_end(profile, "success")
         return PlatformRun(
             platform=self.name,
             graph_name=handle.name,
@@ -147,6 +164,11 @@ class Platform(abc.ABC):
             profile=profile,
             wall_seconds=wall,
         )
+
+    def _emit_run_end(self, profile: RunProfile | None, status: str) -> None:
+        if self.sinks:
+            for sink in self.sinks:
+                sink.on_run_end(profile, status)
 
     def delete_graph(self, handle: GraphHandle) -> None:
         """Release platform storage for a graph (default: no-op)."""

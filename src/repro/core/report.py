@@ -15,6 +15,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.benchmark import BenchmarkSuiteResult
+from repro.core.chokepoints import ChokePointReport, analyze_profile
 from repro.core.workload import Algorithm
 
 __all__ = ["ReportGenerator"]
@@ -49,6 +50,20 @@ def _failure_label(result) -> str:
         if reason.startswith(prefix):
             return label
     return "FAIL"
+
+
+def _cell_chokepoints(result) -> ChokePointReport | None:
+    """The choke-point indicators behind one matrix cell, if any.
+
+    Results produced by the Benchmark Core carry them directly;
+    hand-built results with a run profile get them computed on the
+    fly, and profile-less results render without a choke-point label.
+    """
+    if result.chokepoints is not None:
+        return result.chokepoints
+    if result.run is not None:
+        return analyze_profile(result.run.profile)
+    return None
 
 
 def _format_runtime(seconds: float | None) -> str:
@@ -89,9 +104,13 @@ class ReportGenerator:
                         continue
                     any_cell = True
                     if result.succeeded:
-                        cells.append(
-                            f"{_format_runtime(result.runtime_seconds):>12}"
-                        )
+                        cell = _format_runtime(result.runtime_seconds)
+                        chokepoints = _cell_chokepoints(result)
+                        if chokepoints is not None:
+                            # Figure 4 plus the Section 2.1 lens: every
+                            # cell names its dominant choke point.
+                            cell = f"{cell} {chokepoints.dominant_letter()}"
+                        cells.append(f"{cell:>12}")
                     else:
                         cells.append(f"{_failure_label(result):>12}")
                 if any_cell:
@@ -139,12 +158,18 @@ class ReportGenerator:
         for result in suite.successes():
             profile = result.run.profile
             max_skew = max((r.skew for r in profile.rounds), default=1.0)
+            chokepoints = _cell_chokepoints(result)
+            dominant = (
+                f" dominant={chokepoints.dominant()}"
+                if chokepoints is not None
+                else ""
+            )
             lines.append(
                 f"  {result.platform:<12} {result.algorithm.value:<6} "
                 f"{result.graph_name:<16} rounds={profile.num_rounds:<4} "
                 f"net={profile.total_remote_bytes / 2**20:8.2f} MiB "
                 f"peak-mem={profile.peak_memory / 2**20:8.2f} MiB "
-                f"max-skew={max_skew:5.2f}"
+                f"max-skew={max_skew:5.2f}{dominant}"
             )
         return "\n".join(lines)
 
@@ -215,6 +240,10 @@ class ReportGenerator:
             "(missing values indicate failures; failed cells are "
             "labeled OOM / T/O / CRASH / LOST / INV / FAIL by cause)"
         )
+        sections.append(
+            "(cell letters mark the dominant choke point: "
+            "N=network, M=memory, L=locality, S=skew)"
+        )
         sections.append(self.runtime_matrix(suite))
         sections.append("")
         sections.append(self.kteps_matrix(suite, Algorithm.CONN))
@@ -261,10 +290,18 @@ class ReportGenerator:
                             continue
                         relevant = True
                         if result.succeeded:
-                            cells.append(
-                                f"<td>{_format_runtime(result.runtime_seconds)}"
-                                "</td>"
-                            )
+                            runtime = _format_runtime(result.runtime_seconds)
+                            chokepoints = _cell_chokepoints(result)
+                            if chokepoints is not None:
+                                dominant = chokepoints.dominant()
+                                cells.append(
+                                    '<td title="dominant choke point: '
+                                    f'{_escape(dominant)}">{runtime} '
+                                    f"<sup>{chokepoints.dominant_letter()}"
+                                    "</sup></td>"
+                                )
+                            else:
+                                cells.append(f"<td>{runtime}</td>")
                         else:
                             reason = _escape(result.failure_reason or "failed")
                             cells.append(
@@ -308,7 +345,8 @@ td.failure {{ background: #fdd; text-align: center; }}
 <table><tbody>{config_rows}</tbody></table>
 <h2>Runtime [s] per algorithm, graph, and platform</h2>
 <p>Failed cells (highlighted) are labeled by cause; hover for the
-full failure reason.</p>
+full failure reason. Superscript letters mark each cell's dominant
+choke point (N=network, M=memory, L=locality, S=skew).</p>
 <table>
 <thead><tr><th>algorithm</th><th>graph</th>{header_cells}</tr></thead>
 <tbody>

@@ -11,17 +11,24 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
+from repro.core.chokepoints import analyze_profile
 
 __all__ = ["ResultsDatabase", "StoredResult"]
 
 
 @dataclass(frozen=True)
 class StoredResult:
-    """One submitted measurement (the database's row format)."""
+    """One submitted measurement (the database's row format).
+
+    The choke-point columns (``dominant_chokepoint`` through
+    ``max_skew``) were added after the first schema; they default to
+    ``None`` so rows written by older versions still parse.
+    """
 
     submitted_at: float
     platform: str
@@ -32,13 +39,26 @@ class StoredResult:
     kteps: float | None
     failure_reason: str | None
     cluster: str | None
+    # Per-cell choke-point indicators (paper Section 2.1).
+    dominant_chokepoint: str | None = None
+    num_rounds: int | None = None
+    remote_bytes: float | None = None
+    max_skew: float | None = None
 
     @classmethod
     def from_result(cls, result: BenchmarkResult) -> "StoredResult":
         """Convert a benchmark result into a database row."""
         cluster = None
+        chokepoints = result.chokepoints
+        num_rounds = None
+        remote_bytes = None
         if result.run is not None:
-            cluster = result.run.profile.cluster.name
+            profile = result.run.profile
+            cluster = profile.cluster.name
+            num_rounds = profile.num_rounds
+            remote_bytes = profile.total_remote_bytes
+            if chokepoints is None:
+                chokepoints = analyze_profile(profile)
         return cls(
             # Real submission timestamp of the archived result row.
             submitted_at=time.time(),  # quality: ignore[determinism]
@@ -50,6 +70,14 @@ class StoredResult:
             kteps=result.kteps,
             failure_reason=result.failure_reason,
             cluster=cluster,
+            dominant_chokepoint=(
+                chokepoints.dominant() if chokepoints is not None else None
+            ),
+            num_rounds=num_rounds,
+            remote_bytes=remote_bytes,
+            max_skew=(
+                chokepoints.max_skew if chokepoints is not None else None
+            ),
         )
 
 
@@ -59,6 +87,8 @@ class ResultsDatabase:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Malformed rows skipped by the most recent :meth:`query`.
+        self.skipped_rows = 0
 
     def submit(self, suite: BenchmarkSuiteResult) -> int:
         """Append every result of a suite; returns the rows written."""
@@ -77,7 +107,15 @@ class ResultsDatabase:
         algorithm: str | None = None,
         status: str | None = None,
     ) -> list[StoredResult]:
-        """All stored rows matching the given filters."""
+        """All stored rows matching the given filters.
+
+        Rows that do not parse into :class:`StoredResult` — unknown
+        keys from a *newer* schema, missing required keys from a
+        truncated write, or invalid JSON — are skipped, counted in
+        :attr:`skipped_rows`, and reported once per query as a
+        ``UserWarning``; one bad row never poisons the archive.
+        """
+        self.skipped_rows = 0
         if not self.path.exists():
             return []
         rows: list[StoredResult] = []
@@ -86,7 +124,11 @@ class ResultsDatabase:
                 line = line.strip()
                 if not line:
                     continue
-                record = StoredResult(**json.loads(line))
+                try:
+                    record = StoredResult(**json.loads(line))
+                except (TypeError, ValueError):
+                    self.skipped_rows += 1
+                    continue
                 if platform is not None and record.platform != platform:
                     continue
                 if graph is not None and record.graph != graph:
@@ -96,6 +138,12 @@ class ResultsDatabase:
                 if status is not None and record.status != status:
                     continue
                 rows.append(record)
+        if self.skipped_rows:
+            warnings.warn(
+                f"{self.path}: skipped {self.skipped_rows} malformed "
+                "result row(s) from an incompatible schema",
+                stacklevel=2,
+            )
         return rows
 
     def best_runtime(

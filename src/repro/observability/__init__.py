@@ -1,0 +1,47 @@
+"""Structured tracing and choke-point observability.
+
+The observability layer turns the cost model's charge stream into
+artifacts: JSONL traces (one span per round, fault-annotated),
+utilization series for the System Monitor, in-memory aggregates, and
+cross-run regression analysis. Everything is observe-only — attaching
+a sink never changes a recorded profile, and with no sink attached the
+charge path pays nothing.
+"""
+
+from repro.observability.analyze import (
+    Regression,
+    RunMetrics,
+    compare_metrics,
+    load_metrics,
+)
+from repro.observability.replay import (
+    TraceAttempt,
+    parse_trace,
+    profile_fingerprint,
+    read_trace,
+    replay_trace,
+    verify_replay,
+)
+from repro.observability.sinks import (
+    InMemoryAggregator,
+    JsonlTraceWriter,
+    MonitorSink,
+    TraceSink,
+)
+
+__all__ = [
+    "TraceSink",
+    "JsonlTraceWriter",
+    "InMemoryAggregator",
+    "MonitorSink",
+    "TraceAttempt",
+    "read_trace",
+    "parse_trace",
+    "replay_trace",
+    "profile_fingerprint",
+    "verify_replay",
+    "RunMetrics",
+    "Regression",
+    "load_metrics",
+    "compare_metrics",
+]

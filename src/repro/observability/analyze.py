@@ -1,0 +1,213 @@
+"""Cross-run analysis: compare two runs and flag regressions.
+
+``graphalytics analyze OLD NEW`` loads per-run metrics from either
+side — a JSONL trace, a results-database file, or an exported
+submission document — matches runs by (platform, graph, algorithm),
+and flags regressions in simulated time, network bytes, round count,
+and the dominant choke point. This is the benchmark's answer to "did
+my change make anything slower, chattier, or differently bottlenecked"
+without eyeballing two reports side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.chokepoints import analyze_profile
+from repro.observability.replay import parse_trace, read_trace
+
+__all__ = ["RunMetrics", "Regression", "load_metrics", "compare_metrics"]
+
+#: Metrics compared ratio-wise, with the human name used in findings.
+_RATIO_METRICS = (
+    ("simulated_seconds", "simulated time"),
+    ("remote_bytes", "network bytes"),
+    ("num_rounds", "rounds"),
+)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The comparable summary of one benchmarked run."""
+
+    platform: str
+    graph: str
+    algorithm: str
+    status: str
+    simulated_seconds: float | None = None
+    remote_bytes: float | None = None
+    num_rounds: int | None = None
+    dominant: str | None = None
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.platform, self.graph, self.algorithm)
+
+    def label(self) -> str:
+        return f"{self.platform}/{self.graph}/{self.algorithm.lower()}"
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged difference between matched runs."""
+
+    key: tuple[str, str, str]
+    metric: str
+    old: object
+    new: object
+    detail: str
+
+    def describe(self) -> str:
+        platform, graph, algorithm = self.key
+        return (
+            f"{platform}/{graph}/{algorithm.lower()}: {self.detail}"
+        )
+
+
+def _metrics_from_row(row: dict) -> RunMetrics | None:
+    try:
+        return RunMetrics(
+            platform=row["platform"],
+            graph=row["graph"],
+            algorithm=row["algorithm"],
+            status=row.get("status", "unknown"),
+            simulated_seconds=row.get("runtime_seconds"),
+            remote_bytes=row.get("remote_bytes"),
+            num_rounds=row.get("num_rounds"),
+            dominant=row.get("dominant_chokepoint"),
+        )
+    except KeyError:
+        return None
+
+
+def _metrics_from_trace(events: list[dict]) -> list[RunMetrics]:
+    metrics = []
+    for attempt in parse_trace(events):
+        if attempt.complete:
+            profile = attempt.to_profile()
+            report = analyze_profile(profile)
+            metrics.append(
+                RunMetrics(
+                    platform=attempt.platform,
+                    graph=attempt.graph,
+                    algorithm=attempt.algorithm,
+                    status=attempt.status,
+                    simulated_seconds=profile.simulated_seconds,
+                    remote_bytes=profile.total_remote_bytes,
+                    num_rounds=profile.num_rounds,
+                    dominant=report.dominant(),
+                )
+            )
+        else:
+            metrics.append(
+                RunMetrics(
+                    platform=attempt.platform,
+                    graph=attempt.graph,
+                    algorithm=attempt.algorithm,
+                    status=attempt.status,
+                )
+            )
+    return metrics
+
+
+def load_metrics(path: str | Path) -> dict[tuple[str, str, str], RunMetrics]:
+    """Per-run metrics from a trace, results-db, or submission file.
+
+    The format is sniffed from the content: JSONL event streams carry
+    ``"event"`` keys, submission documents carry the schema tag, and
+    results-database files are JSON-lines of row dicts. Within one
+    file, later entries for the same (platform, graph, algorithm)
+    replace earlier ones — the latest measurement wins, matching how
+    retries and re-submissions accumulate.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8").strip()
+    if not text:
+        return {}
+    rows: list[RunMetrics | None]
+    first = json.loads(text.splitlines()[0])
+    if isinstance(first, dict) and "event" in first:
+        rows = _metrics_from_trace(read_trace(path))
+    elif isinstance(first, dict) and first.get("schema"):
+        document = json.loads(text)
+        rows = [_metrics_from_row(r) for r in document.get("results", [])]
+    else:
+        rows = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(row, dict):
+                rows.append(_metrics_from_row(row))
+    metrics: dict[tuple[str, str, str], RunMetrics] = {}
+    for row in rows:
+        if row is not None:
+            metrics[row.key] = row
+    if not metrics:
+        raise ValueError(
+            f"{path}: no benchmark runs recognized (expected a JSONL "
+            "trace, a results database, or a submission document)"
+        )
+    return metrics
+
+
+def compare_metrics(
+    old: dict[tuple[str, str, str], RunMetrics],
+    new: dict[tuple[str, str, str], RunMetrics],
+    threshold: float = 0.05,
+) -> list[Regression]:
+    """Regressions going from ``old`` to ``new``.
+
+    A ratio metric regresses when it grows by more than ``threshold``
+    (relative); a run regresses outright when it disappears, stops
+    succeeding, or changes its dominant choke point. Improvements are
+    never flagged — this is a one-sided gate.
+    """
+    regressions: list[Regression] = []
+    for key in sorted(old):
+        before = old[key]
+        after = new.get(key)
+        if after is None:
+            regressions.append(
+                Regression(key, "presence", before.status, None,
+                           "run missing from the new results")
+            )
+            continue
+        if before.status == "success" and after.status != "success":
+            regressions.append(
+                Regression(key, "status", before.status, after.status,
+                           f"was success, now {after.status}")
+            )
+            continue
+        for metric, name in _RATIO_METRICS:
+            b = getattr(before, metric)
+            a = getattr(after, metric)
+            if b is None or a is None:
+                continue
+            if a > b * (1.0 + threshold) and a - b > 1e-12:
+                growth = (a / b - 1.0) * 100 if b else float("inf")
+                regressions.append(
+                    Regression(
+                        key, metric, b, a,
+                        f"{name} grew {growth:.1f}% ({b:g} -> {a:g})",
+                    )
+                )
+        if (
+            before.dominant is not None
+            and after.dominant is not None
+            and before.dominant != after.dominant
+        ):
+            regressions.append(
+                Regression(
+                    key, "dominant", before.dominant, after.dominant,
+                    "dominant choke point moved "
+                    f"{before.dominant} -> {after.dominant}",
+                )
+            )
+    return regressions

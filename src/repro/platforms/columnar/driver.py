@@ -97,7 +97,7 @@ class VirtuosoPlatform(Platform):
     ) -> tuple[object, RunProfile]:
         table: ColumnTable = handle.detail["table"]
         vertices: list[int] = handle.detail["vertices"]
-        meter = CostMeter(self.cluster, faults=self.faults)
+        meter = CostMeter(self.cluster, faults=self.faults, sinks=self.sinks)
         meter.allocate_memory(0, handle.storage_bytes)
         meter.charge_startup()
         meter.begin_round(algorithm.value.lower())

@@ -64,7 +64,7 @@ class StratospherePlatform(Platform):
         self, handle: GraphHandle, algorithm: Algorithm, params: AlgorithmParams
     ) -> tuple[object, RunProfile]:
         adjacency: dict[int, tuple[int, ...]] = handle.detail["adjacency"]
-        meter = CostMeter(self.cluster, faults=self.faults)
+        meter = CostMeter(self.cluster, faults=self.faults, sinks=self.sinks)
         meter.charge_startup()
         engine = DataflowEngine(adjacency, self.cluster, meter)
         try:

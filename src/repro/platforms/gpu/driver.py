@@ -62,7 +62,7 @@ class MedusaPlatform(GiraphPlatform):
     def _execute(
         self, handle: GraphHandle, algorithm: Algorithm, params: AlgorithmParams
     ) -> tuple[object, RunProfile]:
-        meter = CostMeter(self.cluster, faults=self.faults)
+        meter = CostMeter(self.cluster, faults=self.faults, sinks=self.sinks)
         meter.charge_startup()
         engine = GPUEngine(handle.graph, self.cluster, meter)
         program = self._build_program(handle.graph, algorithm, params)

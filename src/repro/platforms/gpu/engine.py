@@ -259,9 +259,11 @@ class GPUEngine:
                     regular[name] = value
             self.aggregated = regular
 
-            record = meter.end_round(active_vertices=len(compute_set))
             # Kernel launch + host sync replaces the cluster barrier.
-            record.barrier_seconds = KERNEL_LAUNCH_SECONDS
+            meter.end_round(
+                active_vertices=len(compute_set),
+                barrier_seconds=KERNEL_LAUNCH_SECONDS,
+            )
             superstep += 1
         else:
             raise RuntimeError(

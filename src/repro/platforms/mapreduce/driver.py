@@ -70,7 +70,7 @@ class MapReducePlatform(Platform):
     def _execute(
         self, handle: GraphHandle, algorithm: Algorithm, params: AlgorithmParams
     ) -> tuple[object, RunProfile]:
-        meter = CostMeter(self.cluster, faults=self.faults)
+        meter = CostMeter(self.cluster, faults=self.faults, sinks=self.sinks)
         engine = MapReduceEngine(self.cluster, meter, bulk=self.bulk)
         adjacency: dict[int, tuple[int, ...]] = handle.detail["adjacency"]
         try:

@@ -64,7 +64,7 @@ class GiraphPlatform(Platform):
     def _execute(
         self, handle: GraphHandle, algorithm: Algorithm, params: AlgorithmParams
     ) -> tuple[object, RunProfile]:
-        meter = CostMeter(self.cluster, faults=self.faults)
+        meter = CostMeter(self.cluster, faults=self.faults, sinks=self.sinks)
         meter.charge_startup()
         engine = PregelEngine(handle.graph, self.cluster, meter, bulk=self.bulk)
         program = self._build_program(handle.graph, algorithm, params)

@@ -71,7 +71,7 @@ class GraphXPlatform(Platform):
     def _execute(
         self, handle: GraphHandle, algorithm: Algorithm, params: AlgorithmParams
     ) -> tuple[object, RunProfile]:
-        meter = CostMeter(self.cluster, faults=self.faults)
+        meter = CostMeter(self.cluster, faults=self.faults, sinks=self.sinks)
         meter.charge_startup()
         context = RDDContext(self.cluster, meter)
         adjacency: dict[int, tuple[int, ...]] = handle.detail["adjacency"]

@@ -83,3 +83,35 @@ def test_real_run_tail_detected(cluster_spec, medium_rmat):
     report = analyze_profile(run.profile, tail_threshold=0.05)
     assert report.tail_rounds >= 1
     assert report.max_skew > 1.0
+
+
+def test_purely_random_rounds_counted_in_skew(cluster_spec):
+    # Regression: the skew-sample filter used ``total_ops > 0``, so a
+    # round whose work is all random accesses (pointer-chasing
+    # traversals) was silently dropped from the skew statistics.
+    def build(meter):
+        meter.begin_round("pointer-chase")
+        meter.charge_random_access(0, 9_000)
+        meter.charge_random_access(1, 1_000)
+        meter.end_round(active_vertices=10)
+
+    report = analyze_profile(_profile(cluster_spec, build))
+    record_skew = 9_000 / ((9_000 + 1_000) / cluster_spec.num_workers)
+    assert report.max_skew == pytest.approx(record_skew)
+    assert report.mean_skew == pytest.approx(record_skew)
+    assert report.busiest_round_skew == pytest.approx(record_skew)
+
+
+def test_busiest_round_picked_by_combined_work(cluster_spec):
+    def build(meter):
+        meter.begin_round("ops-light")
+        meter.charge_compute(0, 100)
+        meter.end_round()
+        meter.begin_round("random-heavy")
+        meter.charge_random_access(0, 1_000_000)
+        meter.end_round()
+
+    report = analyze_profile(_profile(cluster_spec, build))
+    # The random-heavy round does the most combined work; its skew
+    # (all work on worker 0 of 10) must win the busiest-round slot.
+    assert report.busiest_round_skew == pytest.approx(10.0)

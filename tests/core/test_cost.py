@@ -241,3 +241,44 @@ class TestRunProfile:
         assert profile.simulated_seconds == pytest.approx(
             sum(r.seconds for r in profile.rounds)
         )
+
+
+class TestBarrierPhysics:
+    """end_round charges max over workers of *combined* work.
+
+    Regression tests: the meter used to add ``max(ops)/rate`` and
+    ``max(random)*latency`` computed over *different* workers, so a
+    round whose compute-heavy and locality-heavy workers differed was
+    overcharged — no single worker pays both maxima in a BSP round.
+    """
+
+    def test_disjoint_maxima_charge_slowest_worker_only(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("mixed", barrier=False)
+        # Worker 0 is compute-heavy, worker 1 is locality-heavy.
+        meter.charge_compute(0, 1_000_000)
+        meter.charge_random_access(1, 2_000_000)
+        record = meter.end_round()
+        spec = cluster_spec
+        per_worker = [
+            1_000_000 / spec.worker_ops_per_second,
+            2_000_000 * spec.random_access_seconds,
+        ]
+        assert record.compute_seconds == pytest.approx(max(per_worker))
+        # The old (wrong) charge was the sum of both maxima.
+        assert record.compute_seconds < sum(per_worker)
+
+    def test_same_worker_maxima_unchanged(self, cluster_spec):
+        # When one worker holds both maxima, combined-max equals the
+        # old separate-maxima formula: no behaviour shift for the
+        # balanced charge patterns the golden fixtures cover.
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("hot", barrier=False)
+        meter.charge_compute(3, 500_000)
+        meter.charge_random_access(3, 800_000)
+        record = meter.end_round()
+        expected = (
+            500_000 / cluster_spec.worker_ops_per_second
+            + 800_000 * cluster_spec.random_access_seconds
+        )
+        assert record.compute_seconds == pytest.approx(expected)

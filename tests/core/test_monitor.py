@@ -59,3 +59,31 @@ def test_csv_export(profile, tmp_path):
     assert lines[0].startswith("round,timestamp_s")
     assert len(lines) == 1 + len(samples)
     assert lines[1].startswith("balanced,")
+
+
+class TestMaxRssUnits:
+    """ru_maxrss is kilobytes on Linux but bytes on macOS."""
+
+    def _stats_on(self, monkeypatch, platform):
+        import repro.core.monitor as monitor_module
+
+        monkeypatch.setattr(monitor_module.sys, "platform", platform)
+        return SystemMonitor().host_statistics()
+
+    def test_linux_scales_kilobytes(self, monkeypatch):
+        import resource
+
+        stats = self._stats_on(monkeypatch, "linux")
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        assert stats["max_rss_bytes"] == pytest.approx(
+            usage.ru_maxrss * 1024, rel=0.1
+        )
+
+    def test_darwin_reports_bytes_unscaled(self, monkeypatch):
+        linux = self._stats_on(monkeypatch, "linux")
+        darwin = self._stats_on(monkeypatch, "darwin")
+        # Same process, same counter: the only difference is the unit
+        # branch, so Darwin must come out 1024x smaller.
+        assert darwin["max_rss_bytes"] == pytest.approx(
+            linux["max_rss_bytes"] / 1024, rel=0.1
+        )

@@ -118,3 +118,45 @@ def test_absent_combo_rendered_as_dash():
     # giraph never ran graph "h" and neo4j never ran "g": dashes.
     matrix = ReportGenerator().runtime_matrix(suite)
     assert "—" in matrix
+
+
+def test_runtime_cells_show_dominant_chokepoint(suite):
+    import re
+
+    matrix = ReportGenerator().runtime_matrix(suite)
+    # Every successful cell carries its one-letter dominant label.
+    cells = re.findall(r"\d+\.\d+ ([A-Z])", matrix)
+    assert cells
+    assert set(cells) <= set("NMLS")
+
+
+def test_render_includes_chokepoint_legend(suite):
+    text = ReportGenerator().render(suite)
+    assert "N=network, M=memory, L=locality, S=skew" in text
+    assert "dominant=" in text
+
+
+def test_html_cells_annotate_dominant_chokepoint(suite):
+    html = ReportGenerator().render_html(suite)
+    assert 'title="dominant choke point:' in html
+    assert "<sup>" in html
+
+
+def test_profileless_results_render_without_letter():
+    from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
+
+    suite = BenchmarkSuiteResult(
+        results=[
+            BenchmarkResult(
+                platform="giraph",
+                graph_name="g",
+                algorithm=Algorithm.BFS,
+                status="success",
+                runtime_seconds=1.5,
+            )
+        ]
+    )
+    matrix = ReportGenerator().runtime_matrix(suite)
+    assert "1.5" in matrix
+    html = ReportGenerator().render_html(suite)
+    assert "<sup>" not in html

@@ -105,3 +105,84 @@ class TestSubmissions:
     def test_missing_results_rejected(self, db):
         with pytest.raises(ValueError, match="results"):
             db.import_submission({"schema": ResultsDatabase.SUBMISSION_SCHEMA})
+
+
+class TestSchemaResilience:
+    def test_new_rows_carry_chokepoint_columns(self, db):
+        import json
+
+        db.submit(_suite())
+        row = json.loads(db.path.read_text().splitlines()[0])
+        assert "dominant_chokepoint" in row
+        assert "num_rounds" in row
+        assert "remote_bytes" in row
+        assert "max_skew" in row
+
+    def test_old_schema_rows_still_parse(self, db):
+        # Rows written before the choke-point columns existed lack
+        # them entirely; the dataclass defaults must absorb that.
+        import json
+
+        old_row = {
+            "submitted_at": 1.0,
+            "platform": "giraph",
+            "graph": "tiny",
+            "algorithm": "BFS",
+            "status": "success",
+            "runtime_seconds": 5.0,
+            "kteps": 1.0,
+            "failure_reason": None,
+            "cluster": "cluster-10",
+        }
+        db.path.write_text(json.dumps(old_row) + "\n")
+        (row,) = db.query()
+        assert row.dominant_chokepoint is None
+        assert db.skipped_rows == 0
+
+    def test_malformed_rows_skipped_with_warning(self, db):
+        # Regression: a single unknown-keyed row (written by a *newer*
+        # schema) used to crash every query with a TypeError.
+        import json
+
+        db.submit(_suite())
+        with open(db.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"platform": "giraph"}) + "\n")
+            handle.write("{not json at all\n")
+            handle.write(
+                json.dumps({"from_the_future": True, "platform": "x"}) + "\n"
+            )
+        with pytest.warns(UserWarning, match="skipped 3 malformed"):
+            rows = db.query()
+        assert len(rows) == 1
+        assert db.skipped_rows == 3
+
+    def test_clean_query_resets_skip_counter(self, db):
+        import json
+        import warnings
+
+        db.submit(_suite())
+        with open(db.path, "a", encoding="utf-8") as handle:
+            handle.write("broken\n")
+        with pytest.warns(UserWarning):
+            db.query()
+        db.path.write_text(
+            "\n".join(
+                line
+                for line in db.path.read_text().splitlines()
+                if line != "broken"
+            )
+            + "\n"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rows = db.query()
+        assert db.skipped_rows == 0
+        assert len(rows) == 1
+
+    def test_best_runtime_survives_bad_rows(self, db):
+        db.submit(_suite(runtime=7.0))
+        with open(db.path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        with pytest.warns(UserWarning):
+            best = db.best_runtime("giraph", "tiny", "BFS")
+        assert best == 7.0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.cost import CostMeter
 from repro.robustness.errors import SimulatedMessageLoss, SimulatedWorkerCrash
 from repro.robustness.faults import FaultInjector, FaultPlan
 
@@ -149,3 +150,74 @@ class TestFaultInjector:
         injector.on_round_begin(0)
         injector.on_messages(0, 1, round_index=0, count=100)
         assert injector.straggler_penalty_seconds([1.0], [1.0], 1.0, 1.0) == 0.0
+
+
+class TestShuffleFaultPath:
+    """Shuffle traffic must consult the injector like messages do.
+
+    Regression tests: ``charge_shuffle`` used to bypass
+    ``on_messages`` entirely, so ``--inject`` message loss never
+    touched MapReduce/dataflow/RDD shuffles.
+    """
+
+    def _armed_meter(self, spec, rate=1.0):
+        injector = FaultInjector(
+            FaultPlan(message_loss_rate=rate, seed=5), "mapreduce"
+        )
+        injector.begin_attempt()
+        return CostMeter(spec, faults=injector)
+
+    def test_shuffle_bytes_consult_message_loss(self, cluster_spec):
+        meter = self._armed_meter(cluster_spec)
+        meter.begin_round("shuffle-0")
+        with pytest.raises(SimulatedMessageLoss):
+            meter.charge_shuffle(1024.0, count=10)
+
+    def test_byte_only_shuffle_still_consults(self, cluster_spec):
+        # count=0 shuffles still move remote bytes; the loss decision
+        # charges at least one record's worth of traffic.
+        meter = self._armed_meter(cluster_spec)
+        meter.begin_round("shuffle-0")
+        with pytest.raises(SimulatedMessageLoss):
+            meter.charge_shuffle(4096.0)
+
+    def test_empty_shuffle_is_lossless(self, cluster_spec):
+        meter = self._armed_meter(cluster_spec)
+        meter.begin_round("shuffle-0")
+        meter.charge_shuffle(0.0, count=0)
+        record = meter.end_round()
+        assert record.remote_bytes == 0.0
+
+    def test_single_worker_shuffle_is_lossless(self, single_node_spec):
+        meter = self._armed_meter(single_node_spec)
+        meter.begin_round("scan")
+        meter.charge_shuffle(10_000.0, count=100)
+        record = meter.end_round()
+        assert record.remote_bytes == 10_000.0
+
+    def test_zero_rate_shuffle_charges_normally(self, cluster_spec):
+        meter = self._armed_meter(cluster_spec, rate=0.0)
+        meter.begin_round("shuffle-0")
+        meter.charge_shuffle(2048.0, count=7)
+        record = meter.end_round()
+        assert record.remote_bytes == 2048.0
+        assert record.remote_messages == 7
+
+    def test_mapreduce_inject_records_message_loss_cell(self, small_rmat):
+        # End-to-end: MapReduce jobs communicate through shuffles only,
+        # so before the fix an injected msgloss plan could never fail a
+        # MapReduce cell.
+        from repro.core.benchmark import BenchmarkCore
+        from repro.core.cost import ClusterSpec
+        from repro.core.workload import Algorithm, BenchmarkRunSpec
+        from repro.platforms.mapreduce.driver import MapReducePlatform
+
+        core = BenchmarkCore(
+            [MapReducePlatform(ClusterSpec.paper_distributed())],
+            {"tiny": small_rmat},
+            fault_plan=FaultPlan(message_loss_rate=1.0, seed=2),
+        )
+        suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+        (result,) = suite.results
+        assert not result.succeeded
+        assert result.failure_reason.startswith("message-loss")

@@ -402,11 +402,17 @@ def test_selfcheck_smoke(capsys):
     assert "tests          skipped" in out
     assert "quality gate   ok" in out
     assert "perf --quick   ok" in out
+    assert "trace replay   ok" in out
     assert "selfcheck: PASS" in out
 
 
 def test_selfcheck_all_stages_skippable(capsys):
-    code = main(["selfcheck", "--skip-tests", "--skip-quality", "--skip-perf"])
+    code = main(
+        [
+            "selfcheck", "--skip-tests", "--skip-quality", "--skip-perf",
+            "--skip-trace",
+        ]
+    )
     assert code == 0
     assert "selfcheck: PASS" in capsys.readouterr().out
 
@@ -427,3 +433,79 @@ def test_cli_flags_override_config(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "CONN" in out
     assert "STATS    graph500-7" not in out
+
+
+def _traced_run(tmp_path, capsys):
+    trace_dir = tmp_path / "traces"
+    code = main(
+        [
+            "run",
+            "--graphs", "graph500-7",
+            "--platforms", "giraph",
+            "--algorithms", "BFS",
+            "--trace", str(trace_dir),
+            "--report", str(tmp_path / "report.txt"),
+        ]
+    )
+    assert code == 0
+    assert "1 trace file(s) written" in capsys.readouterr().out
+    (trace,) = sorted(trace_dir.glob("*.jsonl"))
+    return trace
+
+
+def test_run_with_trace_writes_per_cell_files(tmp_path, capsys):
+    trace = _traced_run(tmp_path, capsys)
+    assert trace.name == "giraph_graph500-7_BFS.jsonl"
+    first = json.loads(trace.read_text().splitlines()[0])
+    assert first["event"] == "run-begin"
+
+
+def test_trace_command_summarizes(tmp_path, capsys):
+    trace = _traced_run(tmp_path, capsys)
+    code = main(["trace", str(trace), "--rounds"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "giraph/graph500-7/bfs" in out
+    assert "status=success" in out
+    assert "dominant=" in out
+    assert "superstep-0" in out
+
+
+def test_trace_command_missing_file(capsys):
+    assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+    assert "cannot read trace" in capsys.readouterr().out
+
+
+def test_analyze_command_self_comparison_clean(tmp_path, capsys):
+    trace = _traced_run(tmp_path, capsys)
+    code = main(["analyze", str(trace), str(trace), "--check"])
+    assert code == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_analyze_command_flags_regressions(tmp_path, capsys):
+    old = tmp_path / "old.jsonl"
+    new = tmp_path / "new.jsonl"
+    row = {
+        "platform": "giraph", "graph": "tiny", "algorithm": "BFS",
+        "status": "success", "runtime_seconds": 10.0, "num_rounds": 5,
+        "remote_bytes": 100.0, "dominant_chokepoint": "skew",
+    }
+    old.write_text(json.dumps(row) + "\n")
+    row["runtime_seconds"] = 20.0
+    row["dominant_chokepoint"] = "network"
+    new.write_text(json.dumps(row) + "\n")
+    # Without --check the regressions are reported but not gated.
+    assert main(["analyze", str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "2 regression(s):" in out
+    assert "simulated time grew 100.0%" in out
+    assert "dominant choke point moved skew -> network" in out
+    assert main(["analyze", str(old), str(new), "--check"]) == 1
+
+
+def test_analyze_command_unreadable_input(tmp_path, capsys):
+    empty = tmp_path / "nothing.jsonl"
+    empty.write_text('{"unrelated": 1}\n')
+    assert main(["analyze", str(empty), str(empty)]) == 2
+    assert "error:" in capsys.readouterr().out
