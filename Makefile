@@ -7,7 +7,8 @@ export PYTHONPATH := src
 
 COVERAGE_FLOOR := $(shell cat .coverage-floor 2>/dev/null || echo 0)
 
-.PHONY: check test test-fast quality perf trace-smoke coverage
+.PHONY: check test test-fast quality quality-fixtures perf trace-smoke \
+	coverage
 
 check:
 	$(PYTHON) -m repro.cli selfcheck
@@ -20,6 +21,11 @@ test-fast:
 
 quality:
 	$(PYTHON) -m repro.cli quality --check --baseline .quality-baseline.json
+
+# Regenerate the expected-findings goldens for the analysis fixture
+# corpus; review the diff like any golden update.
+quality-fixtures:
+	$(PYTHON) tests/analysis/fixtures/regen.py
 
 perf:
 	$(PYTHON) -m repro.cli perf --quick

@@ -9,6 +9,12 @@ simulated data (``cost-accounting``), and freedom from cross-vertex
 shared-state races in BSP kernels (``bsp-race``). A committed baseline
 snapshot plus ``graphalytics quality --check`` turns the analyzer into
 the commit gate the paper describes.
+
+The :mod:`repro.analysis.dataflow` package adds interprocedural
+analyses on top: per-function control-flow graphs, a project call
+graph, CostMeter-lifecycle typestate checking (``cost-protocol``) and
+nondeterminism taint tracking (``nondeterminism-flow``), both wired
+into the same registry, reporters, and gate as the syntactic rules.
 """
 
 from repro.analysis.baseline import (
@@ -22,14 +28,21 @@ from repro.analysis.baseline import (
     snapshot,
 )
 from repro.analysis.engine import (
+    STALE_IGNORE_RULE,
     AnalysisConfig,
     ModuleContext,
+    ProjectContext,
+    ProjectRule,
     Rule,
     analyze_file,
     analyze_source,
     analyze_tree,
+    default_project_rules,
     default_rules,
+    function_anchor,
+    register_project_rule,
     register_rule,
+    registered_project_rules,
     registered_rules,
 )
 from repro.analysis.model import (
@@ -57,10 +70,17 @@ __all__ = [
     "QualityReport",
     "AnalysisConfig",
     "ModuleContext",
+    "ProjectContext",
     "Rule",
+    "ProjectRule",
+    "STALE_IGNORE_RULE",
+    "function_anchor",
     "register_rule",
+    "register_project_rule",
     "registered_rules",
+    "registered_project_rules",
     "default_rules",
+    "default_project_rules",
     "analyze_source",
     "analyze_file",
     "analyze_tree",

@@ -1,0 +1,85 @@
+"""A generic forward dataflow solver over :mod:`~repro.analysis.dataflow.cfg`.
+
+Chaotic-iteration worklist algorithm with collecting (may) semantics:
+an analysis supplies the initial state, a monotone transfer function,
+and a join; the solver computes the least fixpoint of per-node
+*in-states*. Exception edges propagate ``join(in, out)`` of the source
+node — the raise may fire before or after the statement's own effects,
+so handlers must be prepared for both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, TypeVar
+
+from repro.analysis.dataflow.cfg import CFG, EXCEPTION, CFGNode
+
+__all__ = ["ForwardAnalysis", "solve_forward"]
+
+State = TypeVar("State", bound=Hashable)
+
+
+class ForwardAnalysis(Generic[State]):
+    """Base class for forward dataflow analyses.
+
+    States must be immutable/hashable values; ``transfer`` must be
+    monotone w.r.t. ``join`` for the fixpoint to terminate (all
+    lattices used here are finite powersets, so any monotone transfer
+    terminates).
+    """
+
+    def initial_state(self) -> State:
+        """The state holding at function entry."""
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: State) -> State:
+        """The state after executing one node from ``state``."""
+        raise NotImplementedError
+
+    def join(self, a: State, b: State) -> State:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+
+def solve_forward(
+    cfg: CFG,
+    analysis: ForwardAnalysis[State],
+    max_steps: int = 100_000,
+) -> dict[int, State]:
+    """Compute per-node in-states; unreachable nodes are absent.
+
+    ``max_steps`` bounds worklist iterations as a defensive backstop
+    (the finite lattices used by the shipped analyses converge in a
+    handful of passes; hitting the bound raises rather than silently
+    under-approximating).
+    """
+    in_states: dict[int, State] = {CFG.ENTRY: analysis.initial_state()}
+    worklist: list[int] = [CFG.ENTRY]
+    queued = {CFG.ENTRY}
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(
+                f"dataflow solver did not converge within {max_steps} steps"
+            )
+        index = worklist.pop()
+        queued.discard(index)
+        state = in_states[index]
+        node = cfg.nodes[index]
+        out = analysis.transfer(node, state)
+        for target, edge in node.succs:
+            contribution = (
+                analysis.join(state, out) if edge == EXCEPTION else out
+            )
+            if target in in_states:
+                merged = analysis.join(in_states[target], contribution)
+                if merged == in_states[target]:
+                    continue
+                in_states[target] = merged
+            else:
+                in_states[target] = contribution
+            if target not in queued:
+                worklist.append(target)
+                queued.add(target)
+    return in_states

@@ -6,18 +6,39 @@ enables or disables them, and ``# quality: ignore[rule-id]`` comments
 suppress individual findings at the offending line. The engine parses
 each file once, collects function metrics (cyclomatic complexity,
 length, documentation), and hands the module to every enabled rule.
+
+Two rule shapes exist:
+
+* :class:`Rule` — sees one :class:`ModuleContext` at a time (the
+  original per-file shape; all the syntactic rules).
+* :class:`ProjectRule` — sees a :class:`ProjectContext` holding every
+  parsed module of the run at once. The interprocedural dataflow rules
+  (``cost-protocol``, ``nondeterminism-flow``) are project rules: they
+  build a package-wide call graph and propagate facts across function
+  and module boundaries.
+
+The engine also owns one postpass of its own, ``stale-ignore``: after
+every rule has run, any ``# quality: ignore[...]`` comment that did
+not suppress a single finding is itself reported. Stale suppressions
+are how sanctioned exceptions rot into unreviewed blind spots, so the
+gate surfaces them. A stale-ignore finding can only be silenced by a
+comment that *names* ``stale-ignore`` explicitly — a bare wildcard
+``# quality: ignore`` cannot vouch for itself.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.analysis.model import (
     ERROR,
+    WARNING,
     FileReport,
     Finding,
     FunctionMetrics,
@@ -27,10 +48,17 @@ from repro.analysis.model import (
 __all__ = [
     "AnalysisConfig",
     "ModuleContext",
+    "ProjectContext",
     "Rule",
+    "ProjectRule",
     "register_rule",
+    "register_project_rule",
     "registered_rules",
+    "registered_project_rules",
     "default_rules",
+    "default_project_rules",
+    "function_anchor",
+    "STALE_IGNORE_RULE",
     "analyze_source",
     "analyze_file",
     "analyze_tree",
@@ -52,12 +80,32 @@ _BRANCH_NODES = (
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
 #: ``# quality: ignore`` or ``# quality: ignore[rule-a, rule-b]``.
+#: Anchored at the start of the comment: a suppression is the comment
+#: itself, not a mention of the syntax inside one (or inside prose).
 _SUPPRESSION = re.compile(
-    r"#\s*quality:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
+    r"^#\s*quality:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
 )
 
 #: Sentinel meaning "every rule is suppressed on this line".
 _ALL_RULES = "*"
+
+#: Rule id of the engine-owned stale-suppression postpass.
+STALE_IGNORE_RULE = "stale-ignore"
+
+
+def function_anchor(node: ast.AST) -> int:
+    """Line of the ``def``/``class`` keyword, never of a decorator.
+
+    On CPython >= 3.8 ``node.lineno`` already points at the keyword,
+    but older parsers anchored decorated definitions at the first
+    decorator; taking the max over decorator end lines keeps finding
+    anchors on executable code either way (and pins the contract for
+    the line-accuracy tests).
+    """
+    line = node.lineno
+    for decorator in getattr(node, "decorator_list", []):
+        line = max(line, getattr(decorator, "end_lineno", decorator.lineno) + 1)
+    return line
 
 
 @dataclass(frozen=True)
@@ -103,8 +151,22 @@ class ModuleContext:
         return any(fragment in path for fragment in prefixes)
 
 
+@dataclass
+class ProjectContext:
+    """Every parsed module of one analysis run, for project rules.
+
+    ``cache`` is a scratch dict shared by all project rules of the
+    run; the dataflow rules use it to build the package call graph
+    exactly once per run instead of once per rule.
+    """
+
+    modules: list[ModuleContext]
+    config: AnalysisConfig
+    cache: dict = field(default_factory=dict)
+
+
 class Rule:
-    """Base class of all analysis rules.
+    """Base class of all per-module analysis rules.
 
     Subclasses set the class attributes and implement :meth:`check`;
     registration happens through :func:`register_rule`.
@@ -129,31 +191,71 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class of whole-project (interprocedural) analysis rules.
+
+    ``check`` receives the :class:`ProjectContext` and yields
+    ``(module, finding)`` pairs so findings land in the right file's
+    report (and under that file's suppression comments).
+    """
+
+    def check(self, project: ProjectContext) -> Iterator[tuple[ModuleContext, Finding]]:
+        """Yield ``(module, finding)`` pairs over the whole project."""
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
+_PROJECT_REGISTRY: dict[str, type[ProjectRule]] = {}
 
 
 def register_rule(rule_class: type[Rule]) -> type[Rule]:
-    """Class decorator adding a rule to the global registry."""
+    """Class decorator adding a per-module rule to the registry."""
     if not rule_class.id:
         raise ValueError(f"{rule_class.__name__} has no rule id")
-    if rule_class.id in _REGISTRY:
+    if rule_class.id in _REGISTRY or rule_class.id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule_class.id!r}")
     _REGISTRY[rule_class.id] = rule_class
     return rule_class
 
 
+def register_project_rule(rule_class: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project rule to the registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule_class.id in _REGISTRY or rule_class.id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _PROJECT_REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
 def registered_rules() -> dict[str, type[Rule]]:
-    """The rule registry (id -> rule class), as a copy."""
+    """The per-module rule registry (id -> rule class), as a copy."""
     _load_builtin_rules()
     return dict(_REGISTRY)
 
 
+def registered_project_rules() -> dict[str, type[ProjectRule]]:
+    """The project rule registry (id -> rule class), as a copy."""
+    _load_builtin_rules()
+    return dict(_PROJECT_REGISTRY)
+
+
 def default_rules(config: AnalysisConfig) -> list[Rule]:
-    """Instantiate every registered rule the config enables."""
+    """Instantiate every registered per-module rule the config enables."""
     _load_builtin_rules()
     return [
         rule_class()
         for rule_id, rule_class in sorted(_REGISTRY.items())
+        if config.is_enabled(rule_id)
+    ]
+
+
+def default_project_rules(config: AnalysisConfig) -> list[ProjectRule]:
+    """Instantiate every registered project rule the config enables."""
+    _load_builtin_rules()
+    return [
+        rule_class()
+        for rule_id, rule_class in sorted(_PROJECT_REGISTRY.items())
         if config.is_enabled(rule_id)
     ]
 
@@ -164,6 +266,8 @@ def _load_builtin_rules() -> None:
     from repro.analysis import rules_bsp  # noqa: F401
     from repro.analysis import rules_determinism  # noqa: F401
     from repro.analysis import rules_generic  # noqa: F401
+    from repro.analysis.dataflow import taint  # noqa: F401
+    from repro.analysis.dataflow import typestate  # noqa: F401
 
 
 # -- metrics ---------------------------------------------------------------
@@ -173,9 +277,10 @@ def _function_complexity(node: ast.AST) -> int:
     """Cyclomatic complexity of one function, nested functions excluded.
 
     Each ``ast.BoolOp`` contributes one decision per *extra* operand
-    (``a or b or c`` adds 2), and the walk stops at nested function
-    boundaries: a closure's branches belong to the closure's own
-    metrics, not to the enclosing function's.
+    (``a or b or c`` adds 2), each ``case`` of a ``match`` statement
+    contributes one (like an ``elif`` arm), and the walk stops at
+    nested function boundaries: a closure's branches belong to the
+    closure's own metrics, not to the enclosing function's.
     """
     complexity = 1
     stack = list(ast.iter_child_nodes(node))
@@ -185,6 +290,8 @@ def _function_complexity(node: ast.AST) -> int:
             continue
         if isinstance(child, ast.BoolOp):
             complexity += len(child.values) - 1
+        elif isinstance(child, ast.match_case):
+            complexity += 1
         elif isinstance(child, _BRANCH_NODES):
             complexity += 1
         stack.extend(ast.iter_child_nodes(child))
@@ -199,13 +306,14 @@ class _MetricsCollector(ast.NodeVisitor):
         self._function_depth = 0
 
     def _visit_function(self, node) -> None:
-        end = getattr(node, "end_lineno", node.lineno)
+        anchor = function_anchor(node)
+        end = getattr(node, "end_lineno", anchor)
         self.functions.append(
             FunctionMetrics(
                 name=node.name,
-                line=node.lineno,
+                line=anchor,
                 complexity=_function_complexity(node),
-                length=end - node.lineno + 1,
+                length=end - anchor + 1,
                 has_docstring=ast.get_docstring(node) is not None,
                 nested=self._function_depth > 0,
             )
@@ -228,10 +336,33 @@ class _MetricsCollector(ast.NodeVisitor):
 # -- suppressions ----------------------------------------------------------
 
 
+def _comment_lines(lines: list[str]) -> dict[int, str]:
+    """Map 1-based line numbers to genuine comment text.
+
+    Tokenizing keeps suppression syntax *mentioned* inside string
+    literals and docstrings (as in this very module) from being read
+    as live suppressions — and, downstream, from being reported as
+    stale ones. Falls back to raw lines if tokenization fails.
+    """
+    source = "\n".join(lines)
+    try:
+        return {
+            token.start[0]: token.string
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        }
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {
+            number: line[line.index("#"):]
+            for number, line in enumerate(lines, start=1)
+            if "#" in line
+        }
+
+
 def _suppressions(lines: list[str]) -> dict[int, set[str]]:
     """Map 1-based line numbers to the rule ids suppressed there."""
     suppressed: dict[int, set[str]] = {}
-    for number, line in enumerate(lines, start=1):
+    for number, line in sorted(_comment_lines(lines).items()):
         match = _SUPPRESSION.search(line)
         if match is None:
             continue
@@ -249,10 +380,88 @@ def _is_suppressed(finding: Finding, suppressed: dict[int, set[str]]) -> bool:
     rules = suppressed.get(finding.line)
     if rules is None:
         return False
+    if finding.rule == STALE_IGNORE_RULE:
+        # A suppression comment cannot wildcard-silence the report
+        # that it is itself dead; only an explicit opt-out counts.
+        return STALE_IGNORE_RULE in rules
     return _ALL_RULES in rules or finding.rule in rules
 
 
 # -- analysis entry points -------------------------------------------------
+
+
+class _ModuleAnalysis:
+    """Mutable per-file state while a run is in flight."""
+
+    def __init__(self, module: ModuleContext):
+        self.module = module
+        self.suppressions = _suppressions(module.lines)
+        self.findings: list[Finding] = []
+        self.suppressed_count = 0
+        #: Suppression-comment lines that silenced at least one finding.
+        self.used_lines: set[int] = set()
+
+    def record(self, finding: Finding) -> None:
+        """File a finding, honouring this file's suppression comments."""
+        if _is_suppressed(finding, self.suppressions):
+            self.suppressed_count += 1
+            self.used_lines.add(finding.line)
+        else:
+            self.findings.append(finding)
+
+    def run_module_rules(self) -> None:
+        """Apply every enabled per-module rule."""
+        for rule in default_rules(self.module.config):
+            for finding in rule.check(self.module):
+                self.record(finding)
+
+    def run_stale_ignore_postpass(self) -> None:
+        """Report suppression comments that silenced nothing this run.
+
+        A comment is only provably stale when every rule it could
+        vouch for actually ran: lines naming a disabled (or not
+        registered) rule id are skipped rather than reported.
+        """
+        config = self.module.config
+        if not config.is_enabled(STALE_IGNORE_RULE):
+            return
+        known = set(registered_rules()) | set(registered_project_rules())
+        known.add(STALE_IGNORE_RULE)
+        for line, rules in sorted(self.suppressions.items()):
+            if line in self.used_lines:
+                continue
+            named = rules - {_ALL_RULES}
+            if any(rule not in known or not config.is_enabled(rule) for rule in named):
+                continue
+            label = ", ".join(sorted(named)) if named else _ALL_RULES
+            self.record(
+                Finding(
+                    rule=STALE_IGNORE_RULE,
+                    message=(
+                        f"suppression '# quality: ignore[{label}]' no longer "
+                        "suppresses any finding; delete it or re-justify it"
+                    ),
+                    line=line,
+                    severity=WARNING,
+                    category="maintainability",
+                )
+            )
+
+    def finish(self) -> FileReport:
+        """Freeze the per-file state into a :class:`FileReport`."""
+        self.findings.sort(key=lambda f: (f.line, f.rule))
+        lines_of_code = sum(
+            1
+            for line in self.module.lines
+            if line.strip() and not line.strip().startswith("#")
+        )
+        return FileReport(
+            path=self.module.path,
+            lines_of_code=lines_of_code,
+            functions=self.module.functions,
+            findings=self.findings,
+            suppressed=self.suppressed_count,
+        )
 
 
 def _parse_error_report(path: str, message: str, line: int) -> FileReport:
@@ -270,13 +479,10 @@ def _parse_error_report(path: str, message: str, line: int) -> FileReport:
     )
 
 
-def analyze_source(
-    source: str,
-    path: str = "<string>",
-    config: AnalysisConfig | None = None,
-) -> FileReport:
-    """Analyze one Python source string."""
-    config = config or AnalysisConfig()
+def _build_module(
+    source: str, path: str, config: AnalysisConfig
+) -> ModuleContext | FileReport:
+    """Parse one source string; a :class:`FileReport` means parse failure."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
@@ -285,39 +491,49 @@ def analyze_source(
         )
     except ValueError as error:  # e.g. null bytes in the source
         return _parse_error_report(path, f"unparseable source: {error}", 1)
-
-    lines = source.splitlines()
     collector = _MetricsCollector()
     collector.visit(tree)
-    module = ModuleContext(
+    return ModuleContext(
         path=path,
         tree=tree,
-        lines=lines,
+        lines=source.splitlines(),
         config=config,
         functions=collector.functions,
     )
-    suppressed = _suppressions(lines)
-    findings: list[Finding] = []
-    suppressed_count = 0
-    for rule in default_rules(config):
-        for finding in rule.check(module):
-            if _is_suppressed(finding, suppressed):
-                suppressed_count += 1
-            else:
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.line, f.rule))
-    lines_of_code = sum(
-        1
-        for line in lines
-        if line.strip() and not line.strip().startswith("#")
-    )
-    return FileReport(
-        path=path,
-        lines_of_code=lines_of_code,
-        functions=collector.functions,
-        findings=findings,
-        suppressed=suppressed_count,
-    )
+
+
+def _run_project_rules(
+    project: ProjectContext, analyses: dict[int, _ModuleAnalysis]
+) -> None:
+    """Run every enabled project rule, routing findings to their files."""
+    by_identity = {id(a.module): a for a in analyses.values()}
+    for rule in default_project_rules(project.config):
+        for module, finding in rule.check(project):
+            analysis = by_identity.get(id(module))
+            if analysis is not None:
+                analysis.record(finding)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    config: AnalysisConfig | None = None,
+) -> FileReport:
+    """Analyze one Python source string.
+
+    Project rules run too, over a single-module project — so the
+    interprocedural rules still see calls that stay within the file.
+    """
+    config = config or AnalysisConfig()
+    module = _build_module(source, path, config)
+    if isinstance(module, FileReport):
+        return module
+    analysis = _ModuleAnalysis(module)
+    analysis.run_module_rules()
+    project = ProjectContext(modules=[module], config=config)
+    _run_project_rules(project, {0: analysis})
+    analysis.run_stale_ignore_postpass()
+    return analysis.finish()
 
 
 def analyze_file(
@@ -337,9 +553,50 @@ def analyze_file(
 def analyze_tree(
     root: str | Path, config: AnalysisConfig | None = None
 ) -> QualityReport:
-    """Analyze every ``*.py`` file under a directory."""
+    """Analyze every ``*.py`` file under a directory.
+
+    Every file is parsed once; the per-module rules run file by file,
+    then the project rules see all modules together (that is what lets
+    ``cost-protocol`` and ``nondeterminism-flow`` follow calls across
+    module boundaries), and finally the stale-suppression postpass
+    runs with the complete used-suppression picture.
+    """
+    config = config or AnalysisConfig()
     root = Path(root)
-    report = QualityReport()
+    ordered: list[FileReport | _ModuleAnalysis] = []
+    analyses: dict[int, _ModuleAnalysis] = {}
     for file_path in sorted(root.rglob("*.py")):
-        report.files.append(analyze_file(file_path, config))
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            ordered.append(
+                _parse_error_report(str(file_path), "file is not valid UTF-8", 1)
+            )
+            continue
+        except OSError as error:
+            ordered.append(
+                _parse_error_report(
+                    str(file_path), f"unreadable file: {error}", 1
+                )
+            )
+            continue
+        module = _build_module(source, str(file_path), config)
+        if isinstance(module, FileReport):
+            ordered.append(module)
+            continue
+        analysis = _ModuleAnalysis(module)
+        analysis.run_module_rules()
+        analyses[len(analyses)] = analysis
+        ordered.append(analysis)
+    project = ProjectContext(
+        modules=[a.module for a in analyses.values()], config=config
+    )
+    _run_project_rules(project, analyses)
+    report = QualityReport()
+    for entry in ordered:
+        if isinstance(entry, _ModuleAnalysis):
+            entry.run_stale_ignore_postpass()
+            report.files.append(entry.finish())
+        else:
+            report.files.append(entry)
     return report

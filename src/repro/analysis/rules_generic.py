@@ -12,7 +12,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.engine import ModuleContext, Rule, register_rule
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    function_anchor,
+    register_rule,
+)
 from repro.analysis.model import Finding, WARNING
 
 __all__ = [
@@ -60,9 +65,13 @@ class MutableDefaultRule(Rule):
             ]
             for default in defaults:
                 if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                    # Anchor at the def line, not the default's own
+                    # line: in a multi-line signature the default can
+                    # sit lines below the def, where a suppression
+                    # comment (and a reader) would never look.
                     yield self.finding(
                         f"function {node.name!r} has a mutable default",
-                        default.lineno,
+                        function_anchor(node),
                     )
 
 

@@ -399,7 +399,9 @@ class CostMeter:
         for a cluster-wide barrier). Overriding here — rather than
         patching the returned record — keeps the closed record
         immutable, which the trace sinks rely on: the emitted span is
-        the final word on the round.
+        the final word on the round. The quality gate's
+        ``cost-protocol`` rule enforces this statically: writes to a
+        record obtained from ``end_round`` are findings.
         """
         record = self._require_round()
         spec = self.spec

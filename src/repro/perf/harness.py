@@ -122,9 +122,9 @@ def _time_run(platform, handle, algorithm, params, repeats: int) -> tuple[float,
     best_wall = float("inf")
     simulated = 0.0
     for _repeat in range(max(repeats, 1)):
-        start = time.perf_counter()  # quality: ignore[determinism]
+        start = time.perf_counter()
         run = platform.run_algorithm(handle, algorithm, params)
-        wall = time.perf_counter() - start  # quality: ignore[determinism]
+        wall = time.perf_counter() - start
         best_wall = min(best_wall, wall)
         simulated = run.simulated_seconds
     return best_wall, simulated

@@ -1,0 +1,27 @@
+"""Unmatched ``begin_round`` on an exception path.
+
+The handler swallows an error raised mid-round and execution falls off
+the end of the function with the meter still open — the next
+``begin_round`` anywhere downstream raises at runtime. The balanced
+variant shows the accepted shape: ``end_round`` in a ``finally``.
+"""
+
+
+class LeakyEngine:
+    def run_superstep(self, meter):
+        meter.begin_round("superstep")
+        try:
+            self.compute()
+            meter.end_round()
+        except ValueError:
+            pass
+
+    def run_balanced(self, meter):
+        meter.begin_round("superstep")
+        try:
+            self.compute()
+        finally:
+            meter.end_round()
+
+    def compute(self):
+        raise ValueError("mid-round failure")

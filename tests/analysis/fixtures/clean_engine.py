@@ -1,0 +1,21 @@
+"""A well-behaved engine: every rule must stay silent here.
+
+Deterministic iteration (sorted), balanced rounds through
+``try``/``finally``, charges only inside rounds, overrides passed to
+``end_round`` instead of mutating the returned record.
+"""
+
+
+class CleanEngine:
+    def run_superstep(self, meter, ctx, frontier_set):
+        meter.begin_round("superstep")
+        try:
+            for vertex in sorted(frontier_set):
+                meter.charge_compute(0, 1.0)
+                ctx.send(vertex, 1)
+        finally:
+            meter.end_round(barrier_seconds=0.001)
+
+    def load(self, meter):
+        meter.charge_startup(0, 2.0)
+        meter.allocate_memory(0, 4096.0)

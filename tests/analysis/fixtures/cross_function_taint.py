@@ -1,0 +1,19 @@
+"""A taint path crossing two function boundaries.
+
+The source (set construction) lives in ``collect_dirty``, the sink
+(message emission) lives in ``emit``, and the flow happens in ``run``
+— which is where the finding must land, naming both helpers.
+"""
+
+
+class PropagatingEngine:
+    def collect_dirty(self, changed):
+        dirty = {vertex for vertex in changed}
+        return dirty
+
+    def emit(self, ctx, vertex):
+        ctx.send(vertex, 1)
+
+    def run(self, ctx, changed):
+        for vertex in self.collect_dirty(changed):
+            self.emit(ctx, vertex)

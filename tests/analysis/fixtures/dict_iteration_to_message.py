@@ -1,0 +1,19 @@
+"""Dict-iteration order flowing into message emission.
+
+The vertex order of the frontier dict depends on construction order;
+sending messages in that order makes message traces (and any
+tie-breaking downstream) irreproducible. Sorting the keys first is the
+sanctioned fix — the second method shows it and must stay clean.
+"""
+
+
+class FrontierEngine:
+    def flood(self, ctx, updates):
+        frontier = dict(updates)
+        for vertex in frontier:
+            ctx.send(vertex, 1)
+
+    def flood_sorted(self, ctx, updates):
+        frontier = dict(updates)
+        for vertex in sorted(frontier):
+            ctx.send(vertex, 1)

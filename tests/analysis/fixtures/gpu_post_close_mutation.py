@@ -1,0 +1,22 @@
+"""The GPU-engine bug a previous PR fixed by hand, reduced.
+
+``end_round`` returns a closed :class:`RoundRecord`; assigning to its
+``barrier_seconds`` afterwards silently corrupts the recorded profile
+(trace replay and profile fingerprints disagree with the meter).
+The fix is to pass the override to ``end_round`` itself.
+"""
+
+KERNEL_LAUNCH_SECONDS = 0.0005
+
+
+class GPUPregelEngine:
+    def superstep(self, meter, compute_set):
+        meter.begin_round("kernel")
+        self.run_kernel(compute_set)
+        record = meter.end_round(active_vertices=len(compute_set))
+        # Kernel launch + host sync replaces the cluster barrier.
+        record.barrier_seconds = KERNEL_LAUNCH_SECONDS
+
+    def run_kernel(self, compute_set):
+        for _vertex in list(compute_set):
+            pass

@@ -1,0 +1,56 @@
+"""Regenerate golden expected-findings files for the fixture corpus.
+
+Usage::
+
+    PYTHONPATH=src python tests/analysis/fixtures/regen.py [name.py ...]
+
+With no arguments every fixture is regenerated. The virtual analysis
+path is kept from the existing ``.expected.json`` when present (it is
+part of the fixture's contract), defaulting to an engine path inside
+the rules' scope otherwise. Review regenerated files like any golden
+diff: a changed line number is fine after an intentional edit, a
+disappeared finding usually means a rule regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_source
+
+DEFAULT_PATH = "src/repro/platforms/fixture/engine.py"
+FIXTURE_DIR = Path(__file__).parent
+
+
+def regenerate(fixture: Path) -> None:
+    expected_file = fixture.with_suffix(".expected.json")
+    virtual_path = DEFAULT_PATH
+    if expected_file.exists():
+        virtual_path = json.loads(expected_file.read_text())["path"]
+    report = analyze_source(fixture.read_text(), virtual_path)
+    payload = {
+        "path": virtual_path,
+        "findings": [
+            {"rule": finding.rule, "line": finding.line}
+            for finding in sorted(
+                report.findings, key=lambda f: (f.line, f.rule)
+            )
+        ],
+    }
+    expected_file.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {expected_file.name}: {len(payload['findings'])} finding(s)")
+
+
+def main(argv: list[str]) -> int:
+    names = argv or sorted(
+        p.name for p in FIXTURE_DIR.glob("*.py") if p.name != "regen.py"
+    )
+    for name in names:
+        regenerate(FIXTURE_DIR / name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

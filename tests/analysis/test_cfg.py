@@ -1,0 +1,316 @@
+"""Unit tests for the intraprocedural CFG builder."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    CFG,
+    EXCEPTION,
+    NORMAL,
+    build_cfg,
+    node_calls,
+    node_exprs,
+)
+
+
+def _cfg(code: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(code))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def _succs(cfg: CFG, index: int, kind: str | None = None):
+    return [
+        target
+        for target, edge in cfg.nodes[index].succs
+        if kind is None or edge == kind
+    ]
+
+
+def _node_of(cfg: CFG, needle: str):
+    # Shortest matching dump = most specific node (a compound head's
+    # dump contains its whole subtree, so it would shadow body nodes).
+    matches = [
+        node
+        for node in cfg.statement_nodes()
+        if node.stmt is not None and needle in ast.dump(node.stmt)
+    ]
+    if not matches:
+        raise AssertionError(f"no CFG node matching {needle!r}")
+    return min(matches, key=lambda node: len(ast.dump(node.stmt)))
+
+
+def _reaches(cfg: CFG, start: int, goal: int, kinds=(NORMAL, EXCEPTION)) -> bool:
+    seen = set()
+    stack = [start]
+    while stack:
+        index = stack.pop()
+        if index == goal:
+            return True
+        if index in seen:
+            continue
+        seen.add(index)
+        stack.extend(
+            target
+            for target, edge in cfg.nodes[index].succs
+            if edge in kinds
+        )
+    return False
+
+
+class TestLinearAndBranches:
+    def test_straight_line_reaches_exit(self):
+        cfg = _cfg("def f():\n    x = 1\n    y = 2\n")
+        assert _reaches(cfg, CFG.ENTRY, CFG.EXIT)
+
+    def test_if_without_else_has_fallthrough_edge(self):
+        cfg = _cfg(
+            """
+            def f(a):
+                if a:
+                    x = 1
+                y = 2
+            """
+        )
+        head = _node_of(cfg, "If")
+        after = _node_of(cfg, "'y'")
+        assert after.index in _succs(cfg, head.index, NORMAL)
+
+    def test_both_if_arms_connect_to_join(self):
+        cfg = _cfg(
+            """
+            def f(a):
+                if a:
+                    x = 1
+                else:
+                    x = 2
+                y = x
+            """
+        )
+        join = _node_of(cfg, "'y'")
+        arm1 = _node_of(cfg, "value=Constant(value=1)")
+        arm2 = _node_of(cfg, "value=Constant(value=2)")
+        assert join.index in _succs(cfg, arm1.index)
+        assert join.index in _succs(cfg, arm2.index)
+
+
+class TestLoops:
+    def test_while_has_back_edge_and_exit_edge(self):
+        cfg = _cfg(
+            """
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        head = _node_of(cfg, "While")
+        body = _node_of(cfg, "AugAssign")
+        assert head.index in _succs(cfg, body.index)  # back edge
+        after = _node_of(cfg, "Return")
+        assert after.index in _succs(cfg, head.index)
+
+    def test_break_jumps_past_loop_else(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                else:
+                    other = 1
+                after = 2
+            """
+        )
+        brk = _node_of(cfg, "Break")
+        after = _node_of(cfg, "'after'")
+        other = _node_of(cfg, "'other'")
+        assert after.index in _succs(cfg, brk.index)
+        assert after.index not in _succs(cfg, brk.index, EXCEPTION)
+        assert not _reaches(cfg, brk.index, other.index)
+
+    def test_continue_returns_to_loop_head(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        continue
+                    x = 1
+            """
+        )
+        head = _node_of(cfg, "For")
+        cont = _node_of(cfg, "Continue")
+        assert head.index in _succs(cfg, cont.index)
+
+
+class TestEarlyReturnsAndRaises:
+    def test_return_goes_straight_to_exit(self):
+        cfg = _cfg(
+            """
+            def f(a):
+                if a:
+                    return 1
+                return 2
+            """
+        )
+        first = _node_of(cfg, "value=Constant(value=1)")
+        assert _succs(cfg, first.index) == [CFG.EXIT]
+
+    def test_uncaught_raise_goes_to_raise_exit(self):
+        cfg = _cfg("def f():\n    raise ValueError()\n")
+        raise_node = _node_of(cfg, "Raise")
+        assert CFG.RAISE_EXIT in _succs(cfg, raise_node.index, EXCEPTION)
+        assert not _reaches(cfg, raise_node.index, CFG.EXIT)
+
+    def test_plain_statement_has_no_exception_edge_outside_try(self):
+        cfg = _cfg("def f():\n    x = 1\n")
+        node = _node_of(cfg, "Assign")
+        assert _succs(cfg, node.index, EXCEPTION) == []
+
+
+class TestTryExceptFinally:
+    def test_try_body_statement_may_raise_into_handler(self):
+        cfg = _cfg(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handled = 1
+                after = 2
+            """
+        )
+        risky = _node_of(cfg, "'risky'")
+        handled = _node_of(cfg, "'handled'")
+        assert _reaches(cfg, risky.index, handled.index)
+        after = _node_of(cfg, "'after'")
+        assert _reaches(cfg, handled.index, after.index)
+
+    def test_return_in_try_traverses_finally(self):
+        cfg = _cfg(
+            """
+            def f():
+                try:
+                    return work()
+                except ValueError:
+                    pass
+                finally:
+                    cleanup()
+            """
+        )
+        ret = _node_of(cfg, "Return")
+        cleanup = _node_of(cfg, "'cleanup'")
+        # The return must NOT bypass the finally region.
+        assert _succs(cfg, ret.index, NORMAL) != [CFG.EXIT]
+        assert _reaches(cfg, ret.index, cleanup.index)
+        assert _reaches(cfg, cleanup.index, CFG.EXIT)
+
+    def test_handler_raise_traverses_finally_then_propagates(self):
+        cfg = _cfg(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    raise
+                finally:
+                    cleanup()
+            """
+        )
+        cleanup = _node_of(cfg, "'cleanup'")
+        assert _reaches(cfg, cleanup.index, CFG.RAISE_EXIT)
+
+    def test_finally_without_handlers_catches_body_raise_path(self):
+        cfg = _cfg(
+            """
+            def f(meter):
+                meter.begin_round()
+                try:
+                    work()
+                finally:
+                    meter.end_round()
+            """
+        )
+        work = _node_of(cfg, "'work'")
+        end = _node_of(cfg, "'end_round'")
+        assert _reaches(cfg, work.index, end.index)
+        # Exceptional continuation exists past the finally.
+        assert _reaches(cfg, end.index, CFG.RAISE_EXIT)
+        assert _reaches(cfg, end.index, CFG.EXIT)
+
+    def test_break_inside_try_finally_reaches_loop_after(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    try:
+                        break
+                    finally:
+                        cleanup()
+                after = 1
+            """
+        )
+        brk = _node_of(cfg, "Break")
+        cleanup = _node_of(cfg, "'cleanup'")
+        after = _node_of(cfg, "'after'")
+        assert _reaches(cfg, brk.index, cleanup.index)
+        assert _reaches(cfg, cleanup.index, after.index)
+
+
+class TestWithAndMatch:
+    def test_with_body_is_sequential(self):
+        cfg = _cfg(
+            """
+            def f(path):
+                with open(path) as handle:
+                    data = handle.read()
+                return data
+            """
+        )
+        head = _node_of(cfg, "With")
+        body = _node_of(cfg, "'read'")
+        assert body.index in _succs(cfg, head.index)
+
+    def test_match_fans_out_to_cases_and_fallthrough(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                match x:
+                    case 1:
+                        a = 1
+                    case 2:
+                        b = 2
+                after = 3
+            """
+        )
+        head = _node_of(cfg, "Match")
+        case_a = _node_of(cfg, "'a'")
+        case_b = _node_of(cfg, "'b'")
+        after = _node_of(cfg, "'after'")
+        succs = _succs(cfg, head.index)
+        assert case_a.index in succs
+        assert case_b.index in succs
+        assert after.index in succs  # no case may match
+
+
+class TestNodeExprs:
+    def test_compound_headers_exclude_body_expressions(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    body_call()
+            """
+        )
+        head = _node_of(cfg, "For")
+        assert "body_call" not in "".join(
+            ast.dump(e) for e in node_exprs(head)
+        )
+
+    def test_node_calls_in_document_order(self):
+        cfg = _cfg("def f():\n    x = first() + second()\n")
+        node = _node_of(cfg, "Assign")
+        names = [ast.dump(c.func) for c in node_calls(node)]
+        assert "first" in names[0] and "second" in names[1]

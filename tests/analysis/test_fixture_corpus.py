@@ -1,0 +1,63 @@
+"""Golden-file runner for the fixture corpus.
+
+Each ``<name>.py`` under ``tests/analysis/fixtures/`` pairs with a
+``<name>.expected.json`` golden recording the exact ``(rule, line)``
+findings the analyzer must produce when the fixture is analyzed under
+the golden's virtual path. Regenerate goldens with
+``PYTHONPATH=src python tests/analysis/fixtures/regen.py`` after an
+intentional change, and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+FIXTURES = sorted(
+    path for path in FIXTURE_DIR.glob("*.py") if path.name != "regen.py"
+)
+
+
+def test_corpus_covers_required_scenarios() -> None:
+    names = {path.stem for path in FIXTURES}
+    assert {
+        "gpu_post_close_mutation",
+        "begin_round_exception_leak",
+        "dict_iteration_to_message",
+        "cross_function_taint",
+        "clean_engine",
+    } <= names
+
+
+@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_matches_golden(fixture: Path) -> None:
+    golden_path = fixture.with_suffix(".expected.json")
+    assert golden_path.exists(), (
+        f"{fixture.name} has no golden; run tests/analysis/fixtures/regen.py"
+    )
+    golden = json.loads(golden_path.read_text())
+
+    report = analyze_source(fixture.read_text(), golden["path"])
+    actual = sorted(
+        {"rule": finding.rule, "line": finding.line}.items()
+        for finding in report.findings
+    )
+    expected = sorted(entry.items() for entry in golden["findings"])
+    assert [dict(item) for item in actual] == [
+        dict(item) for item in expected
+    ], f"{fixture.name}: findings diverged from golden"
+
+
+@pytest.mark.parametrize(
+    "golden_path",
+    sorted(FIXTURE_DIR.glob("*.expected.json")),
+    ids=lambda p: p.stem.replace(".expected", ""),
+)
+def test_golden_has_fixture(golden_path: Path) -> None:
+    source = golden_path.with_name(golden_path.name.replace(".expected.json", ".py"))
+    assert source.exists(), f"{golden_path.name} is orphaned"

@@ -1,0 +1,121 @@
+"""Line-accuracy tests: findings anchor where a reader (and a
+suppression comment) would look — the ``def`` line for functions, the
+statement line for multi-line statements."""
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+
+def _analyze(code: str, config=None):
+    return analyze_source(
+        textwrap.dedent(code), "src/repro/platforms/fake/engine.py", config
+    )
+
+
+class TestFunctionAnchors:
+    def test_decorated_function_metrics_anchor_at_def_line(self):
+        report = _analyze(
+            """
+            import functools
+
+
+            @functools.lru_cache(maxsize=None)
+            @functools.wraps(print)
+            def cached(x):
+                return x
+            """
+        )
+        metrics = {m.name: m for m in report.functions}
+        # Line 7 is the `def cached` line, below both decorators.
+        assert metrics["cached"].line == 7
+
+    def test_high_complexity_anchors_at_def_not_decorator(self):
+        report = _analyze(
+            """
+            import functools
+
+
+            @functools.lru_cache(maxsize=None)
+            def branchy(a, b, c):
+                if a:
+                    pass
+                if b:
+                    pass
+                if c:
+                    pass
+                return 0
+            """,
+            config=AnalysisConfig(max_complexity=2),
+        )
+        findings = [f for f in report.findings if f.rule == "high-complexity"]
+        assert [f.line for f in findings] == [6]
+
+    def test_suppression_on_def_line_works_for_decorated_function(self):
+        report = _analyze(
+            """
+            import functools
+
+
+            @functools.lru_cache(maxsize=None)
+            def branchy(a, b, c):  # quality: ignore[high-complexity]
+                if a:
+                    pass
+                if b:
+                    pass
+                if c:
+                    pass
+                return 0
+            """,
+            config=AnalysisConfig(max_complexity=2),
+        )
+        assert [f for f in report.findings if f.rule == "high-complexity"] == []
+        assert report.suppressed == 1
+
+
+class TestMultiLineStatementAnchors:
+    def test_mutable_default_in_multiline_signature_anchors_at_def(self):
+        report = _analyze(
+            """
+            def configure(
+                name,
+                *,
+                tags={},
+            ):
+                return name
+            """
+        )
+        findings = [f for f in report.findings if f.rule == "mutable-default"]
+        # The default itself sits on line 5; the finding must point at
+        # the def line (2), where the suppression comment would live.
+        assert [f.line for f in findings] == [2]
+
+    def test_suppression_on_def_line_silences_multiline_default(self):
+        report = _analyze(
+            """
+            def configure(  # quality: ignore[mutable-default]
+                name,
+                *,
+                tags={},
+            ):
+                return name
+            """
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_cost_protocol_exit_leak_anchors_at_def_line(self):
+        report = _analyze(
+            """
+            import functools
+
+
+            @functools.wraps(print)
+            def leaky(meter, flag):
+                meter.begin_round("r")
+                if flag:
+                    meter.end_round()
+            """
+        )
+        findings = [f for f in report.findings if f.rule == "cost-protocol"]
+        assert [f.line for f in findings] == [6]

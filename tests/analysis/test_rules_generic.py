@@ -1,0 +1,127 @@
+"""Dedicated tests for the generic rules and complexity metrics."""
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+
+def _analyze(code: str, config=None):
+    return analyze_source(textwrap.dedent(code), "fake.py", config)
+
+
+def _complexity(code: str, name: str) -> int:
+    report = _analyze(code)
+    return {m.name: m for m in report.functions}[name].complexity
+
+
+class TestComplexityEdgeCases:
+    def test_match_cases_each_add_one(self):
+        code = """
+        def dispatch(x):
+            match x:
+                case 1:
+                    return "one"
+                case 2:
+                    return "two"
+                case _:
+                    return "many"
+        """
+        # base 1 + three case arms.
+        assert _complexity(code, "dispatch") == 4
+
+    def test_match_inside_nested_def_not_counted_into_enclosing(self):
+        code = """
+        def outer(x):
+            def inner(y):
+                match y:
+                    case 1:
+                        return 1
+                    case _:
+                        return 0
+            return inner(x)
+        """
+        assert _complexity(code, "outer") == 1
+        assert _complexity(code, "inner") == 3
+
+    def test_boolop_chain_counts_operands_not_nodes(self):
+        code = """
+        def f(a, b, c, d):
+            return (a and b) or (c and d)
+        """
+        # base 1 + or adds 1 + two ands add 1 each.
+        assert _complexity(code, "f") == 4
+
+    def test_ternary_adds_one(self):
+        assert _complexity("def f(a):\n    return 1 if a else 2\n", "f") == 2
+
+    def test_except_handlers_each_add_one(self):
+        code = """
+        def f():
+            try:
+                return 1
+            except ValueError:
+                return 2
+            except KeyError:
+                return 3
+        """
+        assert _complexity(code, "f") == 3
+
+    def test_deeply_nested_defs_stay_independent(self):
+        code = """
+        def a(x):
+            def b(y):
+                def c(z):
+                    if z:
+                        return 1
+                    return 0
+                if y:
+                    return c(y)
+                return 0
+            return b(x)
+        """
+        assert _complexity(code, "a") == 1
+        assert _complexity(code, "b") == 2
+        assert _complexity(code, "c") == 2
+
+
+class TestParseErrorResilience:
+    def test_rules_do_not_run_on_broken_source(self):
+        report = _analyze("def broken(:\n    x ==== None\n")
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert report.functions == []
+
+    def test_tab_space_mix_is_a_parse_error_not_a_crash(self):
+        report = analyze_source("def f():\n\tif 1:\n        pass\n", "bad.py")
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+
+class TestGenericRules:
+    def test_kwonly_mutable_default_is_flagged(self):
+        report = _analyze("def f(*, cache={}):\n    return cache\n")
+        assert [f.rule for f in report.findings] == ["mutable-default"]
+
+    def test_none_default_kwonly_is_clean(self):
+        report = _analyze("def f(*, cache=None):\n    return cache\n")
+        assert report.findings == []
+
+    def test_chained_comparison_with_none_is_flagged(self):
+        report = _analyze("def f(a, b):\n    return a == b == None\n")
+        assert [f.rule for f in report.findings] == ["eq-none"]
+
+    def test_is_none_comparison_is_clean(self):
+        report = _analyze("def f(a):\n    return a is None\n")
+        assert report.findings == []
+
+    def test_bare_except_inside_nested_def_is_flagged(self):
+        report = _analyze(
+            """
+            def outer():
+                def inner():
+                    try:
+                        return 1
+                    except:
+                        return 2
+                return inner()
+            """
+        )
+        assert [f.rule for f in report.findings] == ["bare-except"]

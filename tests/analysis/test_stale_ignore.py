@@ -1,0 +1,86 @@
+"""Tests for the ``stale-ignore`` postpass."""
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_source
+
+
+def _analyze(code: str, config=None):
+    return analyze_source(textwrap.dedent(code), "fake.py", config)
+
+
+def _stale(report):
+    return [f for f in report.findings if f.rule == "stale-ignore"]
+
+
+class TestStaleDetection:
+    def test_used_suppression_is_not_stale(self):
+        report = _analyze(
+            "def f(x):\n    return x == None  # quality: ignore[eq-none]\n"
+        )
+        assert _stale(report) == []
+        assert report.suppressed == 1
+
+    def test_dead_named_suppression_is_reported(self):
+        report = _analyze("x = 1  # quality: ignore[eq-none]\n")
+        findings = _stale(report)
+        assert len(findings) == 1
+        assert "eq-none" in findings[0].message
+        assert findings[0].severity == "warning"
+        assert findings[0].category == "maintainability"
+
+    def test_dead_wildcard_suppression_is_reported(self):
+        report = _analyze("x = 1  # quality: ignore\n")
+        assert len(_stale(report)) == 1
+
+    def test_unknown_rule_id_is_skipped(self):
+        # A suppression naming an unregistered rule could be for a
+        # rule added in a newer revision; not judged.
+        report = _analyze("x = 1  # quality: ignore[not-a-rule]\n")
+        assert _stale(report) == []
+
+    def test_disabled_rule_suppression_is_skipped(self):
+        # The vouched-for rule did not run, so the comment cannot be
+        # proven dead.
+        config = AnalysisConfig(disabled=frozenset({"eq-none"}))
+        report = _analyze(
+            "def f(x):\n    return x == None  # quality: ignore[eq-none]\n",
+            config=config,
+        )
+        assert _stale(report) == []
+
+
+class TestSelfSuppression:
+    def test_wildcard_cannot_vouch_for_itself(self):
+        # A dead wildcard must not silence its own staleness report.
+        report = _analyze("x = 1  # quality: ignore\n")
+        assert len(_stale(report)) == 1
+
+    def test_explicit_opt_out_is_honoured(self):
+        report = _analyze("x = 1  # quality: ignore[stale-ignore]\n")
+        assert _stale(report) == []
+
+
+class TestCommentsOnly:
+    def test_mention_inside_docstring_is_not_a_suppression(self):
+        report = _analyze(
+            '''
+            def f():
+                """Uses ``# quality: ignore[eq-none]`` syntax docs."""
+                return 1
+            '''
+        )
+        assert _stale(report) == []
+
+    def test_mention_mid_comment_is_not_a_suppression(self):
+        report = _analyze(
+            "x = 1  # the syntax is: quality: ignore[eq-none]\n"
+        )
+        assert _stale(report) == []
+
+    def test_mid_comment_mention_does_not_suppress_findings(self):
+        report = _analyze(
+            "def f(x):\n"
+            "    return x == None  # see docs for quality: ignore[eq-none]\n"
+        )
+        assert [f.rule for f in report.findings] == ["eq-none"]

@@ -1,0 +1,194 @@
+"""Tests for the ``nondeterminism-flow`` taint rule."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+ENGINE_PATH = "src/repro/platforms/fake/engine.py"
+OUT_OF_SCOPE_PATH = "src/repro/perf/fake.py"
+
+
+def _findings(code: str, path: str = ENGINE_PATH):
+    report = analyze_source(textwrap.dedent(code), path)
+    return [f for f in report.findings if f.rule == "nondeterminism-flow"]
+
+
+class TestSources:
+    def test_set_iteration_to_message_is_flagged(self):
+        findings = _findings(
+            """
+            def flood(ctx):
+                frontier = {1, 2, 3}
+                for vertex in frontier:
+                    ctx.send(vertex, 1)
+            """
+        )
+        assert len(findings) == 1
+        assert "iteration order" in findings[0].message
+        assert "message emission" in findings[0].message
+
+    def test_dict_iteration_to_message_is_flagged(self):
+        findings = _findings(
+            """
+            def flood(ctx, pairs):
+                state = dict(pairs)
+                for vertex in state:
+                    ctx.send(vertex, 1)
+            """
+        )
+        assert len(findings) == 1
+
+    def test_listdir_to_partition_key_is_flagged(self):
+        findings = _findings(
+            """
+            import os
+
+            def assign(partitioner):
+                for name in os.listdir("/data"):
+                    partitioner.partition_for(name)
+            """
+        )
+        assert len(findings) == 1
+        assert "filesystem order" in findings[0].message
+
+    def test_time_to_charge_is_flagged(self):
+        findings = _findings(
+            """
+            import time
+
+            def run(meter):
+                meter.begin_round("r")
+                meter.charge_compute(0, time.perf_counter())
+                meter.end_round()
+            """
+        )
+        assert any("wall-clock" in f.message for f in findings)
+
+    def test_id_to_result_store_is_flagged(self):
+        findings = _findings(
+            """
+            def finish(vertex, results):
+                results[vertex] = id(vertex)
+            """
+        )
+        assert len(findings) == 1
+        assert "object address" in findings[0].message
+
+    def test_list_iteration_is_clean(self):
+        assert _findings(
+            """
+            def flood(ctx):
+                frontier = [1, 2, 3]
+                for vertex in frontier:
+                    ctx.send(vertex, 1)
+            """
+        ) == []
+
+    def test_instance_attribute_iteration_is_not_inferred(self):
+        # Locals-only type inference: self.adjacency may well be a
+        # dict, but the analysis deliberately does not guess.
+        assert _findings(
+            """
+            class Engine:
+                def flood(self, ctx):
+                    for vertex in self.adjacency:
+                        ctx.send(vertex, 1)
+            """
+        ) == []
+
+
+class TestSanitizers:
+    def test_sorted_kills_iteration_taint(self):
+        assert _findings(
+            """
+            def flood(ctx):
+                frontier = {1, 2, 3}
+                for vertex in sorted(frontier):
+                    ctx.send(vertex, 1)
+            """
+        ) == []
+
+    def test_len_of_set_is_order_independent(self):
+        assert _findings(
+            """
+            def measure(meter):
+                frontier = {1, 2, 3}
+                meter.begin_round("r")
+                meter.charge_compute(0, len(frontier))
+                meter.end_round()
+            """
+        ) == []
+
+    def test_reassignment_kills_taint(self):
+        assert _findings(
+            """
+            def flood(ctx):
+                frontier = {1, 2}
+                for vertex in frontier:
+                    payload = vertex
+                payload = 0
+                ctx.send(0, payload)
+            """
+        ) == []
+
+
+class TestInterprocedural:
+    def test_taint_through_helper_return_and_sink(self):
+        # Source in one function, sink in another, flow through a
+        # third: the report lands at the caller's call site.
+        findings = _findings(
+            """
+            class Engine:
+                def collect(self):
+                    pending = {1, 2, 3}
+                    return pending
+
+                def emit(self, ctx, payload):
+                    ctx.send(0, payload)
+
+                def run(self, ctx):
+                    for v in self.collect():
+                        self.emit(ctx, v)
+            """
+        )
+        assert len(findings) == 1
+        assert "'collect'" in findings[0].message
+        assert "'emit'" in findings[0].message
+
+    def test_helper_forwarding_params_is_not_reported_itself(self):
+        # The helper half of a flow is the caller's defect, not the
+        # helper's: a clean project must not flag `emit` alone.
+        assert _findings(
+            """
+            class Engine:
+                def emit(self, ctx, payload):
+                    ctx.send(0, payload)
+            """
+        ) == []
+
+    def test_sorted_return_through_helper_is_clean(self):
+        assert _findings(
+            """
+            class Engine:
+                def collect(self):
+                    pending = {1, 2, 3}
+                    return sorted(pending)
+
+                def run(self, ctx):
+                    for v in self.collect():
+                        ctx.send(0, v)
+            """
+        ) == []
+
+
+class TestScope:
+    def test_out_of_scope_module_is_not_checked(self):
+        assert _findings(
+            """
+            def flood(ctx):
+                frontier = {1, 2, 3}
+                for vertex in frontier:
+                    ctx.send(vertex, 1)
+            """,
+            path=OUT_OF_SCOPE_PATH,
+        ) == []
