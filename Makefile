@@ -7,8 +7,8 @@ export PYTHONPATH := src
 
 COVERAGE_FLOOR := $(shell cat .coverage-floor 2>/dev/null || echo 0)
 
-.PHONY: check test test-fast quality quality-fixtures perf trace-smoke \
-	coverage
+.PHONY: check test test-fast quality quality-fixtures audit \
+	audit-fixtures perf trace-smoke coverage
 
 check:
 	$(PYTHON) -m repro.cli selfcheck
@@ -26,6 +26,14 @@ quality:
 # corpus; review the diff like any golden update.
 quality-fixtures:
 	$(PYTHON) tests/analysis/fixtures/regen.py
+
+# Benchmark self-audit: SoK fault-taxonomy rules over the shipped
+# experiment configuration, gated against the committed baseline.
+audit:
+	$(PYTHON) -m repro.cli audit configs --check --baseline .audit-baseline.json
+
+audit-fixtures:
+	$(PYTHON) tests/analysis/fixtures/audit/regen.py
 
 perf:
 	$(PYTHON) -m repro.cli perf --quick

@@ -56,7 +56,18 @@ from repro.analysis.model import (
     QualityReport,
     severity_rank,
 )
+from repro.analysis.audit import audit_artifacts, audit_paths, audit_spec
 from repro.analysis.reporters import render_json, render_text
+from repro.analysis.targets import (
+    ArtifactContext,
+    ArtifactRule,
+    AuditContext,
+    default_artifact_rules,
+    discover_artifacts,
+    load_artifact,
+    register_artifact_rule,
+    registered_artifact_rules,
+)
 
 __all__ = [
     "ERROR",
@@ -94,4 +105,15 @@ __all__ = [
     "quality_gate",
     "render_text",
     "render_json",
+    "ArtifactContext",
+    "ArtifactRule",
+    "AuditContext",
+    "register_artifact_rule",
+    "registered_artifact_rules",
+    "default_artifact_rules",
+    "load_artifact",
+    "discover_artifacts",
+    "audit_artifacts",
+    "audit_paths",
+    "audit_spec",
 ]

@@ -1,0 +1,212 @@
+"""The benchmark self-audit: SoK fault rules over experiment artifacts.
+
+``graphalytics audit [paths...]`` runs the artifact rule family of
+:mod:`repro.analysis.rules_audit` over a suite's configuration files,
+results databases, and traces, and reports through the same
+:class:`~repro.analysis.model.QualityReport` model, reporters, and
+baseline gate as ``graphalytics quality`` — one severity vocabulary,
+one suppression discipline, one ``--check`` semantics for both source
+and experiments.
+
+Suppressions use INI/JSONL comment syntax, mirroring the Python
+engine's ``# quality: ignore[...]``::
+
+    [benchmark]
+    validate = false   ; audit: ignore[validation-off]
+
+and rot the same way: a suppression comment that silences nothing is
+itself reported as ``stale-ignore``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.engine import STALE_IGNORE_RULE, AnalysisConfig
+from repro.analysis.model import (
+    WARNING,
+    FileReport,
+    Finding,
+    QualityReport,
+)
+from repro.analysis.targets import (
+    ArtifactContext,
+    AuditContext,
+    BenchmarkManifest,
+    default_artifact_rules,
+    discover_artifacts,
+    parse_error_finding,
+    registered_artifact_rules,
+)
+from repro.core.workload import BenchmarkRunSpec
+
+__all__ = ["audit_paths", "audit_artifacts", "audit_spec"]
+
+#: ``; audit: ignore`` / ``# audit: ignore[rule-a, rule-b]`` anywhere
+#: in a line (INI inline comments use ``;`` or ``#``; JSONL artifacts
+#: have no comments, so suppressions only apply to config files).
+_AUDIT_SUPPRESSION = re.compile(
+    r"[;#]\s*audit:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
+)
+
+_ALL_RULES = "*"
+
+
+def _suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the audit rule ids suppressed there."""
+    suppressed: dict[int, set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _AUDIT_SUPPRESSION.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None or not rules.strip():
+            suppressed[number] = {_ALL_RULES}
+        else:
+            suppressed[number] = {
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            }
+    return suppressed
+
+
+class _ArtifactAnalysis:
+    """Mutable per-artifact state while an audit run is in flight."""
+
+    def __init__(self, artifact: ArtifactContext):
+        self.artifact = artifact
+        self.suppressions = _suppressions(artifact.lines)
+        self.findings: list[Finding] = []
+        self.suppressed_count = 0
+        self.used_lines: set[int] = set()
+
+    def record(self, finding: Finding) -> None:
+        """File a finding, honouring the artifact's suppressions."""
+        rules = self.suppressions.get(finding.line)
+        if rules is not None and (
+            _ALL_RULES in rules or finding.rule in rules
+        ):
+            if finding.rule == STALE_IGNORE_RULE and (
+                STALE_IGNORE_RULE not in rules
+            ):
+                # A suppression cannot wildcard-silence the report
+                # that it is itself dead (engine rule, kept here).
+                self.findings.append(finding)
+                return
+            self.suppressed_count += 1
+            self.used_lines.add(finding.line)
+            return
+        self.findings.append(finding)
+
+    def run_stale_ignore_postpass(self, config: AnalysisConfig) -> None:
+        """Report audit suppressions that silenced nothing this run."""
+        if not config.is_enabled(STALE_IGNORE_RULE):
+            return
+        known = set(registered_artifact_rules())
+        known.add(STALE_IGNORE_RULE)
+        for line, rules in sorted(self.suppressions.items()):
+            if line in self.used_lines:
+                continue
+            named = rules - {_ALL_RULES}
+            if any(
+                rule not in known or not config.is_enabled(rule)
+                for rule in named
+            ):
+                continue
+            label = ", ".join(sorted(named)) if named else _ALL_RULES
+            self.record(
+                Finding(
+                    rule=STALE_IGNORE_RULE,
+                    message=(
+                        f"suppression 'audit: ignore[{label}]' no longer "
+                        "suppresses any finding; delete it or re-justify it"
+                    ),
+                    line=line,
+                    severity=WARNING,
+                    category="maintainability",
+                )
+            )
+
+    def finish(self) -> FileReport:
+        """Freeze the per-artifact state into a :class:`FileReport`."""
+        self.findings.sort(key=lambda f: (f.line, f.rule))
+        lines_of_code = sum(
+            1
+            for line in self.artifact.lines
+            if line.strip() and not line.strip().startswith(("#", ";"))
+        )
+        return FileReport(
+            path=self.artifact.path,
+            lines_of_code=lines_of_code,
+            findings=self.findings,
+            suppressed=self.suppressed_count,
+        )
+
+
+def audit_artifacts(
+    artifacts: list[ArtifactContext], config: AnalysisConfig | None = None
+) -> QualityReport:
+    """Run every enabled audit rule over already-loaded artifacts.
+
+    Artifacts that failed to load contribute a single ``parse-error``
+    finding; the others are analyzed together as one suite, because
+    the SoK faults (shape bias, seed monoculture, missing rigor) are
+    suite-level properties.
+    """
+    config = config or AnalysisConfig()
+    analyses = {
+        id(artifact): _ArtifactAnalysis(artifact) for artifact in artifacts
+    }
+    for analysis in analyses.values():
+        if analysis.artifact.error is not None:
+            analysis.record(parse_error_finding(analysis.artifact))
+    audit = AuditContext(
+        artifacts=[a for a in artifacts if a.error is None], config=config
+    )
+    for rule in default_artifact_rules(config):
+        for artifact, finding in rule.check(audit):
+            analysis = analyses.get(id(artifact))
+            if analysis is not None:
+                analysis.record(finding)
+    report = QualityReport()
+    for artifact in artifacts:
+        analysis = analyses[id(artifact)]
+        analysis.run_stale_ignore_postpass(config)
+        report.files.append(analysis.finish())
+    return report
+
+
+def audit_paths(
+    paths: list[str | Path], config: AnalysisConfig | None = None
+) -> QualityReport:
+    """Audit experiment artifacts found at the given paths.
+
+    Directories contribute their ``*.ini`` and ``*.jsonl`` files;
+    explicit file paths are loaded as given (``.json`` submission
+    documents included). The result plugs into the same reporters and
+    baseline gate as ``analyze_tree``.
+    """
+    return audit_artifacts(discover_artifacts(list(paths)), config)
+
+
+def audit_spec(
+    spec: BenchmarkRunSpec,
+    time_limit: float | None = None,
+    path: str = "<spec>",
+    config: AnalysisConfig | None = None,
+) -> FileReport:
+    """Audit one in-memory run spec (the ``run --audit`` preflight).
+
+    Wraps the spec as a synthetic benchmark-config artifact so the
+    benchmark-manifest rules (repetitions, warmup, validation, time
+    limit) apply before any cell executes. Suite-level rules that need
+    graph configs or results see none and stay silent.
+    """
+    artifact = ArtifactContext(
+        path=path,
+        kind="benchmark-config",
+        lines=[],
+        data=BenchmarkManifest(spec=spec, time_limit=time_limit, sections={}),
+    )
+    report = audit_artifacts([artifact], config)
+    return report.files[0]

@@ -114,12 +114,14 @@ class AnalysisConfig:
 
     ``disabled`` removes rules by id; ``enabled_only``, when set,
     restricts the run to exactly those rule ids. ``max_complexity``
-    parameterizes the ``high-complexity`` rule.
+    parameterizes the ``high-complexity`` rule; ``min_repetitions``
+    parameterizes the artifact audit's ``single-run`` rule.
     """
 
     disabled: frozenset[str] = frozenset()
     enabled_only: frozenset[str] | None = None
     max_complexity: int = 25
+    min_repetitions: int = 3
 
     def is_enabled(self, rule_id: str) -> bool:
         """Whether a rule id participates in this run."""

@@ -1,0 +1,420 @@
+"""SoK benchmark-fault rules over experiment artifacts.
+
+Each rule encodes one entry of the SoK fault taxonomy for systems
+benchmarks ("SoK: A Systematic Review of Performance Evaluation in
+Systems Research" lineage; see PAPERS.md): faults that make a
+published comparison unsound without making any single run wrong.
+They run through ``graphalytics audit`` over the suite's configuration
+files, results databases, and traces — not over Python source.
+
+The family, by severity:
+
+* ``single-run`` (error) — fewer measured repetitions than the
+  configured minimum; a single sample has no variance.
+* ``validation-off`` (error) — output validation disabled; fast wrong
+  answers would rank first.
+* ``no-warmup`` (warning) — no warmup executions before measurement.
+* ``missing-variance`` (warning) — success rows without repetition
+  statistics.
+* ``dataset-shape-bias`` (warning) — every dataset has the same shape
+  or scale; conclusions will not generalize.
+* ``seed-monoculture`` (warning) — several graphs pinned to one seed.
+* ``unexplained-failure`` (warning) — failure rows without a reason,
+  or truncated trace attempts.
+* ``overlapping-ci`` (warning) — a ranking whose adjacent runtimes
+  have overlapping confidence intervals.
+* ``config-unknown-key`` (warning) — misspelled configuration keys
+  that silently change the experiment.
+* ``no-time-limit`` (info) — unbounded cells; hangs become missing
+  data instead of timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.model import ERROR, INFO, WARNING, Finding
+from repro.analysis.targets import (
+    ArtifactContext,
+    ArtifactRule,
+    AuditContext,
+    BenchmarkManifest,
+    GraphManifest,
+    ResultsArtifact,
+    TraceArtifact,
+    register_artifact_rule,
+)
+from repro.core.config import (
+    BENCHMARK_CONFIG_SECTIONS,
+    GRAPH_CONFIG_SECTIONS,
+    unknown_config_keys,
+)
+from repro.core.stats import RuntimeStats
+
+__all__: list[str] = []
+
+#: Max/min estimated-vertex ratio below which a suite's datasets all
+#: count as "the same scale" for the shape-bias rule.
+_SCALE_SPREAD = 4.0
+
+
+def _spec_pairs(audit: AuditContext):
+    """The audit's benchmark manifests as (artifact, manifest) pairs."""
+    return [
+        (artifact, artifact.data)
+        for artifact in audit.benchmark_manifests()
+        if isinstance(artifact.data, BenchmarkManifest)
+    ]
+
+
+def _graph_pairs(audit: AuditContext):
+    """The audit's graph manifests as (artifact, manifest) pairs."""
+    return [
+        (artifact, artifact.data)
+        for artifact in audit.graph_manifests()
+        if isinstance(artifact.data, GraphManifest)
+    ]
+
+
+def _suite_anchor(audit: AuditContext) -> ArtifactContext | None:
+    """The artifact suite-level findings anchor on, if any.
+
+    Prefers a benchmark manifest (the file that *should* declare the
+    missing rigor); falls back to the first graph config.
+    """
+    manifests = audit.benchmark_manifests()
+    if manifests:
+        return manifests[0]
+    graphs = audit.graph_manifests()
+    if graphs:
+        return graphs[0]
+    return None
+
+
+@register_artifact_rule
+class SingleRunRule(ArtifactRule):
+    """Flags suites measuring fewer repetitions than the minimum."""
+
+    id = "single-run"
+    severity = ERROR
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag benchmark manifests with repetitions below the minimum."""
+        minimum = audit.config.min_repetitions
+        pairs = _spec_pairs(audit)
+        for artifact, manifest in pairs:
+            if manifest.spec.repetitions < minimum:
+                line = artifact.line_of("benchmark", "repetitions")
+                yield artifact, self.finding(
+                    f"suite measures {manifest.spec.repetitions} "
+                    f"repetition(s) per cell; need >= {minimum} for any "
+                    "variance estimate",
+                    line,
+                )
+        if not pairs:
+            # Graph configs with no benchmark manifest at all: the
+            # suite implicitly runs everything once.
+            anchor = _suite_anchor(audit)
+            if anchor is not None:
+                yield anchor, self.finding(
+                    "no benchmark configuration declares repetitions; "
+                    "the suite defaults to a single run per cell",
+                    1,
+                )
+
+
+@register_artifact_rule
+class NoWarmupRule(ArtifactRule):
+    """Flags suites that measure cold runs."""
+
+    id = "no-warmup"
+    severity = WARNING
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag benchmark manifests without warmup executions."""
+        for artifact, manifest in _spec_pairs(audit):
+            if manifest.spec.warmup_runs <= 0:
+                yield artifact, self.finding(
+                    "no warmup runs before measurement; first-execution "
+                    "effects (JIT, cache population) pollute the samples",
+                    artifact.line_of("benchmark"),
+                )
+
+
+@register_artifact_rule
+class ValidationOffRule(ArtifactRule):
+    """Flags suites that skip output validation."""
+
+    id = "validation-off"
+    severity = ERROR
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag benchmark manifests with validate = false."""
+        for artifact, manifest in _spec_pairs(audit):
+            if not manifest.spec.validate_outputs:
+                yield artifact, self.finding(
+                    "output validation is disabled; a platform returning "
+                    "wrong results would still be ranked",
+                    artifact.line_of("benchmark", "validate"),
+                )
+
+
+@register_artifact_rule
+class NoTimeLimitRule(ArtifactRule):
+    """Notes suites without a per-cell time limit."""
+
+    id = "no-time-limit"
+    severity = INFO
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Note benchmark manifests lacking time_limit_seconds."""
+        for artifact, manifest in _spec_pairs(audit):
+            if manifest.time_limit is None:
+                yield artifact, self.finding(
+                    "no time_limit_seconds; a hanging cell stalls the "
+                    "suite instead of recording a timeout",
+                    artifact.line_of("benchmark"),
+                )
+
+
+@register_artifact_rule
+class DatasetShapeBiasRule(ArtifactRule):
+    """Flags suites whose datasets all share one shape or scale."""
+
+    id = "dataset-shape-bias"
+    severity = WARNING
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag single-shape or single-scale dataset selections."""
+        from repro.datasets.catalog import dataset_profile
+
+        anchor = _suite_anchor(audit)
+        if anchor is None:
+            return
+        names: list[str] = []
+        for _, manifest in _graph_pairs(audit):
+            names.append(manifest.config.catalog or manifest.config.name)
+        for _, manifest in _spec_pairs(audit):
+            names.extend(manifest.spec.graphs or [])
+        unique = sorted(set(names))
+        if not unique:
+            return
+        if len(unique) == 1:
+            yield anchor, self.finding(
+                f"suite benchmarks a single dataset ({unique[0]}); "
+                "conclusions cannot generalize across graph shapes",
+                1,
+            )
+            return
+        profiles = [dataset_profile(name) for name in unique]
+        known = [profile for profile in profiles if profile is not None]
+        if not known:
+            return
+        shapes = {profile.shape for profile in known}
+        if shapes == {"powerlaw"}:
+            yield anchor, self.finding(
+                "every recognized dataset is power-law shaped; include "
+                "a road-network profile (e.g. road-<side>) so "
+                "high-diameter behaviour is measured too",
+                1,
+            )
+        sizes = [profile.est_vertices for profile in known]
+        if len(known) > 1 and max(sizes) / max(min(sizes), 1.0) < _SCALE_SPREAD:
+            yield anchor, self.finding(
+                "all recognized datasets sit at one scale "
+                f"(estimated vertices {min(sizes):.0f}..{max(sizes):.0f}); "
+                "scalability claims need a scale spread",
+                1,
+            )
+
+
+@register_artifact_rule
+class SeedMonocultureRule(ArtifactRule):
+    """Flags suites generating several graphs from one seed."""
+
+    id = "seed-monoculture"
+    severity = WARNING
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag repeated explicit seeds across graph configs."""
+        by_seed: dict[int, list[tuple[ArtifactContext, GraphManifest]]] = {}
+        for artifact, manifest in _graph_pairs(audit):
+            if manifest.config.seed is not None:
+                by_seed.setdefault(manifest.config.seed, []).append(
+                    (artifact, manifest)
+                )
+        for seed, entries in sorted(by_seed.items()):
+            if len(entries) < 2:
+                continue
+            names = ", ".join(
+                manifest.config.name for _, manifest in entries
+            )
+            for artifact, _ in entries:
+                yield artifact, self.finding(
+                    f"seed {seed} pinned by {len(entries)} graph configs "
+                    f"({names}); a structural artifact of one seed "
+                    "repeats across the whole suite",
+                    artifact.line_of("graph", "seed"),
+                )
+
+
+@register_artifact_rule
+class MissingVarianceRule(ArtifactRule):
+    """Flags success results recorded without repetition statistics."""
+
+    id = "missing-variance"
+    severity = WARNING
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag success rows lacking std/repetition columns."""
+        for artifact in audit.results_artifacts():
+            assert isinstance(artifact.data, ResultsArtifact)
+            for row in artifact.data.rows:
+                if row.data.get("status") != "success":
+                    continue
+                repetitions = row.data.get("num_repetitions")
+                if (
+                    repetitions is None
+                    or repetitions < 2
+                    or row.data.get("runtime_std") is None
+                ):
+                    label = _row_label(row.data)
+                    yield artifact, self.finding(
+                        f"{label}: success recorded without repetition "
+                        "statistics (std/n); the measurement has no "
+                        "variance estimate",
+                        row.line,
+                    )
+
+
+@register_artifact_rule
+class UnexplainedFailureRule(ArtifactRule):
+    """Flags failure cells with no recorded reason."""
+
+    id = "unexplained-failure"
+    severity = WARNING
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag reasonless failure rows and truncated trace attempts."""
+        for artifact in audit.results_artifacts():
+            assert isinstance(artifact.data, ResultsArtifact)
+            for row in artifact.data.rows:
+                status = row.data.get("status")
+                if status in (None, "success"):
+                    continue
+                if not row.data.get("failure_reason"):
+                    yield artifact, self.finding(
+                        f"{_row_label(row.data)}: cell failed "
+                        f"({status}) with no recorded reason; the "
+                        "empty cell is unexplained in the report",
+                        row.line,
+                    )
+        for artifact in audit.trace_artifacts():
+            assert isinstance(artifact.data, TraceArtifact)
+            for attempt in artifact.data.attempts:
+                if attempt.status == "incomplete":
+                    yield artifact, self.finding(
+                        f"{attempt.platform}/{attempt.graph}/"
+                        f"{attempt.algorithm.lower()}: trace attempt has "
+                        "no run-end event; the run vanished without an "
+                        "explanation",
+                        1,
+                    )
+
+
+@register_artifact_rule
+class OverlappingCIRule(ArtifactRule):
+    """Flags rankings whose adjacent CIs overlap."""
+
+    id = "overlapping-ci"
+    severity = WARNING
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag platform pairs whose runtime CIs overlap per workload."""
+        for artifact in audit.results_artifacts():
+            assert isinstance(artifact.data, ResultsArtifact)
+            cells: dict[tuple[str, str], list] = {}
+            for row in artifact.data.rows:
+                data = row.data
+                stats = _row_stats(data)
+                if data.get("status") != "success" or stats is None:
+                    continue
+                key = (str(data.get("graph")), str(data.get("algorithm")))
+                cells.setdefault(key, []).append(
+                    (stats.mean, str(data.get("platform")), stats, row.line)
+                )
+            for (graph, algorithm), entries in sorted(cells.items()):
+                entries.sort()
+                for (m1, p1, s1, line), (m2, p2, s2, _) in zip(
+                    entries, entries[1:]
+                ):
+                    if p1 != p2 and s1.overlaps(s2):
+                        yield artifact, self.finding(
+                            f"{graph}/{algorithm.lower()}: ranking "
+                            f"{p1} ({s1.describe()}) ahead of {p2} "
+                            f"({s2.describe()}) is not statistically "
+                            "significant — the CI95 intervals overlap",
+                            line,
+                        )
+
+
+@register_artifact_rule
+class ConfigUnknownKeyRule(ArtifactRule):
+    """Flags unknown/misspelled configuration keys as audit findings."""
+
+    id = "config-unknown-key"
+    severity = WARNING
+
+    def check(self, audit: AuditContext) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Flag unknown sections/keys in benchmark and graph configs."""
+        for artifact, schema in [
+            *(
+                (artifact, BENCHMARK_CONFIG_SECTIONS)
+                for artifact, _ in _spec_pairs(audit)
+            ),
+            *(
+                (artifact, GRAPH_CONFIG_SECTIONS)
+                for artifact, _ in _graph_pairs(audit)
+            ),
+        ]:
+            sections = artifact.data.sections
+            parser = _parser_from_sections(sections)
+            for section, key, nearest in unknown_config_keys(parser, schema):
+                if key:
+                    message = f"unknown key '{key}' in [{section}]"
+                    line = artifact.line_of(section, key)
+                else:
+                    message = f"unknown section [{section}]"
+                    line = artifact.line_of(section)
+                if nearest:
+                    message += f"; did you mean '{nearest}'?"
+                message += " — the setting is silently ignored"
+                yield artifact, self.finding(message, line)
+
+
+def _parser_from_sections(sections: dict[str, dict[str, str]]):
+    """Rebuild a ConfigParser from captured raw sections."""
+    import configparser
+
+    parser = configparser.ConfigParser()
+    parser.read_dict(sections)
+    return parser
+
+
+def _row_label(data: dict) -> str:
+    """Human label of one results row."""
+    algorithm = str(data.get("algorithm", "?"))
+    return (
+        f"{data.get('platform', '?')}/{data.get('graph', '?')}/"
+        f"{algorithm.lower()}"
+    )
+
+
+def _row_stats(data: dict) -> RuntimeStats | None:
+    """Repetition statistics of one results row, when present."""
+    mean = data.get("runtime_mean", data.get("runtime_seconds"))
+    std = data.get("runtime_std")
+    n = data.get("num_repetitions")
+    if mean is None or std is None or n is None or n < 2:
+        return None
+    return RuntimeStats.from_moments(float(mean), float(std), int(n))

@@ -1,0 +1,409 @@
+"""Analysis targets beyond Python source: experiment artifacts.
+
+The static-analysis subsystem originally only read ``*.py`` files.
+The benchmark self-audit generalizes it: the same registry, severity
+model, suppression comments, baseline gate, and reporters now run over
+the *artifacts of an experiment* — benchmark/graph configuration files,
+results-database rows, and execution traces. This module owns the
+target abstraction:
+
+* :class:`ArtifactContext` — one loaded artifact (the analogue of the
+  engine's ``ModuleContext``), carrying its raw lines, a sniffed
+  ``kind``, and a typed payload in ``data``.
+* :class:`AuditContext` — every artifact of one audit run at once (the
+  analogue of ``ProjectContext``); audit rules are whole-suite rules
+  because the faults they detect (single dataset shape, one seed
+  everywhere) are properties of the suite, not of one file.
+* :class:`ArtifactRule` + its registry — same shape as the engine's
+  project rules: ``check`` yields ``(artifact, finding)`` pairs.
+
+Artifact kinds and payloads:
+
+========================  =====================================
+kind                      ``data`` payload
+========================  =====================================
+``benchmark-config``      :class:`BenchmarkManifest`
+``graph-config``          :class:`GraphManifest`
+``results``               :class:`ResultsArtifact`
+``trace``                 :class:`TraceArtifact`
+========================  =====================================
+
+Artifacts that fail to load become ``parse-error`` findings, exactly
+like unparseable Python files do in ``analyze_tree``.
+"""
+
+from __future__ import annotations
+
+import configparser
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisConfig
+from repro.analysis.model import ERROR, Finding
+from repro.core.config import GraphConfig
+from repro.core.errors import ConfigurationError
+from repro.core.workload import BenchmarkRunSpec
+
+__all__ = [
+    "ArtifactContext",
+    "AuditContext",
+    "ArtifactRule",
+    "BenchmarkManifest",
+    "GraphManifest",
+    "ResultsArtifact",
+    "ResultRow",
+    "TraceArtifact",
+    "register_artifact_rule",
+    "registered_artifact_rules",
+    "default_artifact_rules",
+    "load_artifact",
+    "discover_artifacts",
+    "parse_error_finding",
+]
+
+#: Artifact kinds the loaders can produce.
+BENCHMARK_CONFIG = "benchmark-config"
+GRAPH_CONFIG = "graph-config"
+RESULTS = "results"
+TRACE = "trace"
+
+
+@dataclass(frozen=True)
+class BenchmarkManifest:
+    """Parsed benchmark configuration: the run spec plus raw sections."""
+
+    spec: BenchmarkRunSpec
+    time_limit: float | None
+    #: Raw ``{section: {key: value}}`` mapping, for key-level rules.
+    sections: dict[str, dict[str, str]]
+
+
+@dataclass(frozen=True)
+class GraphManifest:
+    """Parsed graph configuration plus its raw sections."""
+
+    config: GraphConfig
+    sections: dict[str, dict[str, str]]
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One results-database row with the line it came from."""
+
+    line: int
+    data: dict
+
+
+@dataclass(frozen=True)
+class ResultsArtifact:
+    """A results-database (or submission) artifact: parsed rows."""
+
+    rows: tuple[ResultRow, ...]
+
+
+@dataclass(frozen=True)
+class TraceArtifact:
+    """A structured-trace artifact: its parsed attempts."""
+
+    attempts: tuple
+
+
+@dataclass
+class ArtifactContext:
+    """Everything an audit rule sees about one loaded artifact."""
+
+    path: str
+    kind: str
+    lines: list[str]
+    data: object
+    #: Load-failure message; when set, ``data`` is ``None`` and the
+    #: audit reports a ``parse-error`` finding instead of running rules.
+    error: str | None = None
+
+    def line_of(self, section: str, key: str | None = None) -> int:
+        """1-based line of an INI section header or key, best effort.
+
+        Anchors findings on the offending configuration line so the
+        text reporter's source excerpt shows the fault. Falls back to
+        line 1 when the raw text does not contain the pattern.
+        """
+        in_section = False
+        for number, raw in enumerate(self.lines, start=1):
+            stripped = raw.strip()
+            if stripped.startswith("[") and stripped.rstrip().endswith("]"):
+                if key is None and stripped[1:-1].strip() == section:
+                    return number
+                in_section = stripped[1:-1].strip() == section
+                continue
+            if key is not None and in_section:
+                name = stripped.split("=", 1)[0].split(":", 1)[0].strip()
+                if name == key:
+                    return number
+        return 1
+
+
+@dataclass
+class AuditContext:
+    """Every artifact of one audit run, for whole-suite rules.
+
+    ``cache`` is a scratch dict shared by all rules of the run, like
+    the engine's ``ProjectContext.cache``.
+    """
+
+    artifacts: list[ArtifactContext]
+    config: AnalysisConfig
+    cache: dict = field(default_factory=dict)
+
+    def of_kind(self, kind: str) -> list[ArtifactContext]:
+        """The run's successfully loaded artifacts of one kind."""
+        return [
+            artifact
+            for artifact in self.artifacts
+            if artifact.kind == kind and artifact.error is None
+        ]
+
+    def benchmark_manifests(self) -> list[ArtifactContext]:
+        """Artifacts carrying a :class:`BenchmarkManifest`."""
+        return self.of_kind(BENCHMARK_CONFIG)
+
+    def graph_manifests(self) -> list[ArtifactContext]:
+        """Artifacts carrying a :class:`GraphManifest`."""
+        return self.of_kind(GRAPH_CONFIG)
+
+    def results_artifacts(self) -> list[ArtifactContext]:
+        """Artifacts carrying a :class:`ResultsArtifact`."""
+        return self.of_kind(RESULTS)
+
+    def trace_artifacts(self) -> list[ArtifactContext]:
+        """Artifacts carrying a :class:`TraceArtifact`."""
+        return self.of_kind(TRACE)
+
+
+class ArtifactRule:
+    """Base class of experiment-artifact audit rules.
+
+    Same contract as the engine's ``ProjectRule``: ``check`` receives
+    the whole :class:`AuditContext` and yields ``(artifact, finding)``
+    pairs so each finding lands in (and can be suppressed from) the
+    artifact it belongs to.
+    """
+
+    id: str = ""
+    severity: str = "warning"
+    category: str = "experiment"
+
+    def check(
+        self, audit: AuditContext
+    ) -> Iterator[tuple[ArtifactContext, Finding]]:
+        """Yield ``(artifact, finding)`` pairs over the whole suite."""
+        raise NotImplementedError
+
+    def finding(self, message: str, line: int) -> Finding:
+        """Construct a finding carrying this rule's id and severity."""
+        return Finding(
+            rule=self.id,
+            message=message,
+            line=line,
+            severity=self.severity,
+            category=self.category,
+        )
+
+
+_ARTIFACT_REGISTRY: dict[str, type[ArtifactRule]] = {}
+
+
+def register_artifact_rule(
+    rule_class: type[ArtifactRule],
+) -> type[ArtifactRule]:
+    """Class decorator adding an artifact rule to the registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule_class.id in _ARTIFACT_REGISTRY:
+        raise ValueError(f"duplicate artifact rule id {rule_class.id!r}")
+    _ARTIFACT_REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def registered_artifact_rules() -> dict[str, type[ArtifactRule]]:
+    """The artifact rule registry (id -> rule class), as a copy."""
+    _load_builtin_artifact_rules()
+    return dict(_ARTIFACT_REGISTRY)
+
+
+def default_artifact_rules(config: AnalysisConfig) -> list[ArtifactRule]:
+    """Instantiate every registered artifact rule the config enables."""
+    _load_builtin_artifact_rules()
+    return [
+        rule_class()
+        for rule_id, rule_class in sorted(_ARTIFACT_REGISTRY.items())
+        if config.is_enabled(rule_id)
+    ]
+
+
+def _load_builtin_artifact_rules() -> None:
+    # Lazy, so the registry self-populates regardless of import order
+    # (same pattern as the engine's _load_builtin_rules).
+    from repro.analysis import rules_audit  # noqa: F401
+
+
+# -- loading ---------------------------------------------------------------
+
+
+def _sections_of(parser: configparser.ConfigParser) -> dict[str, dict[str, str]]:
+    return {
+        section: dict(parser[section]) for section in parser.sections()
+    }
+
+
+def _load_ini(path: Path, lines: list[str]) -> ArtifactContext:
+    """Load one INI artifact, sniffing benchmark vs graph config."""
+    from repro.core.config import load_benchmark_config, load_graph_config
+
+    parser = configparser.ConfigParser(inline_comment_prefixes=(";", "#"))
+    try:
+        parser.read_string("\n".join(lines), source=str(path))
+    except configparser.Error as error:
+        return ArtifactContext(
+            str(path), BENCHMARK_CONFIG, lines, None, error=str(error)
+        )
+    kind = BENCHMARK_CONFIG if "benchmark" in parser else GRAPH_CONFIG
+    try:
+        with warnings.catch_warnings():
+            # Unknown-key warnings become audit findings, not noise.
+            warnings.simplefilter("ignore")
+            if kind == BENCHMARK_CONFIG:
+                spec, time_limit = load_benchmark_config(path)
+                data: object = BenchmarkManifest(
+                    spec=spec,
+                    time_limit=time_limit,
+                    sections=_sections_of(parser),
+                )
+            else:
+                data = GraphManifest(
+                    config=load_graph_config(path),
+                    sections=_sections_of(parser),
+                )
+    except ConfigurationError as error:
+        return ArtifactContext(str(path), kind, lines, None, error=str(error))
+    return ArtifactContext(str(path), kind, lines, data)
+
+
+def _load_jsonl(path: Path, lines: list[str]) -> ArtifactContext:
+    """Load one JSONL artifact, sniffing trace vs results rows."""
+    rows: list[ResultRow] = []
+    is_trace = False
+    for number, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except ValueError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        if "event" in record:
+            is_trace = True
+            break
+        rows.append(ResultRow(line=number, data=record))
+    if is_trace:
+        from repro.observability.replay import parse_trace, read_trace
+
+        try:
+            attempts = tuple(parse_trace(read_trace(path)))
+        except (ValueError, KeyError, OSError) as error:
+            return ArtifactContext(
+                str(path), TRACE, lines, None, error=f"unreadable trace: {error}"
+            )
+        return ArtifactContext(str(path), TRACE, lines, TraceArtifact(attempts))
+    return ArtifactContext(
+        str(path), RESULTS, lines, ResultsArtifact(tuple(rows))
+    )
+
+
+def _load_submission(path: Path, lines: list[str]) -> ArtifactContext:
+    """Load a ``.json`` submission document as a results artifact."""
+    try:
+        document = json.loads("\n".join(lines))
+    except ValueError as error:
+        return ArtifactContext(
+            str(path), RESULTS, lines, None, error=f"invalid JSON: {error}"
+        )
+    if isinstance(document, dict) and isinstance(
+        document.get("results"), list
+    ):
+        rows = tuple(
+            ResultRow(line=1, data=row)
+            for row in document["results"]
+            if isinstance(row, dict)
+        )
+        return ArtifactContext(str(path), RESULTS, lines, ResultsArtifact(rows))
+    return ArtifactContext(
+        str(path),
+        RESULTS,
+        lines,
+        None,
+        error="not a submission document (no 'results' list)",
+    )
+
+
+def load_artifact(path: str | Path) -> ArtifactContext:
+    """Load one experiment artifact, sniffing its kind from content.
+
+    ``*.ini`` files become benchmark or graph configs (by section),
+    ``*.jsonl`` files become traces (``"event"`` keys) or results
+    databases, and ``*.json`` files are read as submission documents.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return ArtifactContext(
+            str(path), RESULTS, [], None, error=f"unreadable artifact: {error}"
+        )
+    lines = text.splitlines()
+    suffix = path.suffix.lower()
+    if suffix == ".ini":
+        return _load_ini(path, lines)
+    if suffix == ".json":
+        return _load_submission(path, lines)
+    return _load_jsonl(path, lines)
+
+
+def discover_artifacts(paths: list[str | Path]) -> list[ArtifactContext]:
+    """Load artifacts from files and directories.
+
+    Directories contribute their ``*.ini`` and ``*.jsonl`` files
+    (recursively, sorted); explicitly named files of any recognized
+    suffix are loaded as given. Unknown directory contents — goldens,
+    reports, Python sources — are left to the quality engine.
+    """
+    artifacts: list[ArtifactContext] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            found = sorted(
+                [
+                    candidate
+                    for pattern in ("*.ini", "*.jsonl")
+                    for candidate in entry.rglob(pattern)
+                ]
+            )
+            artifacts.extend(load_artifact(candidate) for candidate in found)
+        else:
+            artifacts.append(load_artifact(entry))
+    return artifacts
+
+
+def parse_error_finding(artifact: ArtifactContext) -> Finding:
+    """The ``parse-error`` finding for an artifact that failed to load."""
+    return Finding(
+        rule="parse-error",
+        message=artifact.error or "artifact failed to load",
+        line=1,
+        severity=ERROR,
+        category="parse",
+    )

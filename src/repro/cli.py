@@ -13,6 +13,10 @@ command implements that workflow:
 * ``graphalytics characterize`` — print a Table 1 row for a dataset;
 * ``graphalytics quality`` — the Section 3.5 code-quality report and
   baseline quality gate (``--check`` / ``--update-baseline``);
+* ``graphalytics audit`` — the benchmark self-audit: SoK
+  fault-taxonomy rules over experiment artifacts (benchmark/graph
+  configs, results databases, traces), sharing the quality gate's
+  reporters, baseline, and ``--check`` semantics;
 * ``graphalytics trace`` — summarize a structured JSONL run trace
   (written by ``run --trace DIR``): attempts, rounds, faults, and the
   dominant choke point;
@@ -35,6 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Callable
 
 from repro.core.benchmark import BenchmarkCore
 from repro.core.cost import ClusterSpec
@@ -46,6 +51,9 @@ from repro.core.workload import Algorithm, BenchmarkRunSpec
 from repro.analysis import (
     AnalysisConfig,
     analyze_tree,
+    audit_paths,
+    audit_spec,
+    QualityReport,
     load_baseline,
     quality_gate,
     render_json,
@@ -120,6 +128,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      "'graphalytics analyze')")
     run.add_argument("--no-validate", action="store_true",
                      help="skip output validation")
+    run.add_argument("--repetitions", type=int, default=None, metavar="N",
+                     help="measured executions per cell (runtime reported "
+                     "as their mean with std/CI95 columns)")
+    run.add_argument("--warmup", type=int, default=None, metavar="N",
+                     help="discarded warmup executions before measuring "
+                     "each cell")
+    run.add_argument("--audit", action="store_true",
+                     help="preflight the resolved run spec through the "
+                     "benchmark self-audit; error-severity findings "
+                     "abort the run")
     run.add_argument("--report", default="graphalytics-report.txt",
                      help="report output path")
     run.add_argument("--html", default=None,
@@ -158,6 +176,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the current analysis as the new baseline")
     quality.add_argument("--disable", default=None, metavar="RULES",
                          help="comma-separated rule ids to disable")
+
+    audit = commands.add_parser(
+        "audit",
+        help="benchmark self-audit: SoK fault rules over experiment "
+        "artifacts (configs, results databases, traces)",
+    )
+    audit.add_argument("paths", nargs="*", default=["configs"],
+                       help="artifact files or directories to audit "
+                       "(default: configs)")
+    audit.add_argument("--json", default=None, metavar="PATH",
+                       help="also write a JSON report to this path")
+    audit.add_argument("--baseline", default=None, metavar="PATH",
+                       help="baseline snapshot for regression checking")
+    audit.add_argument("--check", action="store_true",
+                       help="gate: exit non-zero on regressions versus the "
+                       "baseline (or on error-severity findings when no "
+                       "baseline is given)")
+    audit.add_argument("--update-baseline", action="store_true",
+                       help="write the current audit as the new baseline")
+    audit.add_argument("--disable", default=None, metavar="RULES",
+                       help="comma-separated audit rule ids to disable")
+    audit.add_argument("--min-repetitions", type=int, default=3,
+                       metavar="N",
+                       help="repetitions below which single-run fires "
+                       "(default 3)")
 
     perf = commands.add_parser(
         "perf", help="micro-benchmark the bulk vs scalar kernel paths"
@@ -210,6 +253,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="skip the pytest stage")
     selfcheck.add_argument("--skip-quality", action="store_true",
                            help="skip the quality-gate stage")
+    selfcheck.add_argument("--skip-audit", action="store_true",
+                           help="skip the benchmark self-audit stage")
     selfcheck.add_argument("--skip-perf", action="store_true",
                            help="skip the quick perf stage")
     selfcheck.add_argument("--skip-trace", action="store_true",
@@ -265,13 +310,48 @@ def _resolve_run_selection(args: argparse.Namespace):
     validate = not args.no_validate
     if config_spec is not None and not config_spec.validate_outputs:
         validate = False
-    return platform_names, graph_names, algorithms, time_limit, validate
+
+    repetitions = args.repetitions
+    if repetitions is None:
+        repetitions = config_spec.repetitions if config_spec else 1
+    warmup = args.warmup
+    if warmup is None:
+        warmup = config_spec.warmup_runs if config_spec else 0
+    spec = BenchmarkRunSpec(
+        algorithms=algorithms,
+        validate_outputs=validate,
+        repetitions=max(repetitions, 1),
+        warmup_runs=max(warmup, 0),
+    )
+    return platform_names, graph_names, spec, time_limit, validate
+
+
+def _preflight_audit(spec: BenchmarkRunSpec, time_limit: float | None) -> int:
+    """Audit the resolved run spec; non-zero means abort the run.
+
+    This is the SoK gate applied *before* spending any benchmark time:
+    a suite configured without repetitions or validation fails here
+    instead of producing an unsound report.
+    """
+    file_report = audit_spec(spec, time_limit)
+    for finding in file_report.findings:
+        print(f"audit: {finding.severity} [{finding.rule}] {finding.message}")
+    errors = file_report.error_findings()
+    if errors:
+        print(f"audit: {len(errors)} error-severity finding(s); aborting "
+              "(rerun without --audit to override)")
+        return 2
+    return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
     (
-        platform_names, graph_names, algorithms, time_limit, validate,
+        platform_names, graph_names, spec, time_limit, validate,
     ) = _resolve_run_selection(args)
+    if args.audit:
+        preflight = _preflight_audit(spec, time_limit)
+        if preflight:
+            return preflight
 
     distributed = ClusterSpec.paper_distributed()
     platforms = create_platform_fleet(distributed, names=platform_names)
@@ -293,12 +373,16 @@ def _command_run(args: argparse.Namespace) -> int:
         retry_backoff_seconds=args.retry_backoff,
         trace_dir=args.trace,
     )
-    suite = core.run(BenchmarkRunSpec(algorithms=algorithms), parallel=args.parallel)
+    suite = core.run(spec, parallel=args.parallel)
     configuration = {
         "platforms": ",".join(sorted(p.name for p in platforms)),
         "graphs": ",".join(sorted(graphs)),
         "cluster": distributed.name,
     }
+    if spec.repetitions > 1:
+        configuration["repetitions"] = str(spec.repetitions)
+    if spec.warmup_runs > 0:
+        configuration["warmup"] = str(spec.warmup_runs)
     if mem_limit is not None:
         configuration["mem-limit"] = f"{int(mem_limit)} bytes/worker"
     if args.timeout is not None:
@@ -356,21 +440,18 @@ def _command_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_quality(args: argparse.Namespace) -> int:
-    config = AnalysisConfig()
-    if args.disable:
-        config = AnalysisConfig(
-            disabled=frozenset(
-                rule.strip() for rule in args.disable.split(",") if rule.strip()
-            )
-        )
-    report = analyze_tree(args.root, config)
-    print(render_text(report))
+def _gate_report(report, args, default_baseline: str, label: str) -> int:
+    """Shared ``--json`` / ``--update-baseline`` / ``--check`` plumbing.
+
+    Both ``quality`` (Python source) and ``audit`` (experiment
+    artifacts) produce a :class:`QualityReport`; this is the one gate
+    behind both commands.
+    """
     if args.json:
         Path(args.json).write_text(render_json(report), encoding="utf-8")
         print(f"JSON report written to {args.json}")
     if args.update_baseline:
-        path = save_baseline(report, args.baseline or ".quality-baseline.json")
+        path = save_baseline(report, args.baseline or default_baseline)
         print(f"baseline written to {path}")
         return 0
     if args.check:
@@ -387,12 +468,43 @@ def _command_quality(args: argparse.Namespace) -> int:
                 return 2
         gate = quality_gate(report, baseline)
         if not gate.passed:
-            print("quality gate FAILED:")
+            print(f"{label} FAILED:")
             for regression in gate.regressions:
                 print(f"  {regression.severity}: {regression.message}")
             return gate.exit_code
-        print("quality gate passed")
+        print(f"{label} passed")
     return 0
+
+
+def _disabled_rules(raw: str | None) -> frozenset[str]:
+    """Parse a ``--disable`` comma list into a rule-id set."""
+    if not raw:
+        return frozenset()
+    return frozenset(rule.strip() for rule in raw.split(",") if rule.strip())
+
+
+def _command_quality(args: argparse.Namespace) -> int:
+    config = AnalysisConfig(disabled=_disabled_rules(args.disable))
+    report = analyze_tree(args.root, config)
+    print(render_text(report))
+    return _gate_report(report, args, ".quality-baseline.json", "quality gate")
+
+
+def _command_audit(args: argparse.Namespace) -> int:
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no experiment artifacts found under {missing}")
+        return 2
+    config = AnalysisConfig(
+        disabled=_disabled_rules(args.disable),
+        min_repetitions=args.min_repetitions,
+    )
+    report = audit_paths(args.paths, config)
+    if not report.files:
+        print(f"error: no experiment artifacts found under {args.paths}")
+        return 2
+    print(render_text(report))
+    return _gate_report(report, args, ".audit-baseline.json", "audit gate")
 
 
 def _command_perf(args: argparse.Namespace) -> int:
@@ -496,115 +608,129 @@ def _command_analyze(args: argparse.Namespace) -> int:
 _QUALITY_BUDGET_SECONDS = 30.0
 
 
+def _selfcheck_tests(fast: bool) -> bool:
+    """Run the tier-1 pytest suite (``-m 'not slow'`` when fast)."""
+    import subprocess
+
+    command = [sys.executable, "-m", "pytest", "-x", "-q"]
+    if fast:
+        command += ["-m", "not slow"]
+    print(f"selfcheck: running {' '.join(command)}")
+    return subprocess.run(command).returncode == 0
+
+
+def _selfcheck_gate(report: QualityReport, baseline_name: str) -> bool:
+    """Gate a report against a checked-in baseline, printing regressions."""
+    baseline = None
+    baseline_path = Path(baseline_name)
+    if baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+    gate = quality_gate(report, baseline)
+    if not gate.passed:
+        for regression in gate.regressions:
+            print(f"  {regression.severity}: {regression.message}")
+    return gate.passed
+
+
+def _selfcheck_quality() -> bool:
+    """Run the static-analysis gate over src within its time budget."""
+    import time as _time
+
+    print("selfcheck: running quality gate")
+    quality_start = _time.perf_counter()
+    report = analyze_tree("src")
+    quality_seconds = _time.perf_counter() - quality_start
+    passed = _selfcheck_gate(report, ".quality-baseline.json")
+    # The interprocedural rules (call graph + fixpoints) must stay
+    # interactive: a full-src analysis has a hard 30 s budget so
+    # the gate never becomes the slow step of a commit.
+    within_budget = quality_seconds < _QUALITY_BUDGET_SECONDS
+    if not within_budget:
+        print(
+            f"  analysis took {quality_seconds:.1f}s "
+            f"(budget {_QUALITY_BUDGET_SECONDS:.0f}s)"
+        )
+    print(f"  quality gate analyzed src in {quality_seconds:.1f}s")
+    return passed and within_budget
+
+
+def _selfcheck_audit() -> bool:
+    """Run the benchmark self-audit over the shipped experiment suite."""
+    print("selfcheck: running benchmark self-audit over configs")
+    return _selfcheck_gate(audit_paths(["configs"]), ".audit-baseline.json")
+
+
+def _selfcheck_perf() -> bool:
+    """Run the quick perf harness and check bulk/scalar equivalence."""
+    from repro.perf import run_perf
+
+    print("selfcheck: running quick perf harness")
+    perf_report = run_perf(scale=8, edge_factor=8, repeats=1)
+    for timing in perf_report.kernels:
+        if not timing.simulated_match:
+            print(f"  {timing.name}: bulk/scalar simulated-cost mismatch")
+    return all(t.simulated_match for t in perf_report.kernels)
+
+
+def _selfcheck_trace() -> bool:
+    """Run a traced benchmark and verify replay + self-analysis."""
+    import tempfile
+
+    from repro.observability import verify_replay
+
+    print("selfcheck: running trace-replay check")
+    passed = False
+    with tempfile.TemporaryDirectory() as tmp:
+        graphs = {"graph500-8": load_dataset("graph500-8")}
+        platforms = create_platform_fleet(
+            ClusterSpec.paper_distributed(), names=["giraph"]
+        )
+        core = BenchmarkCore(platforms, graphs, trace_dir=tmp)
+        suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
+        result = suite.results[0]
+        if not (result.succeeded and result.trace_path):
+            print(f"  traced run failed: {result.failure_reason}")
+        else:
+            mismatches = verify_replay(result.trace_path, result.run.profile)
+            for mismatch in mismatches:
+                print(f"  replay mismatch: {mismatch}")
+            analyze_args = argparse.Namespace(
+                old=result.trace_path,
+                new=result.trace_path,
+                threshold=0.05,
+                check=True,
+            )
+            passed = not mismatches and _command_analyze(analyze_args) == 0
+    return passed
+
+
 def _command_selfcheck(args: argparse.Namespace) -> int:
     """One command that answers "is this checkout healthy?".
 
     Chains the repo's own verification stages — tier-1 pytest suite,
     static-analysis quality gate against the checked-in baseline, the
-    quick perf harness (bulk/scalar equivalence), and the trace-replay
-    check (a traced run's JSONL re-aggregates to the exact recorded
-    profile and self-compares clean under ``analyze --check``) — and
-    reports a pass/fail summary. ``make check`` delegates here.
+    benchmark self-audit over the shipped configs, the quick perf
+    harness (bulk/scalar equivalence), and the trace-replay check (a
+    traced run's JSONL re-aggregates to the exact recorded profile and
+    self-compares clean under ``analyze --check``) — and reports a
+    pass/fail summary. ``make check`` delegates here.
     """
-    import subprocess
-
+    plan: list[tuple[str, bool, Callable[[], bool]]] = [
+        ("tests", args.skip_tests, lambda: _selfcheck_tests(args.fast)),
+        ("quality gate", args.skip_quality, _selfcheck_quality),
+        ("audit gate", args.skip_audit, _selfcheck_audit),
+        ("perf --quick", args.skip_perf, _selfcheck_perf),
+        ("trace replay", args.skip_trace, _selfcheck_trace),
+    ]
     stages: list[tuple[str, str]] = []
-
-    def record(name: str, passed: bool) -> bool:
-        stages.append((name, "ok" if passed else "FAILED"))
-        return passed
-
     exit_code = 0
-    if args.skip_tests:
-        stages.append(("tests", "skipped"))
-    else:
-        command = [sys.executable, "-m", "pytest", "-x", "-q"]
-        if args.fast:
-            command += ["-m", "not slow"]
-        print(f"selfcheck: running {' '.join(command)}")
-        proc = subprocess.run(command)
-        if not record("tests", proc.returncode == 0):
-            exit_code = 1
-
-    if args.skip_quality:
-        stages.append(("quality gate", "skipped"))
-    else:
-        import time as _time
-
-        print("selfcheck: running quality gate")
-        quality_start = _time.perf_counter()
-        report = analyze_tree("src")
-        quality_seconds = _time.perf_counter() - quality_start
-        baseline = None
-        baseline_path = Path(".quality-baseline.json")
-        if baseline_path.exists():
-            baseline = load_baseline(baseline_path)
-        gate = quality_gate(report, baseline)
-        if not gate.passed:
-            for regression in gate.regressions:
-                print(f"  {regression.severity}: {regression.message}")
-        # The interprocedural rules (call graph + fixpoints) must stay
-        # interactive: a full-src analysis has a hard 30 s budget so
-        # the gate never becomes the slow step of a commit.
-        within_budget = quality_seconds < _QUALITY_BUDGET_SECONDS
-        if not within_budget:
-            print(
-                f"  analysis took {quality_seconds:.1f}s "
-                f"(budget {_QUALITY_BUDGET_SECONDS:.0f}s)"
-            )
-        print(f"  quality gate analyzed src in {quality_seconds:.1f}s")
-        if not record("quality gate", gate.passed and within_budget):
-            exit_code = 1
-
-    if args.skip_perf:
-        stages.append(("perf --quick", "skipped"))
-    else:
-        from repro.perf import run_perf
-
-        print("selfcheck: running quick perf harness")
-        perf_report = run_perf(scale=8, edge_factor=8, repeats=1)
-        matched = all(t.simulated_match for t in perf_report.kernels)
-        for timing in perf_report.kernels:
-            if not timing.simulated_match:
-                print(f"  {timing.name}: bulk/scalar simulated-cost mismatch")
-        if not record("perf --quick", matched):
-            exit_code = 1
-
-    if args.skip_trace:
-        stages.append(("trace replay", "skipped"))
-    else:
-        import tempfile
-
-        from repro.observability import verify_replay
-
-        print("selfcheck: running trace-replay check")
-        passed = False
-        with tempfile.TemporaryDirectory() as tmp:
-            graphs = {"graph500-8": load_dataset("graph500-8")}
-            platforms = create_platform_fleet(
-                ClusterSpec.paper_distributed(), names=["giraph"]
-            )
-            core = BenchmarkCore(platforms, graphs, trace_dir=tmp)
-            suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]))
-            result = suite.results[0]
-            if not (result.succeeded and result.trace_path):
-                print(f"  traced run failed: {result.failure_reason}")
-            else:
-                mismatches = verify_replay(
-                    result.trace_path, result.run.profile
-                )
-                for mismatch in mismatches:
-                    print(f"  replay mismatch: {mismatch}")
-                analyze_args = argparse.Namespace(
-                    old=result.trace_path,
-                    new=result.trace_path,
-                    threshold=0.05,
-                    check=True,
-                )
-                passed = (
-                    not mismatches and _command_analyze(analyze_args) == 0
-                )
-        if not record("trace replay", passed):
+    for name, skipped, stage in plan:
+        if skipped:
+            stages.append((name, "skipped"))
+            continue
+        passed = stage()
+        stages.append((name, "ok" if passed else "FAILED"))
+        if not passed:
             exit_code = 1
 
     print("\nselfcheck summary:")
@@ -634,6 +760,7 @@ def main(argv: list[str] | None = None) -> int:
         "datagen": _command_datagen,
         "characterize": _command_characterize,
         "quality": _command_quality,
+        "audit": _command_audit,
         "perf": _command_perf,
         "trace": _command_trace,
         "analyze": _command_analyze,

@@ -24,6 +24,7 @@ from repro.core.errors import PlatformFailure, SuiteWorkerError, ValidationFailu
 from repro.core.metrics import kteps
 from repro.core.monitor import SystemMonitor, UtilizationSample
 from repro.core.platform_api import Platform, PlatformRun
+from repro.core.stats import RuntimeStats
 from repro.core.validation import OutputValidator
 from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
 from repro.graph.graph import Graph
@@ -71,6 +72,9 @@ class BenchmarkResult:
     #: Per-repetition runtimes when the run spec asks for several;
     #: ``runtime_seconds`` is then their arithmetic mean.
     repetition_runtimes: list[float] = field(default_factory=list)
+    #: Warmup executions run (and discarded) before the measured
+    #: repetitions of this cell.
+    warmup_runs: int = 0
     #: Algorithm-execution attempts this cell took (> 1 after retries
     #: of injected transient faults).
     attempts: int = 1
@@ -88,6 +92,16 @@ class BenchmarkResult:
     def succeeded(self) -> bool:
         """Whether this execution completed and validated."""
         return self.status == SUCCESS
+
+    @property
+    def runtime_stats(self) -> RuntimeStats | None:
+        """Mean/std/CI95 of the recorded repetition runtimes.
+
+        ``None`` when no repetitions were recorded (failures before
+        any repetition completed, or hand-built results carrying only
+        ``runtime_seconds``).
+        """
+        return RuntimeStats.from_samples(self.repetition_runtimes)
 
 
 @dataclass
@@ -391,6 +405,8 @@ class BenchmarkCore:
             # schedule is identical on every suite run.
             platform.faults = FaultInjector(self.fault_plan, platform.name)
         repetitions = max(spec.repetitions, 1)
+        warmup = max(spec.warmup_runs, 0)
+        base.warmup_runs = warmup
         attempts = 0
         runtimes: list[float] = []
         run = None
@@ -398,6 +414,11 @@ class BenchmarkCore:
             attempts += 1
             runtimes = []
             try:
+                # Warmup executions run first and are discarded: they
+                # are part of each attempt's deterministic schedule,
+                # so a retried attempt re-warms exactly the same way.
+                for _warmup in range(warmup):
+                    platform.run_algorithm(handle, algorithm, spec.params)
                 for _repetition in range(repetitions):
                     run = platform.run_algorithm(handle, algorithm, spec.params)
                     runtimes.append(run.simulated_seconds)

@@ -32,11 +32,20 @@ Benchmark configuration::
     algorithms = BFS, CONN
     time_limit_seconds = 10000
     validate = true
+    repetitions = 5
+    warmup = 1
+
+``repetitions``/``warmup`` are the statistical-rigor knobs the
+``graphalytics audit`` command checks for; unknown or misspelled keys
+in either file kind raise a ``UserWarning`` naming the nearest valid
+key instead of being silently ignored.
 """
 
 from __future__ import annotations
 
 import configparser
+import difflib
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,7 +53,81 @@ from repro.core.errors import ConfigurationError
 from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
 
 __all__ = ["GraphConfig", "load_graph_config", "load_benchmark_config",
-           "save_graph_config"]
+           "save_graph_config", "unknown_config_keys",
+           "GRAPH_CONFIG_SECTIONS", "BENCHMARK_CONFIG_SECTIONS"]
+
+#: Known sections and keys of a graph configuration file.
+GRAPH_CONFIG_SECTIONS: dict[str, frozenset[str]] = {
+    "graph": frozenset(
+        {"name", "edge_file", "vertex_file", "catalog", "directed", "seed"}
+    ),
+    "bfs": frozenset({"source"}),
+}
+
+#: Known sections and keys of a benchmark configuration file.
+BENCHMARK_CONFIG_SECTIONS: dict[str, frozenset[str]] = {
+    "benchmark": frozenset(
+        {
+            "platforms",
+            "graphs",
+            "algorithms",
+            "time_limit_seconds",
+            "validate",
+            "repetitions",
+            "warmup",
+        }
+    ),
+}
+
+
+def unknown_config_keys(
+    parser: configparser.ConfigParser,
+    known_sections: dict[str, frozenset[str]],
+) -> list[tuple[str, str, str | None]]:
+    """Sections/keys the schema does not know, with spelling hints.
+
+    Returns ``(section, key, nearest_valid)`` triples — ``key`` is
+    empty for an unknown section. Misspelled configuration keys are a
+    classic silent benchmark fault (``repetition = 5`` quietly runs a
+    single repetition); both the loaders (as warnings) and the
+    ``config-unknown-key`` audit rule (as findings) report them.
+    """
+    unknown: list[tuple[str, str, str | None]] = []
+    for section in parser.sections():
+        if section not in known_sections:
+            nearest = difflib.get_close_matches(
+                section, list(known_sections), n=1
+            )
+            unknown.append((section, "", nearest[0] if nearest else None))
+            continue
+        known_keys = known_sections[section]
+        for key in parser[section]:
+            if key not in known_keys:
+                nearest = difflib.get_close_matches(
+                    key, sorted(known_keys), n=1
+                )
+                unknown.append(
+                    (section, key, nearest[0] if nearest else None)
+                )
+    return unknown
+
+
+def _warn_unknown_keys(
+    parser: configparser.ConfigParser,
+    known_sections: dict[str, frozenset[str]],
+    path: Path,
+) -> int:
+    """Emit one counted ``UserWarning`` per unknown section/key."""
+    entries = unknown_config_keys(parser, known_sections)
+    for section, key, nearest in entries:
+        if key:
+            message = f"{path}: unknown key '{key}' in [{section}]"
+        else:
+            message = f"{path}: unknown section [{section}]"
+        if nearest:
+            message += f"; did you mean '{nearest}'?"
+        warnings.warn(message, UserWarning, stacklevel=3)
+    return len(entries)
 
 
 @dataclass
@@ -58,6 +141,9 @@ class GraphConfig:
     #: Catalog name (e.g. ``graph500-12``) for generator-backed graphs.
     catalog: str | None = None
     directed: bool = False
+    #: Explicit generator seed for catalog-backed graphs; ``None``
+    #: keeps each catalog entry's built-in seed.
+    seed: int | None = None
     params: AlgorithmParams = field(default_factory=AlgorithmParams)
 
     def load(self, base_dir: str | Path | None = None):
@@ -71,7 +157,7 @@ class GraphConfig:
         from repro.graph.io import read_edge_list
 
         if self.catalog is not None:
-            return load_dataset(self.catalog)
+            return load_dataset(self.catalog, seed=self.seed)
         base = Path(base_dir) if base_dir is not None else Path(".")
         vertex_path = (
             base / self.vertex_file if self.vertex_file else None
@@ -108,6 +194,7 @@ def load_graph_config(path: str | Path) -> GraphConfig:
         raise ConfigurationError(
             f"{path}: [graph] needs exactly one of 'edge_file' or 'catalog'"
         )
+    _warn_unknown_keys(parser, GRAPH_CONFIG_SECTIONS, path)
 
     params = AlgorithmParams()
     if "bfs" in parser and "source" in parser["bfs"]:
@@ -116,12 +203,20 @@ def load_graph_config(path: str | Path) -> GraphConfig:
         except ValueError as exc:
             raise ConfigurationError(f"{path}: invalid BFS source") from exc
 
+    seed = None
+    if "seed" in section:
+        try:
+            seed = int(section["seed"])
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: invalid seed") from exc
+
     return GraphConfig(
         name=section["name"],
         edge_file=section.get("edge_file") or None,
         vertex_file=section.get("vertex_file") or None,
         catalog=section.get("catalog") or None,
         directed=_parse_bool(section.get("directed", "false"), str(path)),
+        seed=seed,
         params=params,
     )
 
@@ -139,6 +234,8 @@ def save_graph_config(config: GraphConfig, path: str | Path) -> Path:
         parser["graph"]["catalog"] = config.catalog
     if config.vertex_file:
         parser["graph"]["vertex_file"] = config.vertex_file
+    if config.seed is not None:
+        parser["graph"]["seed"] = str(config.seed)
     if config.params.bfs_source is not None:
         parser["bfs"] = {"source": str(config.params.bfs_source)}
     path = Path(path)
@@ -161,6 +258,7 @@ def load_benchmark_config(path: str | Path) -> tuple[BenchmarkRunSpec, float | N
         raise ConfigurationError(f"cannot read benchmark config {path}")
     if "benchmark" not in parser:
         raise ConfigurationError(f"{path}: missing [benchmark] section")
+    _warn_unknown_keys(parser, BENCHMARK_CONFIG_SECTIONS, path)
     section = parser["benchmark"]
 
     def split_list(key: str) -> list[str] | None:
@@ -184,10 +282,26 @@ def load_benchmark_config(path: str | Path) -> tuple[BenchmarkRunSpec, float | N
         except ValueError as exc:
             raise ConfigurationError(f"{path}: invalid time limit") from exc
 
+    def parse_int(key: str, default: int, minimum: int) -> int:
+        raw = section.get(key)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: invalid {key}") from exc
+        if value < minimum:
+            raise ConfigurationError(
+                f"{path}: {key} must be >= {minimum}, got {value}"
+            )
+        return value
+
     spec = BenchmarkRunSpec(
         platforms=split_list("platforms"),
         graphs=split_list("graphs"),
         algorithms=algorithms,
         validate_outputs=_parse_bool(section.get("validate", "true"), str(path)),
+        repetitions=parse_int("repetitions", 1, 1),
+        warmup_runs=parse_int("warmup", 0, 0),
     )
     return spec, time_limit

@@ -74,6 +74,28 @@ def _format_runtime(seconds: float | None) -> str:
     return f"{seconds:.1f}"
 
 
+def _cell_stats(result):
+    """Repetition statistics behind one matrix cell, if recorded.
+
+    Only multi-repetition cells carry a meaningful spread; single
+    runs render as a bare mean (and the audit's ``missing-variance``
+    rule exists precisely to flag that situation in archived rows).
+    """
+    stats = getattr(result, "runtime_stats", None)
+    if stats is not None and stats.has_spread:
+        return stats
+    return None
+
+
+def _format_runtime_cell(result) -> str:
+    """Matrix cell text: mean runtime plus ``±std`` when repeated."""
+    cell = _format_runtime(result.runtime_seconds)
+    stats = _cell_stats(result)
+    if stats is not None:
+        cell = f"{cell}±{stats.std:.2g}"
+    return cell
+
+
 class ReportGenerator:
     """Renders benchmark suite results into a human-readable report."""
 
@@ -104,7 +126,7 @@ class ReportGenerator:
                         continue
                     any_cell = True
                     if result.succeeded:
-                        cell = _format_runtime(result.runtime_seconds)
+                        cell = _format_runtime_cell(result)
                         chokepoints = _cell_chokepoints(result)
                         if chokepoints is not None:
                             # Figure 4 plus the Section 2.1 lens: every
@@ -290,15 +312,30 @@ class ReportGenerator:
                             continue
                         relevant = True
                         if result.succeeded:
-                            runtime = _format_runtime(result.runtime_seconds)
+                            runtime = _format_runtime_cell(result)
+                            stats = _cell_stats(result)
+                            hints = []
+                            if stats is not None:
+                                hints.append(
+                                    f"n={stats.n} CI95=[{stats.ci95_low:.2f}, "
+                                    f"{stats.ci95_high:.2f}]"
+                                )
                             chokepoints = _cell_chokepoints(result)
                             if chokepoints is not None:
                                 dominant = chokepoints.dominant()
+                                hints.append(
+                                    f"dominant choke point: {dominant}"
+                                )
+                                title = _escape("; ".join(hints))
                                 cells.append(
-                                    '<td title="dominant choke point: '
-                                    f'{_escape(dominant)}">{runtime} '
+                                    f'<td title="{title}">{runtime} '
                                     f"<sup>{chokepoints.dominant_letter()}"
                                     "</sup></td>"
+                                )
+                            elif hints:
+                                title = _escape("; ".join(hints))
+                                cells.append(
+                                    f'<td title="{title}">{runtime}</td>'
                                 )
                             else:
                                 cells.append(f"<td>{runtime}</td>")

@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.core.benchmark import BenchmarkResult, BenchmarkSuiteResult
 from repro.core.chokepoints import analyze_profile
+from repro.core.stats import RuntimeStats
 
 __all__ = ["ResultsDatabase", "StoredResult"]
 
@@ -26,8 +27,10 @@ class StoredResult:
     """One submitted measurement (the database's row format).
 
     The choke-point columns (``dominant_chokepoint`` through
-    ``max_skew``) were added after the first schema; they default to
-    ``None`` so rows written by older versions still parse.
+    ``max_skew``) and the repetition-statistics columns
+    (``runtime_mean`` through ``num_repetitions``) were added after
+    the first schema; they default to ``None`` so rows written by
+    older versions still parse.
     """
 
     submitted_at: float
@@ -44,6 +47,25 @@ class StoredResult:
     num_rounds: int | None = None
     remote_bytes: float | None = None
     max_skew: float | None = None
+    # Repetition statistics (the SoK statistical-rigor columns):
+    # ``runtime_seconds`` stays the headline mean for compatibility;
+    # these columns carry the spread behind it.
+    runtime_mean: float | None = None
+    runtime_std: float | None = None
+    num_repetitions: int | None = None
+
+    def runtime_stats(self) -> RuntimeStats | None:
+        """The row's repetition statistics, when recorded."""
+        if (
+            self.runtime_mean is None
+            or self.runtime_std is None
+            or self.num_repetitions is None
+            or self.num_repetitions < 1
+        ):
+            return None
+        return RuntimeStats.from_moments(
+            self.runtime_mean, self.runtime_std, self.num_repetitions
+        )
 
     @classmethod
     def from_result(cls, result: BenchmarkResult) -> "StoredResult":
@@ -59,6 +81,7 @@ class StoredResult:
             remote_bytes = profile.total_remote_bytes
             if chokepoints is None:
                 chokepoints = analyze_profile(profile)
+        stats = result.runtime_stats
         return cls(
             # Real submission timestamp of the archived result row.
             submitted_at=time.time(),  # quality: ignore[determinism]
@@ -78,6 +101,9 @@ class StoredResult:
             max_skew=(
                 chokepoints.max_skew if chokepoints is not None else None
             ),
+            runtime_mean=stats.mean if stats is not None else None,
+            runtime_std=stats.std if stats is not None else None,
+            num_repetitions=stats.n if stats is not None else None,
         )
 
 

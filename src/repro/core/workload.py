@@ -102,6 +102,10 @@ class BenchmarkRunSpec:
     params: AlgorithmParams = field(default_factory=AlgorithmParams)
     validate_outputs: bool = True
     repetitions: int = 1
+    #: Unmeasured executions before the measured repetitions of each
+    #: cell (the warmup the SoK fault taxonomy asks benchmarks to
+    #: declare); their runtimes are discarded.
+    warmup_runs: int = 0
 
     def selects_platform(self, name: str) -> bool:
         """Whether the run includes this platform."""

@@ -7,18 +7,38 @@ resolvable by name:
 * ``graph500-<scale>`` — R-MAT with ``2**scale`` vertices, edge
   factor 16 (the paper benchmarks scale 23; reduced scales here);
 * ``snb-<persons>`` — Datagen person-knows-person graph;
+* ``road-<side>`` — 2D lattice with ``side**2`` vertices, the
+  road-network profile (low degree, high diameter) the audit's
+  dataset-shape-bias rule wants suites to include;
 * ``amazon``, ``youtube``, ``livejournal``, ``patents``,
   ``wikipedia`` — the Table 1 stand-ins.
+
+:func:`dataset_profile` classifies any catalog name by shape
+(``powerlaw`` vs ``road``) and estimated vertex count, which is what
+the audit rules reason about without materializing the graphs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.datagen.datagen import Datagen, DatagenConfig
-from repro.datasets.standins import standin_graph, standin_names
-from repro.graph.generators import rmat_graph
+from repro.datasets.standins import (
+    TABLE1_PAPER_VALUES,
+    standin_graph,
+    standin_names,
+)
+from repro.graph.generators import grid_graph, rmat_graph
 from repro.graph.graph import Graph
 
-__all__ = ["graph500_graph", "snb_graph", "load_dataset"]
+__all__ = [
+    "graph500_graph",
+    "snb_graph",
+    "road_graph",
+    "load_dataset",
+    "DatasetProfile",
+    "dataset_profile",
+]
 
 
 def graph500_graph(scale: int, seed: int = 500) -> Graph:
@@ -43,10 +63,15 @@ def snb_graph(num_persons: int, seed: int = 1000) -> Graph:
     return Datagen(config).generate()
 
 
+def road_graph(side: int, seed: int = 2000) -> Graph:
+    """Road-network-profile graph: a 2D lattice with sparse shortcuts."""
+    return grid_graph(side, diagonal_probability=0.05, seed=seed)
+
+
 def load_dataset(name: str, seed: int | None = None) -> Graph:
     """Resolve a catalog name to a graph.
 
-    Examples: ``graph500-15``, ``snb-20000``, ``patents``.
+    Examples: ``graph500-15``, ``snb-20000``, ``road-32``, ``patents``.
     """
     if name in standin_names():
         return standin_graph(name) if seed is None else standin_graph(name, seed=seed)
@@ -56,10 +81,56 @@ def load_dataset(name: str, seed: int | None = None) -> Graph:
     if name.startswith("snb-"):
         persons = _suffix_int(name, "snb-")
         return snb_graph(persons) if seed is None else snb_graph(persons, seed)
+    if name.startswith("road-"):
+        side = _suffix_int(name, "road-")
+        return road_graph(side) if seed is None else road_graph(side, seed)
     raise ValueError(
         f"unknown dataset {name!r}; expected one of {standin_names()}, "
-        f"'graph500-<scale>', or 'snb-<persons>'"
+        f"'graph500-<scale>', 'snb-<persons>', or 'road-<side>'"
     )
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape class and estimated size of a catalog dataset.
+
+    ``shape`` is ``"powerlaw"`` for the skewed-degree families (R-MAT,
+    Datagen, the Table 1 stand-ins) and ``"road"`` for the lattice
+    family. The estimate is what the audit's dataset-shape-bias rule
+    compares — exact counts would require generating the graphs.
+    """
+
+    name: str
+    shape: str
+    est_vertices: float
+
+
+def dataset_profile(name: str) -> DatasetProfile | None:
+    """Classify a catalog name without materializing the graph.
+
+    Returns ``None`` for names the catalog cannot resolve (file-backed
+    graphs, typos) — the audit treats those as unknown rather than
+    guessing.
+    """
+    try:
+        if name in TABLE1_PAPER_VALUES:
+            spec = TABLE1_PAPER_VALUES[name]
+            # Mirror standin_graph's default 256x shrink.
+            return DatasetProfile(
+                name, "powerlaw", spec.nodes_millions * 1e6 / 256
+            )
+        if name.startswith("graph500-"):
+            scale = _suffix_int(name, "graph500-")
+            return DatasetProfile(name, "powerlaw", float(2**scale))
+        if name.startswith("snb-"):
+            persons = _suffix_int(name, "snb-")
+            return DatasetProfile(name, "powerlaw", float(persons))
+        if name.startswith("road-"):
+            side = _suffix_int(name, "road-")
+            return DatasetProfile(name, "road", float(side * side))
+    except ValueError:
+        return None
+    return None
 
 
 def _suffix_int(name: str, prefix: str) -> int:

@@ -7,6 +7,14 @@ and flags regressions in simulated time, network bytes, round count,
 and the dominant choke point. This is the benchmark's answer to "did
 my change make anything slower, chattier, or differently bottlenecked"
 without eyeballing two reports side by side.
+
+When both sides of a matched run carry repetition statistics
+(``runtime_mean``/``runtime_std``/``num_repetitions`` columns written
+by multi-repetition suites), the runtime comparison is CI-aware: a
+slowdown only counts as a regression when the two 95% confidence
+intervals do not overlap — a within-noise wobble passes, however it
+compares to the percentage threshold. Runs without repetition stats
+keep the one-sided relative-threshold gate.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.chokepoints import analyze_profile
+from repro.core.stats import RuntimeStats
 from repro.observability.replay import parse_trace, read_trace
 
 __all__ = ["RunMetrics", "Regression", "load_metrics", "compare_metrics"]
@@ -40,6 +49,9 @@ class RunMetrics:
     remote_bytes: float | None = None
     num_rounds: int | None = None
     dominant: str | None = None
+    #: Repetition statistics, when the source rows carry them.
+    runtime_std: float | None = None
+    num_repetitions: int | None = None
 
     @property
     def key(self) -> tuple[str, str, str]:
@@ -47,6 +59,19 @@ class RunMetrics:
 
     def label(self) -> str:
         return f"{self.platform}/{self.graph}/{self.algorithm.lower()}"
+
+    def runtime_stats(self) -> RuntimeStats | None:
+        """Mean/std/CI95 of this run, when repetition stats exist."""
+        if (
+            self.simulated_seconds is None
+            or self.runtime_std is None
+            or self.num_repetitions is None
+            or self.num_repetitions < 2
+        ):
+            return None
+        return RuntimeStats.from_moments(
+            self.simulated_seconds, self.runtime_std, self.num_repetitions
+        )
 
 
 @dataclass(frozen=True)
@@ -77,6 +102,8 @@ def _metrics_from_row(row: dict) -> RunMetrics | None:
             remote_bytes=row.get("remote_bytes"),
             num_rounds=row.get("num_rounds"),
             dominant=row.get("dominant_chokepoint"),
+            runtime_std=row.get("runtime_std"),
+            num_repetitions=row.get("num_repetitions"),
         )
     except KeyError:
         return None
@@ -157,6 +184,39 @@ def load_metrics(path: str | Path) -> dict[tuple[str, str, str], RunMetrics]:
     return metrics
 
 
+def _compare_runtime_ci(
+    key: tuple[str, str, str], before: RunMetrics, after: RunMetrics
+):
+    """CI-overlap runtime verdict for one matched run.
+
+    Returns ``NotImplemented`` when either side lacks repetition
+    statistics (the caller falls back to the ratio threshold), ``None``
+    when the change is within noise, or the :class:`Regression` when
+    the new mean is slower and the CI95 intervals are disjoint.
+    """
+    before_stats = before.runtime_stats()
+    after_stats = after.runtime_stats()
+    if before_stats is None or after_stats is None:
+        return NotImplemented
+    if after_stats.mean <= before_stats.mean or after_stats.overlaps(
+        before_stats
+    ):
+        return None
+    growth = (
+        (after_stats.mean / before_stats.mean - 1.0) * 100
+        if before_stats.mean
+        else float("inf")
+    )
+    return Regression(
+        key,
+        "simulated_seconds",
+        before_stats.mean,
+        after_stats.mean,
+        f"simulated time slowed {growth:.1f}% beyond CI95 noise "
+        f"({before_stats.describe()} -> {after_stats.describe()})",
+    )
+
+
 def compare_metrics(
     old: dict[tuple[str, str, str], RunMetrics],
     new: dict[tuple[str, str, str], RunMetrics],
@@ -168,6 +228,11 @@ def compare_metrics(
     (relative); a run regresses outright when it disappears, stops
     succeeding, or changes its dominant choke point. Improvements are
     never flagged — this is a one-sided gate.
+
+    Runtime is special-cased: when both sides carry repetition
+    statistics, the gate flags a slowdown only if the 95% confidence
+    intervals are disjoint (the difference is outside measurement
+    noise), replacing the bare relative threshold.
     """
     regressions: list[Regression] = []
     for key in sorted(old):
@@ -185,7 +250,17 @@ def compare_metrics(
                            f"was success, now {after.status}")
             )
             continue
+        ci_regression = _compare_runtime_ci(key, before, after)
+        if ci_regression is not NotImplemented:
+            if ci_regression is not None:
+                regressions.append(ci_regression)
         for metric, name in _RATIO_METRICS:
+            if (
+                metric == "simulated_seconds"
+                and ci_regression is not NotImplemented
+            ):
+                # CI-aware runtime verdict already made above.
+                continue
             b = getattr(before, metric)
             a = getattr(after, metric)
             if b is None or a is None:

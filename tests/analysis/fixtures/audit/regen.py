@@ -1,0 +1,53 @@
+"""Regenerate the audit fixture corpus goldens.
+
+Each case directory under ``tests/analysis/fixtures/audit/`` holds a
+small experiment-artifact suite seeded with exactly one SoK fault
+(plus ``clean_suite``, seeded with none). This script audits every
+case and writes its ``expected.json`` golden recording the
+``(file, rule, line)`` findings. Run it after an intentional rule
+change — ``make audit-fixtures`` — and review the diff like any
+golden update.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import audit_paths
+
+CORPUS = Path(__file__).parent
+
+
+def golden_findings(case_dir: Path) -> list[dict]:
+    """The sorted ``(file, rule, line)`` findings of one case."""
+    report = audit_paths([case_dir])
+    findings = [
+        {
+            "file": Path(file_report.path).name,
+            "rule": finding.rule,
+            "line": finding.line,
+        }
+        for file_report, finding in report.iter_findings()
+    ]
+    return sorted(
+        findings, key=lambda entry: (entry["file"], entry["rule"], entry["line"])
+    )
+
+
+def main() -> None:
+    """Rewrite every case's ``expected.json``."""
+    for case_dir in sorted(CORPUS.iterdir()):
+        if not case_dir.is_dir():
+            continue
+        golden = {"findings": golden_findings(case_dir)}
+        path = case_dir / "expected.json"
+        path.write_text(
+            json.dumps(golden, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path} ({len(golden['findings'])} findings)")
+
+
+if __name__ == "__main__":
+    main()

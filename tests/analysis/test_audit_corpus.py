@@ -1,0 +1,67 @@
+"""Golden-file runner for the audit fixture corpus.
+
+Each directory under ``tests/analysis/fixtures/audit/`` is a small
+experiment-artifact suite seeded with exactly one SoK fault (or none,
+for ``clean_suite``); its ``expected.json`` golden records the exact
+``(file, rule, line)`` findings the audit must produce. Regenerate
+with ``make audit-fixtures`` after an intentional rule change, and
+review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import audit_paths
+from repro.analysis.targets import registered_artifact_rules
+
+CORPUS = Path(__file__).parent / "fixtures" / "audit"
+CASES = sorted(path for path in CORPUS.iterdir() if path.is_dir())
+
+
+def _findings_of(case_dir: Path) -> list[dict]:
+    report = audit_paths([case_dir])
+    findings = [
+        {
+            "file": Path(file_report.path).name,
+            "rule": finding.rule,
+            "line": finding.line,
+        }
+        for file_report, finding in report.iter_findings()
+    ]
+    return sorted(
+        findings, key=lambda entry: (entry["file"], entry["rule"], entry["line"])
+    )
+
+
+def test_corpus_covers_every_rule() -> None:
+    """Every registered audit rule has at least one failing fixture."""
+    flagged: set[str] = set()
+    for case_dir in CASES:
+        flagged.update(entry["rule"] for entry in _findings_of(case_dir))
+    assert set(registered_artifact_rules()) <= flagged
+
+
+def test_clean_suite_is_clean() -> None:
+    """The passing golden: a rigorous suite yields zero findings."""
+    assert _findings_of(CORPUS / "clean_suite") == []
+
+
+@pytest.mark.parametrize("case_dir", CASES, ids=lambda p: p.name)
+def test_case_matches_golden(case_dir: Path) -> None:
+    golden_path = case_dir / "expected.json"
+    assert golden_path.exists(), (
+        f"{case_dir.name} has no golden; run "
+        "tests/analysis/fixtures/audit/regen.py"
+    )
+    golden = json.loads(golden_path.read_text())
+    expected = sorted(
+        golden["findings"],
+        key=lambda entry: (entry["file"], entry["rule"], entry["line"]),
+    )
+    assert _findings_of(case_dir) == expected, (
+        f"{case_dir.name}: findings diverged from golden"
+    )

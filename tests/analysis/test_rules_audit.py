@@ -1,0 +1,173 @@
+"""Behavioural tests for the SoK audit rule family and the runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AnalysisConfig, audit_paths, audit_spec
+from repro.core.workload import BenchmarkRunSpec
+
+RIGOROUS = """\
+[benchmark]
+platforms = giraph, graphx
+graphs = graph500-12, patents, road-16
+algorithms = BFS
+time_limit_seconds = 10000
+validate = true
+repetitions = 5
+warmup = 1
+"""
+
+
+def _rules(report):
+    return sorted(finding.rule for _, finding in report.iter_findings())
+
+
+def _audit_text(tmp_path, text, name="benchmark.ini", config=None):
+    (tmp_path / name).write_text(text, encoding="utf-8")
+    return audit_paths([tmp_path], config)
+
+
+class TestSingleRun:
+    def test_threshold_is_configurable(self, tmp_path):
+        text = RIGOROUS.replace("repetitions = 5", "repetitions = 4")
+        report = _audit_text(tmp_path, text)
+        assert "single-run" not in _rules(report)
+        strict = AnalysisConfig(min_repetitions=10)
+        report = _audit_text(tmp_path, text, config=strict)
+        assert "single-run" in _rules(report)
+
+    def test_error_severity(self, tmp_path):
+        text = RIGOROUS.replace("repetitions = 5", "repetitions = 1")
+        report = _audit_text(tmp_path, text)
+        (finding,) = [
+            finding
+            for _, finding in report.iter_findings()
+            if finding.rule == "single-run"
+        ]
+        assert finding.severity == "error"
+
+
+class TestSuppressions:
+    def test_inline_suppression_counts(self, tmp_path):
+        text = RIGOROUS.replace(
+            "validate = true",
+            "validate = false   ; audit: ignore[validation-off]",
+        )
+        report = _audit_text(tmp_path, text)
+        assert "validation-off" not in _rules(report)
+        assert report.total_suppressed == 1
+
+    def test_stale_suppression_reported(self, tmp_path):
+        text = RIGOROUS.replace(
+            "validate = true",
+            "validate = true   ; audit: ignore[validation-off]",
+        )
+        report = _audit_text(tmp_path, text)
+        assert "stale-ignore" in _rules(report)
+
+    def test_disabled_rule_does_not_fire(self, tmp_path):
+        text = RIGOROUS.replace("warmup = 1", "warmup = 0")
+        config = AnalysisConfig(disabled=frozenset({"no-warmup"}))
+        report = _audit_text(tmp_path, text, config=config)
+        assert "no-warmup" not in _rules(report)
+
+
+class TestShapeBias:
+    def test_single_dataset_flagged(self, tmp_path):
+        text = RIGOROUS.replace(
+            "graphs = graph500-12, patents, road-16",
+            "graphs = graph500-12",
+        )
+        report = _audit_text(tmp_path, text)
+        assert "dataset-shape-bias" in _rules(report)
+
+    def test_same_scale_flagged(self, tmp_path):
+        # road-16 (256 vertices) and graph500-8 (256): scales collide,
+        # though the shapes differ.
+        text = RIGOROUS.replace(
+            "graphs = graph500-12, patents, road-16",
+            "graphs = graph500-8, road-16",
+        )
+        report = _audit_text(tmp_path, text)
+        assert "dataset-shape-bias" in _rules(report)
+
+    def test_diverse_suite_clean(self, tmp_path):
+        report = _audit_text(tmp_path, RIGOROUS)
+        assert _rules(report) == []
+
+    def test_unrecognized_names_not_guessed(self, tmp_path):
+        text = RIGOROUS.replace(
+            "graphs = graph500-12, patents, road-16",
+            "graphs = mystery-a, mystery-b",
+        )
+        report = _audit_text(tmp_path, text)
+        assert "dataset-shape-bias" not in _rules(report)
+
+
+class TestSeedMonoculture:
+    def test_distinct_seeds_clean(self, tmp_path):
+        (tmp_path / "a.ini").write_text(
+            "[graph]\nname = a\ncatalog = graph500-8\nseed = 1\n"
+        )
+        (tmp_path / "b.ini").write_text(
+            "[graph]\nname = b\ncatalog = road-16\nseed = 2\n"
+        )
+        (tmp_path / "benchmark.ini").write_text(RIGOROUS)
+        report = audit_paths([tmp_path])
+        assert "seed-monoculture" not in _rules(report)
+
+
+class TestAuditSpec:
+    def test_rigorous_spec_clean(self):
+        spec = BenchmarkRunSpec(
+            repetitions=5, warmup_runs=1, validate_outputs=True
+        )
+        file_report = audit_spec(spec, time_limit=1000.0)
+        assert file_report.findings == []
+
+    def test_lax_spec_flagged(self):
+        spec = BenchmarkRunSpec(
+            repetitions=1, warmup_runs=0, validate_outputs=False
+        )
+        file_report = audit_spec(spec)
+        rules = {finding.rule for finding in file_report.findings}
+        assert {
+            "single-run", "no-warmup", "validation-off", "no-time-limit",
+        } <= rules
+        assert file_report.error_findings()
+
+
+class TestGateIntegration:
+    def test_report_feeds_quality_gate(self, tmp_path):
+        from repro.analysis import quality_gate, save_baseline, load_baseline
+
+        clean = _audit_text(tmp_path, RIGOROUS)
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(clean, baseline_path)
+        baseline = load_baseline(baseline_path)
+        assert quality_gate(clean, baseline).passed
+
+        worse = _audit_text(
+            tmp_path, RIGOROUS.replace("repetitions = 5", "repetitions = 1")
+        )
+        gate = quality_gate(worse, baseline)
+        assert not gate.passed
+        assert any("single-run" in str(r) for r in gate.regressions)
+
+    def test_reporters_render_artifact_findings(self, tmp_path):
+        from repro.analysis import render_json, render_text
+
+        report = _audit_text(
+            tmp_path, RIGOROUS.replace("validate = true", "validate = false")
+        )
+        assert "validation-off" in render_text(report)
+        assert "validation-off" in render_json(report)
+
+
+class TestParseErrors:
+    def test_unreadable_artifact_is_error_finding(self, tmp_path):
+        (tmp_path / "broken.ini").write_text("[graph]\nname = g\n")
+        report = audit_paths([tmp_path])
+        assert "parse-error" in _rules(report)
+        assert report.error_findings()

@@ -1,0 +1,175 @@
+"""Tests for the artifact-target abstraction (analysis/targets.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.targets import (
+    ArtifactContext,
+    BenchmarkManifest,
+    GraphManifest,
+    ResultsArtifact,
+    TraceArtifact,
+    discover_artifacts,
+    load_artifact,
+    registered_artifact_rules,
+)
+
+
+def _write(path, text):
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestIniSniffing:
+    def test_benchmark_config_kind(self, tmp_path):
+        path = _write(
+            tmp_path / "bench.ini",
+            "[benchmark]\nplatforms = giraph\nrepetitions = 5\n",
+        )
+        artifact = load_artifact(path)
+        assert artifact.kind == "benchmark-config"
+        assert artifact.error is None
+        assert isinstance(artifact.data, BenchmarkManifest)
+        assert artifact.data.spec.repetitions == 5
+
+    def test_graph_config_kind(self, tmp_path):
+        path = _write(
+            tmp_path / "g.ini",
+            "[graph]\nname = g\ncatalog = graph500-8\nseed = 3\n",
+        )
+        artifact = load_artifact(path)
+        assert artifact.kind == "graph-config"
+        assert isinstance(artifact.data, GraphManifest)
+        assert artifact.data.config.seed == 3
+
+    def test_broken_config_is_parse_error(self, tmp_path):
+        path = _write(tmp_path / "bad.ini", "[graph]\nname = g\n")
+        artifact = load_artifact(path)
+        assert artifact.error is not None
+        assert artifact.data is None
+
+    def test_loading_never_emits_warnings(self, tmp_path, recwarn):
+        path = _write(
+            tmp_path / "bench.ini",
+            "[benchmark]\nrepetition = 5\n",  # misspelled on purpose
+        )
+        load_artifact(path)
+        assert not [w for w in recwarn.list if w.category is UserWarning]
+
+
+class TestJsonlSniffing:
+    def test_results_rows(self, tmp_path):
+        path = _write(
+            tmp_path / "results.jsonl",
+            '{"platform": "a", "graph": "g", "algorithm": "BFS", '
+            '"status": "success"}\n',
+        )
+        artifact = load_artifact(path)
+        assert artifact.kind == "results"
+        assert isinstance(artifact.data, ResultsArtifact)
+        assert artifact.data.rows[0].line == 1
+
+    def test_trace_events(self, tmp_path):
+        path = _write(
+            tmp_path / "trace.jsonl",
+            '{"event": "run-begin", "platform": "a", "graph": "g", '
+            '"algorithm": "BFS", "attempt": 1}\n',
+        )
+        artifact = load_artifact(path)
+        assert artifact.kind == "trace"
+        assert isinstance(artifact.data, TraceArtifact)
+        assert artifact.data.attempts[0].status == "incomplete"
+
+    def test_submission_document(self, tmp_path):
+        document = {
+            "schema": "graphalytics-results-v1",
+            "results": [
+                {"platform": "a", "graph": "g", "algorithm": "BFS",
+                 "status": "success"}
+            ],
+        }
+        path = _write(tmp_path / "submission.json", json.dumps(document))
+        artifact = load_artifact(path)
+        assert artifact.kind == "results"
+        assert len(artifact.data.rows) == 1
+
+    def test_invalid_json_submission_is_error(self, tmp_path):
+        path = _write(tmp_path / "broken.json", "{nope")
+        artifact = load_artifact(path)
+        assert artifact.error is not None
+
+
+class TestDiscovery:
+    def test_directory_picks_ini_and_jsonl_only(self, tmp_path):
+        _write(tmp_path / "bench.ini", "[benchmark]\n")
+        _write(tmp_path / "results.jsonl", "{}")
+        _write(tmp_path / "expected.json", "{}")  # golden: not audited
+        _write(tmp_path / "notes.txt", "hello")
+        artifacts = discover_artifacts([tmp_path])
+        names = {a.path.rsplit("/", 1)[-1] for a in artifacts}
+        assert names == {"bench.ini", "results.jsonl"}
+
+    def test_explicit_json_file_is_loaded(self, tmp_path):
+        path = _write(
+            tmp_path / "submission.json", json.dumps({"results": []})
+        )
+        artifacts = discover_artifacts([path])
+        assert len(artifacts) == 1
+        assert artifacts[0].error is None
+
+    def test_missing_file_becomes_error_artifact(self, tmp_path):
+        artifacts = discover_artifacts([tmp_path / "absent.ini"])
+        assert artifacts[0].error is not None
+
+
+class TestLineOf:
+    def test_anchors_section_and_key(self):
+        artifact = ArtifactContext(
+            path="x.ini",
+            kind="benchmark-config",
+            lines=[
+                "; comment",
+                "[benchmark]",
+                "platforms = giraph",
+                "repetitions = 5",
+            ],
+            data=None,
+        )
+        assert artifact.line_of("benchmark") == 2
+        assert artifact.line_of("benchmark", "repetitions") == 4
+
+    def test_missing_key_falls_back_to_line_one(self):
+        artifact = ArtifactContext(
+            path="x.ini", kind="benchmark-config",
+            lines=["[benchmark]"], data=None,
+        )
+        assert artifact.line_of("benchmark", "warmup") == 1
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        rules = registered_artifact_rules()
+        assert {
+            "single-run", "no-warmup", "validation-off", "no-time-limit",
+            "dataset-shape-bias", "seed-monoculture", "missing-variance",
+            "unexplained-failure", "overlapping-ci", "config-unknown-key",
+        } <= set(rules)
+
+    def test_rule_ids_unique_versus_quality_registry(self):
+        from repro.analysis import registered_project_rules, registered_rules
+
+        audit_ids = set(registered_artifact_rules())
+        quality_ids = set(registered_rules()) | set(registered_project_rules())
+        assert not audit_ids & quality_ids
+
+    def test_registering_without_id_rejected(self):
+        from repro.analysis.targets import ArtifactRule, register_artifact_rule
+
+        class Nameless(ArtifactRule):
+            id = ""
+
+        with pytest.raises(ValueError):
+            register_artifact_rule(Nameless)

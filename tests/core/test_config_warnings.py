@@ -1,0 +1,116 @@
+"""Tests for unknown-key warnings and the new rigor keys in configs."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.config import (
+    GraphConfig,
+    load_benchmark_config,
+    load_graph_config,
+    save_graph_config,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestUnknownKeyWarnings:
+    def test_misspelled_key_warns_with_hint(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\nrepetition = 5\n")
+        with pytest.warns(UserWarning, match="did you mean 'repetitions'"):
+            spec, _ = load_benchmark_config(path)
+        # The misspelling is ignored: the suite silently runs once —
+        # which is exactly why the warning (and audit rule) exist.
+        assert spec.repetitions == 1
+
+    def test_unknown_section_warns(self, tmp_path):
+        path = tmp_path / "g.ini"
+        path.write_text(
+            "[graph]\nname = g\ncatalog = graph500-8\n[benchmrk]\nx = 1\n"
+        )
+        with pytest.warns(UserWarning, match=r"unknown section \[benchmrk\]"):
+            load_graph_config(path)
+
+    def test_graph_key_typo_warns(self, tmp_path):
+        path = tmp_path / "g.ini"
+        path.write_text("[graph]\nname = g\ncatalog = graph500-8\nsede = 1\n")
+        with pytest.warns(UserWarning, match="did you mean 'seed'"):
+            load_graph_config(path)
+
+    def test_clean_configs_warn_nothing(self, tmp_path):
+        bench = tmp_path / "bench.ini"
+        bench.write_text(
+            "[benchmark]\nplatforms = giraph\nrepetitions = 3\nwarmup = 1\n"
+        )
+        graph = tmp_path / "g.ini"
+        graph.write_text(
+            "[graph]\nname = g\ncatalog = graph500-8\nseed = 4\n\n"
+            "[bfs]\nsource = 0\n"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            load_benchmark_config(bench)
+            load_graph_config(graph)
+
+
+class TestRigorKeys:
+    def test_repetitions_and_warmup_parsed(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\nrepetitions = 5\nwarmup = 2\n")
+        spec, _ = load_benchmark_config(path)
+        assert spec.repetitions == 5
+        assert spec.warmup_runs == 2
+
+    def test_defaults_when_absent(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\nplatforms = giraph\n")
+        spec, _ = load_benchmark_config(path)
+        assert spec.repetitions == 1
+        assert spec.warmup_runs == 0
+
+    def test_invalid_repetitions_rejected(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\nrepetitions = 0\n")
+        with pytest.raises(ConfigurationError, match="repetitions"):
+            load_benchmark_config(path)
+
+    def test_non_numeric_warmup_rejected(self, tmp_path):
+        path = tmp_path / "bench.ini"
+        path.write_text("[benchmark]\nwarmup = lots\n")
+        with pytest.raises(ConfigurationError, match="warmup"):
+            load_benchmark_config(path)
+
+
+class TestGraphSeed:
+    def test_seed_round_trips(self, tmp_path):
+        config = GraphConfig(name="g", catalog="graph500-8", seed=11)
+        path = save_graph_config(config, tmp_path / "g.ini")
+        loaded = load_graph_config(path)
+        assert loaded.seed == 11
+
+    def test_seed_defaults_to_none(self, tmp_path):
+        path = tmp_path / "g.ini"
+        path.write_text("[graph]\nname = g\ncatalog = graph500-8\n")
+        assert load_graph_config(path).seed is None
+
+    def test_invalid_seed_rejected(self, tmp_path):
+        path = tmp_path / "g.ini"
+        path.write_text("[graph]\nname = g\ncatalog = graph500-8\nseed = x\n")
+        with pytest.raises(ConfigurationError, match="seed"):
+            load_graph_config(path)
+
+    def test_seed_changes_generated_graph(self, tmp_path):
+        path_a = tmp_path / "a.ini"
+        path_a.write_text(
+            "[graph]\nname = a\ncatalog = graph500-6\nseed = 1\n"
+        )
+        path_b = tmp_path / "b.ini"
+        path_b.write_text(
+            "[graph]\nname = b\ncatalog = graph500-6\nseed = 2\n"
+        )
+        graph_a = load_graph_config(path_a).load()
+        graph_b = load_graph_config(path_b).load()
+        assert graph_a.num_vertices == graph_b.num_vertices
+        assert graph_a.num_edges != graph_b.num_edges

@@ -1,0 +1,90 @@
+"""Tests for the repetition-statistics layer (core/stats.py)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.stats import RuntimeStats, t_critical_95
+
+
+class TestTCritical:
+    def test_small_degrees_match_table(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(4) == pytest.approx(2.776)
+        assert t_critical_95(30) == pytest.approx(2.042)
+
+    def test_large_degrees_fall_back_to_z(self):
+        assert t_critical_95(31) == pytest.approx(1.960)
+        assert t_critical_95(10_000) == pytest.approx(1.960)
+
+    def test_invalid_degrees_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestFromSamples:
+    def test_empty_samples_give_none(self):
+        assert RuntimeStats.from_samples([]) is None
+
+    def test_single_sample_collapses_interval(self):
+        stats = RuntimeStats.from_samples([10.0])
+        assert stats is not None
+        assert stats.n == 1
+        assert stats.mean == 10.0
+        assert stats.std == 0.0
+        assert stats.ci95_low == stats.ci95_high == 10.0
+        assert not stats.has_spread
+
+    def test_known_sample_moments(self):
+        samples = [10.0, 12.0, 14.0]
+        stats = RuntimeStats.from_samples(samples)
+        assert stats.mean == pytest.approx(12.0)
+        # ddof=1 sample standard deviation.
+        assert stats.std == pytest.approx(2.0)
+        half = t_critical_95(2) * 2.0 / math.sqrt(3)
+        assert stats.ci95_low == pytest.approx(12.0 - half)
+        assert stats.ci95_high == pytest.approx(12.0 + half)
+        assert stats.has_spread
+
+    def test_half_width_matches_interval(self):
+        stats = RuntimeStats.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.half_width == pytest.approx(
+            (stats.ci95_high - stats.ci95_low) / 2
+        )
+
+
+class TestFromMoments:
+    def test_round_trips_samples(self):
+        samples = [9.5, 10.0, 10.5, 11.0, 9.0]
+        direct = RuntimeStats.from_samples(samples)
+        rebuilt = RuntimeStats.from_moments(direct.mean, direct.std, direct.n)
+        assert rebuilt.ci95_low == pytest.approx(direct.ci95_low)
+        assert rebuilt.ci95_high == pytest.approx(direct.ci95_high)
+
+
+class TestOverlap:
+    def test_overlapping_intervals(self):
+        a = RuntimeStats.from_moments(10.0, 0.5, 5)
+        b = RuntimeStats.from_moments(10.3, 0.5, 5)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_disjoint_intervals(self):
+        a = RuntimeStats.from_moments(10.0, 0.1, 5)
+        b = RuntimeStats.from_moments(20.0, 0.1, 5)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+
+class TestDescribe:
+    def test_repeated_run_shows_spread(self):
+        stats = RuntimeStats.from_moments(10.0, 1.5, 5)
+        assert "±" in stats.describe()
+        assert "n=5" in stats.describe()
+
+    def test_single_run_shows_count_only(self):
+        stats = RuntimeStats.from_samples([10.0])
+        assert "±" not in stats.describe()
+        assert "n=1" in stats.describe()

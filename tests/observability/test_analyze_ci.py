@@ -1,0 +1,104 @@
+"""Tests for the CI-aware runtime gate in ``graphalytics analyze``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.analyze import (
+    RunMetrics,
+    compare_metrics,
+    load_metrics,
+)
+
+
+def _metrics(mean, std=None, n=None, **kwargs):
+    return RunMetrics(
+        platform="giraph",
+        graph="graph500-8",
+        algorithm="BFS",
+        status="success",
+        simulated_seconds=mean,
+        runtime_std=std,
+        num_repetitions=n,
+        **kwargs,
+    )
+
+
+def _keyed(metrics):
+    return {metrics.key: metrics}
+
+
+class TestCIGate:
+    def test_within_noise_slowdown_passes(self):
+        # 8% slower — beyond the 5% ratio threshold — but the CI95
+        # intervals overlap: noise, not regression.
+        before = _metrics(10.0, std=1.0, n=5)
+        after = _metrics(10.8, std=1.0, n=5)
+        regressions = compare_metrics(_keyed(before), _keyed(after))
+        assert regressions == []
+
+    def test_real_slowdown_fails(self):
+        before = _metrics(10.0, std=1.0, n=5)
+        after = _metrics(20.0, std=1.0, n=5)
+        (regression,) = compare_metrics(_keyed(before), _keyed(after))
+        assert regression.metric == "simulated_seconds"
+        assert "CI95" in regression.detail
+        assert "±" in regression.detail
+
+    def test_speedup_never_flagged(self):
+        before = _metrics(20.0, std=0.1, n=5)
+        after = _metrics(10.0, std=0.1, n=5)
+        assert compare_metrics(_keyed(before), _keyed(after)) == []
+
+    def test_without_stats_ratio_threshold_applies(self):
+        # No repetition stats on either side: the original 5%
+        # one-sided gate still governs.
+        before = _metrics(10.0)
+        after = _metrics(10.8)
+        (regression,) = compare_metrics(_keyed(before), _keyed(after))
+        assert regression.metric == "simulated_seconds"
+        assert "grew" in regression.detail
+
+    def test_one_sided_stats_fall_back_to_ratio(self):
+        before = _metrics(10.0, std=1.0, n=5)
+        after = _metrics(10.8)  # candidate ran once
+        (regression,) = compare_metrics(_keyed(before), _keyed(after))
+        assert "grew" in regression.detail
+
+    def test_single_repetition_stats_do_not_count(self):
+        assert _metrics(10.0, std=0.0, n=1).runtime_stats() is None
+        assert _metrics(10.0, std=1.0, n=5).runtime_stats() is not None
+
+
+class TestLoadMetricsStats:
+    def test_results_rows_carry_stats(self, tmp_path):
+        row = {
+            "platform": "giraph",
+            "graph": "graph500-8",
+            "algorithm": "BFS",
+            "status": "success",
+            "runtime_seconds": 10.0,
+            "runtime_mean": 10.0,
+            "runtime_std": 0.5,
+            "num_repetitions": 5,
+        }
+        path = tmp_path / "results.jsonl"
+        path.write_text(json.dumps(row) + "\n")
+        metrics = load_metrics(path)
+        (loaded,) = metrics.values()
+        stats = loaded.runtime_stats()
+        assert stats is not None
+        assert stats.n == 5
+
+    def test_old_rows_without_stats_still_load(self, tmp_path):
+        row = {
+            "platform": "giraph",
+            "graph": "graph500-8",
+            "algorithm": "BFS",
+            "status": "success",
+            "runtime_seconds": 10.0,
+        }
+        path = tmp_path / "results.jsonl"
+        path.write_text(json.dumps(row) + "\n")
+        (loaded,) = load_metrics(path).values()
+        assert loaded.runtime_stats() is None

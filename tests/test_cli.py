@@ -401,6 +401,7 @@ def test_selfcheck_smoke(capsys):
     assert "selfcheck summary:" in out
     assert "tests          skipped" in out
     assert "quality gate   ok" in out
+    assert "audit gate     ok" in out
     assert "perf --quick   ok" in out
     assert "trace replay   ok" in out
     assert "selfcheck: PASS" in out
@@ -409,8 +410,8 @@ def test_selfcheck_smoke(capsys):
 def test_selfcheck_all_stages_skippable(capsys):
     code = main(
         [
-            "selfcheck", "--skip-tests", "--skip-quality", "--skip-perf",
-            "--skip-trace",
+            "selfcheck", "--skip-tests", "--skip-quality", "--skip-audit",
+            "--skip-perf", "--skip-trace",
         ]
     )
     assert code == 0

@@ -106,6 +106,29 @@ def test_static_analysis_gate_is_clean():
     assert gate.passed, [str(r) for r in gate.regressions]
 
 
+def test_benchmark_audit_gate_is_clean():
+    """The shipped experiment suite audits clean against its baseline.
+
+    The SoK-taxonomy audit (single runs, validation off, shape bias,
+    seed monoculture, ...) must find nothing to complain about in the
+    configs we ship, and the committed zero-finding baseline keeps it
+    that way: a new finding is a gate regression, not a silent drift.
+    """
+    from repro.analysis import audit_paths, load_baseline, quality_gate
+
+    report = audit_paths([ROOT / "configs"])
+    errors = [
+        f"{file_report.path}:{finding.line}: [{finding.rule}] {finding.message}"
+        for file_report, finding in report.error_findings()
+    ]
+    assert errors == []
+
+    baseline_path = ROOT / ".audit-baseline.json"
+    assert baseline_path.exists(), "commit .audit-baseline.json"
+    gate = quality_gate(report, load_baseline(baseline_path))
+    assert gate.passed, [str(r) for r in gate.regressions]
+
+
 def test_no_print_debugging_in_library():
     """The library speaks through reports and logs, not stray prints."""
     offenders = []
