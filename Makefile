@@ -35,8 +35,12 @@ audit:
 audit-fixtures:
 	$(PYTHON) tests/analysis/fixtures/audit/regen.py
 
+# Quick harness for a local signal, then the tracked floors (frontier
+# kernels, the columnar MapReduce shuffle, scale-18 datagen, and mmap
+# graph load) — the same suite CI's "Performance floors" step runs.
 perf:
 	$(PYTHON) -m repro.cli perf --quick
+	$(PYTHON) -m pytest -x -q benchmarks/perf
 
 # End-to-end observability smoke: run one tiny traced benchmark,
 # summarize the trace, and self-compare it under the regression gate

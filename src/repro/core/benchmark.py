@@ -184,6 +184,14 @@ class BenchmarkCore:
         :class:`~repro.observability.JsonlTraceWriter`. Tracing is
         observe-only: recorded profiles are bit-identical with or
         without it.
+    graph_store:
+        When set, parallel runs (``run(parallel=n)``) persist each
+        distinct graph once into this directory (content-addressed,
+        ``.npy`` arrays) and ship pool workers the *path*; workers
+        memory-map the arrays, sharing OS pages instead of each
+        unpickling a full copy of the graph. Without it, workers
+        receive pickled graphs as before. Results are identical
+        either way.
     """
 
     def __init__(
@@ -198,6 +206,7 @@ class BenchmarkCore:
         retry_backoff_seconds: float = 1.0,
         strict: bool = False,
         trace_dir: str | Path | None = None,
+        graph_store: str | Path | None = None,
     ):
         names = [p.name for p in platforms]
         if len(set(names)) != len(names):
@@ -214,7 +223,12 @@ class BenchmarkCore:
         self.retry_backoff_seconds = retry_backoff_seconds
         self.strict = strict
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.graph_store = Path(graph_store) if graph_store is not None else None
         self.monitor = SystemMonitor()
+        # graph -> 2 * undirected edge count, for the TEPS metric; the
+        # undirected view itself is cached on the Graph, but the memo
+        # also skips re-deriving it per result per repetition.
+        self._edges_traversed_memo: dict[Graph, float] = {}
 
     def run(
         self, spec: BenchmarkRunSpec | None = None, parallel: int = 1
@@ -245,11 +259,23 @@ class BenchmarkCore:
                     self._run_pair(platform, graph_name, graph, spec)
                 )
             return suite
+        # With a graph store configured, persist each distinct graph
+        # once and ship workers the path; they mmap the arrays and
+        # share pages instead of unpickling private copies.
+        graph_paths: dict[Graph, str] = {}
+        if self.graph_store is not None:
+            for _platform, _name, graph in pairs:
+                if graph not in graph_paths:
+                    entry = self.graph_store / graph.content_key()
+                    if not (entry / "meta.json").is_file():
+                        graph.save(entry)
+                    graph_paths[graph] = str(entry)
         tasks = [
             _PairTask(
                 platform=platform,
                 graph_name=graph_name,
-                graph=graph,
+                graph=None if graph in graph_paths else graph,
+                graph_path=graph_paths.get(graph),
                 validator=self.validator,
                 time_limit_seconds=self.time_limit_seconds,
                 timeout_seconds=self.timeout_seconds,
@@ -474,16 +500,21 @@ class BenchmarkCore:
         base.samples = self.monitor.samples_from_profile(run.profile)
         return base
 
-    @staticmethod
-    def _edges_traversed(graph: Graph, algorithm: Algorithm) -> float:
+    def _edges_traversed(self, graph: Graph, algorithm: Algorithm) -> float:
         """Edges the algorithm traverses, for the TEPS metrics.
 
         Following the paper's usage ("the size of the processed graph
         is included in this metric"), iterative whole-graph algorithms
         traverse every edge in both directions once per effective
         pass; the metric normalizes by the graph's edge count.
+        Memoized per graph (graphs hash by identity and are immutable),
+        so repeated cells skip re-deriving the undirected view.
         """
-        return 2.0 * graph.to_undirected().num_edges
+        cached = self._edges_traversed_memo.get(graph)
+        if cached is None:
+            cached = 2.0 * graph.to_undirected().num_edges
+            self._edges_traversed_memo[graph] = cached
+        return cached
 
 
 @dataclass
@@ -492,12 +523,15 @@ class _PairTask:
 
     Everything a child process needs to run the pair exactly as the
     sequential loop would; module-level (with the worker function) so
-    the payload pickles under every start method.
+    the payload pickles under every start method. Exactly one of
+    ``graph`` (pickled payload) and ``graph_path`` (mmap-shared store
+    entry) is set.
     """
 
     platform: Platform
     graph_name: str
-    graph: Graph
+    graph: Graph | None
+    graph_path: str | None
     validator: OutputValidator | None
     time_limit_seconds: float | None
     timeout_seconds: float | None
@@ -518,9 +552,12 @@ def _run_pair_task(task: _PairTask) -> list[BenchmarkResult]:
     work unit instead of surfacing a bare traceback from an anonymous
     worker process.
     """
+    graph = task.graph
+    if graph is None:
+        graph = Graph.load(task.graph_path, mmap=True)
     core = BenchmarkCore(
         [task.platform],
-        {task.graph_name: task.graph},
+        {task.graph_name: graph},
         validator=task.validator,
         time_limit_seconds=task.time_limit_seconds,
         timeout_seconds=task.timeout_seconds,
@@ -531,7 +568,7 @@ def _run_pair_task(task: _PairTask) -> list[BenchmarkResult]:
         trace_dir=task.trace_dir,
     )
     try:
-        return core._run_pair(task.platform, task.graph_name, task.graph, task.spec)
+        return core._run_pair(task.platform, task.graph_name, graph, task.spec)
     except SuiteWorkerError:
         raise
     except Exception as exc:

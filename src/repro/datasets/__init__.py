@@ -19,6 +19,7 @@ from repro.datasets.standins import (
     standin_graph,
     standin_names,
 )
+from repro.datasets.cache import DatasetCache, dataset_key
 from repro.datasets.catalog import graph500_graph, load_dataset, snb_graph
 
 __all__ = [
@@ -29,4 +30,6 @@ __all__ = [
     "graph500_graph",
     "snb_graph",
     "load_dataset",
+    "DatasetCache",
+    "dataset_key",
 ]

@@ -1,0 +1,110 @@
+"""Content-addressed on-disk cache of generated graphs.
+
+Graph generation is deterministic given (generator, params, seed), so
+the cache key is a hash of exactly that triple — no need to generate a
+graph to know where it lives. Entries are directories of ``.npy``
+arrays written by :meth:`repro.graph.graph.Graph.save`; loads go
+through ``np.load(mmap_mode="r")`` so every process mapping the same
+entry shares physical pages, which is what lets the process-pool suite
+runner ship a path to its workers instead of a pickled multi-hundred-
+megabyte ``Graph``.
+
+Writes are atomic: the entry is staged under a temp directory and
+renamed into place, so a crashed writer never leaves a half-written
+entry and concurrent writers race benignly (same content either way).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import uuid
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.graph.graph import Graph
+
+__all__ = ["DatasetCache", "dataset_key"]
+
+
+def dataset_key(generator: str, params: Mapping[str, Any], seed: int | None) -> str:
+    """Deterministic cache key for a generated dataset.
+
+    ``params`` must be JSON-serializable; ordering is canonicalized so
+    equal parameter mappings always produce the same key.
+    """
+    payload = json.dumps(
+        {"generator": generator, "params": dict(params), "seed": seed},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class DatasetCache:
+    """Directory of content-addressed graph entries.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first write.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def entry_path(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / key
+
+    def contains(self, key: str) -> bool:
+        """Whether a complete entry exists for ``key``."""
+        return (self.entry_path(key) / "meta.json").is_file()
+
+    def store(self, key: str, graph: Graph) -> Path:
+        """Persist ``graph`` under ``key`` (atomic, idempotent)."""
+        final = self.entry_path(key)
+        if self.contains(key):
+            return final
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = self.root / f".tmp-{key}-{uuid.uuid4().hex}"
+        try:
+            graph.save(staging)
+            try:
+                os.replace(staging, final)
+            except OSError:
+                # A concurrent writer won the rename; both wrote the
+                # same deterministic content, so theirs is as good.
+                if not self.contains(key):
+                    raise
+        finally:
+            if staging.exists():
+                shutil.rmtree(staging, ignore_errors=True)
+        return final
+
+    def load(self, key: str, mmap: bool = True) -> Graph:
+        """Load the entry for ``key`` (memory-mapped by default)."""
+        if not self.contains(key):
+            raise KeyError(f"no cached dataset for key {key!r}")
+        return Graph.load(self.entry_path(key), mmap=mmap)
+
+    def get_or_generate(
+        self,
+        generator: str,
+        params: Mapping[str, Any],
+        seed: int | None,
+        build: Callable[[], Graph],
+        mmap: bool = True,
+    ) -> Graph:
+        """Return the cached graph for the triple, generating on miss.
+
+        The returned graph is always served from the cache entry (so
+        callers get mmap-backed arrays even on the generating run).
+        """
+        key = dataset_key(generator, params, seed)
+        if not self.contains(key):
+            self.store(key, build())
+        return self.load(key, mmap=mmap)

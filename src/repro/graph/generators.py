@@ -34,6 +34,7 @@ def rmat_graph(
     probabilities: tuple[float, float, float, float] = GRAPH500_PROBABILITIES,
     seed: int = 0,
     directed: bool = False,
+    bulk: bool = True,
 ) -> Graph:
     """Generate an R-MAT (recursive matrix) graph, Graph500 style.
 
@@ -50,6 +51,12 @@ def rmat_graph(
         partition; must sum to 1.
     seed:
         Deterministic RNG seed.
+    bulk:
+        Feed the sampled edge arrays straight into :class:`Graph`
+        (vectorized self-loop drop + sort/dedup), which is what makes
+        multi-million-edge scales practical; ``bulk=False`` keeps the
+        per-edge :class:`GraphBuilder` path. Both produce the
+        identical graph.
 
     Notes
     -----
@@ -69,15 +76,41 @@ def rmat_graph(
     sources = np.zeros(num_edges, dtype=np.int64)
     targets = np.zeros(num_edges, dtype=np.int64)
     # Vectorized recursive descent: at each of `scale` levels, every
-    # edge independently picks one of the four quadrants.
-    thresholds = np.array([a, a + b, a + b + c])
+    # edge independently picks one of the four quadrants. The
+    # quadrant index is the count of partition boundaries (a, a+b,
+    # a+b+c) below the draw; its high bit (quadrants c, d — the lower
+    # row) is exactly ``draw > a+b``, and its low bit (quadrants b, d
+    # — the right column) is the XOR of all three comparisons. Masked
+    # in-place adds avoid materializing any int64 temporaries.
+    t0, t1, t2 = a, a + b, a + b + c
+    # Preallocated scratch: the loop runs `scale` times over
+    # multi-million-element arrays, so reusing buffers (ufunc `out=`)
+    # instead of allocating six temporaries per level keeps the
+    # generator allocation-free and its wall time stable. Filling a
+    # preallocated float64 buffer draws the identical stream as
+    # ``rng.random(num_edges)``.
+    draws = np.empty(num_edges)
+    c0 = np.empty(num_edges, dtype=bool)
+    c1 = np.empty(num_edges, dtype=bool)
+    c2 = np.empty(num_edges, dtype=bool)
     for level in range(scale):
-        draws = rng.random(num_edges)
-        quadrant = np.searchsorted(thresholds, draws)
+        rng.random(out=draws)
+        np.greater(draws, t0, out=c0)
+        np.greater(draws, t1, out=c1)
+        np.greater(draws, t2, out=c2)
         bit = 1 << (scale - level - 1)
-        sources += np.where(quadrant >= 2, bit, 0)
-        targets += np.where((quadrant == 1) | (quadrant == 3), bit, 0)
+        np.add(sources, bit, out=sources, where=c1)
+        np.logical_xor(c0, c1, out=c0)
+        np.logical_xor(c0, c2, out=c0)
+        np.add(targets, bit, out=targets, where=c0)
 
+    if bulk:
+        keep = sources != targets
+        return Graph(
+            np.arange(n, dtype=np.int64),
+            np.column_stack([sources[keep], targets[keep]]),
+            directed=directed,
+        )
     builder = GraphBuilder(directed=directed)
     builder.add_vertices(range(n))
     builder.add_edges(zip(sources.tolist(), targets.tolist()))
@@ -236,7 +269,12 @@ def barabasi_albert_graph(n: int, m: int, seed: int = 0) -> Graph:
     return builder.build()
 
 
-def grid_graph(side: int, diagonal_probability: float = 0.0, seed: int = 0) -> Graph:
+def grid_graph(
+    side: int,
+    diagonal_probability: float = 0.0,
+    seed: int = 0,
+    bulk: bool = True,
+) -> Graph:
     """2D lattice: the road-network-like graph profile.
 
     Road networks are the shape the power-law generators cannot
@@ -251,6 +289,27 @@ def grid_graph(side: int, diagonal_probability: float = 0.0, seed: int = 0) -> G
     if side < 2:
         raise ValueError("side must be >= 2")
     rng = np.random.default_rng(seed)
+    if bulk:
+        # Row-major lattice edges in three vectorized families. The
+        # diagonal draws replay the scalar path's RNG stream exactly:
+        # it consumes one uniform per interior cell in row-major
+        # order (and none at all when the probability is zero).
+        vertices = np.arange(side * side, dtype=np.int64)
+        grid = vertices.reshape(side, side)
+        right = grid[:, :-1].ravel()
+        down = grid[:-1, :].ravel()
+        edge_groups = [
+            np.column_stack([right, right + 1]),
+            np.column_stack([down, down + side]),
+        ]
+        if diagonal_probability > 0.0:
+            interior = grid[:-1, :-1].ravel()
+            keep = rng.random(interior.size) < diagonal_probability
+            shortcut = interior[keep]
+            edge_groups.append(
+                np.column_stack([shortcut, shortcut + side + 1])
+            )
+        return Graph(vertices, np.concatenate(edge_groups), directed=False)
     builder = GraphBuilder(directed=False)
     builder.add_vertices(range(side * side))
     for row in range(side):

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.algorithms.bfs import UNREACHABLE
 from repro.algorithms.evo import ambassador_for
 from repro.algorithms.stats import GraphStats
@@ -10,6 +12,7 @@ from repro.core.cost import ClusterSpec, CostMeter, RunProfile
 from repro.core.platform_api import GraphHandle, Platform
 from repro.core.workload import Algorithm, AlgorithmParams
 
+from repro.platforms.mapreduce.batch import RecordBatch
 from repro.platforms.mapreduce.engine import MapReduceEngine, record_size
 from repro.platforms.mapreduce.jobs import (
     BFSIterationJob,
@@ -92,6 +95,22 @@ class MapReducePlatform(Platform):
     # -- algorithms ------------------------------------------------------
 
     def _run_bfs(self, engine, adjacency, source):
+        if engine.bulk:
+            batch = RecordBatch.from_adjacency(adjacency)
+            batch.columns["dist"] = np.where(
+                batch.keys == source, 0, UNREACHABLE
+            ).astype(np.int64)
+            for iteration in range(1, self.MAX_ITERATIONS + 1):
+                result = engine.run_job(BFSIterationJob(iteration), batch)
+                batch = result.output
+                if result.counters.get("changed", 0) == 0:
+                    break
+            return {
+                int(v): int(d)
+                for v, d in zip(
+                    batch.keys.tolist(), batch.columns["dist"].tolist()
+                )
+            }
         records = [
             (v, (adj, 0 if v == source else UNREACHABLE))
             for v, adj in adjacency.items()
@@ -104,6 +123,20 @@ class MapReducePlatform(Platform):
         return {v: dist for v, (adj, dist) in records}
 
     def _run_conn(self, engine, adjacency, params):
+        if engine.bulk:
+            batch = RecordBatch.from_adjacency(adjacency)
+            batch.columns["label"] = batch.keys.copy()
+            for iteration in range(1, self.MAX_ITERATIONS + 1):
+                result = engine.run_job(ConnIterationJob(iteration), batch)
+                batch = result.output
+                if result.counters.get("changed", 0) == 0:
+                    break
+            return {
+                int(v): int(lbl)
+                for v, lbl in zip(
+                    batch.keys.tolist(), batch.columns["label"].tolist()
+                )
+            }
         records = [(v, (adj, v)) for v, adj in adjacency.items()]
         for iteration in range(1, self.MAX_ITERATIONS + 1):
             result = engine.run_job(ConnIterationJob(iteration), records)

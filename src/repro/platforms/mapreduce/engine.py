@@ -35,6 +35,12 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.core.cost import ClusterSpec, CostMeter
+from repro.platforms.mapreduce.batch import (
+    RecordBatch,
+    combine_min_messages,
+    repr_sort_permutation,
+    str_key_workers,
+)
 
 __all__ = [
     "MapReduceJob",
@@ -111,10 +117,40 @@ def reduce_worker(key: Any, num_workers: int) -> int:
 
 
 class MapReduceJob(abc.ABC):
-    """One MapReduce job: map, optional combine, reduce."""
+    """One MapReduce job: map, optional combine, reduce.
+
+    Jobs whose records fit the vertex-keyed columnar shape — int64
+    keys, an adjacency list plus one scalar state column, messages
+    that broadcast one scalar to every neighbor and combine with
+    ``min`` — additionally implement the ``batch_*`` hooks and set
+    :attr:`supports_batch`, unlocking the engine's
+    :class:`~repro.platforms.mapreduce.batch.RecordBatch` executor.
+    """
 
     #: Job name used in round labels.
     name: str = "job"
+
+    #: Whether the ``batch_*`` hooks are implemented; the engine falls
+    #: back to the scalar record path otherwise.
+    supports_batch: bool = False
+
+    def batch_emitters(self, batch: RecordBatch) -> np.ndarray:
+        """Bool mask over records that broadcast to their neighbors."""
+        raise NotImplementedError
+
+    def batch_message_values(self, batch: RecordBatch) -> np.ndarray:
+        """Scalar each emitting record sends (indexed like the batch)."""
+        raise NotImplementedError
+
+    def batch_apply(
+        self,
+        batch: RecordBatch,
+        minimum: np.ndarray,
+        has_message: np.ndarray,
+        counters: dict,
+    ) -> dict[str, np.ndarray]:
+        """New state columns after digesting the combined messages."""
+        raise NotImplementedError
 
     @abc.abstractmethod
     def map(self, key: Any, value: Any, counters: dict) -> Iterable[tuple[Any, Any]]:
@@ -133,9 +169,14 @@ class MapReduceJob(abc.ABC):
 
 @dataclass
 class JobResult:
-    """Output of one job execution."""
+    """Output of one job execution.
 
-    output: list[tuple[Any, Any]]
+    ``output`` is a record list on the scalar path and a
+    :class:`~repro.platforms.mapreduce.batch.RecordBatch` on the
+    columnar path (the driver feeds it straight into the next job).
+    """
+
+    output: list[tuple[Any, Any]] | RecordBatch
     counters: dict = field(default_factory=dict)
 
 
@@ -168,9 +209,22 @@ class MapReduceEngine:
             self.meter.release_memory(worker, self.sort_buffer_bytes)
 
     def run_job(
-        self, job: MapReduceJob, input_records: list[tuple[Any, Any]]
+        self, job: MapReduceJob, input_records: list[tuple[Any, Any]] | RecordBatch
     ) -> JobResult:
-        """Run one job: map, shuffle/sort, reduce, with cost charges."""
+        """Run one job: map, shuffle/sort, reduce, with cost charges.
+
+        A :class:`RecordBatch` input selects the columnar executor
+        (requires ``bulk=True`` and a batch-capable job); its charges
+        and output are bit-identical to running the same job over
+        ``batch.to_pairs()`` on the scalar path.
+        """
+        if isinstance(input_records, RecordBatch):
+            if not (self.bulk and job.supports_batch):
+                raise TypeError(
+                    f"job {job.name} cannot run columnar "
+                    f"(bulk={self.bulk}, supports_batch={job.supports_batch})"
+                )
+            return self._run_job_batch(job, input_records)
         meter = self.meter
         spec = self.spec
         counters: dict = {}
@@ -268,6 +322,118 @@ class MapReduceEngine:
 
         return JobResult(output=output, counters=counters)
 
+    # -- columnar execution ------------------------------------------------
+
+    def _run_job_batch(self, job: MapReduceJob, batch: RecordBatch) -> JobResult:
+        """Columnar map/combine/shuffle/reduce over a :class:`RecordBatch`.
+
+        Every charge mirrors the scalar path's charge sequence and
+        value exactly: byte totals use the same
+        ``RECORD_BYTES * count + ELEMENT_BYTES * elements`` closed
+        form as :func:`record_bytes_total` (element counts derived
+        from the batch's degree column instead of walking tuples), and
+        per-worker record tallies are the same integer-valued
+        ``np.bincount`` sums. Output records come back repr-sorted by
+        key, exactly as the scalar reduce emits them.
+        """
+        meter = self.meter
+        spec = self.spec
+        counters: dict = {}
+        num_records = len(batch)
+        num_columns = len(batch.columns)
+        degrees = batch.degrees
+        total_adjacency = batch.total_adjacency
+
+        meter.profile.startup_seconds += spec.startup_seconds
+
+        # ---- map phase ---------------------------------------------------
+        meter.begin_round(f"map-{job.name}")
+        # Input value tuple is (adj, *columns): 1 + num_columns
+        # top-level elements plus the adjacency elements.
+        input_elements = (1 + num_columns) * num_records + total_adjacency
+        input_bytes = (
+            RECORD_BYTES * num_records + ELEMENT_BYTES * input_elements
+        )
+        meter.charge_disk_read(0, input_bytes)
+
+        emitters = job.batch_emitters(batch)
+        message_counts = degrees * emitters
+        targets, payloads = batch.gather_messages(
+            emitters, job.batch_message_values(batch)
+        )
+        # Each record emits its own state record plus its messages;
+        # input splits are assigned round-robin by record index.
+        self._charge_records_bulk(
+            np.arange(num_records, dtype=np.int64) % spec.num_workers,
+            1.0 + (1 + message_counts).astype(np.float64),
+        )
+
+        # Map-side combine: per key, the state record survives and all
+        # candidate messages fold into one minimum.
+        minimum, has_message = combine_min_messages(
+            num_records, targets, payloads
+        )
+        message_keys = int(has_message.sum())
+        combined_count = num_records + message_keys
+        # State records serialize as ("A", adj, *columns); combined
+        # messages as ("D", value).
+        combined_elements = (
+            (2 + num_columns) * num_records
+            + total_adjacency
+            + 2 * message_keys
+        )
+        map_output_bytes = (
+            RECORD_BYTES * combined_count + ELEMENT_BYTES * combined_elements
+        )
+        meter.charge_disk_write(0, map_output_bytes)
+        meter.end_round(active_vertices=num_records)
+
+        # ---- shuffle + sort ------------------------------------------------
+        meter.begin_round(f"shuffle-{job.name}")
+        remote_fraction = (
+            (spec.num_workers - 1) / spec.num_workers if spec.num_workers > 1 else 0.0
+        )
+        meter.charge_shuffle(
+            map_output_bytes * remote_fraction, count=combined_count
+        )
+        meter.charge_disk_read(0, map_output_bytes)
+        if combined_count:
+            sort_ops = (
+                combined_count * max(1.0, math.log2(combined_count)) * 2.0
+            )
+            for worker in range(spec.num_workers):
+                meter.charge_compute_bulk(worker, sort_ops / spec.num_workers)
+        meter.end_round()
+
+        # ---- reduce phase ---------------------------------------------------
+        meter.begin_round(f"reduce-{job.name}")
+        # Each key groups its state record plus at most one combined
+        # message and re-emits one state record.
+        self._charge_records_bulk(
+            batch.keys % spec.num_workers,
+            (2 + has_message).astype(np.float64),
+        )
+        new_columns = job.batch_apply(batch, minimum, has_message, counters)
+        output = RecordBatch(
+            keys=batch.keys,
+            adj_offsets=batch.adj_offsets,
+            adj_targets=batch.adj_targets,
+            columns={
+                name: new_columns.get(name, column)
+                for name, column in batch.columns.items()
+            },
+        ).reorder(repr_sort_permutation(batch.keys))
+        output_elements = (1 + num_columns) * num_records + total_adjacency
+        output_bytes = (
+            RECORD_BYTES * num_records + ELEMENT_BYTES * output_elements
+        )
+        # HDFS write with replication; replicas cross the network.
+        meter.charge_disk_write(0, output_bytes * HDFS_REPLICATION)
+        meter.charge_shuffle(output_bytes * (HDFS_REPLICATION - 1))
+        meter.end_round()
+
+        return JobResult(output=output, counters=counters)
+
     # -- batched accounting ------------------------------------------------
 
     def _records_bytes(self, records: list[tuple[Any, Any]]) -> float:
@@ -280,12 +446,16 @@ class MapReduceEngine:
         """Vectorized :func:`reduce_worker` over a batch of keys.
 
         Integer keys — the common case, vertex ids — reduce in one
-        modulo over the array; anything else falls back to the scalar
+        modulo over the array; homogeneous str keys hash in one
+        vectorized CRC32 pass; anything else falls back to the scalar
         partitioner per key.
         """
         try:
             key_array = np.asarray(keys, dtype=np.int64)
         except (TypeError, ValueError, OverflowError):
+            str_workers = str_key_workers(keys, self.spec.num_workers)
+            if str_workers is not None:
+                return str_workers
             return np.fromiter(
                 (reduce_worker(key, self.spec.num_workers) for key in keys),
                 dtype=np.int64,

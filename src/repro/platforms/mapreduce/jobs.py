@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+import numpy as np
+
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
 from repro.platforms.mapreduce.engine import MapReduceJob
@@ -42,9 +44,34 @@ class BFSIterationJob(MapReduceJob):
     is still unreached, bumping the ``changed`` counter.
     """
 
+    supports_batch = True
+
     def __init__(self, iteration: int):
         self.iteration = iteration
         self.name = f"bfs-{iteration}"
+
+    def batch_emitters(self, batch) -> np.ndarray:
+        """Frontier mask: vertices reached in the previous iteration."""
+        return batch.columns["dist"] == self.iteration - 1
+
+    def batch_message_values(self, batch) -> np.ndarray:
+        """Candidate distance every frontier vertex offers: dist + 1."""
+        return batch.columns["dist"] + 1
+
+    def batch_apply(
+        self,
+        batch,
+        minimum: np.ndarray,
+        has_message: np.ndarray,
+        counters: dict,
+    ) -> dict[str, np.ndarray]:
+        """Adopt the smallest candidate where still unreached."""
+        dist = batch.columns["dist"]
+        newly = (dist == UNREACHABLE) & has_message
+        changed = int(newly.sum())
+        if changed:
+            counters["changed"] = counters.get("changed", 0) + changed
+        return {"dist": np.where(newly, minimum, dist)}
 
     def map(self, key: Any, value: Any, counters: dict) -> Iterable[tuple[Any, Any]]:
         """Emit intermediate records (see :class:`MapReduceJob`)."""
@@ -81,9 +108,34 @@ class BFSIterationJob(MapReduceJob):
 class ConnIterationJob(MapReduceJob):
     """One HashMin label-propagation iteration for CONN."""
 
+    supports_batch = True
+
     def __init__(self, iteration: int):
         self.iteration = iteration
         self.name = f"conn-{iteration}"
+
+    def batch_emitters(self, batch) -> np.ndarray:
+        """Every vertex broadcasts its label each iteration."""
+        return np.ones(len(batch), dtype=bool)
+
+    def batch_message_values(self, batch) -> np.ndarray:
+        """The broadcast payload is the current label."""
+        return batch.columns["label"]
+
+    def batch_apply(
+        self,
+        batch,
+        minimum: np.ndarray,
+        has_message: np.ndarray,
+        counters: dict,
+    ) -> dict[str, np.ndarray]:
+        """HashMin: adopt a strictly smaller received label."""
+        label = batch.columns["label"]
+        improved = has_message & (minimum < label)
+        changed = int(improved.sum())
+        if changed:
+            counters["changed"] = counters.get("changed", 0) + changed
+        return {"label": np.where(improved, minimum, label)}
 
     def map(self, key: Any, value: Any, counters: dict) -> Iterable[tuple[Any, Any]]:
         """Emit intermediate records (see :class:`MapReduceJob`)."""

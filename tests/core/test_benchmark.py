@@ -309,6 +309,48 @@ class TestParallelRunner:
         suite = core.run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]), parallel=2)
         assert [r.graph_name for r in suite.results] == ["a", "b"]
 
+    def test_parallel_graph_store_identical_to_sequential(
+        self, cluster_spec, tmp_path
+    ):
+        """mmap-shipped graphs change nothing but the transport.
+
+        With ``graph_store`` set, pool workers receive a cache path
+        and ``Graph.load(..., mmap=True)`` the CSR arrays instead of
+        unpickling the graph; results must stay byte-identical to the
+        sequential in-memory run.
+        """
+        graphs = {
+            "a": rmat_graph(6, edge_factor=4, seed=1),
+            "b": rmat_graph(5, edge_factor=4, seed=2),
+        }
+        spec = BenchmarkRunSpec(algorithms=[Algorithm.BFS, Algorithm.CONN])
+        sequential = BenchmarkCore([GiraphPlatform(cluster_spec)], graphs).run(
+            spec
+        )
+        store = tmp_path / "graph-store"
+        mmapped = BenchmarkCore(
+            [GiraphPlatform(cluster_spec)], graphs, graph_store=store
+        ).run(spec, parallel=2)
+        assert _canonical(mmapped) == _canonical(sequential)
+        # One content-addressed entry per distinct graph.
+        entries = [p for p in store.iterdir() if (p / "meta.json").is_file()]
+        assert len(entries) == 2
+
+    def test_graph_store_entries_are_reused(self, cluster_spec, tmp_path):
+        graphs = {
+            "a": rmat_graph(5, edge_factor=4, seed=1),
+            "b": rmat_graph(5, edge_factor=4, seed=2),
+        }
+        store = tmp_path / "graph-store"
+        make = lambda: BenchmarkCore(
+            [GiraphPlatform(cluster_spec)], graphs, graph_store=store
+        )
+        make().run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]), parallel=2)
+        entry = next(p for p in store.iterdir() if (p / "meta.json").is_file())
+        stamp = (entry / "meta.json").stat().st_mtime_ns
+        make().run(BenchmarkRunSpec(algorithms=[Algorithm.BFS]), parallel=2)
+        assert (entry / "meta.json").stat().st_mtime_ns == stamp
+
     def test_parallel_preserves_failures(self, graphs, cluster_spec):
         core = BenchmarkCore([_EtlFailingPlatform(cluster_spec)], graphs)
         suite = core.run(parallel=2)

@@ -129,3 +129,42 @@ class TestHolmeKim:
             holme_kim_graph(100, 2, 1.5)
         with pytest.raises(ValueError):
             holme_kim_graph(10, 0, 0.5)
+
+
+class TestBulkScalarEquivalence:
+    """The vectorized generator paths build the identical graph.
+
+    ``bulk=True`` feeds numpy edge blocks straight into ``Graph``;
+    ``bulk=False`` walks the per-edge ``GraphBuilder`` path. Both
+    consume the same RNG stream, so the resulting graphs must compare
+    structurally equal — vertices, edges, and orientation.
+    """
+
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_rmat(self, directed, seed):
+        from repro.graph.generators import rmat_graph
+
+        bulk = rmat_graph(scale=7, edge_factor=8, seed=seed, directed=directed)
+        scalar = rmat_graph(
+            scale=7, edge_factor=8, seed=seed, directed=directed, bulk=False
+        )
+        assert bulk == scalar
+
+    @pytest.mark.parametrize("diagonal", [0.0, 0.4])
+    def test_grid(self, diagonal):
+        from repro.graph.generators import grid_graph
+
+        bulk = grid_graph(side=17, diagonal_probability=diagonal, seed=5)
+        scalar = grid_graph(
+            side=17, diagonal_probability=diagonal, seed=5, bulk=False
+        )
+        assert bulk == scalar
+
+    def test_bulk_is_the_default(self):
+        import inspect
+
+        from repro.graph.generators import grid_graph, rmat_graph
+
+        assert inspect.signature(rmat_graph).parameters["bulk"].default is True
+        assert inspect.signature(grid_graph).parameters["bulk"].default is True

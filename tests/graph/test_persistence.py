@@ -1,0 +1,107 @@
+"""Graph ``save``/``load`` round trips and the content-addressed key.
+
+The ``.npy``-per-array on-disk format is the transport the parallel
+benchmark runner and the dataset cache use to share CSR graphs across
+processes without pickling; these tests pin the round-trip contract
+(structural equality, both mmap and in-memory), the format-version
+guard, and the ``content_key`` identity.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import rmat_graph
+from repro.graph.graph import GRAPH_FORMAT, Graph
+
+
+@pytest.fixture
+def directed_graph():
+    return rmat_graph(scale=6, edge_factor=4, seed=3, directed=True)
+
+
+@pytest.fixture
+def undirected_graph():
+    return rmat_graph(scale=6, edge_factor=4, seed=4, directed=False)
+
+
+@pytest.mark.parametrize("mmap", [True, False], ids=["mmap", "heap"])
+class TestRoundTrip:
+    def test_directed(self, tmp_path, directed_graph, mmap):
+        directed_graph.save(tmp_path / "g")
+        loaded = Graph.load(tmp_path / "g", mmap=mmap)
+        assert loaded == directed_graph
+        assert loaded.directed
+        assert loaded.num_vertices == directed_graph.num_vertices
+        assert loaded.num_edges == directed_graph.num_edges
+
+    def test_undirected(self, tmp_path, undirected_graph, mmap):
+        undirected_graph.save(tmp_path / "g")
+        loaded = Graph.load(tmp_path / "g", mmap=mmap)
+        assert loaded == undirected_graph
+        assert not loaded.directed
+
+    def test_neighbors_survive(self, tmp_path, directed_graph, mmap):
+        directed_graph.save(tmp_path / "g")
+        loaded = Graph.load(tmp_path / "g", mmap=mmap)
+        for vertex in list(directed_graph.vertices)[:16]:
+            assert list(loaded.neighbors(int(vertex))) == list(
+                directed_graph.neighbors(int(vertex))
+            )
+
+    def test_sparse_ids(self, tmp_path, mmap):
+        graph = Graph([2, 7, 900], [(2, 900), (7, 2)], directed=True)
+        graph.save(tmp_path / "g")
+        assert Graph.load(tmp_path / "g", mmap=mmap) == graph
+
+
+def test_mmap_load_is_memory_mapped(tmp_path, directed_graph):
+    directed_graph.save(tmp_path / "g")
+    loaded = Graph.load(tmp_path / "g", mmap=True)
+    assert isinstance(loaded._targets, np.memmap)
+
+
+def test_heap_load_is_not_memory_mapped(tmp_path, directed_graph):
+    directed_graph.save(tmp_path / "g")
+    loaded = Graph.load(tmp_path / "g", mmap=False)
+    assert not isinstance(loaded._targets, np.memmap)
+
+
+def test_format_version_guard(tmp_path, directed_graph):
+    directed_graph.save(tmp_path / "g")
+    meta_path = tmp_path / "g" / "meta.json"
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    meta["format"] = "graphalytics-graph/999"
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+    with pytest.raises(ValueError, match="format"):
+        Graph.load(tmp_path / "g")
+
+
+def test_meta_records_format_and_key(tmp_path, directed_graph):
+    directed_graph.save(tmp_path / "g")
+    meta = json.loads((tmp_path / "g" / "meta.json").read_text(encoding="utf-8"))
+    assert meta["format"] == GRAPH_FORMAT
+    assert meta["content_key"] == directed_graph.content_key()
+    assert meta["directed"] is True
+
+
+class TestContentKey:
+    def test_deterministic(self, directed_graph):
+        assert directed_graph.content_key() == directed_graph.content_key()
+        regenerated = rmat_graph(scale=6, edge_factor=4, seed=3, directed=True)
+        assert regenerated.content_key() == directed_graph.content_key()
+
+    def test_distinguishes_structure(self, directed_graph):
+        other = rmat_graph(scale=6, edge_factor=4, seed=5, directed=True)
+        assert other.content_key() != directed_graph.content_key()
+
+    def test_distinguishes_orientation(self):
+        directed = Graph([0, 1], [(0, 1)], directed=True)
+        undirected = Graph([0, 1], [(0, 1)], directed=False)
+        assert directed.content_key() != undirected.content_key()
+
+    def test_survives_round_trip(self, tmp_path, directed_graph):
+        directed_graph.save(tmp_path / "g")
+        loaded = Graph.load(tmp_path / "g", mmap=True)
+        assert loaded.content_key() == directed_graph.content_key()

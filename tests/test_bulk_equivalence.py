@@ -106,6 +106,35 @@ def test_bulk_path_is_bit_identical(platform_cls, algorithm, graph_name):
 
 
 @pytest.mark.parametrize(
+    "algorithm",
+    [
+        Algorithm.BFS,
+        Algorithm.CONN,
+        Algorithm.CD,
+        Algorithm.STATS,
+        Algorithm.EVO,
+    ],
+    ids=lambda a: a.value,
+)
+def test_mapreduce_bulk_covers_every_job(algorithm):
+    """Every job chain in ``jobs.py`` is bulk/scalar-identical.
+
+    BFS and CONN exercise the columnar ``RecordBatch`` executor; CD,
+    STATS, and EVO stay on scalar records under ``bulk=True`` (their
+    jobs carry non-columnar values) but still flow through the batched
+    shuffle accounting — either way the outputs and full cost profiles
+    must match the ``bulk=False`` run exactly.
+    """
+    graph = GRAPHS["rmat-undirected"]()
+    bulk_output, bulk_profile = _run(MapReducePlatform, True, graph, algorithm)
+    scalar_output, scalar_profile = _run(
+        MapReducePlatform, False, graph, algorithm
+    )
+    assert bulk_output == scalar_output
+    assert bulk_profile == scalar_profile
+
+
+@pytest.mark.parametrize(
     "platform_cls", CONVERTED_PLATFORMS, ids=lambda cls: cls.name
 )
 def test_bulk_is_the_default(platform_cls):

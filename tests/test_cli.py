@@ -282,18 +282,47 @@ def test_perf_command_quick(tmp_path, capsys):
     assert code == 0
     assert "kernel timings written" in capsys.readouterr().out
     payload = json.loads(output.read_text(encoding="utf-8"))
-    assert payload["schema"] == "graphalytics-perf/1"
+    assert payload["schema"] == "graphalytics-perf/2"
     assert payload["repeats"] == 1
     names = [kernel["name"] for kernel in payload["kernels"]]
     assert "pregel-bfs-frontier" in names
+    assert "datagen-rmat" in names
+    assert "graph-load" in names
     for kernel in payload["kernels"]:
         # Per-kernel wall-clock and simulated-seconds fields, well
         # formed: the contract the tracked report relies on.
         assert kernel["bulk_wall_seconds"] > 0.0
         assert kernel["scalar_wall_seconds"] > 0.0
-        assert kernel["simulated_seconds"] > 0.0
-        assert kernel["simulated_seconds"] == kernel["scalar_simulated_seconds"]
+        assert kernel["bulk_wall_mean"] > 0.0
+        assert kernel["scalar_wall_mean"] > 0.0
+        assert kernel["bulk_wall_std"] >= 0.0
+        assert kernel["scalar_wall_std"] >= 0.0
+        if kernel["name"] in ("datagen-rmat", "graph-load"):
+            # Micro kernels have no cost model underneath; their
+            # match bit asserts artifact equality instead.
+            assert kernel["simulated_seconds"] == 0.0
+        else:
+            assert kernel["simulated_seconds"] > 0.0
+            assert (
+                kernel["simulated_seconds"]
+                == kernel["scalar_simulated_seconds"]
+            )
         assert kernel["simulated_match"] is True
+
+
+def test_perf_command_json_output(tmp_path, capsys):
+    output = tmp_path / "BENCH_kernels.json"
+    code = main(
+        ["perf", "--quick", "--json", "--kernels", "graph-load",
+         "--output", str(output)]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "graphalytics-perf/2"
+    (kernel,) = payload["kernels"]
+    assert kernel["name"] == "graph-load"
+    assert "conservative_speedup" in kernel
+    assert "bulk_wall_std" in kernel
 
 
 def test_perf_command_rejects_unknown_kernel(capsys):

@@ -87,3 +87,78 @@ class TestStandins:
         assert signs == {True, False}
         # Amazon has the highest clustering, as in the paper.
         assert rows["amazon"].average_clustering == max(clusterings)
+
+
+class TestDatasetCache:
+    """Content-addressed cache of generated graphs (mmap transport)."""
+
+    def _graph(self, seed=3):
+        from repro.graph.generators import rmat_graph
+
+        return rmat_graph(scale=5, edge_factor=4, seed=seed, directed=True)
+
+    def test_key_deterministic_and_order_insensitive(self):
+        from repro.datasets import dataset_key
+
+        key = dataset_key("rmat", {"scale": 5, "edge_factor": 4}, 3)
+        assert key == dataset_key("rmat", {"edge_factor": 4, "scale": 5}, 3)
+        assert key != dataset_key("rmat", {"scale": 6, "edge_factor": 4}, 3)
+        assert key != dataset_key("rmat", {"scale": 5, "edge_factor": 4}, 4)
+        assert key != dataset_key("grid", {"scale": 5, "edge_factor": 4}, 3)
+
+    def test_store_then_load(self, tmp_path):
+        from repro.datasets import DatasetCache
+
+        cache = DatasetCache(tmp_path / "store")
+        graph = self._graph()
+        assert not cache.contains("k1")
+        cache.store("k1", graph)
+        assert cache.contains("k1")
+        assert cache.load("k1", mmap=True) == graph
+        assert cache.load("k1", mmap=False) == graph
+
+    def test_store_is_idempotent(self, tmp_path):
+        from repro.datasets import DatasetCache
+
+        cache = DatasetCache(tmp_path / "store")
+        graph = self._graph()
+        first = cache.store("k1", graph)
+        second = cache.store("k1", graph)
+        assert first == second
+        assert cache.load("k1") == graph
+
+    def test_store_leaves_no_staging_debris(self, tmp_path):
+        from repro.datasets import DatasetCache
+
+        cache = DatasetCache(tmp_path / "store")
+        cache.store("k1", self._graph())
+        leftovers = [p.name for p in (tmp_path / "store").iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_get_or_generate_builds_once(self, tmp_path):
+        from repro.datasets import DatasetCache
+
+        cache = DatasetCache(tmp_path / "store")
+        calls = []
+
+        def build():
+            calls.append(1)
+            return self._graph()
+
+        params = {"scale": 5, "edge_factor": 4, "directed": True}
+        first = cache.get_or_generate("rmat", params, 3, build)
+        second = cache.get_or_generate("rmat", params, 3, build)
+        assert len(calls) == 1
+        assert first == second == self._graph()
+
+    def test_get_or_generate_serves_mmap_arrays(self, tmp_path):
+        import numpy as np
+
+        from repro.datasets import DatasetCache
+
+        cache = DatasetCache(tmp_path / "store")
+        graph = cache.get_or_generate(
+            "rmat", {"scale": 5}, 3, self._graph, mmap=True
+        )
+        assert isinstance(graph._targets, np.memmap)
