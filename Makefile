@@ -7,8 +7,8 @@ export PYTHONPATH := src
 
 COVERAGE_FLOOR := $(shell cat .coverage-floor 2>/dev/null || echo 0)
 
-.PHONY: check test test-fast quality quality-fixtures audit \
-	audit-fixtures perf trace-smoke coverage
+.PHONY: check test test-fast differential quality quality-fixtures \
+	audit audit-fixtures perf trace-smoke coverage
 
 check:
 	$(PYTHON) -m repro.cli selfcheck
@@ -18,6 +18,13 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# Full differential sweep: every platform x every pooled graph against
+# the reference implementations, including the slow LDBC cells
+# (8 platforms x 20 weighted graphs x PR/SSSP/LCC) and the fault-retry
+# sweep. CI runs this as its own named step.
+differential:
+	$(PYTHON) -m pytest -x -q tests/differential
 
 quality:
 	$(PYTHON) -m repro.cli quality --check --baseline .quality-baseline.json
@@ -36,8 +43,9 @@ audit-fixtures:
 	$(PYTHON) tests/analysis/fixtures/audit/regen.py
 
 # Quick harness for a local signal, then the tracked floors (frontier
-# kernels, the columnar MapReduce shuffle, scale-18 datagen, and mmap
-# graph load) — the same suite CI's "Performance floors" step runs.
+# and all-active PageRank kernels, the columnar MapReduce shuffle,
+# scale-18 datagen, and mmap graph load) — the same suite CI's
+# "Performance floors" step runs.
 perf:
 	$(PYTHON) -m repro.cli perf --quick
 	$(PYTHON) -m pytest -x -q benchmarks/perf

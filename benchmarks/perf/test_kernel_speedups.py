@@ -8,6 +8,9 @@ at scale 18 (multi-million-edge regime) — refreshes the repository's
 
 * every converted platform's vectorized BFS frontier kernel must beat
   the scalar path by at least 3x;
+* every converted platform's all-active PageRank kernel must beat the
+  scalar path by at least 3x (PR sends a message per edge per round,
+  so the bulk path has the most scalar overhead to amortize);
 * the columnar MapReduce executor must beat the per-record engine by
   at least 3x (``mapreduce-bfs-shuffle``);
 * vectorized R-MAT generation must beat the per-edge builder by at
@@ -40,6 +43,9 @@ SPEEDUP_FLOORS = {
     "pregel-conn-frontier": 3.0,
     "gas-conn-frontier": 3.0,
     "graphx-conn-frontier": 3.0,
+    "pregel-pagerank-allactive": 3.0,
+    "gas-pagerank-allactive": 3.0,
+    "graphx-pagerank-allactive": 3.0,
     "mapreduce-bfs-shuffle": 3.0,
     "datagen-rmat": 10.0,
     "graph-load": 3.0,

@@ -1,9 +1,12 @@
-"""Reference implementations of the five Graphalytics algorithms.
+"""Reference implementations of the Graphalytics algorithms.
 
-Section 3.2 of the paper defines the workload: general statistics
-(STATS), breadth-first search (BFS), connected components (CONN),
-community detection (CD, after Leung et al.), and graph evolution
-(EVO, forest-fire model after Leskovec et al.).
+Section 3.2 of the paper defines the original workload: general
+statistics (STATS), breadth-first search (BFS), connected components
+(CONN), community detection (CD, after Leung et al.), and graph
+evolution (EVO, forest-fire model after Leskovec et al.). The LDBC
+Graphalytics v1.0 successor added PageRank (PR), weighted single-
+source shortest paths (SSSP), and local clustering coefficient (LCC),
+closing the gap to its six-algorithm workload.
 
 These single-threaded reference implementations define the *correct*
 answer for each algorithm; the Output Validator compares every
@@ -15,6 +18,9 @@ from repro.algorithms.bfs import bfs
 from repro.algorithms.conn import connected_components
 from repro.algorithms.cd import community_detection
 from repro.algorithms.evo import forest_fire_evolution, forest_fire_links
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.algorithms.lcc import lcc, lcc_value
 
 __all__ = [
     "GraphStats",
@@ -24,4 +30,8 @@ __all__ = [
     "community_detection",
     "forest_fire_evolution",
     "forest_fire_links",
+    "pagerank",
+    "sssp",
+    "lcc",
+    "lcc_value",
 ]

@@ -1,0 +1,59 @@
+"""LCC: per-vertex local clustering coefficient.
+
+LDBC Graphalytics' triangle workload. Where STATS reports one *mean*
+clustering number for the whole graph, LCC outputs the coefficient of
+every vertex — the same quantity the paper's Table 1 averages — which
+makes it random-access bound: every vertex intersects its neighbor
+lists with its neighbors' neighbor lists.
+
+The coefficient of a vertex ``v`` with degree ``k`` (undirected view)
+is ``2 * links / (k * (k - 1))``, where ``links`` counts connected
+neighbor pairs once; vertices with ``k < 2`` score ``0.0``, matching
+:func:`repro.graph.properties.local_clustering_coefficient` and the
+networkx convention.
+
+Cross-platform float identity: every platform counts the integer
+``links`` and then calls :func:`lcc_value`, so the resulting floats
+are bitwise identical and the validator compares LCC outputs exactly.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+__all__ = ["lcc", "lcc_value"]
+
+
+def lcc_value(links: int, degree: int) -> float:
+    """Coefficient from the integer pair count and the degree.
+
+    ``links`` is the number of *unordered* connected neighbor pairs
+    (each triangle through the vertex counts once). Using one shared
+    float expression across the reference and all eight platforms
+    keeps the outputs bit-for-bit comparable.
+    """
+    if degree < 2:
+        return 0.0
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def lcc(graph: Graph) -> dict[int, float]:
+    """Local clustering coefficient of every vertex.
+
+    Returns ``{vertex: coefficient}`` over the undirected view.
+    """
+    undirected = graph.to_undirected()
+    neighbor_sets = {
+        int(v): set(int(u) for u in undirected.neighbors(int(v)))
+        for v in undirected.vertices
+    }
+    out: dict[int, float] = {}
+    for vertex, neighbors in neighbor_sets.items():
+        links = 0
+        for u in neighbors:
+            # Each connected pair {u, w} counted once via u < w.
+            links += sum(
+                1 for w in neighbor_sets[u] if w > u and w in neighbors
+            )
+        out[vertex] = lcc_value(links, len(neighbors))
+    return out

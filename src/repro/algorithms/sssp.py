@@ -1,0 +1,70 @@
+"""SSSP: single-source shortest paths over weighted edges.
+
+LDBC Graphalytics' weighted workload: unlike BFS's hop counts, SSSP
+minimizes the *sum of edge weights* along paths, which exercises a
+different choke point — label-correcting relaxation with active-set
+dynamics, where a vertex can be re-activated after it already settled
+once.
+
+The reference is a single-threaded Dijkstra. Distances are exact
+min-plus floats: every implementation computes the same candidate sums
+``dist[u] + w(u, v)`` and takes minima of the same values, so the
+fixpoint is bitwise identical regardless of relaxation order and the
+validator compares SSSP outputs exactly. Unreachable vertices map to
+:data:`UNREACHABLE_DISTANCE` (``float("inf")``), the Graphalytics
+"infinity" output convention.
+
+Like every algorithm in the suite, SSSP runs on the undirected view
+(the platforms all symmetrize their input).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graph.graph import Graph
+
+__all__ = ["sssp", "UNREACHABLE_DISTANCE"]
+
+#: Distance reported for vertices the source cannot reach.
+UNREACHABLE_DISTANCE = float("inf")
+
+
+def sssp(graph: Graph, source: int) -> dict[int, float]:
+    """Weighted shortest-path distance from ``source`` to every vertex.
+
+    Parameters
+    ----------
+    graph:
+        A *weighted* graph (``graph.weights`` must not be ``None``);
+        weights must be positive, which the :class:`Graph` constructor
+        enforces.
+    source:
+        Seed vertex; must exist in the graph.
+
+    Returns
+    -------
+    dict
+        ``{vertex: distance}`` with ``0.0`` for the source and
+        ``float("inf")`` for unreachable vertices.
+    """
+    if not graph.has_vertex(source):
+        raise ValueError(f"source vertex {source} not in graph")
+    if graph.weights is None:
+        raise ValueError("SSSP requires a weighted graph")
+    undirected = graph.to_undirected()
+    adjacency = undirected.weighted_adjacency()
+    distances = {int(v): UNREACHABLE_DISTANCE for v in undirected.vertices}
+    source = int(source)
+    distances[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, vertex = heapq.heappop(heap)
+        if dist > distances[vertex]:
+            continue  # stale queue entry
+        for neighbor, weight in adjacency[vertex]:
+            candidate = dist + weight
+            if candidate < distances[neighbor]:
+                distances[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances

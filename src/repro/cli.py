@@ -99,7 +99,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated catalog names (e.g. graph500-12,snb-5000,patents)",
     )
     run.add_argument("--algorithms", default=None,
-                     help="comma-separated subset of STATS,BFS,CONN,CD,EVO")
+                     help="comma-separated subset of "
+                     "STATS,BFS,CONN,CD,EVO,PR,SSSP,LCC "
+                     "(SSSP requires weighted graphs)")
     run.add_argument("--time-limit", type=float, default=None,
                      help="simulated-seconds budget per run")
     run.add_argument("--mem-limit", default=None, metavar="BYTES",

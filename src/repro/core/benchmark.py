@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.chokepoints import ChokePointReport, analyze_profile
 from repro.core.errors import PlatformFailure, SuiteWorkerError, ValidationFailure
-from repro.core.metrics import kteps
+from repro.core.metrics import edges_traversed_for, kteps
 from repro.core.monitor import SystemMonitor, UtilizationSample
 from repro.core.platform_api import Platform, PlatformRun
 from repro.core.stats import RuntimeStats
@@ -228,7 +228,7 @@ class BenchmarkCore:
         # graph -> 2 * undirected edge count, for the TEPS metric; the
         # undirected view itself is cached on the Graph, but the memo
         # also skips re-deriving it per result per repetition.
-        self._edges_traversed_memo: dict[Graph, float] = {}
+        self._edges_traversed_memo: dict[tuple[Graph, Algorithm], float] = {}
 
     def run(
         self, spec: BenchmarkRunSpec | None = None, parallel: int = 1
@@ -245,11 +245,28 @@ class BenchmarkCore:
         same spec order, regardless of worker count or scheduling.
         """
         spec = spec or BenchmarkRunSpec()
+        graphs = dict(self.graphs)
+        if spec.selects_algorithm(Algorithm.SSSP):
+            # SSSP needs edge weights. Datasets that ship without them
+            # get deterministic derived weights (the Graphalytics
+            # datagen ``wgt`` annotation equivalent) so the default
+            # "run everything" matrix works on every catalog graph;
+            # the weighted graph is what the platforms *and* the
+            # validator see, so the comparison stays consistent. An
+            # explicitly weighted dataset is used as-is.
+            graphs = {
+                name: (
+                    graph
+                    if graph.is_weighted
+                    else graph.with_uniform_weights()
+                )
+                for name, graph in graphs.items()
+            }
         pairs = [
             (platform, graph_name, graph)
             for platform in self.platforms
             if spec.selects_platform(platform.name)
-            for graph_name, graph in sorted(self.graphs.items())
+            for graph_name, graph in sorted(graphs.items())
             if spec.selects_graph(graph_name)
         ]
         suite = BenchmarkSuiteResult()
@@ -495,25 +512,29 @@ class BenchmarkCore:
                 return base
         base.status = SUCCESS
         base.runtime_seconds = runtime
-        base.kteps = kteps(self._edges_traversed(graph, algorithm), runtime)
+        base.kteps = kteps(
+            self._edges_traversed(graph, algorithm, spec.params), runtime
+        )
         base.run = run
         base.samples = self.monitor.samples_from_profile(run.profile)
         return base
 
-    def _edges_traversed(self, graph: Graph, algorithm: Algorithm) -> float:
+    def _edges_traversed(
+        self, graph: Graph, algorithm: Algorithm, params
+    ) -> float:
         """Edges the algorithm traverses, for the TEPS metrics.
 
-        Following the paper's usage ("the size of the processed graph
-        is included in this metric"), iterative whole-graph algorithms
-        traverse every edge in both directions once per effective
-        pass; the metric normalizes by the graph's edge count.
-        Memoized per graph (graphs hash by identity and are immutable),
-        so repeated cells skip re-deriving the undirected view.
+        Delegates to :func:`repro.core.metrics.edges_traversed_for`
+        (which scales PR by its iteration count); memoized per
+        (graph, algorithm) — graphs hash by identity and are
+        immutable, so repeated cells skip re-deriving the undirected
+        view.
         """
-        cached = self._edges_traversed_memo.get(graph)
+        key = (graph, algorithm)
+        cached = self._edges_traversed_memo.get(key)
         if cached is None:
-            cached = 2.0 * graph.to_undirected().num_edges
-            self._edges_traversed_memo[graph] = cached
+            cached = edges_traversed_for(graph, algorithm, params)
+            self._edges_traversed_memo[key] = cached
         return cached
 
 

@@ -13,8 +13,13 @@ Graph configuration (INI format)::
     edge_file = graphs/patents.e
     vertex_file = graphs/patents.v   ; optional
     directed = false
+    weights = uniform                ; optional: derive edge weights
+                                    ; (SSSP needs a weighted graph)
 
     [bfs]
+    source = 420
+
+    [sssp]
     source = 420
 
 Preconfigured catalog graphs reference the generator instead of a
@@ -44,6 +49,7 @@ key instead of being silently ignored.
 from __future__ import annotations
 
 import configparser
+import dataclasses
 import difflib
 import warnings
 from dataclasses import dataclass, field
@@ -59,9 +65,18 @@ __all__ = ["GraphConfig", "load_graph_config", "load_benchmark_config",
 #: Known sections and keys of a graph configuration file.
 GRAPH_CONFIG_SECTIONS: dict[str, frozenset[str]] = {
     "graph": frozenset(
-        {"name", "edge_file", "vertex_file", "catalog", "directed", "seed"}
+        {
+            "name",
+            "edge_file",
+            "vertex_file",
+            "catalog",
+            "directed",
+            "seed",
+            "weights",
+        }
     ),
     "bfs": frozenset({"source"}),
+    "sssp": frozenset({"source"}),
 }
 
 #: Known sections and keys of a benchmark configuration file.
@@ -144,6 +159,9 @@ class GraphConfig:
     #: Explicit generator seed for catalog-backed graphs; ``None``
     #: keeps each catalog entry's built-in seed.
     seed: int | None = None
+    #: ``"uniform"`` derives deterministic edge weights (the SSSP
+    #: workload requirement); ``None`` leaves the graph unweighted.
+    weights: str | None = None
     params: AlgorithmParams = field(default_factory=AlgorithmParams)
 
     def load(self, base_dir: str | Path | None = None):
@@ -151,22 +169,29 @@ class GraphConfig:
 
         File-backed configs read their edge (and optional vertex)
         files, resolved against ``base_dir``; catalog-backed configs
-        generate deterministically.
+        generate deterministically. ``weights = uniform`` derives
+        deterministic edge weights from the graph seed.
         """
         from repro.datasets.catalog import load_dataset
         from repro.graph.io import read_edge_list
 
         if self.catalog is not None:
-            return load_dataset(self.catalog, seed=self.seed)
-        base = Path(base_dir) if base_dir is not None else Path(".")
-        vertex_path = (
-            base / self.vertex_file if self.vertex_file else None
-        )
-        return read_edge_list(
-            base / self.edge_file,
-            directed=self.directed,
-            vertex_path=vertex_path,
-        )
+            graph = load_dataset(self.catalog, seed=self.seed)
+        else:
+            base = Path(base_dir) if base_dir is not None else Path(".")
+            vertex_path = (
+                base / self.vertex_file if self.vertex_file else None
+            )
+            graph = read_edge_list(
+                base / self.edge_file,
+                directed=self.directed,
+                vertex_path=vertex_path,
+            )
+        if self.weights == "uniform":
+            graph = graph.with_uniform_weights(
+                self.seed if self.seed is not None else 0
+            )
+        return graph
 
 
 def _parse_bool(value: str, context: str) -> bool:
@@ -202,6 +227,13 @@ def load_graph_config(path: str | Path) -> GraphConfig:
             params = params.with_source(int(parser["bfs"]["source"]))
         except ValueError as exc:
             raise ConfigurationError(f"{path}: invalid BFS source") from exc
+    if "sssp" in parser and "source" in parser["sssp"]:
+        try:
+            params = dataclasses.replace(
+                params, sssp_source=int(parser["sssp"]["source"])
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: invalid SSSP source") from exc
 
     seed = None
     if "seed" in section:
@@ -210,6 +242,17 @@ def load_graph_config(path: str | Path) -> GraphConfig:
         except ValueError as exc:
             raise ConfigurationError(f"{path}: invalid seed") from exc
 
+    weights = section.get("weights") or None
+    if weights is not None:
+        weights = weights.strip().lower()
+        if weights in ("", "none"):
+            weights = None
+        elif weights != "uniform":
+            raise ConfigurationError(
+                f"{path}: weights must be 'uniform' or 'none', "
+                f"got {weights!r}"
+            )
+
     return GraphConfig(
         name=section["name"],
         edge_file=section.get("edge_file") or None,
@@ -217,6 +260,7 @@ def load_graph_config(path: str | Path) -> GraphConfig:
         catalog=section.get("catalog") or None,
         directed=_parse_bool(section.get("directed", "false"), str(path)),
         seed=seed,
+        weights=weights,
         params=params,
     )
 
@@ -236,8 +280,12 @@ def save_graph_config(config: GraphConfig, path: str | Path) -> Path:
         parser["graph"]["vertex_file"] = config.vertex_file
     if config.seed is not None:
         parser["graph"]["seed"] = str(config.seed)
+    if config.weights is not None:
+        parser["graph"]["weights"] = config.weights
     if config.params.bfs_source is not None:
         parser["bfs"] = {"source": str(config.params.bfs_source)}
+    if config.params.sssp_source is not None:
+        parser["sssp"] = {"source": str(config.params.sssp_source)}
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

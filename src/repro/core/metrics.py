@@ -12,7 +12,35 @@ number of edges the algorithm traversed by the measured runtime.
 
 from __future__ import annotations
 
-__all__ = ["teps", "kteps", "mteps"]
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.workload import Algorithm, AlgorithmParams
+    from repro.graph.graph import Graph
+
+__all__ = ["teps", "kteps", "mteps", "edges_traversed_for"]
+
+
+def edges_traversed_for(
+    graph: "Graph", algorithm: "Algorithm", params: "AlgorithmParams"
+) -> float:
+    """Edges an algorithm traverses on a graph, for the TEPS metrics.
+
+    Following the paper's usage ("the size of the processed graph is
+    included in this metric"), single-pass and frontier algorithms are
+    normalized by the full undirected arc count ``2 * E`` — every edge
+    in both directions once. The all-active PR workload is the one
+    exception: it provably traverses every arc *in every iteration*,
+    so its count is ``iterations * 2 * E`` (otherwise its TEPS would
+    be deflated by the iteration count relative to BFS, hiding exactly
+    the per-round message-volume choke point it exists to measure).
+    """
+    from repro.core.workload import Algorithm
+
+    arcs = 2.0 * graph.to_undirected().num_edges
+    if algorithm is Algorithm.PR:
+        return max(1, params.pagerank_iterations) * arcs
+    return arcs
 
 
 def teps(edges_traversed: float, seconds: float) -> float:

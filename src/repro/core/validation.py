@@ -7,7 +7,15 @@ single-threaded reference implementations in :mod:`repro.algorithms`:
 * BFS, CONN, CD, EVO are deterministic under the benchmark's
   specifications, so outputs must match *exactly*;
 * STATS counts must match exactly and the mean local clustering
-  coefficient must match within floating-point tolerance.
+  coefficient must match within floating-point tolerance;
+* SSSP distances and LCC coefficients are floats but still compare
+  *exactly*: the min-plus shortest-path fixpoint is insensitive to
+  relaxation order, and every LCC implementation derives its float
+  from integer triangle counts through the shared ``lcc_value``
+  helper;
+* PR ranks are compared per vertex within a relative tolerance —
+  platforms sum rank shares in different orders, so bitwise equality
+  is not achievable (nor required by LDBC Graphalytics).
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ from repro.algorithms import (
     community_detection,
     connected_components,
     forest_fire_links,
+    lcc,
+    pagerank,
+    sssp,
     stats,
 )
 from repro.algorithms.stats import GraphStats
@@ -32,8 +43,14 @@ __all__ = ["OutputValidator"]
 class OutputValidator:
     """Validates platform outputs against reference implementations."""
 
-    def __init__(self, clustering_tolerance: float = 1e-9):
+    def __init__(
+        self,
+        clustering_tolerance: float = 1e-9,
+        pagerank_tolerance: float = 1e-9,
+    ):
         self.clustering_tolerance = clustering_tolerance
+        #: Per-vertex relative tolerance for PR scores.
+        self.pagerank_tolerance = pagerank_tolerance
 
     def reference_output(
         self, graph: Graph, algorithm: Algorithm, params: AlgorithmParams
@@ -60,6 +77,16 @@ class OutputValidator:
                 max_hops=params.evo_max_hops,
                 seed=params.evo_seed,
             )
+        if algorithm is Algorithm.PR:
+            return pagerank(
+                graph,
+                damping=params.pagerank_damping,
+                iterations=params.pagerank_iterations,
+            )
+        if algorithm is Algorithm.SSSP:
+            return sssp(graph, params.resolve_sssp_source(graph))
+        if algorithm is Algorithm.LCC:
+            return lcc(graph)
         raise ValueError(f"unknown algorithm {algorithm}")
 
     def validate(
@@ -74,10 +101,42 @@ class OutputValidator:
         if algorithm is Algorithm.STATS:
             self._validate_stats(output, reference)
             return
+        if algorithm is Algorithm.PR:
+            self._validate_pagerank(output, reference)
+            return
         if output != reference:
             difference = self._describe_difference(output, reference)
             raise ValidationFailure(
                 f"{algorithm.value} output disagrees with reference: {difference}"
+            )
+
+    def _validate_pagerank(self, output, reference: dict) -> None:
+        """Per-vertex tolerance comparison for PR rank maps."""
+        if not isinstance(output, dict):
+            raise ValidationFailure(
+                f"PR output must be a dict, got {type(output).__name__}"
+            )
+        if set(output) != set(reference):
+            difference = self._describe_difference(output, reference)
+            raise ValidationFailure(
+                f"PR output disagrees with reference: {difference}"
+            )
+        wrong = {
+            vertex: (output[vertex], expected)
+            for vertex, expected in reference.items()
+            if not math.isclose(
+                output[vertex],
+                expected,
+                rel_tol=self.pagerank_tolerance,
+                abs_tol=self.pagerank_tolerance,
+            )
+        }
+        if wrong:
+            sample = dict(sorted(wrong.items())[:3])
+            raise ValidationFailure(
+                f"PR output disagrees with reference beyond tolerance "
+                f"{self.pagerank_tolerance}: {len(wrong)} vertices "
+                f"(got, expected): {sample}"
             )
 
     def _validate_stats(self, output, reference: GraphStats) -> None:

@@ -12,19 +12,28 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.core.errors import ConfigurationError
 from repro.graph.graph import Graph
 
 __all__ = ["Algorithm", "AlgorithmParams", "Workload", "BenchmarkRunSpec"]
 
 
 class Algorithm(enum.Enum):
-    """The five Graphalytics algorithms (paper Section 3.2)."""
+    """The Graphalytics algorithms.
+
+    STATS, BFS, CONN, CD, and EVO are the paper's original workload
+    (Section 3.2); PR, SSSP, and LCC close the gap to the
+    six-algorithm LDBC Graphalytics v1.0 workload (PAPERS.md).
+    """
 
     STATS = "STATS"
     BFS = "BFS"
     CONN = "CONN"
     CD = "CD"
     EVO = "EVO"
+    PR = "PR"
+    SSSP = "SSSP"
+    LCC = "LCC"
 
     @classmethod
     def from_name(cls, name: str) -> "Algorithm":
@@ -50,6 +59,10 @@ class AlgorithmParams:
         Community-detection (Leung et al.) knobs.
     evo_new_vertices, evo_p_forward, evo_max_hops, evo_seed:
         Forest-fire evolution knobs.
+    pagerank_damping, pagerank_iterations:
+        The PR damping factor and its fixed iteration count.
+    sssp_source:
+        Seed vertex for SSSP; ``None`` selects the smallest vertex id.
     """
 
     bfs_source: int | None = None
@@ -60,6 +73,9 @@ class AlgorithmParams:
     evo_p_forward: float = 0.3
     evo_max_hops: int = 2
     evo_seed: int = 0
+    pagerank_damping: float = 0.85
+    pagerank_iterations: int = 10
+    sssp_source: int | None = None
 
     def resolve_bfs_source(self, graph: Graph) -> int:
         """The effective BFS seed vertex for a graph."""
@@ -67,6 +83,28 @@ class AlgorithmParams:
             if not graph.has_vertex(self.bfs_source):
                 raise ValueError(f"BFS source {self.bfs_source} not in graph")
             return self.bfs_source
+        return int(graph.vertices[0])
+
+    def resolve_sssp_source(self, graph: Graph) -> int:
+        """The effective SSSP seed vertex for a graph.
+
+        Also where the workload's weight requirement is enforced:
+        running SSSP on an unweighted graph raises a clear
+        :class:`ConfigurationError` here, at workload-resolution time,
+        instead of a ``KeyError`` deep inside a platform engine.
+        """
+        if graph.weights is None:
+            raise ConfigurationError(
+                "SSSP requires a weighted graph; this graph has no edge "
+                "weights (generate them with Graph.with_uniform_weights, "
+                "or set 'weights = uniform' in the graph config)"
+            )
+        if self.sssp_source is not None:
+            if not graph.has_vertex(self.sssp_source):
+                raise ValueError(
+                    f"SSSP source {self.sssp_source} not in graph"
+                )
+            return self.sssp_source
         return int(graph.vertices[0])
 
     def with_source(self, source: int) -> "AlgorithmParams":

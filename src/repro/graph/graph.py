@@ -12,6 +12,14 @@ Vertex identifiers are arbitrary non-negative integers; they do not
 need to be dense. Internally vertices are mapped to dense indices so
 that adjacency can be stored in two numpy arrays (offsets + targets),
 which keeps even multi-million-edge graphs comfortably in memory.
+
+Graphs may optionally carry **edge weights** (one float per edge,
+required by the SSSP workload of LDBC Graphalytics). Weights ride
+alongside the edge list, survive :meth:`Graph.save`/:meth:`Graph.load`
+(on-disk format v2), participate in :meth:`Graph.content_key`, and
+propagate through the directed/undirected views. When duplicate edges
+are supplied with different weights, the minimum wins — the
+shortest-path-relevant value, and a deterministic choice.
 """
 
 from __future__ import annotations
@@ -25,8 +33,12 @@ import numpy as np
 
 __all__ = ["Graph", "GraphBuilder"]
 
-#: On-disk layout version for :meth:`Graph.save`.
+#: On-disk layout version for :meth:`Graph.save` (unweighted graphs).
 GRAPH_FORMAT = "graphalytics-graph/1"
+#: On-disk layout version for weighted graphs (adds ``weights.npy``).
+#: Unweighted graphs keep writing v1 so existing cache entries stay
+#: valid byte for byte.
+GRAPH_FORMAT_WEIGHTED = "graphalytics-graph/2"
 
 
 class GraphBuilder:
@@ -51,6 +63,7 @@ class GraphBuilder:
         self.allow_self_loops = allow_self_loops
         self._vertices: set[int] = set()
         self._edges: set[tuple[int, int]] = set()
+        self._weights: dict[tuple[int, int], float] = {}
 
     def add_vertex(self, vertex: int) -> None:
         """Register a vertex (possibly isolated)."""
@@ -63,11 +76,16 @@ class GraphBuilder:
         for vertex in vertices:
             self.add_vertex(vertex)
 
-    def add_edge(self, source: int, target: int) -> bool:
+    def add_edge(
+        self, source: int, target: int, weight: float | None = None
+    ) -> bool:
         """Add an edge; returns ``True`` if it was new.
 
         Self-loops are dropped (returning ``False``) unless the builder
-        was created with ``allow_self_loops=True``.
+        was created with ``allow_self_loops=True``. When a ``weight``
+        is supplied for an edge that already exists, the minimum of the
+        two weights is kept (duplicate-edge resolution for weighted
+        datasets).
         """
         source = int(source)
         target = int(target)
@@ -80,6 +98,12 @@ class GraphBuilder:
         key = (source, target)
         if not self.directed and source > target:
             key = (target, source)
+        if weight is not None:
+            weight = float(weight)
+            existing = self._weights.get(key)
+            self._weights[key] = (
+                weight if existing is None else min(existing, weight)
+            )
         if key in self._edges:
             return False
         self._edges.add(key)
@@ -90,6 +114,16 @@ class GraphBuilder:
         added = 0
         for source, target in edges:
             if self.add_edge(source, target):
+                added += 1
+        return added
+
+    def add_weighted_edges(
+        self, edges: Iterable[tuple[int, int, float]]
+    ) -> int:
+        """Add many ``(source, target, weight)`` edges at once."""
+        added = 0
+        for source, target, weight in edges:
+            if self.add_edge(source, target, weight=weight):
                 added += 1
         return added
 
@@ -126,10 +160,22 @@ class GraphBuilder:
 
     def build(self) -> "Graph":
         """Freeze the accumulated vertices/edges into a :class:`Graph`."""
+        edges = sorted(self._edges)
+        weights: list[float] | None = None
+        if self._weights:
+            missing = [e for e in edges if e not in self._weights]
+            if missing:
+                raise ValueError(
+                    "weighted builder has unweighted edges "
+                    f"(e.g. {missing[:3]}); supply a weight for every "
+                    "edge or for none"
+                )
+            weights = [self._weights[e] for e in edges]
         return Graph(
             sorted(self._vertices),
-            sorted(self._edges),
+            edges,
             directed=self.directed,
+            weights=weights,
         )
 
 
@@ -154,6 +200,7 @@ class Graph:
         vertices: Sequence[int],
         edges: Sequence[tuple[int, int]],
         directed: bool = False,
+        weights: Sequence[float] | None = None,
     ):
         self.directed = directed
         if not isinstance(vertices, np.ndarray):
@@ -170,6 +217,7 @@ class Graph:
         self._index_cache: dict[int, int] | None = None
         self._directed_view: "Graph" | None = None
         self._undirected_view: "Graph" | None = None
+        self._csr_weight_cache: np.ndarray | None = None
         n = len(self._vertex_ids)
 
         # Vectorized edge processing: map endpoints to dense indices
@@ -184,6 +232,7 @@ class Graph:
             )
         else:
             edge_array = edges.astype(np.int64, copy=False).reshape(-1, 2)
+        weight_array = _validated_weights(weights, len(edge_array))
         flat = edge_array.ravel()
         if len(flat) and n == 0:
             source, target = int(edge_array[0, 0]), int(edge_array[0, 1])
@@ -239,9 +288,25 @@ class Graph:
             # result, several times faster on multi-million-edge
             # arrays (np.unique's hash path dominates bulk datagen).
             keys = src_idx * n + dst_idx
-            keys.sort()
-            keys = keys[np.r_[True, keys[1:] != keys[:-1]]]
+            if weight_array is None:
+                keys.sort()
+                keys = keys[np.r_[True, keys[1:] != keys[:-1]]]
+            else:
+                # Weighted dedup keeps the minimum weight per edge:
+                # argsort (not an in-place key sort) so weights can be
+                # gathered into edge order, then a segmented min.
+                order = np.argsort(keys, kind="stable")
+                sorted_keys = keys[order]
+                boundary = np.r_[
+                    True, sorted_keys[1:] != sorted_keys[:-1]
+                ]
+                starts = np.flatnonzero(boundary)
+                weight_array = np.minimum.reduceat(
+                    weight_array[order], starts
+                )
+                keys = sorted_keys[boundary]
             src_idx, dst_idx = np.divmod(keys, n)
+        self._weight_list = weight_array
         if dense_ids:
             # Ids are their own indices — no gather needed.
             self._edge_list = np.column_stack([src_idx, dst_idx]).reshape(-1, 2)
@@ -278,15 +343,29 @@ class Graph:
         edges: Iterable[tuple[int, int]],
         directed: bool = False,
         vertices: Iterable[int] | None = None,
+        weights: Iterable[float] | None = None,
     ) -> "Graph":
         """Build a graph from an edge iterable, deduplicating as needed.
 
-        ``vertices`` may supply additional isolated vertices.
+        ``vertices`` may supply additional isolated vertices;
+        ``weights`` (parallel to ``edges``) makes the graph weighted.
         """
         builder = GraphBuilder(directed=directed)
         if vertices is not None:
             builder.add_vertices(vertices)
-        builder.add_edges(edges)
+        if weights is not None:
+            edge_list = list(edges)
+            weight_list = list(weights)
+            if len(edge_list) != len(weight_list):
+                raise ValueError(
+                    f"got {len(weight_list)} weights for "
+                    f"{len(edge_list)} edges"
+                )
+            builder.add_weighted_edges(
+                (s, t, w) for (s, t), w in zip(edge_list, weight_list)
+            )
+        else:
+            builder.add_edges(edges)
         return builder.build()
 
     @classmethod
@@ -327,10 +406,33 @@ class Graph:
         """
         return self._edge_list
 
+    @property
+    def weights(self) -> np.ndarray | None:
+        """Per-edge weights aligned with :attr:`edges`, or ``None``.
+
+        Unweighted graphs (the default) return ``None``; the SSSP
+        workload requires a weighted graph.
+        """
+        return self._weight_list
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether the graph carries edge weights."""
+        return self._weight_list is not None
+
     def iter_edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over edges as Python int pairs."""
         for source, target in self._edge_list:
             yield int(source), int(target)
+
+    def iter_weighted_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over ``(source, target, weight)`` triples."""
+        if self._weight_list is None:
+            raise ValueError("graph has no edge weights")
+        for (source, target), weight in zip(
+            self._edge_list, self._weight_list
+        ):
+            yield int(source), int(target), float(weight)
 
     def has_vertex(self, vertex: int) -> bool:
         """Whether the vertex id exists in the graph."""
@@ -413,6 +515,36 @@ class Graph:
         """
         return self._offsets, self._targets
 
+    def csr_weights(self) -> np.ndarray:
+        """Arc weights aligned with the :meth:`csr` ``targets`` array.
+
+        Entry ``k`` is the weight of the arc stored at ``targets[k]``.
+        For undirected graphs each edge contributes its weight to both
+        arc copies. Built once and cached (graphs are immutable).
+        """
+        if self._weight_list is None:
+            raise ValueError("graph has no edge weights")
+        if self._csr_weight_cache is None:
+            src_idx = self.indices_of(self._edge_list[:, 0])
+            dst_idx = self.indices_of(self._edge_list[:, 1])
+            if self.directed:
+                # The edge list is already (source, target)-sorted —
+                # exactly the forward CSR order.
+                self._csr_weight_cache = np.ascontiguousarray(
+                    self._weight_list, dtype=np.float64
+                )
+            else:
+                all_src = np.concatenate([src_idx, dst_idx])
+                all_dst = np.concatenate([dst_idx, src_idx])
+                all_w = np.concatenate(
+                    [self._weight_list, self._weight_list]
+                )
+                # Mirror _build_csr's (source, target) ordering.
+                self._csr_weight_cache = all_w[
+                    np.lexsort((all_dst, all_src))
+                ]
+        return self._csr_weight_cache
+
     def out_degrees(self) -> np.ndarray:
         """Vectorized out-degrees ordered by ascending vertex id.
 
@@ -456,7 +588,10 @@ class Graph:
             return self
         if self._undirected_view is None:
             self._undirected_view = Graph(
-                self._vertex_ids, self._edge_list, directed=False
+                self._vertex_ids,
+                self._edge_list,
+                directed=False,
+                weights=self._weight_list,
             )
         return self._undirected_view
 
@@ -470,7 +605,14 @@ class Graph:
         if self._directed_view is None:
             reversed_edges = self._edge_list[:, ::-1]
             both = np.concatenate([self._edge_list, reversed_edges])
-            self._directed_view = Graph(self._vertex_ids, both, directed=True)
+            both_weights = (
+                None
+                if self._weight_list is None
+                else np.concatenate([self._weight_list, self._weight_list])
+            )
+            self._directed_view = Graph(
+                self._vertex_ids, both, directed=True, weights=both_weights
+            )
         return self._directed_view
 
     def subgraph(self, vertices: Iterable[int]) -> "Graph":
@@ -479,16 +621,75 @@ class Graph:
         missing = keep.difference(int(v) for v in self._vertex_ids if int(v) in keep)
         if missing:
             raise ValueError(f"vertices not in graph: {sorted(missing)[:5]}")
-        edges = [
-            (s, t) for s, t in self.iter_edges() if s in keep and t in keep
+        if self._weight_list is None:
+            edges = [
+                (s, t) for s, t in self.iter_edges() if s in keep and t in keep
+            ]
+            return Graph(sorted(keep), edges, directed=self.directed)
+        kept = [
+            (s, t, w)
+            for s, t, w in self.iter_weighted_edges()
+            if s in keep and t in keep
         ]
-        return Graph(sorted(keep), edges, directed=self.directed)
+        return Graph(
+            sorted(keep),
+            [(s, t) for s, t, _ in kept],
+            directed=self.directed,
+            weights=[w for _, _, w in kept],
+        )
 
     def relabel(self) -> tuple["Graph", dict[int, int]]:
         """Relabel vertices to ``0..n-1``; returns (graph, old->new map)."""
         mapping = {int(v): i for i, v in enumerate(self._vertex_ids)}
         edges = [(mapping[s], mapping[t]) for s, t in self.iter_edges()]
-        return Graph(range(len(mapping)), edges, directed=self.directed), mapping
+        relabeled = Graph(
+            range(len(mapping)),
+            edges,
+            directed=self.directed,
+            weights=self._weight_list,
+        )
+        return relabeled, mapping
+
+    def with_uniform_weights(self, seed: int = 0) -> "Graph":
+        """A structurally identical graph with derived edge weights.
+
+        Weights are a deterministic hash of (seed, source, target)
+        mapped into ``[1, 2)`` — positive, reproducible, independent
+        of edge order, and stable under relabeling-free copies. This
+        is how the benchmark runs SSSP on datasets that ship without
+        weights (the Graphalytics datagen equivalent of its
+        ``wgt``-annotated edge files).
+        """
+        if self._weight_list is not None:
+            return self
+        edges = self._edge_list
+        if len(edges):
+            # splitmix64-style avalanche over the packed endpoints;
+            # vectorized, collision-tolerant (only the 53-bit mantissa
+            # fraction matters). uint64 wraparound is the point.
+            with np.errstate(over="ignore"):
+                mixed = (
+                    edges[:, 0].astype(np.uint64)
+                    * np.uint64(0x9E3779B97F4A7C15)
+                    + edges[:, 1].astype(np.uint64)
+                    * np.uint64(0xBF58476D1CE4E5B9)
+                    + np.uint64(int(seed) & 0xFFFFFFFFFFFFFFFF)
+                    * np.uint64(0x94D049BB133111EB)
+                )
+                mixed ^= mixed >> np.uint64(31)
+                mixed *= np.uint64(0xD6E8FEB86659FD93)
+                mixed ^= mixed >> np.uint64(27)
+            weights = 1.0 + (mixed >> np.uint64(11)).astype(np.float64) / float(
+                1 << 53
+            )
+        else:
+            weights = np.empty(0, dtype=np.float64)
+        return Graph(
+            self._vertex_ids,
+            edges,
+            directed=self.directed,
+            weights=weights,
+        )
 
     # -- persistence ----------------------------------------------------
 
@@ -504,6 +705,11 @@ class Graph:
         digest.update(b"directed" if self.directed else b"undirected")
         digest.update(np.ascontiguousarray(self._vertex_ids).tobytes())
         digest.update(np.ascontiguousarray(self._edge_list).tobytes())
+        if self._weight_list is not None:
+            # Weighted graphs hash differently from their unweighted
+            # skeleton — the DatasetCache must not conflate them.
+            digest.update(b"weights")
+            digest.update(np.ascontiguousarray(self._weight_list).tobytes())
         return digest.hexdigest()[:32]
 
     def save(self, path: str | Path) -> Path:
@@ -525,10 +731,16 @@ class Graph:
         if self.directed:
             arrays["in_offsets"] = self._in_offsets
             arrays["in_targets"] = self._in_targets
+        if self._weight_list is not None:
+            arrays["weights"] = self._weight_list
         for name, array in arrays.items():
             np.save(path / f"{name}.npy", np.ascontiguousarray(array))
         meta = {
-            "format": GRAPH_FORMAT,
+            "format": (
+                GRAPH_FORMAT_WEIGHTED
+                if self._weight_list is not None
+                else GRAPH_FORMAT
+            ),
             "directed": self.directed,
             "num_vertices": self.num_vertices,
             "num_edges": self.num_edges,
@@ -548,10 +760,11 @@ class Graph:
         """
         path = Path(path)
         meta = json.loads((path / "meta.json").read_text())
-        if meta.get("format") != GRAPH_FORMAT:
+        if meta.get("format") not in (GRAPH_FORMAT, GRAPH_FORMAT_WEIGHTED):
             raise ValueError(
                 f"unsupported graph format {meta.get('format')!r} at {path}"
             )
+        weighted = meta["format"] == GRAPH_FORMAT_WEIGHTED
         mmap_mode = "r" if mmap else None
 
         def _read(name: str) -> np.ndarray:
@@ -569,9 +782,11 @@ class Graph:
         else:
             graph._in_offsets = graph._offsets
             graph._in_targets = graph._targets
+        graph._weight_list = _read("weights") if weighted else None
         graph._index_cache = None
         graph._directed_view = None
         graph._undirected_view = None
+        graph._csr_weight_cache = None
         return graph
 
     # -- adjacency export ----------------------------------------------
@@ -582,6 +797,18 @@ class Graph:
             int(v): [int(u) for u in self.neighbors(int(v))]
             for v in self._vertex_ids
         }
+
+    def weighted_adjacency(self) -> dict[int, list[tuple[int, float]]]:
+        """``{vertex: [(neighbor, weight)]}`` in :meth:`neighbors` order."""
+        weights = self.csr_weights()
+        out: dict[int, list[tuple[int, float]]] = {}
+        for i, vertex in enumerate(self._vertex_ids):
+            start, end = self._offsets[i], self._offsets[i + 1]
+            out[int(vertex)] = [
+                (int(self._vertex_ids[t]), float(w))
+                for t, w in zip(self._targets[start:end], weights[start:end])
+            ]
+        return out
 
     # -- dunder --------------------------------------------------------
 
@@ -594,6 +821,12 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
+        if (self._weight_list is None) != (other._weight_list is None):
+            return False
+        if self._weight_list is not None and not np.array_equal(
+            self._weight_list, other._weight_list
+        ):
+            return False
         return (
             self.directed == other.directed
             and np.array_equal(self._vertex_ids, other._vertex_ids)
@@ -605,10 +838,32 @@ class Graph:
 
     def __repr__(self) -> str:
         kind = "directed" if self.directed else "undirected"
+        weighted = ", weighted" if self.is_weighted else ""
         return (
             f"Graph({kind}, vertices={self.num_vertices}, "
-            f"edges={self.num_edges})"
+            f"edges={self.num_edges}{weighted})"
         )
+
+
+def _validated_weights(
+    weights: Sequence[float] | None, num_edges: int
+) -> np.ndarray | None:
+    """Coerce an edge-weight sequence to float64, enforcing one finite
+    positive weight per edge."""
+    if weights is None:
+        return None
+    if not isinstance(weights, np.ndarray):
+        weights = list(weights)
+    weight_array = np.asarray(weights, dtype=np.float64).ravel()
+    if len(weight_array) != num_edges:
+        raise ValueError(
+            f"got {len(weight_array)} weights for {num_edges} edges"
+        )
+    if len(weight_array) and not bool(
+        np.isfinite(weight_array).all() & (weight_array > 0).all()
+    ):
+        raise ValueError("edge weights must be finite and positive")
+    return weight_array
 
 
 def _build_csr(

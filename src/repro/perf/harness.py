@@ -85,19 +85,24 @@ class KernelSpec:
 def default_kernels() -> list[KernelSpec]:
     """The tracked kernel set.
 
-    BFS and CONN are the two algorithms with bulk kernels on every
-    converted platform. The MapReduce kernel times the columnar
-    ``RecordBatch`` executor against the per-record scalar engine.
-    The micro kernels cover the rest of the data plane: vectorized
-    R-MAT generation and mmap graph loading.
+    BFS, CONN, and PR are the algorithms with bulk kernels on every
+    converted platform (PR is the all-active stress case: every vertex
+    sends every round, so the vectorized path earns the most). The
+    MapReduce kernel times the columnar ``RecordBatch`` executor
+    against the per-record scalar engine. The micro kernels cover the
+    rest of the data plane: vectorized R-MAT generation and mmap graph
+    loading.
     """
     return [
         KernelSpec("pregel-bfs-frontier", "giraph", Algorithm.BFS),
         KernelSpec("pregel-conn-frontier", "giraph", Algorithm.CONN),
+        KernelSpec("pregel-pagerank-allactive", "giraph", Algorithm.PR),
         KernelSpec("gas-bfs-frontier", "graphlab", Algorithm.BFS),
         KernelSpec("gas-conn-frontier", "graphlab", Algorithm.CONN),
+        KernelSpec("gas-pagerank-allactive", "graphlab", Algorithm.PR),
         KernelSpec("graphx-bfs-frontier", "graphx", Algorithm.BFS),
         KernelSpec("graphx-conn-frontier", "graphx", Algorithm.CONN),
+        KernelSpec("graphx-pagerank-allactive", "graphx", Algorithm.PR),
         KernelSpec("mapreduce-bfs-shuffle", "mapreduce", Algorithm.BFS),
         KernelSpec("datagen-rmat", "datagen", Algorithm.BFS, kind="micro"),
         KernelSpec("graph-load", "datasets", Algorithm.BFS, kind="micro"),

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["CompressedColumn", "VECTOR_SIZE"]
+__all__ = ["CompressedColumn", "FloatColumn", "VECTOR_SIZE"]
 
 #: Values per vector, as in Virtuoso's vectored execution.
 VECTOR_SIZE = 1024
@@ -143,3 +143,44 @@ class CompressedColumn:
         if start < 0 or stop > self._length or start > stop:
             raise IndexError(f"range [{start}, {stop}) out of bounds")
         return self.to_numpy()[start:stop]
+
+
+class FloatColumn:
+    """An immutable plain float64 column (edge-weight properties).
+
+    Continuous measure columns gain nothing from delta/RLE/dictionary
+    encoding, so column stores keep them bit-packed plain: 8 bytes per
+    value, unit decompression cost per value read.
+    """
+
+    scheme = "plain"
+
+    def __init__(self, values, name: str = "col"):
+        data = np.asarray(values, dtype=np.float64)
+        if data.ndim != 1:
+            raise ValueError("a column is one-dimensional")
+        self.name = name
+        self._data = data.copy()
+        self.compressed_bytes = float(8 * data.size)
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def num_vectors(self) -> int:
+        """Number of vectors covering the column."""
+        return (len(self) + VECTOR_SIZE - 1) // VECTOR_SIZE
+
+    def decompress_cost(self, count: int = VECTOR_SIZE) -> float:
+        """Simple-operation cost of reading ``count`` values."""
+        return float(count)
+
+    def to_numpy(self) -> np.ndarray:
+        """The column's values (already materialized)."""
+        return self._data
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """An arbitrary range (a random access + scan)."""
+        if start < 0 or stop > len(self) or start > stop:
+            raise IndexError(f"range [{start}, {stop}) out of bounds")
+        return self._data[start:stop]

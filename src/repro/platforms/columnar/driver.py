@@ -67,10 +67,18 @@ class VirtuosoPlatform(Platform):
     def _load(self, name: str, graph: Graph) -> GraphHandle:
         undirected = graph.to_undirected()
         arcs = []
-        for source, target in undirected.iter_edges():
-            arcs.append((source, target))
-            arcs.append((target, source))
-        table = ColumnTable.edge_table(arcs, name="sp_edge")
+        if undirected.weights is not None:
+            for source, target, weight in undirected.iter_weighted_edges():
+                arcs.append((source, target, weight))
+                arcs.append((target, source, weight))
+            table = ColumnTable.weighted_edge_table(arcs, name="sp_edge")
+            fields_per_arc = 3
+        else:
+            for source, target in undirected.iter_edges():
+                arcs.append((source, target))
+                arcs.append((target, source))
+            table = ColumnTable.edge_table(arcs, name="sp_edge")
+            fields_per_arc = 2
         vertices = [int(v) for v in undirected.vertices]
         storage = table.compressed_bytes + len(vertices) * STATE_BYTES_PER_VERTEX
         meter = CostMeter(self.cluster)
@@ -81,7 +89,7 @@ class VirtuosoPlatform(Platform):
         etl_time = (
             file_bytes / self.cluster.disk_bandwidth
             + etl.sort_seconds(len(arcs), self.cluster)
-            + etl.parse_seconds(2 * len(arcs), 2.0, self.cluster)
+            + etl.parse_seconds(fields_per_arc * len(arcs), 2.0, self.cluster)
         )
         return GraphHandle(
             name=name,
@@ -138,6 +146,18 @@ class VirtuosoPlatform(Platform):
                 params.cd_hop_attenuation,
                 params.cd_node_preference,
             )
+        if algorithm is Algorithm.PR:
+            return procedures.pagerank(
+                table,
+                vertices,
+                params.pagerank_damping,
+                params.pagerank_iterations,
+            )
+        if algorithm is Algorithm.SSSP:
+            source = params.resolve_sssp_source(handle.graph)
+            return procedures.sssp_distances(table, vertices, source)
+        if algorithm is Algorithm.LCC:
+            return procedures.local_clustering(table, vertices)
         if algorithm is Algorithm.EVO:
             return procedures.forest_fire(
                 table,

@@ -16,12 +16,15 @@ platform driver converts into cost-meter charges.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.lcc import lcc_value
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE
 from repro.platforms.columnar.table import ColumnTable
 
 __all__ = [
@@ -31,6 +34,9 @@ __all__ = [
     "clustering_statistics",
     "label_propagation",
     "forest_fire",
+    "pagerank",
+    "sssp_distances",
+    "local_clustering",
 ]
 
 
@@ -55,6 +61,11 @@ class _EdgeReader:
         self.stats = stats
         self._keys = table.column("spe_from").to_numpy()
         self._values = table.column("spe_to").to_numpy()
+        self._weights = (
+            table.column("spe_weight").to_numpy()
+            if "spe_weight" in table.columns
+            else None
+        )
 
     def out_neighbors(self, vertex: int) -> np.ndarray:
         """The (sorted) targets of a vertex's outbound edges."""
@@ -63,6 +74,25 @@ class _EdgeReader:
         self.stats.random_lookups += 1
         self.stats.endpoints_visited += right - left
         return self._values[left:right]
+
+    def weighted_out_neighbors(
+        self, vertex: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(targets, weights)`` of a vertex's outbound edges.
+
+        One binary search locates the row range shared by all aligned
+        columns; both the target and the weight column are then read
+        over that span, doubling the endpoints scanned.
+        """
+        if self._weights is None:
+            raise ValueError(
+                f"table {self.table.name!r} has no spe_weight column"
+            )
+        left = int(np.searchsorted(self._keys, vertex, side="left"))
+        right = int(np.searchsorted(self._keys, vertex, side="right"))
+        self.stats.random_lookups += 1
+        self.stats.endpoints_visited += 2 * (right - left)
+        return self._values[left:right], self._weights[left:right]
 
 
 def bfs_distances(
@@ -203,6 +233,101 @@ def label_propagation(
         if changes == 0:
             break
     return labels, stats
+
+
+def pagerank(
+    table: ColumnTable, vertices: list[int], damping: float, iterations: int
+) -> tuple[dict[int, float], ProcedureStats]:
+    """PR: fixed damped-update rounds over cached neighbor vectors.
+
+    The adjacency is read from the table once (charged per span);
+    each round then folds every vertex's neighbors' shares — the
+    per-round scan an embedded SQL procedure actually does.
+    """
+    stats = ProcedureStats()
+    reader = _EdgeReader(table, stats)
+    neighbor_cache = {
+        vertex: reader.out_neighbors(vertex) for vertex in vertices
+    }
+    n = len(vertices)
+    if n == 0:
+        return {}, stats
+    base = (1.0 - damping) / n
+    ranks = {vertex: 1.0 / n for vertex in vertices}
+    for _iteration in range(iterations):
+        shares = {
+            vertex: ranks[vertex] / int(neighbor_cache[vertex].size)
+            for vertex in vertices
+            if neighbor_cache[vertex].size
+        }
+        new_ranks: dict[int, float] = {}
+        for vertex in vertices:
+            neighbors = neighbor_cache[vertex]
+            stats.endpoints_visited += int(neighbors.size)
+            total = 0.0
+            for neighbor in neighbors.tolist():
+                total += shares[neighbor]
+            new_ranks[vertex] = base + damping * total
+        ranks = new_ranks
+    return ranks, stats
+
+
+def sssp_distances(
+    table: ColumnTable, vertices: list[int], source: int
+) -> tuple[dict[int, float], ProcedureStats]:
+    """Weighted SSSP: Dijkstra over the aligned weight column.
+
+    Every expansion is one range lookup reading both the target and
+    weight spans — the column-store analogue of chasing a property
+    chain per relationship.
+    """
+    stats = ProcedureStats()
+    reader = _EdgeReader(table, stats)
+    distances = {vertex: UNREACHABLE_DISTANCE for vertex in vertices}
+    distances[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, vertex = heapq.heappop(heap)
+        if dist > distances[vertex]:
+            continue  # stale queue entry
+        targets, weights = reader.weighted_out_neighbors(vertex)
+        for neighbor, weight in zip(targets.tolist(), weights.tolist()):
+            candidate = dist + weight
+            if candidate < distances[neighbor]:
+                distances[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances, stats
+
+
+def local_clustering(
+    table: ColumnTable, vertices: list[int]
+) -> tuple[dict[int, float], ProcedureStats]:
+    """Per-vertex LCC via sorted-range intersections.
+
+    Same access pattern as :func:`clustering_statistics`, but emitting
+    the coefficient per vertex instead of the mean.
+    """
+    stats = ProcedureStats()
+    reader = _EdgeReader(table, stats)
+    neighbor_cache = {
+        vertex: reader.out_neighbors(vertex) for vertex in vertices
+    }
+    out: dict[int, float] = {}
+    for vertex in vertices:
+        neighbors = neighbor_cache[vertex]
+        degree = int(neighbors.size)
+        if degree < 2:
+            out[vertex] = 0.0
+            continue
+        links_twice = 0
+        for neighbor in neighbors.tolist():
+            other = neighbor_cache[int(neighbor)]
+            stats.endpoints_visited += int(other.size)
+            links_twice += int(
+                np.intersect1d(neighbors, other, assume_unique=True).size
+            )
+        out[vertex] = lcc_value(links_twice // 2, degree)
+    return out, stats
 
 
 def forest_fire(

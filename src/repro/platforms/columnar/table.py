@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.platforms.columnar.columns import CompressedColumn
+from repro.platforms.columnar.columns import CompressedColumn, FloatColumn
 
 __all__ = ["ColumnTable", "PartitionedHashTable"]
 
@@ -46,6 +46,28 @@ class ColumnTable:
             {
                 "spe_from": CompressedColumn(sources, "spe_from"),
                 "spe_to": CompressedColumn(targets, "spe_to"),
+            },
+        )
+
+    @classmethod
+    def weighted_edge_table(cls, edges, name: str = "sp_edge") -> "ColumnTable":
+        """``sp_edge`` plus an aligned ``spe_weight`` property column.
+
+        Arcs are sorted by (source, target) exactly as the unweighted
+        table, so the plain float weight column shares the key column's
+        row ranges: ``spe_weight[left:right]`` aligns with the
+        ``spe_to`` span of the same lookup.
+        """
+        arcs = sorted((int(s), int(t), float(w)) for s, t, w in edges)
+        sources = np.array([a[0] for a in arcs], dtype=np.int64)
+        targets = np.array([a[1] for a in arcs], dtype=np.int64)
+        weights = np.array([a[2] for a in arcs], dtype=np.float64)
+        return cls(
+            name,
+            {
+                "spe_from": CompressedColumn(sources, "spe_from"),
+                "spe_to": CompressedColumn(targets, "spe_to"),
+                "spe_weight": FloatColumn(weights, "spe_weight"),
             },
         )
 

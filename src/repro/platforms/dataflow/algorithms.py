@@ -1,16 +1,19 @@
-"""The five Graphalytics algorithms as dataflow programs.
+"""The Graphalytics algorithms as dataflow programs.
 
-BFS and CONN are genuine delta iterations (frontier-sized worksets);
-CD keeps every vertex in the workset for its fixed iteration count
-(label propagation is dense by nature); STATS is a single
-expand + aggregate pipeline; EVO runs one delta round per fire hop.
-All outputs match the references exactly.
+BFS, CONN, and weighted SSSP are genuine delta iterations
+(frontier-sized worksets); CD and PR keep every vertex in the workset
+for their fixed iteration counts (label propagation and damped rank
+updates are dense by nature); STATS and LCC are single
+expand + aggregate pipelines; EVO runs one delta round per fire hop.
+Outputs match the references exactly (PR to per-vertex tolerance).
 """
 
 from __future__ import annotations
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.lcc import lcc_value
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE
 from repro.algorithms.stats import GraphStats
 from repro.platforms.dataflow.engine import DataflowEngine
 
@@ -20,6 +23,9 @@ __all__ = [
     "dataflow_cd",
     "dataflow_stats",
     "dataflow_evo",
+    "dataflow_pagerank",
+    "dataflow_sssp",
+    "dataflow_lcc",
 ]
 
 
@@ -177,6 +183,128 @@ def dataflow_stats(engine: DataflowEngine) -> GraphStats:
             clustering_sum / num_vertices if num_vertices else 0.0
         ),
     )
+
+
+def dataflow_pagerank(
+    engine: DataflowEngine, damping: float, iterations: int
+) -> dict[int, float]:
+    """PR: dense damped-rank rounds expressed as bounded iterations.
+
+    Like CD, every vertex stays in the workset for the fixed round
+    count; share records move through expand + aggregate, and vertices
+    with no incoming share outer-join to a zero total so isolated
+    vertices still settle at the base rank.
+    """
+    adjacency = engine.adjacency
+    degrees = {vertex: len(adj) for vertex, adj in adjacency.items()}
+    n = len(adjacency)
+    base = (1.0 - damping) / n if n else 0.0
+    state = {"remaining": iterations}
+
+    def step(flow: DataflowEngine, workset):
+        if state["remaining"] <= 0:
+            return []
+        state["remaining"] -= 1
+        totals = flow.aggregate(
+            flow.expand(
+                workset,
+                emit=lambda vertex, rank, neighbor: [
+                    (neighbor, rank / degrees[vertex])
+                ],
+            ),
+            combine=lambda a, b: a + b,
+        )
+        for vertex in adjacency:
+            totals.setdefault(vertex, 0.0)  # outer join: no incoming share
+        deltas = flow.join_solution(
+            totals,
+            accept=lambda key, current, total: base + damping * total,
+        )
+        flow.update_solution(deltas)
+        return sorted(flow.solution.items())
+
+    initial = {vertex: 1.0 / n for vertex in adjacency} if n else {}
+    workset = sorted(initial.items()) if iterations > 0 else []
+    engine.delta_iteration(initial, workset, step, max_iterations=iterations + 1)
+    return dict(engine.solution)
+
+
+def dataflow_sssp(
+    engine: DataflowEngine, source: int, weights: dict[int, dict[int, float]]
+) -> dict[int, float]:
+    """Weighted SSSP as a delta iteration (workset = improved vertices).
+
+    Label-correcting relaxation: improved distances expand along
+    weighted edges, candidates keep the minimum offer, and only strict
+    improvements re-enter the workset — the positive-weight fixpoint
+    is the Dijkstra distance exactly.
+    """
+
+    def step(flow: DataflowEngine, workset):
+        candidates = flow.aggregate(
+            flow.expand(
+                workset,
+                emit=lambda vertex, dist, neighbor: [
+                    (neighbor, dist + weights[vertex][neighbor])
+                ],
+            ),
+            combine=min,
+        )
+        deltas = flow.join_solution(
+            candidates,
+            accept=lambda key, current, candidate: (
+                candidate if candidate < current else None
+            ),
+        )
+        flow.update_solution(deltas)
+        return sorted(deltas.items())
+
+    initial = {vertex: UNREACHABLE_DISTANCE for vertex in engine.adjacency}
+    initial[source] = 0.0
+    engine.delta_iteration(
+        initial,
+        [(source, 0.0)],
+        step,
+        max_iterations=max(200, len(engine.adjacency) + 2),
+    )
+    return dict(engine.solution)
+
+
+def dataflow_lcc(engine: DataflowEngine) -> dict[int, float]:
+    """LCC as one expand + aggregate pipeline (no iteration).
+
+    Same neighbor-list broadcast as :func:`dataflow_stats`, but the
+    solution set keeps the coefficient per vertex instead of the mean.
+    Vertices with degree below two keep their initial 0.0.
+    """
+    adjacency = engine.adjacency
+
+    def step(flow: DataflowEngine, workset):
+        shipped = flow.expand(
+            workset,
+            emit=lambda vertex, adj, neighbor: [(neighbor, (adj,))]
+            if len(adj) >= 2
+            else [],
+        )
+        lists = flow.aggregate(shipped, combine=lambda a, b: a + b)
+
+        def accept(key, current, neighbor_lists):
+            own = set(adjacency[key])
+            degree = len(own)
+            if degree < 2:
+                return None
+            links_twice = sum(
+                1 for lst in neighbor_lists for w in lst if w in own
+            )
+            return lcc_value(links_twice // 2, degree)
+
+        flow.update_solution(flow.join_solution(lists, accept))
+        return []
+
+    initial = {vertex: 0.0 for vertex in adjacency}
+    workset = [(vertex, adjacency[vertex]) for vertex in sorted(adjacency)]
+    engine.delta_iteration(initial, workset, step)
+    return dict(engine.solution)
 
 
 def dataflow_evo(

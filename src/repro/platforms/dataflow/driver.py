@@ -13,6 +13,9 @@ from repro.platforms.dataflow.algorithms import (
     dataflow_cd,
     dataflow_conn,
     dataflow_evo,
+    dataflow_lcc,
+    dataflow_pagerank,
+    dataflow_sssp,
     dataflow_stats,
 )
 from repro.platforms.dataflow.engine import (
@@ -83,6 +86,21 @@ class StratospherePlatform(Platform):
                 )
             elif algorithm is Algorithm.STATS:
                 output = dataflow_stats(engine)
+            elif algorithm is Algorithm.PR:
+                output = dataflow_pagerank(
+                    engine,
+                    params.pagerank_damping,
+                    params.pagerank_iterations,
+                )
+            elif algorithm is Algorithm.SSSP:
+                source = params.resolve_sssp_source(handle.graph)
+                weights = {
+                    vertex: dict(pairs)
+                    for vertex, pairs in handle.graph.weighted_adjacency().items()
+                }
+                output = dataflow_sssp(engine, source, weights)
+            elif algorithm is Algorithm.LCC:
+                output = dataflow_lcc(engine)
             elif algorithm is Algorithm.EVO:
                 existing = sorted(adjacency)
                 next_id = existing[-1] + 1

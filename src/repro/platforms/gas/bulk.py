@@ -40,7 +40,13 @@ import numpy as np
 
 from repro.algorithms.bfs import UNREACHABLE
 
-__all__ = ["GASBulkKernel", "GASBFSBulkKernel", "GASConnBulkKernel", "BulkRoundRunner"]
+__all__ = [
+    "GASBulkKernel",
+    "GASBFSBulkKernel",
+    "GASConnBulkKernel",
+    "BulkRoundRunner",
+    "GASPageRankBulkRunner",
+]
 
 
 class GASBulkKernel(abc.ABC):
@@ -357,3 +363,113 @@ class BulkRoundRunner:
                 int(pair_counts[index]),
                 payload,
             )
+
+
+class GASPageRankBulkRunner(BulkRoundRunner):
+    """Vectorized fixed-iteration PageRank with exact scalar costs.
+
+    PageRank's gather sum is a *float addition*, so the result depends
+    on operand order and :class:`BulkRoundRunner`'s ``reduceat``-based
+    exchange (pairwise summation) cannot reproduce the scalar path.
+    The scalar engine folds contributions in two levels: per
+    ``(vertex, worker)`` partial in incident-arc order, then
+    mirror→master partials in dict-insertion (first-contributing-arc)
+    order. ``np.add.at`` performs additions sequentially in index
+    order, so streaming the arcs in that exact order gives bit-equal
+    ranks.
+    """
+
+    def __init__(self, engine, program):
+        super().__init__(engine, program, kernel=None)
+
+    def run(self):
+        """Execute ``iterations`` synchronous rounds; scalar-identical."""
+        from repro.platforms.gas.engine import GASResult
+
+        meter, program = self.engine.meter, self.program
+        n = self.n
+        damping, iterations = program.damping, program.iterations
+        values = np.full(n, 1.0 / n if n else 0.0, dtype=np.float64)
+        applied = np.zeros(n, dtype=np.int64)
+        degrees = (self.offsets[1:] - self.offsets[:-1]).astype(np.float64)
+        base = (1.0 - damping) / n if n else 0.0
+
+        active = (
+            np.arange(n, dtype=np.int64)
+            if iterations > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        rounds = 0
+        while len(active):
+            meter.begin_round(f"gas-{rounds}")
+            arc_owner, arc_neighbor, arc_counts = self._expand_arcs(active)
+            arc_ops = np.bincount(arc_owner, minlength=self.num_workers)
+            self._charge_ops(arc_ops)  # gather: one op per incident arc
+            contributions = values[arc_neighbor] / degrees[arc_neighbor]
+            gathered = self._exchange_sum_partials(
+                np.repeat(active, arc_counts), arc_owner, contributions, active
+            )
+            # Apply on the masters; every vertex's (rank, iteration)
+            # value changes, so every mirror hears about it.
+            self._charge_ops(
+                np.bincount(self.masters[active], minlength=self.num_workers)
+            )
+            values[active] = base + damping * gathered
+            applied[active] += 1
+            self._broadcast_changes(active)
+            self._charge_ops(arc_ops)  # scatter: one op per incident arc
+            meter.end_round(active_vertices=len(active))
+            rounds += 1
+            if rounds < iterations:
+                active = np.unique(arc_neighbor)
+            else:
+                active = np.empty(0, dtype=np.int64)
+        return GASResult(
+            values={
+                int(vertex): (float(rank), int(iteration))
+                for vertex, rank, iteration in zip(self.ids, values, applied)
+            },
+            rounds=rounds,
+            replication_factor=self.engine.replication_factor,
+        )
+
+    def _exchange_sum_partials(
+        self,
+        contrib_vertices: np.ndarray,
+        contrib_workers: np.ndarray,
+        contributions: np.ndarray,
+        active: np.ndarray,
+    ) -> np.ndarray:
+        """Float-sum partials per (vertex, worker), sync to masters.
+
+        Same charge structure as :meth:`BulkRoundRunner._exchange_partials`
+        but with order-preserving summation: ``np.add.at`` folds each
+        pair's contributions in arc order (the scalar per-worker
+        accumulation) and then folds the pairs per vertex in
+        first-contributing-arc order (the scalar dict-insertion merge).
+        Returns a dense gather sum aligned with ``active`` (0.0 where
+        nothing gathered, which is exactly what the PageRank apply
+        uses for a ``None`` gather).
+        """
+        gathered = np.zeros(len(active), dtype=np.float64)
+        if len(contrib_vertices) == 0:
+            return gathered
+        key = contrib_vertices * self.num_workers + contrib_workers
+        pair_keys, first, inverse = np.unique(
+            key, return_index=True, return_inverse=True
+        )
+        pair_partials = np.zeros(len(pair_keys), dtype=np.float64)
+        np.add.at(pair_partials, inverse, contributions)
+        pair_vertex = pair_keys // self.num_workers
+        pair_worker = pair_keys % self.num_workers
+        pair_master = self.masters[pair_vertex]
+        remote = pair_worker != pair_master
+        self._charge_pair_messages(
+            pair_worker[remote], pair_master[remote], self.gather_payload
+        )
+        # One combine op on the master per per-worker partial.
+        self._charge_ops(np.bincount(pair_master, minlength=self.num_workers))
+        slots = np.searchsorted(active, pair_vertex)
+        insertion = np.argsort(first, kind="stable")
+        np.add.at(gathered, slots[insertion], pair_partials[insertion])
+        return gathered

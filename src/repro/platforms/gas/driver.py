@@ -15,6 +15,9 @@ from repro.platforms.gas.programs import (
     GASCDProgram,
     GASConnProgram,
     GASEvoProgram,
+    GASLCCProgram,
+    GASPageRankProgram,
+    GASSSSPProgram,
     GASStatsProgram,
 )
 
@@ -93,6 +96,20 @@ class GraphLabPlatform(Platform):
             )
         if algorithm is Algorithm.STATS:
             return GASStatsProgram(adjacency)
+        if algorithm is Algorithm.PR:
+            return GASPageRankProgram(
+                num_vertices=handle.graph.num_vertices,
+                damping=params.pagerank_damping,
+                iterations=params.pagerank_iterations,
+            )
+        if algorithm is Algorithm.SSSP:
+            return GASSSSPProgram(
+                params.resolve_sssp_source(handle.graph),
+                handle.graph.weighted_adjacency(),
+                num_vertices=handle.graph.num_vertices,
+            )
+        if algorithm is Algorithm.LCC:
+            return GASLCCProgram(adjacency)
         if algorithm is Algorithm.EVO:
             existing = sorted(adjacency)
             next_id = existing[-1] + 1
@@ -123,7 +140,9 @@ class GraphLabPlatform(Platform):
                     clustering_sum / num_vertices if num_vertices else 0.0
                 ),
             )
-        if algorithm is Algorithm.CD:
+        if algorithm in (Algorithm.CD, Algorithm.PR):
+            # The vertex value carries an iteration counter; only the
+            # label (CD) / rank (PR) is the output.
             return {v: value[0] for v, value in result.values.items()}
         if algorithm is Algorithm.EVO:
             existing = sorted(adjacency)

@@ -107,6 +107,24 @@ class GASProgram(abc.ABC):
         """
         return None
 
+    def bulk_runner(self, engine: "GASEngine"):
+        """The vectorized executor for this program, if any.
+
+        The default wraps :meth:`bulk_rounds`'s kernel in the
+        min-reducing :class:`~repro.platforms.gas.bulk.BulkRoundRunner`.
+        Programs whose vectorized execution does not fit that shape —
+        PageRank's order-sensitive float gather sum — override this to
+        return a dedicated runner instead. ``None`` keeps the scalar
+        per-arc path.
+        """
+        # Imported here: the bulk module depends on this one.
+        from repro.platforms.gas.bulk import BulkRoundRunner
+
+        kernel = self.bulk_rounds()
+        if kernel is None:
+            return None
+        return BulkRoundRunner(engine, self, kernel)
+
 
 @dataclass
 class GASResult:
@@ -323,19 +341,16 @@ class GASEngine:
     def run(self, program: GASProgram) -> GASResult:
         """Execute the program to quiescence; returns final values.
 
-        Programs that provide a :meth:`GASProgram.bulk_rounds` kernel
-        run through the vectorized round path (unless the engine was
-        built with ``bulk=False``); the cost profile is identical
-        either way.
+        Programs that provide a :meth:`GASProgram.bulk_runner`
+        executor run through the vectorized round path (unless the
+        engine was built with ``bulk=False``); the cost profile is
+        identical either way.
         """
-        # Imported here: the bulk module depends on this one.
-        from repro.platforms.gas.bulk import BulkRoundRunner
-
-        kernel = program.bulk_rounds() if self.bulk else None
+        runner = program.bulk_runner(self) if self.bulk else None
         self._load(program)
         try:
-            if kernel is not None:
-                return BulkRoundRunner(self, program, kernel).run()
+            if runner is not None:
+                return runner.run()
             return self._run_rounds(program)
         finally:
             self._unload()

@@ -1,8 +1,9 @@
-"""The five Graphalytics algorithms as Gather-Apply-Scatter programs.
+"""The Graphalytics algorithms as Gather-Apply-Scatter programs.
 
-Each program reproduces its reference output exactly; the GAS engine's
-synchronous rounds read the previous round's values, so the update
-timing matches the BSP platforms' supersteps.
+Each program reproduces its reference output exactly (PageRank within
+the validator's per-vertex tolerance); the GAS engine's synchronous
+rounds read the previous round's values, so the update timing matches
+the BSP platforms' supersteps.
 """
 
 from __future__ import annotations
@@ -11,6 +12,8 @@ from typing import Any
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.lcc import lcc_value
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE
 from repro.platforms.gas.bulk import GASBFSBulkKernel, GASConnBulkKernel
 from repro.platforms.gas.engine import GASProgram
 
@@ -20,6 +23,9 @@ __all__ = [
     "GASCDProgram",
     "GASStatsProgram",
     "GASEvoProgram",
+    "GASPageRankProgram",
+    "GASSSSPProgram",
+    "GASLCCProgram",
 ]
 
 
@@ -107,6 +113,129 @@ class GASConnProgram(GASProgram):
 
     def scatter(self, vertex, old_value, new_value, neighbor):
         """A shrunken label wakes the neighbors that can still improve."""
+        return new_value < old_value
+
+
+class GASPageRankProgram(GASProgram):
+    """Fixed-iteration PageRank as synchronous GAS rounds.
+
+    The vertex value is ``(rank, completed-iterations)`` — the counter
+    lets scatter stop activating after ``iterations`` rounds, exactly
+    like :class:`GASCDProgram`. Every incident edge gathers the
+    neighbor's rank share; apply performs the damped update. The
+    gather sum is a float addition, so the engine's per-worker
+    grouping gives a different (but tolerance-equal) summation order
+    than the reference.
+    """
+
+    gather_bytes = 8.0
+    value_bytes = 16.0
+
+    def __init__(
+        self,
+        num_vertices: int,
+        damping: float = 0.85,
+        iterations: int = 10,
+    ):
+        self.num_vertices = num_vertices
+        self.damping = damping
+        self.iterations = iterations
+
+    def max_rounds(self) -> int:
+        """One GAS round per PageRank iteration, plus slack."""
+        return self.iterations + 2
+
+    def initial_value(self, vertex: int, degree: int) -> tuple[float, int]:
+        """``(rank, completed-iterations)``; everyone starts at 1/n."""
+        return (1.0 / self.num_vertices, 0)
+
+    def initially_active(self, vertex: int) -> bool:
+        """Everyone participates while iterations remain."""
+        return self.iterations > 0
+
+    def bulk_runner(self, engine):
+        """Order-preserving float-summing runner (same semantics)."""
+        from repro.platforms.gas.bulk import GASPageRankBulkRunner
+
+        return GASPageRankBulkRunner(engine, self)
+
+    def gather(self, vertex, value, neighbor, neighbor_value, neighbor_degree):
+        """The neighbor's rank share over this edge."""
+        return neighbor_value[0] / neighbor_degree
+
+    def gather_sum(self, left, right):
+        """Sum the rank shares."""
+        return left + right
+
+    def apply(self, vertex, value, gathered):
+        """The damped PageRank update."""
+        base = (1.0 - self.damping) / self.num_vertices
+        total = gathered if gathered is not None else 0.0
+        return (base + self.damping * total, value[1] + 1)
+
+    def scatter(self, vertex, old_value, new_value, neighbor):
+        """Keep iterating until the budget is spent."""
+        return new_value[1] < self.iterations
+
+
+class GASSSSPProgram(GASProgram):
+    """Weighted single-source shortest paths (label-correcting pull).
+
+    The vertex value is the best known distance. Reached neighbors
+    offer ``their distance + edge weight``; a vertex adopts a strictly
+    smaller offer and wakes its neighbors. Positive weights make the
+    min-plus fixpoint unique, so converged distances equal the
+    Dijkstra reference exactly.
+    """
+
+    gather_bytes = 8.0
+    value_bytes = 8.0
+
+    def __init__(
+        self,
+        source: int,
+        weighted_adjacency: dict[int, list[tuple[int, float]]],
+        num_vertices: int = 0,
+    ):
+        self.source = source
+        self.weights = {
+            vertex: dict(pairs) for vertex, pairs in weighted_adjacency.items()
+        }
+        self.num_vertices = num_vertices
+
+    def max_rounds(self) -> int:
+        """Shortest-path hop counts are bounded by the vertex count."""
+        return max(200, self.num_vertices + 2)
+
+    def initial_value(self, vertex: int, degree: int) -> float:
+        """Everyone starts unreached; the source bootstraps in apply."""
+        return UNREACHABLE_DISTANCE
+
+    def initially_active(self, vertex: int) -> bool:
+        """Only the source starts active."""
+        return vertex == self.source
+
+    def gather(self, vertex, value, neighbor, neighbor_value, neighbor_degree):
+        """A reached neighbor offers its distance plus the edge weight."""
+        if neighbor_value == UNREACHABLE_DISTANCE:
+            return None
+        return neighbor_value + self.weights[vertex][neighbor]
+
+    def gather_sum(self, left, right):
+        """Keep the smallest candidate distance."""
+        return min(left, right)
+
+    def apply(self, vertex, value, gathered):
+        """Adopt any improvement (source: distance 0)."""
+        best = value
+        if vertex == self.source:
+            best = min(best, 0.0)
+        if gathered is not None and gathered < best:
+            best = gathered
+        return best
+
+    def scatter(self, vertex, old_value, new_value, neighbor):
+        """A shortened distance wakes the neighbors."""
         return new_value < old_value
 
 
@@ -234,6 +363,29 @@ class GASStatsProgram(GASProgram):
     def scatter(self, vertex, old_value, new_value, neighbor):
         """One round only."""
         return False
+
+
+class GASLCCProgram(GASStatsProgram):
+    """LCC: per-vertex local clustering via adjacency-list exchange.
+
+    Identical round structure to :class:`GASStatsProgram` — each edge
+    ships the neighbor's adjacency list — but the vertex value is the
+    coefficient derived from the integer link count through the shared
+    :func:`~repro.algorithms.lcc.lcc_value`, so outputs match the
+    reference bit for bit.
+    """
+
+    def apply(self, vertex, value, gathered):
+        """Count each triangle edge twice, then derive the coefficient."""
+        own = self.adjacency[vertex]
+        degree = len(own)
+        if degree < 2 or gathered is None:
+            return 0.0
+        own_set = set(own)
+        links_twice = sum(
+            1 for neighbor_list in gathered for w in neighbor_list if w in own_set
+        )
+        return lcc_value(links_twice // 2, degree)
 
 
 class GASEvoProgram(GASProgram):

@@ -83,6 +83,10 @@ class _GPUVertexContext:
         """The current vertex's out-neighbors."""
         return self._engine.adjacency[self.vertex]
 
+    def weighted_neighbors(self) -> list[tuple[int, float]]:
+        """The current vertex's out-edges as ``(neighbor, weight)``."""
+        return self._engine.weighted_adjacency[self.vertex]
+
     def degree(self) -> int:
         """The current vertex's out-degree."""
         return len(self._engine.adjacency[self.vertex])
@@ -124,12 +128,14 @@ class GPUEngine:
 
     def __init__(self, graph, spec: ClusterSpec, meter: CostMeter | None = None):
         undirected = graph.to_undirected()
+        self.graph = undirected
         self.spec = spec
         self.meter = meter or CostMeter(spec)
         self.adjacency = {
             int(v): [int(u) for u in undirected.neighbors(int(v))]
             for v in undirected.vertices
         }
+        self._weighted_adjacency: dict[int, list[tuple[int, float]]] | None = None
         self.num_arcs = sum(len(adj) for adj in self.adjacency.values())
         #: Dense thread order: consecutive vertex ids share a warp.
         self.thread_order = sorted(self.adjacency)
@@ -140,6 +146,13 @@ class GPUEngine:
         self._outbox_bytes = 0.0
         self._program: VertexProgram | None = None
         self._resident = 0.0
+
+    @property
+    def weighted_adjacency(self) -> dict[int, list[tuple[int, float]]]:
+        """Out-adjacency with edge weights, built on first (SSSP) use."""
+        if self._weighted_adjacency is None:
+            self._weighted_adjacency = self.graph.weighted_adjacency()
+        return self._weighted_adjacency
 
     # -- messaging ------------------------------------------------------
 

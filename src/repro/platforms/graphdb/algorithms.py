@@ -1,4 +1,4 @@
-"""The five Graphalytics algorithms as embedded graph-database procedures.
+"""The Graphalytics algorithms as embedded graph-database procedures.
 
 Each runs single-threaded against the record store, the way embedded
 Neo4j algorithms do: no network, no barriers, but every neighbor
@@ -8,13 +8,26 @@ accesses by the store).
 
 from __future__ import annotations
 
+import heapq
+
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.lcc import lcc_value
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE
 from repro.algorithms.stats import GraphStats
 from repro.platforms.graphdb.store import GraphStore
 from repro.platforms.graphdb.traversal import TraversalDescription
 
-__all__ = ["db_bfs", "db_conn", "db_cd", "db_stats", "db_evo"]
+__all__ = [
+    "db_bfs",
+    "db_conn",
+    "db_cd",
+    "db_stats",
+    "db_evo",
+    "db_pagerank",
+    "db_sssp",
+    "db_lcc",
+]
 
 
 def db_bfs(store: GraphStore, source: int) -> dict[int, int]:
@@ -112,6 +125,80 @@ def db_stats(store: GraphStore) -> GraphStats:
         num_edges=store.num_relationships,
         mean_local_clustering=clustering_sum / num_nodes if num_nodes else 0.0,
     )
+
+
+def db_pagerank(
+    store: GraphStore, damping: float, iterations: int
+) -> dict[int, float]:
+    """PageRank: fixed damped-update rounds over cached adjacency.
+
+    The adjacency is materialized once (pointer-chased, charged by the
+    store); each round then scans every node and folds its neighbors'
+    shares — the per-round work an embedded procedure actually does.
+    """
+    nodes = store.node_ids()
+    adjacency = {node: store.neighbors(node) for node in nodes}
+    n = len(nodes)
+    if n == 0:
+        return {}
+    base = (1.0 - damping) / n
+    ranks = {node: 1.0 / n for node in nodes}
+    for _iteration in range(iterations):
+        shares = {
+            node: ranks[node] / len(adjacency[node])
+            for node in nodes
+            if adjacency[node]
+        }
+        new_ranks: dict[int, float] = {}
+        for node in nodes:
+            store._charge_scan(1 + len(adjacency[node]))
+            total = 0.0
+            for neighbor in adjacency[node]:
+                total += shares[neighbor]
+            new_ranks[node] = base + damping * total
+        ranks = new_ranks
+    return ranks
+
+
+def db_sssp(store: GraphStore, source: int) -> dict[int, float]:
+    """Weighted SSSP: Dijkstra straight over the record store.
+
+    Every expansion walks the node's relationship chain *and* each
+    relationship's weight property — the pointer-chasing access
+    pattern that makes graph databases random-access bound.
+    """
+    distances = {node: UNREACHABLE_DISTANCE for node in store.node_ids()}
+    distances[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if dist > distances[node]:
+            continue  # stale queue entry
+        for neighbor, weight in store.weighted_neighbors(node):
+            candidate = dist + weight
+            if candidate < distances[neighbor]:
+                distances[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances
+
+
+def db_lcc(store: GraphStore) -> dict[int, float]:
+    """LCC: per-node neighborhood intersections over the store."""
+    nodes = store.node_ids()
+    neighbor_sets = {node: set(store.neighbors(node)) for node in nodes}
+    out: dict[int, float] = {}
+    for node in nodes:
+        neighbors = neighbor_sets[node]
+        degree = len(neighbors)
+        if degree < 2:
+            out[node] = 0.0
+            continue
+        links_twice = 0
+        for u in neighbors:
+            links_twice += sum(1 for w in neighbor_sets[u] if w in neighbors)
+            store._charge_scan(len(neighbor_sets[u]))
+        out[node] = lcc_value(links_twice // 2, degree)
+    return out
 
 
 def db_evo(

@@ -8,7 +8,16 @@ from repro.core.errors import SimulatedOOM
 from repro.core.platform_api import GraphHandle, Platform
 from repro.core.workload import Algorithm, AlgorithmParams
 from repro.graph.graph import Graph
-from repro.platforms.graphdb.algorithms import db_bfs, db_cd, db_conn, db_evo, db_stats
+from repro.platforms.graphdb.algorithms import (
+    db_bfs,
+    db_cd,
+    db_conn,
+    db_evo,
+    db_lcc,
+    db_pagerank,
+    db_sssp,
+    db_stats,
+)
 from repro.platforms.graphdb.store import GraphStore
 
 __all__ = ["Neo4jPlatform"]
@@ -41,8 +50,12 @@ class Neo4jPlatform(Platform):
                 store.create_node(int(vertex))
             # Inserts charge the meter inside the store (memory per
             # record); insert *time* is the explicit ETL model below.
-            for source, target in undirected.iter_edges():  # quality: ignore[cost-accounting]
-                store.create_relationship(source, target)
+            if undirected.weights is not None:
+                for source, target, weight in undirected.iter_weighted_edges():  # quality: ignore[cost-accounting]
+                    store.create_relationship(source, target, weight)
+            else:
+                for source, target in undirected.iter_edges():
+                    store.create_relationship(source, target)
         except MemoryBudgetExceeded as exc:
             store.release()
             raise SimulatedOOM(self.name, str(exc)) from exc
@@ -100,6 +113,14 @@ class Neo4jPlatform(Platform):
                 )
             elif algorithm is Algorithm.STATS:
                 output = db_stats(store)
+            elif algorithm is Algorithm.PR:
+                output = db_pagerank(
+                    store, params.pagerank_damping, params.pagerank_iterations
+                )
+            elif algorithm is Algorithm.SSSP:
+                output = db_sssp(store, params.resolve_sssp_source(handle.graph))
+            elif algorithm is Algorithm.LCC:
+                output = db_lcc(store)
             elif algorithm is Algorithm.EVO:
                 output = db_evo(
                     store,

@@ -28,6 +28,9 @@ __all__ = ["GraphStore", "NODE_RECORD_BYTES", "REL_RECORD_BYTES", "NO_RELATIONSH
 NODE_RECORD_BYTES = 32.0
 #: In-memory bytes per relationship record (33 B record + overhead).
 REL_RECORD_BYTES = 64.0
+#: In-memory bytes per property record (41 B record + overhead);
+#: charged per weighted relationship.
+PROPERTY_RECORD_BYTES = 48.0
 #: Chain terminator.
 NO_RELATIONSHIP = -1
 
@@ -42,13 +45,19 @@ class NodeRecord:
 
 @dataclass
 class RelationshipRecord:
-    """A relationship: endpoints plus per-endpoint chain pointers."""
+    """A relationship: endpoints plus per-endpoint chain pointers.
+
+    ``weight`` holds the relationship's one property (the edge weight
+    of weighted datasets); Neo4j stores properties in a separate
+    property-record chain, modeled here as extra bytes per record.
+    """
 
     rel_id: int
     node_a: int
     node_b: int
     a_next: int = NO_RELATIONSHIP
     b_next: int = NO_RELATIONSHIP
+    weight: float | None = None
 
     def other(self, node: int) -> int:
         """The endpoint opposite to ``node``."""
@@ -80,6 +89,7 @@ class GraphStore:
         self.meter = meter
         self._nodes: dict[int, NodeRecord] = {}
         self._rels: list[RelationshipRecord] = []
+        self._num_properties = 0
 
     # -- write path -----------------------------------------------------
 
@@ -90,8 +100,14 @@ class GraphStore:
         self._nodes[node_id] = NodeRecord(node_id)
         self.meter.allocate_memory(0, NODE_RECORD_BYTES)
 
-    def create_relationship(self, node_a: int, node_b: int) -> int:
-        """Insert a relationship at the head of both endpoint chains."""
+    def create_relationship(
+        self, node_a: int, node_b: int, weight: float | None = None
+    ) -> int:
+        """Insert a relationship at the head of both endpoint chains.
+
+        A non-``None`` ``weight`` adds a property record to the
+        relationship (and its bytes to the store's footprint).
+        """
         record_a = self._nodes[node_a]
         record_b = self._nodes[node_b]
         rel_id = len(self._rels)
@@ -101,22 +117,30 @@ class GraphStore:
             node_b,
             a_next=record_a.first_rel,
             b_next=record_b.first_rel if node_a != node_b else NO_RELATIONSHIP,
+            weight=weight,
         )
         self._rels.append(record)
         record_a.first_rel = rel_id
         if node_a != node_b:
             record_b.first_rel = rel_id
-        self.meter.allocate_memory(0, REL_RECORD_BYTES)
+        rel_bytes = REL_RECORD_BYTES
+        if weight is not None:
+            self._num_properties += 1
+            rel_bytes += PROPERTY_RECORD_BYTES
+        self.meter.allocate_memory(0, rel_bytes)
         return rel_id
 
     def release(self) -> None:
         """Free the whole store's memory (drop the database)."""
         total = (
-            len(self._nodes) * NODE_RECORD_BYTES + len(self._rels) * REL_RECORD_BYTES
+            len(self._nodes) * NODE_RECORD_BYTES
+            + len(self._rels) * REL_RECORD_BYTES
+            + self._num_properties * PROPERTY_RECORD_BYTES
         )
         self.meter.release_memory(0, total)
         self._nodes.clear()
         self._rels.clear()
+        self._num_properties = 0
 
     # -- read path -------------------------------------------------------
 
@@ -171,6 +195,16 @@ class GraphStore:
         return sorted(
             rel.other(node_id) for rel in self.relationships_of(node_id)
         )
+
+    def weighted_neighbors(self, node_id: int) -> list[tuple[int, float]]:
+        """``(neighbor, weight)`` pairs, sorted by neighbor id.
+
+        Reading each relationship's weight chases its property record
+        (one extra random access per relationship).
+        """
+        rels = self.relationships_of(node_id)
+        self._charge_chase(len(rels))
+        return sorted((rel.other(node_id), rel.weight) for rel in rels)
 
     def degree(self, node_id: int) -> int:
         """Number of relationships on ``node_id``'s chain."""

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.algorithms.bfs import UNREACHABLE
 from repro.algorithms.evo import ambassador_for
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE
 from repro.algorithms.stats import GraphStats
 from repro.core import etl
 from repro.core.cost import ClusterSpec, CostMeter, RunProfile
@@ -19,6 +20,9 @@ from repro.platforms.mapreduce.jobs import (
     CDIterationJob,
     ConnIterationJob,
     EvoHopJob,
+    LCCJob,
+    PageRankIterationJob,
+    SSSPIterationJob,
     StatsAggregationJob,
     StatsTriangleJob,
 )
@@ -80,12 +84,19 @@ class MapReducePlatform(Platform):
             if algorithm is Algorithm.BFS:
                 source = params.resolve_bfs_source(handle.graph)
                 output = self._run_bfs(engine, adjacency, source)
+            elif algorithm is Algorithm.SSSP:
+                source = params.resolve_sssp_source(handle.graph)
+                output = self._run_sssp(
+                    engine, handle.graph.weighted_adjacency(), source
+                )
             else:
                 runner = {
                     Algorithm.CONN: self._run_conn,
                     Algorithm.CD: self._run_cd,
                     Algorithm.STATS: self._run_stats,
                     Algorithm.EVO: self._run_evo,
+                    Algorithm.PR: self._run_pagerank,
+                    Algorithm.LCC: self._run_lcc,
                 }[algorithm]
                 output = runner(engine, adjacency, params)
         finally:
@@ -172,6 +183,33 @@ class MapReducePlatform(Platform):
                 else 0.0
             ),
         )
+
+    def _run_pagerank(self, engine, adjacency, params):
+        n = len(adjacency)
+        records = [(v, (adj, 1.0 / n)) for v, adj in adjacency.items()]
+        for iteration in range(1, params.pagerank_iterations + 1):
+            job = PageRankIterationJob(iteration, n, params.pagerank_damping)
+            records = engine.run_job(job, records).output
+        return {v: rank for v, (adj, rank) in records}
+
+    def _run_sssp(self, engine, weighted_adjacency, source):
+        records = [
+            (v, (tuple(pairs), 0.0 if v == source else UNREACHABLE_DISTANCE,
+                 v == source))
+            for v, pairs in weighted_adjacency.items()
+        ]
+        # Synchronous relaxation settles within |V| rounds (positive
+        # weights); the driver loops on the ``changed`` counter.
+        for iteration in range(1, max(200, len(records) + 2)):
+            result = engine.run_job(SSSPIterationJob(iteration), records)
+            records = result.output
+            if result.counters.get("changed", 0) == 0:
+                break
+        return {v: dist for v, (wadj, dist, changed) in records}
+
+    def _run_lcc(self, engine, adjacency, params):
+        records = list(adjacency.items())
+        return dict(engine.run_job(LCCJob(), records).output)
 
     def _run_evo(self, engine, adjacency, params):
         existing = sorted(adjacency)

@@ -1,4 +1,4 @@
-"""The five Graphalytics algorithms as MapReduce job chains.
+"""The Graphalytics algorithms as MapReduce job chains.
 
 Each algorithm follows the classic Hadoop formulation: the adjacency
 list is a value in every record, so *every iteration re-reads and
@@ -12,7 +12,10 @@ Record shapes (tags distinguish record kinds within a job):
 * CONN:  ``(vertex, (adj, label))`` + ``('L', label)`` messages;
 * CD:    ``(vertex, (adj, label, score))`` + ``('M', ...)`` votes;
 * STATS: adjacency broadcast + aggregation job;
-* EVO:   ``(vertex, (adj, burned, fresh))`` + ``('B', ...)`` burns.
+* EVO:   ``(vertex, (adj, burned, fresh))`` + ``('B', ...)`` burns;
+* PR:    ``(vertex, (adj, rank))`` + ``('R', share)`` contributions;
+* SSSP:  ``(vertex, (wadj, dist, changed))`` + ``('D', dist)`` offers;
+* LCC:   adjacency broadcast, per-vertex coefficients out.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import numpy as np
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.lcc import lcc_value
 from repro.platforms.mapreduce.engine import MapReduceJob
 
 __all__ = [
@@ -32,6 +36,9 @@ __all__ = [
     "StatsTriangleJob",
     "StatsAggregationJob",
     "EvoHopJob",
+    "PageRankIterationJob",
+    "SSSPIterationJob",
+    "LCCJob",
 ]
 
 
@@ -270,6 +277,145 @@ class StatsAggregationJob(MapReduceJob):
     def reduce(self, key: Any, values: list, counters: dict) -> Iterable[tuple[Any, Any]]:
         """Reduce one grouped key (see :class:`MapReduceJob`)."""
         yield key, sum(values)
+
+
+class PageRankIterationJob(MapReduceJob):
+    """One PageRank update round.
+
+    Every vertex re-emits its adjacency record and sends its
+    ``rank / degree`` share to each neighbor; the combiner pre-sums
+    shares per (map task, target); the reducer applies the damped
+    update. Runs a fixed number of rounds — no ``changed`` counter,
+    matching the all-active LDBC semantics.
+
+    Records stay non-columnar (float ranks ride in the value tuple),
+    so both bulk modes take the identical scalar record path.
+    """
+
+    def __init__(self, iteration: int, num_vertices: int, damping: float):
+        self.num_vertices = num_vertices
+        self.damping = damping
+        self.name = f"pagerank-{iteration}"
+
+    def map(self, key: Any, value: Any, counters: dict) -> Iterable[tuple[Any, Any]]:
+        """Emit intermediate records (see :class:`MapReduceJob`)."""
+        adj, rank = value
+        yield key, ("A", adj)
+        if adj:
+            share = rank / len(adj)
+            for neighbor in adj:
+                yield neighbor, ("R", share)
+
+    def combine(self, key: Any, values: list) -> list:
+        """Map-side pre-aggregation (see :class:`MapReduceJob`)."""
+        kept = [v for v in values if v[0] == "A"]
+        total = 0.0
+        shares = False
+        for value in values:
+            if value[0] == "R":
+                total += value[1]
+                shares = True
+        if shares:
+            kept.append(("R", total))
+        return kept
+
+    def reduce(self, key: Any, values: list, counters: dict) -> Iterable[tuple[Any, Any]]:
+        """Reduce one grouped key (see :class:`MapReduceJob`)."""
+        adj = ()
+        total = 0.0
+        for value in values:
+            if value[0] == "A":
+                adj = value[1]
+            else:
+                total += value[1]
+        base = (1.0 - self.damping) / self.num_vertices
+        yield key, (adj, base + self.damping * total)
+
+
+class SSSPIterationJob(MapReduceJob):
+    """One weighted label-correcting relaxation round.
+
+    Records carry ``(wadj, dist, changed)`` where ``wadj`` is the
+    weighted adjacency as ``(neighbor, weight)`` pairs. Vertices whose
+    distance improved last round offer ``dist + weight`` along every
+    edge; the reducer adopts a strictly smaller minimum offer and
+    bumps the ``changed`` counter the driver loops on.
+    """
+
+    def __init__(self, iteration: int):
+        self.name = f"sssp-{iteration}"
+
+    def map(self, key: Any, value: Any, counters: dict) -> Iterable[tuple[Any, Any]]:
+        """Emit intermediate records (see :class:`MapReduceJob`)."""
+        wadj, dist, changed = value
+        yield key, ("A", wadj, dist)
+        if changed:
+            for neighbor, weight in wadj:
+                yield neighbor, ("D", dist + weight)
+
+    def combine(self, key: Any, values: list) -> list:
+        """Map-side pre-aggregation (see :class:`MapReduceJob`)."""
+        kept = [v for v in values if v[0] == "A"]
+        offers = [v[1] for v in values if v[0] == "D"]
+        if offers:
+            kept.append(("D", min(offers)))
+        return kept
+
+    def reduce(self, key: Any, values: list, counters: dict) -> Iterable[tuple[Any, Any]]:
+        """Reduce one grouped key (see :class:`MapReduceJob`)."""
+        wadj, dist = (), None
+        best = None
+        for value in values:
+            if value[0] == "A":
+                wadj, dist = value[1], value[2]
+            else:
+                best = value[1] if best is None else min(best, value[1])
+        changed = best is not None and best < dist
+        if changed:
+            dist = best
+            counters["changed"] = counters.get("changed", 0) + 1
+        yield key, (wadj, dist, changed)
+
+
+class LCCJob(MapReduceJob):
+    """Per-vertex local clustering coefficients in one job.
+
+    The STATS triangle pass, but the reducer emits every vertex's
+    coefficient (via the shared :func:`~repro.algorithms.lcc.
+    lcc_value` expression) instead of global sum contributions.
+    """
+
+    name = "lcc-triangles"
+
+    def map(self, key: Any, value: Any, counters: dict) -> Iterable[tuple[Any, Any]]:
+        """Emit intermediate records (see :class:`MapReduceJob`)."""
+        adj = value
+        yield key, ("A", adj)
+        if len(adj) >= 2:
+            for neighbor in adj:
+                yield neighbor, ("N", adj)
+
+    def reduce(self, key: Any, values: list, counters: dict) -> Iterable[tuple[Any, Any]]:
+        """Reduce one grouped key (see :class:`MapReduceJob`)."""
+        own: tuple = ()
+        neighbor_lists = []
+        for value in values:
+            if value[0] == "A":
+                own = value[1]
+            else:
+                neighbor_lists.append(value[1])
+        degree = len(own)
+        if degree < 2 or not neighbor_lists:
+            yield key, 0.0
+            return
+        own_set = set(own)
+        links_twice = sum(
+            1
+            for neighbor_list in neighbor_lists
+            for w in neighbor_list
+            if w in own_set
+        )
+        yield key, lcc_value(links_twice // 2, degree)
 
 
 class EvoHopJob(MapReduceJob):

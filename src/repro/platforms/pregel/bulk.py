@@ -40,7 +40,13 @@ import numpy as np
 
 from repro.algorithms.bfs import UNREACHABLE
 
-__all__ = ["BulkVertexKernel", "BFSBulkKernel", "ConnBulkKernel", "BulkSuperstepRunner"]
+__all__ = [
+    "BulkVertexKernel",
+    "BFSBulkKernel",
+    "ConnBulkKernel",
+    "BulkSuperstepRunner",
+    "PageRankBulkRunner",
+]
 
 
 class BulkVertexKernel(abc.ABC):
@@ -336,3 +342,84 @@ class BulkSuperstepRunner:
         for worker in range(self.num_workers):
             meter.release_memory(worker, engine._message_bytes_queued[worker])
             engine._message_bytes_queued[worker] = 0.0
+
+
+class PageRankBulkRunner(BulkSuperstepRunner):
+    """Vectorized fixed-iteration PageRank with exact scalar costs.
+
+    PageRank does not fit :class:`BulkSuperstepRunner`'s
+    frontier/min-combiner shape: every vertex computes every
+    superstep, there is no combiner (every arc is one wire message and
+    one queued buffer), and the inbox reduction is a *float sum* whose
+    result depends on operand order. The scalar engine appends outbox
+    messages in ascending-sender order (the compute set iterates the
+    sorted vertex states) and each vertex folds its inbox
+    left-to-right from ``0.0`` — ``np.add.at`` over the natural CSR
+    arc stream performs exactly those additions in exactly that order,
+    so bulk ranks are bit-identical to the scalar path (unlike
+    ``np.add.reduceat``, whose pairwise summation is not).
+    """
+
+    def __init__(self, engine, program):
+        super().__init__(engine, program, kernel=None)
+
+    def run(self):
+        """Execute ``iterations`` update rounds; scalar-identical."""
+        from repro.platforms.pregel.engine import PregelResult
+
+        engine, meter, program = self.engine, self.engine.meter, self.program
+        n, num_workers = self.n, self.num_workers
+        damping, iterations = program.damping, program.iterations
+
+        meter.begin_round("init")
+        self._charge_ops(np.bincount(self.workers, minlength=num_workers))
+        meter.end_round(active_vertices=n)
+        if n == 0:
+            return PregelResult(values={}, supersteps=0, aggregated={})
+
+        engine._central_mode = False
+        out_degrees = self.offsets[1:] - self.offsets[:-1]
+        flat_src = np.repeat(np.arange(n, dtype=np.int64), out_degrees)
+        flat_dst = self.targets
+        src_workers = self.workers[flat_src]
+        dst_workers = self.workers[flat_dst]
+        degrees_float = out_degrees.astype(np.float64)
+        in_counts = np.bincount(flat_dst, minlength=n).astype(np.float64)
+        vertex_ops = np.bincount(self.workers, minlength=num_workers)
+        message_ops = np.bincount(
+            self.workers, weights=in_counts, minlength=num_workers
+        )
+
+        values = np.full(n, 1.0 / n, dtype=np.float64)
+        base = (1.0 - damping) / n
+        shares: np.ndarray | None = None  # per-arc messages in flight
+        for superstep in range(iterations + 1):
+            meter.begin_round(f"superstep-{superstep}", barrier=True)
+            if superstep == 0:
+                self._charge_ops(vertex_ops)
+            else:
+                # One op per vertex plus one per digested message
+                # (each vertex receives exactly its in-degree shares).
+                self._charge_ops(vertex_ops + message_ops)
+                accumulated = np.zeros(n, dtype=np.float64)
+                np.add.at(accumulated, flat_dst, shares)
+                values = base + damping * accumulated
+            if superstep < iterations:
+                shares = values[flat_src] / degrees_float[flat_src]
+                self._charge_messages(src_workers, dst_workers)
+                self._queue_memory(dst_workers)  # outbox during compute
+                self._release_queued()  # barrier: inbox + outbox
+                self._queue_memory(dst_workers)  # re-account new inbox
+            else:
+                shares = None
+                self._release_queued()
+            meter.end_round(active_vertices=n)
+        self._release_queued()
+        return PregelResult(
+            values={
+                int(vertex): float(value)
+                for vertex, value in zip(self.ids, values)
+            },
+            supersteps=iterations + 1,
+            aggregated={},
+        )

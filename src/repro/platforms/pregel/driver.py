@@ -15,6 +15,9 @@ from repro.platforms.pregel.programs import (
     CDProgram,
     ConnProgram,
     EvoProgram,
+    LCCProgram,
+    PageRankProgram,
+    SSSPProgram,
     StatsProgram,
 )
 
@@ -87,6 +90,18 @@ class GiraphPlatform(Platform):
             )
         if algorithm is Algorithm.STATS:
             return StatsProgram()
+        if algorithm is Algorithm.PR:
+            return PageRankProgram(
+                damping=params.pagerank_damping,
+                iterations=params.pagerank_iterations,
+            )
+        if algorithm is Algorithm.SSSP:
+            return SSSPProgram(
+                params.resolve_sssp_source(graph),
+                num_vertices=graph.num_vertices,
+            )
+        if algorithm is Algorithm.LCC:
+            return LCCProgram()
         if algorithm is Algorithm.EVO:
             existing = [int(v) for v in graph.to_undirected().vertices]
             next_id = existing[-1] + 1
@@ -137,5 +152,5 @@ class GiraphPlatform(Platform):
                 for arrival in arrivals:
                     links[arrival].append(vertex)
             return {arrival: sorted(targets) for arrival, targets in links.items()}
-        # BFS / CONN: plain {vertex: value} maps.
+        # BFS / CONN / PR / SSSP / LCC: plain {vertex: value} maps.
         return dict(result.values)

@@ -95,6 +95,25 @@ class VertexProgram(abc.ABC):
         """
         return None
 
+    def bulk_runner(self, engine: "PregelEngine"):
+        """The vectorized executor for this program, if any.
+
+        The default wraps :meth:`bulk_step`'s kernel in the
+        frontier-shaped
+        :class:`~repro.platforms.pregel.bulk.BulkSuperstepRunner`.
+        Programs whose vectorized execution does not fit that shape —
+        PageRank's all-active, uncombined float summation — override
+        this to return a dedicated runner instead. ``None`` keeps the
+        scalar per-vertex path.
+        """
+        # Imported here: the bulk module depends on this one.
+        from repro.platforms.pregel.bulk import BulkSuperstepRunner
+
+        kernel = self.bulk_step()
+        if kernel is None:
+            return None
+        return BulkSuperstepRunner(engine, self, kernel)
+
 
 @dataclass
 class _VertexState:
@@ -126,6 +145,14 @@ class VertexContext:
     def neighbors(self) -> list[int]:
         """The current vertex's out-neighbors."""
         return self._engine.adjacency[self.vertex]
+
+    def weighted_neighbors(self) -> list[tuple[int, float]]:
+        """The current vertex's out-edges as ``(neighbor, weight)``.
+
+        Requires a weighted graph (the SSSP workload precondition,
+        enforced at workload-resolution time).
+        """
+        return self._engine.weighted_adjacency[self.vertex]
 
     def degree(self) -> int:
         """The current vertex's out-degree."""
@@ -195,6 +222,7 @@ class PregelEngine:
         # dict) are built lazily: the bulk path never touches them and
         # skips their O(vertices) Python construction entirely.
         self._adjacency: dict[int, list[int]] | None = None
+        self._weighted_adjacency: dict[int, list[tuple[int, float]]] | None = None
         vertex_ids = self.graph.vertices
         if partition is None:
             # Giraph's default hash partitioning; alternatives live in
@@ -265,6 +293,16 @@ class PregelEngine:
                 for v in self.graph.vertices
             }
         return self._adjacency
+
+    @property
+    def weighted_adjacency(self) -> dict[int, list[tuple[int, float]]]:
+        """Out-adjacency with edge weights, built on first use.
+
+        Only SSSP touches this; it requires a weighted graph.
+        """
+        if self._weighted_adjacency is None:
+            self._weighted_adjacency = self.graph.weighted_adjacency()
+        return self._weighted_adjacency
 
     @property
     def partition(self) -> dict[int, int]:
@@ -349,20 +387,17 @@ class PregelEngine:
     def run(self, program: VertexProgram) -> PregelResult:
         """Execute the program to halting; returns final vertex values.
 
-        Programs that provide a :meth:`VertexProgram.bulk_step` kernel
-        run through the vectorized superstep path (unless the engine
-        was built with ``bulk=False``); the cost profile is identical
-        either way.
+        Programs that provide a :meth:`VertexProgram.bulk_runner`
+        executor run through the vectorized superstep path (unless the
+        engine was built with ``bulk=False``); the cost profile is
+        identical either way.
         """
-        # Imported here: the bulk module depends on this one.
-        from repro.platforms.pregel.bulk import BulkSuperstepRunner
-
         self._program = program
         self.load_partitions(program)
         try:
-            kernel = program.bulk_step() if self.bulk else None
-            if kernel is not None:
-                return BulkSuperstepRunner(self, program, kernel).run()
+            runner = program.bulk_runner(self) if self.bulk else None
+            if runner is not None:
+                return runner.run()
             return self._run_supersteps(program)
         finally:
             self.unload_partitions()

@@ -1,4 +1,4 @@
-"""The five Graphalytics algorithms as Pregel vertex programs.
+"""The Graphalytics algorithms as Pregel vertex programs.
 
 Each program produces output identical to its reference implementation
 in :mod:`repro.algorithms` (the Output Validator depends on this):
@@ -9,7 +9,14 @@ in :mod:`repro.algorithms` (the Output Validator depends on this):
 * :class:`StatsProgram` — neighbor-list exchange triangle counting
   plus count aggregators;
 * :class:`EvoProgram` — per-arrival forest-fire burning via burn
-  messages.
+  messages;
+* :class:`PageRankProgram` — fixed-iteration all-active PageRank
+  (the LDBC-gap workloads, with :class:`SSSPProgram` and
+  :class:`LCCProgram`);
+* :class:`SSSPProgram` — label-correcting weighted shortest paths
+  with a min combiner;
+* :class:`LCCProgram` — adjacency-exchange local clustering
+  coefficients.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from typing import Any
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.lcc import lcc_value
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE
 from repro.platforms.pregel.bulk import BFSBulkKernel, ConnBulkKernel
 from repro.platforms.pregel.engine import VertexContext, VertexProgram
 
@@ -27,6 +36,9 @@ __all__ = [
     "CDProgram",
     "StatsProgram",
     "EvoProgram",
+    "PageRankProgram",
+    "SSSPProgram",
+    "LCCProgram",
 ]
 
 
@@ -215,6 +227,136 @@ class StatsProgram(VertexProgram):
                 local_cc = links_twice / (degree * (degree - 1))
                 ctx.value = local_cc
                 ctx.aggregate("clustering_sum", local_cc)
+        ctx.vote_to_halt()
+
+
+class PageRankProgram(VertexProgram):
+    """Fixed-iteration PageRank (Giraph's SimplePageRankComputation).
+
+    Every vertex stays active for ``iterations`` update rounds: at
+    superstep 0 it only ships its rank share; at supersteps 1..T it
+    sums the incoming shares, applies the damped update, and — while
+    rounds remain — re-ships. No combiner: the receiver folds its
+    inbox left-to-right, which is the summation order the reference
+    implementation and the bulk kernel both reproduce.
+    """
+
+    message_bytes = 8.0
+
+    def __init__(self, damping: float = 0.85, iterations: int = 10):
+        self.damping = damping
+        self.iterations = iterations
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> float:
+        """Vertex value before superstep 0."""
+        return 1.0 / ctx.num_vertices
+
+    def max_supersteps(self) -> int:
+        """Superstep bound for this program."""
+        return self.iterations + 2
+
+    def bulk_runner(self, engine):
+        """All-active float-summing runner (same semantics)."""
+        from repro.platforms.pregel.bulk import PageRankBulkRunner
+
+        return PageRankBulkRunner(engine, self)
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        if ctx.superstep >= 1:
+            total = 0.0
+            for message in messages:
+                total += message
+            base = (1.0 - self.damping) / ctx.num_vertices
+            ctx.value = base + self.damping * total
+        if ctx.superstep >= self.iterations:
+            ctx.vote_to_halt()
+            return
+        degree = ctx.degree()
+        if degree:
+            ctx.send_to_neighbors(ctx.value / degree)
+
+
+class SSSPProgram(VertexProgram):
+    """Weighted single-source shortest paths (label-correcting).
+
+    The vertex value is the best known distance (``inf`` until
+    reached). The source seeds distance 0 at superstep 0; any vertex
+    whose merged (minimum) offer improves its distance adopts it and
+    relaxes its out-edges. Positive weights make the min-plus fixpoint
+    unique and order-insensitive, so the converged distances equal the
+    Dijkstra reference exactly.
+    """
+
+    message_bytes = 8.0
+
+    def __init__(self, source: int, num_vertices: int = 0):
+        self.source = source
+        self.num_vertices = num_vertices
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> float:
+        """Vertex value before superstep 0."""
+        return 0.0 if vertex == self.source else UNREACHABLE_DISTANCE
+
+    def combiner(self):
+        """Sender-side message combiner."""
+        return min
+
+    def max_supersteps(self) -> int:
+        """Shortest-path hop counts are bounded by the vertex count."""
+        return max(200, self.num_vertices + 2)
+
+    def _relax(self, ctx: VertexContext) -> None:
+        for neighbor, weight in ctx.weighted_neighbors():
+            ctx.send(neighbor, ctx.value + weight)
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        if ctx.superstep == 0:
+            if ctx.vertex == self.source:
+                self._relax(ctx)
+        else:
+            best = min(messages)
+            if best < ctx.value:
+                ctx.value = best
+                self._relax(ctx)
+        ctx.vote_to_halt()
+
+
+class LCCProgram(VertexProgram):
+    """Local clustering coefficient via adjacency-list exchange.
+
+    Superstep 0 ships each vertex's neighbor list to its neighbors
+    (vertices of degree < 2 skip the send — their lists cannot close a
+    triangle); superstep 1 intersects the received lists with the own
+    neighbor set. Each triangle edge is reported twice, and the float
+    is derived from the integer count through the shared
+    :func:`~repro.algorithms.lcc.lcc_value`, so outputs match the
+    reference bit for bit.
+    """
+
+    def initial_value(self, vertex: int, ctx: VertexContext) -> float:
+        """Vertex value before superstep 0."""
+        return 0.0
+
+    def message_size(self, message: Any) -> float:
+        """Payload bytes of one message."""
+        return 8.0 * len(message)
+
+    def compute(self, ctx: VertexContext, messages: list) -> None:
+        """Per-vertex kernel (see :class:`VertexProgram`)."""
+        if ctx.superstep == 0:
+            neighbors = ctx.neighbors()
+            if len(neighbors) >= 2:
+                ctx.send_to_neighbors(tuple(neighbors))
+        else:
+            degree = ctx.degree()
+            if degree >= 2 and messages:
+                own = set(ctx.neighbors())
+                links_twice = 0
+                for neighbor_list in messages:
+                    links_twice += sum(1 for w in neighbor_list if w in own)
+                ctx.value = lcc_value(links_twice // 2, degree)
         ctx.vote_to_halt()
 
 

@@ -1,8 +1,9 @@
-"""The five Graphalytics algorithms on the GraphX-style API.
+"""The Graphalytics algorithms on the GraphX-style API.
 
 Vertex values carry whatever the per-edge ``send`` functions need
 (GraphX-style: activity flags, scores, adjacency lists), and every
-algorithm reproduces its reference output exactly.
+algorithm reproduces its reference output exactly (PageRank up to the
+validator's per-vertex float tolerance).
 """
 
 from __future__ import annotations
@@ -11,6 +12,8 @@ from typing import Any
 
 from repro.algorithms import evo as evo_ref
 from repro.algorithms.bfs import UNREACHABLE
+from repro.algorithms.lcc import lcc_value
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE
 from repro.algorithms.stats import GraphStats
 from repro.platforms.rddgraph.graphx import GraphXGraph
 
@@ -20,6 +23,9 @@ __all__ = [
     "graphx_cd",
     "graphx_stats",
     "graphx_evo",
+    "graphx_pagerank",
+    "graphx_sssp",
+    "graphx_lcc",
 ]
 
 
@@ -104,6 +110,124 @@ def graphx_cd(
 
     result = graph.pregel(initial, vprog, send, merge, max_iterations + 1)
     return {v: value[0] for v, value in result.collect()}
+
+
+def graphx_pagerank(
+    graph: GraphXGraph,
+    degrees: dict[int, int],
+    damping: float = 0.85,
+    iterations: int = 10,
+) -> dict[int, float]:
+    """PageRank via Pregel; value = ``(rank, iteration)``.
+
+    All-active fixed-iteration semantics: every vertex with an edge
+    sends ``rank / degree`` along every arc each round until the
+    shared iteration counter reaches ``iterations``, at which point no
+    messages flow and the Pregel loop terminates. Isolated vertices
+    still pass through ``vprog`` (the left outer join covers every
+    vertex) and settle at ``(1 - d) / n``.
+    """
+    n = len(degrees)
+    base = (1.0 - damping) / n if n else 0.0
+
+    def initial(vertex: int) -> tuple[float, int]:
+        return (1.0 / n, 0)
+
+    def send(src: int, src_value, dst: int) -> list[tuple[int, Any]]:
+        rank, iteration = src_value
+        if iteration >= iterations:
+            return []
+        return [(dst, rank / degrees[src])]
+
+    def merge(a: float, b: float) -> float:
+        return a + b
+
+    def vprog(vertex: int, value, incoming) -> tuple[float, int]:
+        _rank, iteration = value
+        total = incoming if incoming is not None else 0.0
+        return (base + damping * total, iteration + 1)
+
+    result = graph.pregel(initial, vprog, send, merge, iterations + 1)
+    return {v: value[0] for v, value in result.collect()}
+
+
+def graphx_sssp(
+    graph: GraphXGraph,
+    source: int,
+    weights: dict[int, dict[int, float]],
+    max_iterations: int = 0,
+) -> dict[int, float]:
+    """Weighted SSSP via Pregel; value = ``(distance, changed)``.
+
+    Label-correcting relaxation: vertices whose distance improved last
+    round offer ``distance + w(src, dst)`` along every arc; receivers
+    adopt a strictly smaller merged (minimum) offer. Positive weights
+    guarantee the min-plus fixpoint is reached within ``n`` rounds.
+    """
+
+    def initial(vertex: int) -> tuple[float, bool]:
+        if vertex == source:
+            return (0.0, True)
+        return (UNREACHABLE_DISTANCE, False)
+
+    def send(src: int, src_value, dst: int) -> list[tuple[int, Any]]:
+        distance, changed = src_value
+        if changed:
+            return [(dst, distance + weights[src][dst])]
+        return []
+
+    def vprog(vertex: int, value, incoming) -> tuple[float, bool]:
+        distance, _changed = value
+        if incoming is not None and incoming < distance:
+            return (incoming, True)
+        return (distance, False)
+
+    bound = max_iterations or max(200, len(weights) + 2)
+    result = graph.pregel(initial, vprog, send, min, bound)
+    return {v: value[0] for v, value in result.collect()}
+
+
+def graphx_lcc(
+    graph: GraphXGraph, adjacency: dict[int, tuple[int, ...]]
+) -> dict[int, float]:
+    """LCC via one ``aggregate_messages`` neighbor-list exchange.
+
+    The STATS triangle pass, but emitting every vertex's coefficient
+    instead of folding them into one mean; the shared
+    :func:`~repro.algorithms.lcc.lcc_value` expression keeps the
+    floats bitwise identical across platforms.
+    """
+    with_adjacency = graph.map_vertices(lambda v, _old: adjacency[v])
+
+    def send(src: int, src_value, dst: int) -> list[tuple[int, Any]]:
+        if len(src_value) >= 2:
+            return [(dst, (src_value,))]
+        return []
+
+    def merge(a: tuple, b: tuple) -> tuple:
+        return a + b
+
+    neighbor_lists = with_adjacency.aggregate_messages(send, merge)
+    joined = with_adjacency.vertices.left_outer_join(
+        neighbor_lists, name="lcc-join"
+    )
+
+    def vertex_lcc(record) -> tuple[int, float]:
+        vertex, (own, lists) = record
+        degree = len(own)
+        if degree < 2 or not lists:
+            return (vertex, 0.0)
+        own_set = set(own)
+        links_twice = sum(1 for lst in lists for w in lst if w in own_set)
+        return (vertex, lcc_value(links_twice // 2, degree))
+
+    coefficients = joined.map(vertex_lcc, name="local-lcc")
+    output = dict(coefficients.collect())
+    coefficients.unpersist()
+    joined.unpersist()
+    neighbor_lists.unpersist()
+    with_adjacency.vertices.unpersist()
+    return output
 
 
 def graphx_stats(

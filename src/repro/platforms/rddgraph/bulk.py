@@ -47,9 +47,11 @@ __all__ = [
     "RDDBulkKernel",
     "RDDBFSBulkKernel",
     "RDDConnBulkKernel",
+    "RDDPageRankBulkKernel",
     "BulkPregelRunner",
     "graphx_bfs_bulk",
     "graphx_conn_bulk",
+    "graphx_pagerank_bulk",
 ]
 
 _KNUTH = 2654435761
@@ -105,6 +107,33 @@ class RDDBulkKernel(abc.ABC):
         messages always end the iteration unchanged (scalar ``vprog``
         returns ``changed=False`` for them).
         """
+
+    def arc_messages(self, values: np.ndarray, senders: np.ndarray) -> np.ndarray:
+        """Payload per sending arc; ``senders`` are dense source indices.
+
+        Kernels whose payload depends on more than the sender's value
+        (PageRank divides by the sender's degree) override this.
+        """
+        return self.message_values(values[senders])
+
+    def merge_messages(
+        self,
+        payloads: np.ndarray,
+        message_targets: np.ndarray,
+        message_workers: np.ndarray,
+        num_workers: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold message payloads per target; returns ``(targets, incoming)``.
+
+        The default replays an order-independent ``reduce`` (min
+        semantics); kernels with non-associative float merges override
+        it to reproduce the scalar ``reduce_by_key`` fold order.
+        """
+        order = np.argsort(message_targets, kind="stable")
+        targets, first = np.unique(message_targets[order], return_index=True)
+        if len(targets) == 0:
+            return targets, np.empty(0, dtype=np.int64)
+        return targets, self.reduce.reduceat(payloads[order], first)
 
 
 class RDDBFSBulkKernel(RDDBulkKernel):
@@ -178,6 +207,76 @@ class RDDConnBulkKernel(RDDBulkKernel):
         changed[newly] = True
 
 
+class RDDPageRankBulkKernel(RDDBulkKernel):
+    """Vectorized GraphX PageRank (value = ``(rank, iteration)``).
+
+    Mirrors :func:`~repro.platforms.rddgraph.algorithms.
+    graphx_pagerank` bit for bit. The scalar ``reduce_by_key`` folds
+    float contributions in two stages — a map-side combine per source
+    partition in arc-record order, then a final per-target fold over
+    the combined partials in source-worker-ascending order — and
+    :meth:`merge_messages` replays exactly that association order with
+    sequential ``np.add.at`` accumulation (``reduceat`` pairwise sums
+    would not match).
+    """
+
+    def __init__(self, degrees: np.ndarray, damping: float, iterations: int):
+        #: Out-degree per dense vertex index, as float64.
+        self.degrees = degrees
+        self.damping = damping
+        self.iterations = iterations
+        #: Lockstep iteration counter — every vertex passes through
+        #: ``vprog`` each round, so one scalar stands in for the
+        #: per-vertex counters the scalar value tuples carry.
+        self.iteration = 0
+        self.base = 0.0
+
+    def initial(self, vertex_ids):
+        """Everyone starts at ``1/n``; iteration counters at zero."""
+        n = len(vertex_ids)
+        self.base = (1.0 - self.damping) / n if n else 0.0
+        values = np.full(n, 1.0 / n if n else 0.0, dtype=np.float64)
+        return values, np.zeros(n, dtype=bool)
+
+    def send_mask(self, values, changed):
+        """All vertices send until the iteration budget is spent."""
+        if self.iteration < self.iterations:
+            return np.ones(len(values), dtype=bool)
+        return np.zeros(len(values), dtype=bool)
+
+    def message_values(self, sender_values):
+        """Unused — :meth:`arc_messages` needs the sender's degree."""
+        return sender_values
+
+    def arc_messages(self, values, senders):
+        """Each arc carries its source's ``rank / degree`` share."""
+        return values[senders] / self.degrees[senders]
+
+    def merge_messages(self, payloads, message_targets, message_workers, num_workers):
+        """Two-level sequential float fold matching ``reduce_by_key``."""
+        # Level 1 — map-side combine: one partial per (target, source
+        # worker), accumulated in arc-stream order, which within any
+        # one worker's slots is exactly that partition's record order.
+        key = message_targets * num_workers + message_workers
+        pair_keys, inverse = np.unique(key, return_inverse=True)
+        pair_partials = np.zeros(len(pair_keys), dtype=np.float64)
+        np.add.at(pair_partials, inverse, payloads)
+        # Level 2 — reducer fold: pair_keys sort as (target, worker),
+        # so adding in slot order folds each target's partials in
+        # source-worker-ascending order, as ``_shuffle_pairs`` does.
+        pair_target = pair_keys // num_workers
+        targets = np.unique(pair_target)
+        incoming = np.zeros(len(targets), dtype=np.float64)
+        np.add.at(incoming, np.searchsorted(targets, pair_target), pair_partials)
+        return targets, incoming
+
+    def absorb(self, values, changed, targets, incoming):
+        """Damped update for message targets, bare base for the rest."""
+        values[:] = self.base
+        values[targets] = self.base + self.damping * incoming
+        self.iteration += 1
+
+
 class BulkPregelRunner:
     """Replays the scalar RDD Pregel loop's cost events, vectorized.
 
@@ -244,7 +343,7 @@ class BulkPregelRunner:
             )
             self._allocate(_PAIR_BYTES * messages)
             # mergeMsg: map-side combine, shuffle home, final reduce.
-            payloads = kernel.message_values(values[self.arc_source[arc_mask]])
+            payloads = kernel.arc_messages(values, self.arc_source[arc_mask])
             self._begin_stage("mergeMsg")
             self._charge_counts(messages)
             pair_keys = np.unique(
@@ -262,14 +361,8 @@ class BulkPregelRunner:
                 self.vertex_workers[pair_target], minlength=self.num_workers
             )
             self._charge_counts(received)
-            order = np.argsort(message_targets, kind="stable")
-            targets, first = np.unique(
-                message_targets[order], return_index=True
-            )
-            incoming = (
-                kernel.reduce.reduceat(payloads[order], first)
-                if len(targets)
-                else np.empty(0, dtype=np.int64)
+            targets, incoming = kernel.merge_messages(
+                payloads, message_targets, message_workers, self.num_workers
             )
             merged = np.bincount(
                 self.vertex_workers[targets], minlength=self.num_workers
@@ -382,3 +475,23 @@ def graphx_conn_bulk(
     runner.map_values_stage("components")
     runner.collect("components", _PAIR_WIRE_BYTES)
     return {int(v): int(c) for v, c in zip(runner.ids, values)}
+
+
+def graphx_pagerank_bulk(
+    graphx: GraphXGraph,
+    graph: Graph,
+    damping: float = 0.85,
+    iterations: int = 10,
+) -> dict[int, float]:
+    """Bulk twin of :func:`~repro.platforms.rddgraph.algorithms.graphx_pagerank`.
+
+    Runs ``iterations + 1`` Pregel rounds like the scalar path — the
+    final round finds no messages (the iteration budget is spent) and
+    terminates the loop with the same charge sequence.
+    """
+    degrees = graph.to_undirected().out_degrees().astype(np.float64)
+    kernel = RDDPageRankBulkKernel(degrees, damping, iterations)
+    runner = BulkPregelRunner(graphx, graph, kernel)
+    values, name = runner.run(iterations + 1)
+    runner.collect(name, _VERTEX_WIRE_BYTES)
+    return {int(v): float(r) for v, r in zip(runner.ids, values)}

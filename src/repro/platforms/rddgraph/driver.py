@@ -13,9 +13,16 @@ from repro.platforms.rddgraph.algorithms import (
     graphx_cd,
     graphx_conn,
     graphx_evo,
+    graphx_lcc,
+    graphx_pagerank,
+    graphx_sssp,
     graphx_stats,
 )
-from repro.platforms.rddgraph.bulk import graphx_bfs_bulk, graphx_conn_bulk
+from repro.platforms.rddgraph.bulk import (
+    graphx_bfs_bulk,
+    graphx_conn_bulk,
+    graphx_pagerank_bulk,
+)
 from repro.platforms.rddgraph.graphx import GraphXGraph
 from repro.platforms.rddgraph.rdd import RDDContext
 
@@ -111,6 +118,36 @@ class GraphXPlatform(Platform):
             )
         if algorithm is Algorithm.STATS:
             return graphx_stats(graph, adjacency)
+        if algorithm is Algorithm.PR:
+            if self.bulk:
+                return graphx_pagerank_bulk(
+                    graph,
+                    handle.graph,
+                    damping=params.pagerank_damping,
+                    iterations=params.pagerank_iterations,
+                )
+            # Degrees come straight off the driver-side adjacency (the
+            # real GraphX materializes outDegrees once per graph, not
+            # per run); both execution paths therefore charge nothing
+            # for them.
+            degrees = {
+                vertex: len(adj) for vertex, adj in adjacency.items()
+            }
+            return graphx_pagerank(
+                graph,
+                degrees,
+                damping=params.pagerank_damping,
+                iterations=params.pagerank_iterations,
+            )
+        if algorithm is Algorithm.SSSP:
+            source = params.resolve_sssp_source(handle.graph)
+            weights = {
+                vertex: dict(pairs)
+                for vertex, pairs in handle.graph.weighted_adjacency().items()
+            }
+            return graphx_sssp(graph, source, weights)
+        if algorithm is Algorithm.LCC:
+            return graphx_lcc(graph, adjacency)
         if algorithm is Algorithm.EVO:
             existing = sorted(adjacency)
             next_id = existing[-1] + 1

@@ -1,0 +1,74 @@
+"""Unit and property-based tests for the LCC reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.lcc import lcc, lcc_value
+from repro.graph.graph import Graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)),
+    min_size=0,
+    max_size=90,
+)
+
+
+class TestUnits:
+    def test_empty_graph(self):
+        assert lcc(Graph.from_edges([])) == {}
+
+    def test_low_degree_vertices_are_zero(self):
+        graph = Graph.from_edges([(0, 1)], vertices=[9])
+        assert lcc(graph) == {0: 0.0, 1: 0.0, 9: 0.0}
+
+    def test_triangle_with_tail(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        out = lcc(graph)
+        assert out[0] == 1.0
+        assert out[1] == 1.0
+        assert out[2] == lcc_value(1, 3)  # one link among three neighbors
+        assert out[3] == 0.0
+
+    def test_lcc_value_formula(self):
+        assert lcc_value(0, 5) == 0.0
+        assert lcc_value(3, 3) == 1.0
+        assert lcc_value(1, 1) == 0.0  # degree < 2 guard
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_coefficients_are_bounded(edges):
+    """Every coefficient lies in [0, 1], and degree-<2 vertices are
+    exactly 0."""
+    graph = Graph.from_edges(edges)
+    out = lcc(graph)
+    undirected = graph.to_undirected()
+    assert set(out) == {int(v) for v in undirected.vertices}
+    for vertex, value in out.items():
+        assert 0.0 <= value <= 1.0
+        if len(list(undirected.neighbors(vertex))) < 2:
+            assert value == 0.0
+
+
+@given(st.integers(3, 12))
+@settings(max_examples=10, deadline=None)
+def test_clique_is_all_ones(n):
+    """In K_n every pair of neighbors is linked: LCC = 1 everywhere."""
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    out = lcc(Graph.from_edges(edges))
+    assert out == {vertex: 1.0 for vertex in range(n)}
+
+
+@given(
+    st.lists(st.integers(0, 2 ** 16), min_size=1, max_size=24),
+)
+@settings(max_examples=40, deadline=None)
+def test_tree_is_all_zeros(parent_seeds):
+    """Trees have no triangles: LCC = 0 everywhere. Random trees are
+    built by attaching vertex i to a pseudo-random earlier vertex."""
+    edges = [
+        (seed % (i + 1), i + 1) for i, seed in enumerate(parent_seeds)
+    ]
+    out = lcc(Graph.from_edges(edges))
+    assert set(out.values()) == {0.0}

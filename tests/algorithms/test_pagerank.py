@@ -1,0 +1,98 @@
+"""Unit and property-based tests for the PageRank reference."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import DEFAULT_DAMPING, pagerank
+from repro.graph.graph import Graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)),
+    min_size=1,
+    max_size=90,
+)
+
+
+class TestUnits:
+    def test_empty_graph(self):
+        assert pagerank(Graph.from_edges([])) == {}
+
+    def test_zero_iterations_is_uniform(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert pagerank(graph, iterations=0) == {0: 1 / 3, 1: 1 / 3, 2: 1 / 3}
+
+    def test_symmetric_graph_stays_uniform(self):
+        # On a cycle every vertex has degree 2; the uniform vector is
+        # the fixpoint, so every iteration reproduces 1/n exactly.
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        ranks = pagerank(graph)
+        assert all(math.isclose(r, 0.25, abs_tol=1e-12) for r in ranks.values())
+
+    def test_isolated_vertex_converges_to_base(self):
+        graph = Graph.from_edges([(0, 1)], vertices=[2])
+        ranks = pagerank(graph, iterations=5)
+        assert math.isclose(ranks[2], (1 - DEFAULT_DAMPING) / 3, abs_tol=1e-12)
+
+    def test_invalid_parameters_rejected(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            pagerank(graph, iterations=-1)
+        with pytest.raises(ValueError):
+            pagerank(graph, damping=1.5)
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_rank_mass_is_conserved(edges):
+    """Without isolated vertices, ranks sum to exactly 1 (to float
+    tolerance); isolated vertices leak their share mass, so the total
+    can only shrink, never grow."""
+    graph = Graph.from_edges(edges)
+    if graph.num_vertices == 0:
+        return
+    ranks = pagerank(graph)
+    total = sum(ranks.values())
+    undirected = graph.to_undirected()
+    isolated = [
+        int(v)
+        for v in undirected.vertices
+        if not list(undirected.neighbors(int(v)))
+    ]
+    if not isolated:
+        assert math.isclose(total, 1.0, abs_tol=1e-9)
+    else:
+        assert total <= 1.0 + 1e-9
+    base = (1 - DEFAULT_DAMPING) / graph.num_vertices
+    assert all(rank >= base - 1e-12 for rank in ranks.values())
+
+
+@given(edge_lists, st.integers(0, 2 ** 31))
+@settings(max_examples=50, deadline=None)
+def test_permutation_equivariance(edges, seed):
+    """Relabeling vertices permutes the ranks and changes nothing
+    else — PageRank depends on structure, not on vertex ids."""
+    graph = Graph.from_edges(edges)
+    if graph.num_vertices == 0:
+        return
+    originals = [int(v) for v in graph.vertices]
+    rng = random.Random(seed)
+    shuffled = list(originals)
+    rng.shuffle(shuffled)
+    # A scrambled, gappy id space: order changes AND ids change.
+    mapping = {old: 1000 + 3 * new for old, new in zip(originals, shuffled)}
+    permuted = Graph.from_edges(
+        [(mapping[s], mapping[t]) for s, t in graph.iter_edges()],
+        vertices=[mapping[v] for v in originals],
+        directed=graph.directed,
+    )
+    ranks = pagerank(graph)
+    permuted_ranks = pagerank(permuted)
+    assert set(permuted_ranks) == {mapping[v] for v in originals}
+    for vertex in originals:
+        assert math.isclose(
+            ranks[vertex], permuted_ranks[mapping[vertex]], abs_tol=1e-9
+        )

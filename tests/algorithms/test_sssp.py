@@ -1,0 +1,101 @@
+"""Unit and property-based tests for the weighted SSSP reference."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sssp import UNREACHABLE_DISTANCE, sssp
+from repro.graph.graph import Graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)),
+    min_size=1,
+    max_size=90,
+)
+
+
+def _weighted(edges, seed):
+    return Graph.from_edges(edges).with_uniform_weights(seed=seed)
+
+
+class TestUnits:
+    def test_source_distance_is_zero(self):
+        graph = _weighted([(0, 1), (1, 2)], seed=1)
+        assert sssp(graph, 0)[0] == 0.0
+
+    def test_unreachable_is_infinite(self):
+        graph = _weighted([(0, 1), (5, 6)], seed=1)
+        distances = sssp(graph, 0)
+        assert distances[5] == UNREACHABLE_DISTANCE
+        assert distances[6] == UNREACHABLE_DISTANCE
+        assert math.isinf(UNREACHABLE_DISTANCE)
+
+    def test_picks_lighter_detour(self):
+        graph = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2)], weights=[1.0, 1.0, 5.0]
+        )
+        distances = sssp(graph, 0)
+        assert distances[2] == 2.0  # via 1, not the direct 5.0 edge
+
+    def test_unweighted_graph_rejected(self):
+        graph = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError, match="weighted graph"):
+            sssp(graph, 0)
+
+
+@given(edge_lists, st.integers(0, 2 ** 16))
+@settings(max_examples=60, deadline=None)
+def test_triangle_inequality_over_every_edge(edges, seed):
+    """The defining property of shortest-path distances: no single
+    edge can shortcut them. For every undirected edge (u, v) with
+    weight w, ``dist[v] <= dist[u] + w`` (in both directions)."""
+    graph = _weighted(edges, seed)
+    if graph.num_vertices == 0:
+        return
+    source = min(int(v) for v in graph.vertices)
+    distances = sssp(graph, source)
+    assert distances[source] == 0.0
+    undirected = graph.to_undirected()
+    for u, v, weight in undirected.iter_weighted_edges():
+        assert weight > 0
+        if distances[u] < UNREACHABLE_DISTANCE:
+            assert distances[v] <= distances[u] + weight + 1e-12
+        if distances[v] < UNREACHABLE_DISTANCE:
+            assert distances[u] <= distances[v] + weight + 1e-12
+
+
+@given(edge_lists, st.integers(0, 2 ** 16))
+@settings(max_examples=60, deadline=None)
+def test_finite_distance_iff_reachable(edges, seed):
+    """Finite distances coincide exactly with the source's component;
+    every finite distance is witnessed by an in-tree predecessor
+    (some neighbor with ``dist[u] + w == dist[v]``)."""
+    graph = _weighted(edges, seed)
+    if graph.num_vertices == 0:
+        return
+    source = min(int(v) for v in graph.vertices)
+    distances = sssp(graph, source)
+    undirected = graph.to_undirected()
+    adjacency = {
+        v: dict(pairs) for v, pairs in undirected.weighted_adjacency().items()
+    }
+    # BFS reachability, ignoring weights.
+    reachable = {source}
+    frontier = [source]
+    while frontier:
+        vertex = frontier.pop()
+        for neighbor in adjacency[vertex]:
+            if neighbor not in reachable:
+                reachable.add(neighbor)
+                frontier.append(neighbor)
+    for vertex, distance in distances.items():
+        assert (distance < UNREACHABLE_DISTANCE) == (vertex in reachable)
+        if vertex in reachable and vertex != source:
+            assert any(
+                math.isclose(
+                    distances[u] + w, distance, rel_tol=0, abs_tol=1e-9
+                )
+                for u, w in adjacency[vertex].items()
+            )

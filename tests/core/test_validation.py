@@ -21,8 +21,13 @@ def params():
 
 class TestReference:
     def test_reference_dispatch(self, validator, params, small_rmat):
+        # SSSP is the one algorithm with an input requirement: it
+        # refuses unweighted graphs, so it dispatches on a weighted
+        # twin of the same graph.
+        weighted = small_rmat.with_uniform_weights(seed=1)
         for algorithm in Algorithm:
-            reference = validator.reference_output(small_rmat, algorithm, params)
+            graph = weighted if algorithm is Algorithm.SSSP else small_rmat
+            reference = validator.reference_output(graph, algorithm, params)
             assert reference is not None
 
     def test_reference_bfs_uses_params_source(self, validator, small_rmat):

@@ -2,21 +2,27 @@
 
 import pytest
 
+from repro.core.errors import ConfigurationError
 from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec, Workload
 from repro.graph.graph import Graph
 
 
 class TestAlgorithm:
-    def test_five_algorithms(self):
-        assert [a.value for a in Algorithm] == ["STATS", "BFS", "CONN", "CD", "EVO"]
+    def test_eight_algorithms(self):
+        assert [a.value for a in Algorithm] == [
+            "STATS", "BFS", "CONN", "CD", "EVO", "PR", "SSSP", "LCC",
+        ]
 
     def test_from_name_case_insensitive(self):
         assert Algorithm.from_name("bfs") is Algorithm.BFS
         assert Algorithm.from_name("Conn") is Algorithm.CONN
+        assert Algorithm.from_name("pr") is Algorithm.PR
+        assert Algorithm.from_name("sssp") is Algorithm.SSSP
+        assert Algorithm.from_name("lcc") is Algorithm.LCC
 
     def test_from_name_unknown(self):
         with pytest.raises(ValueError, match="unknown algorithm"):
-            Algorithm.from_name("pagerank")
+            Algorithm.from_name("pagerank-but-misspelled")
 
 
 class TestAlgorithmParams:
@@ -39,6 +45,20 @@ class TestAlgorithmParams:
         derived = base.with_source(9)
         assert base.bfs_source is None
         assert derived.bfs_source == 9
+
+    def test_sssp_on_unweighted_graph_rejected(self):
+        """SSSP on an unweighted graph is a configuration error with an
+        actionable message — not a KeyError deep inside an engine."""
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ConfigurationError, match="weighted"):
+            AlgorithmParams().resolve_sssp_source(graph)
+
+    def test_sssp_source_resolution_on_weighted_graph(self):
+        graph = Graph.from_edges([(5, 7), (3, 5)]).with_uniform_weights(seed=1)
+        assert AlgorithmParams().resolve_sssp_source(graph) == 3
+        assert AlgorithmParams(sssp_source=7).resolve_sssp_source(graph) == 7
+        with pytest.raises(ValueError, match="not in graph"):
+            AlgorithmParams(sssp_source=42).resolve_sssp_source(graph)
 
 
 class TestWorkloadAndRunSpec:

@@ -82,3 +82,21 @@ FUZZED_GRAPHS = {
     f"fuzz-{index:02d}": fuzzed_graph(index)
     for index in range(NUM_FUZZED_GRAPHS)
 }
+
+
+def fuzzed_weighted_graph(index: int) -> Graph:
+    """Weighted variant of adversarial graph number ``index``.
+
+    Same structural pool, with per-edge weights drawn from a seed that
+    differs per graph — so the weighted sweep exercises both the
+    structural edge cases and distinct weight assignments. (Every
+    fuzzed graph has at least one edge: each cluster carries its
+    spanning path, which the all-active PageRank rounds rely on.)
+    """
+    return fuzzed_graph(index).with_uniform_weights(seed=0xBEEF ^ index)
+
+
+FUZZED_WEIGHTED_GRAPHS = {
+    f"wfuzz-{index:02d}": fuzzed_weighted_graph(index)
+    for index in range(NUM_FUZZED_GRAPHS)
+}

@@ -121,12 +121,19 @@ class TestDriver:
         from repro.core.validation import OutputValidator
 
         platform = StratospherePlatform(ClusterSpec.paper_distributed())
+        weighted = small_rmat.with_uniform_weights(seed=2)
         handle = platform.upload_graph("g", small_rmat)
+        weighted_handle = platform.upload_graph("gw", weighted)
         params = AlgorithmParams(evo_new_vertices=20)
         validator = OutputValidator()
         for algorithm in Algorithm:
-            run = platform.run_algorithm(handle, algorithm, params)
-            validator.validate(small_rmat, algorithm, params, run.output)
+            # SSSP refuses unweighted graphs; it runs on the weighted twin.
+            if algorithm is Algorithm.SSSP:
+                run = platform.run_algorithm(weighted_handle, algorithm, params)
+                validator.validate(weighted, algorithm, params, run.output)
+            else:
+                run = platform.run_algorithm(handle, algorithm, params)
+                validator.validate(small_rmat, algorithm, params, run.output)
 
     def test_etl_reported(self, small_rmat):
         platform = StratospherePlatform(ClusterSpec.paper_distributed())

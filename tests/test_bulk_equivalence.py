@@ -8,12 +8,17 @@ floats, and float64 addition of integers below 2**53 is exact, so one
 bulk charge of a pre-summed total equals the scalar call sequence
 bit for bit (see ``CostMeter.charge_compute_bulk``).
 
-These tests hold every platform to that contract on BFS and CONN —
-the two algorithms with bulk kernels — over a directed graph, an
-undirected graph, and a graph with sparse vertex ids plus an isolated
-vertex. "Identical" means the algorithm outputs, the per-round charge
-structure, and the profile totals (``simulated_seconds``,
-``total_messages``, peak memory) all compare equal with ``==``.
+These tests hold every platform to that contract on *every*
+algorithm, discovered from the ``Algorithm`` enum rather than
+hand-listed — so an algorithm that gains a bulk kernel (BFS, CONN,
+and PR have them today) is automatically held to the bar, and an
+algorithm without one must still produce identical results and
+profiles by running the same scalar path under both flags. The sweep
+covers a directed graph, an undirected graph, and a graph with sparse
+vertex ids plus an isolated vertex. "Identical" means the algorithm
+outputs, the per-round charge structure, and the profile totals
+(``simulated_seconds``, ``total_messages``, peak memory) all compare
+equal with ``==``.
 """
 
 import pytest
@@ -35,7 +40,10 @@ CONVERTED_PLATFORMS = [
     MapReducePlatform,
 ]
 
-BULK_ALGORITHMS = [Algorithm.BFS, Algorithm.CONN]
+#: Every algorithm, auto-discovered from the enum: new algorithms (and
+#: new bulk kernels) join the equivalence sweep without editing this
+#: file.
+BULK_ALGORITHMS = list(Algorithm)
 
 
 def _sparse_id_graph() -> Graph:
@@ -86,6 +94,8 @@ def profile_key(profile):
 
 
 def _run(platform_cls, bulk: bool, graph: Graph, algorithm: Algorithm):
+    if algorithm is Algorithm.SSSP and not graph.is_weighted:
+        graph = graph.with_uniform_weights(seed=3)
     platform = platform_cls(ClusterSpec.paper_distributed(), bulk=bulk)
     handle = platform.upload_graph("equivalence", graph)
     run = platform.run_algorithm(handle, algorithm, AlgorithmParams())
@@ -105,25 +115,16 @@ def test_bulk_path_is_bit_identical(platform_cls, algorithm, graph_name):
     assert bulk_profile == scalar_profile
 
 
-@pytest.mark.parametrize(
-    "algorithm",
-    [
-        Algorithm.BFS,
-        Algorithm.CONN,
-        Algorithm.CD,
-        Algorithm.STATS,
-        Algorithm.EVO,
-    ],
-    ids=lambda a: a.value,
-)
+@pytest.mark.parametrize("algorithm", list(Algorithm), ids=lambda a: a.value)
 def test_mapreduce_bulk_covers_every_job(algorithm):
     """Every job chain in ``jobs.py`` is bulk/scalar-identical.
 
-    BFS and CONN exercise the columnar ``RecordBatch`` executor; CD,
-    STATS, and EVO stay on scalar records under ``bulk=True`` (their
-    jobs carry non-columnar values) but still flow through the batched
-    shuffle accounting — either way the outputs and full cost profiles
-    must match the ``bulk=False`` run exactly.
+    BFS and CONN exercise the columnar ``RecordBatch`` executor; the
+    remaining jobs (CD, STATS, EVO, and the PR/SSSP/LCC chains) stay
+    on scalar records under ``bulk=True`` (their jobs carry
+    non-columnar values) but still flow through the batched shuffle
+    accounting — either way the outputs and full cost profiles must
+    match the ``bulk=False`` run exactly.
     """
     graph = GRAPHS["rmat-undirected"]()
     bulk_output, bulk_profile = _run(MapReducePlatform, True, graph, algorithm)
