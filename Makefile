@@ -8,7 +8,7 @@ export PYTHONPATH := src
 COVERAGE_FLOOR := $(shell cat .coverage-floor 2>/dev/null || echo 0)
 
 .PHONY: check test test-fast differential quality quality-fixtures \
-	audit audit-fixtures perf trace-smoke coverage
+	audit audit-fixtures perf trace-smoke whatif-smoke coverage
 
 check:
 	$(PYTHON) -m repro.cli selfcheck
@@ -64,6 +64,14 @@ trace-smoke:
 		$(TRACE_SMOKE_DIR)/giraph_graph500-8_BFS.jsonl \
 		$(TRACE_SMOKE_DIR)/giraph_graph500-8_BFS.jsonl
 	rm -rf $(TRACE_SMOKE_DIR)
+
+# Hardware what-if smoke: execute giraph BFS once, re-cost it under
+# the network-tier profiles, and render the sweep table. Exercises the
+# profile registry, the exact re-coster, and dominant-component
+# attribution in one command.
+whatif-smoke:
+	$(PYTHON) -m repro.cli whatif --platforms giraph --graphs graph500-8 \
+		--algorithms BFS --profiles paper-1gbe,10gbe,rdma
 
 # Line-coverage report with a checked-in floor (.coverage-floor, in
 # percent). pytest-cov is an optional dependency: when it is not

@@ -23,9 +23,15 @@ command implements that workflow:
 * ``graphalytics analyze`` — compare two runs (traces, results
   databases, or submission documents) and flag regressions in time,
   network bytes, rounds, and dominant choke point;
+* ``graphalytics whatif`` — execute one suite and re-cost it across
+  hardware profiles (``paper-1gbe`` vs ``10gbe`` vs ``rdma`` ...),
+  showing how simulated seconds and the dominant choke point shift
+  with the machine;
+* ``graphalytics calibrate`` — fit a hardware profile's free
+  parameters against reference runtimes by re-costing recorded runs;
 * ``graphalytics selfcheck`` — one command chaining the tier-1 test
-  suite, the quality gate, the quick perf harness, and the
-  trace-replay check.
+  suite, the quality gate, the quick perf harness, the trace-replay
+  check, and the calibration-fitter smoke.
 
 ``run`` also exposes the deterministic failure envelope: ``--mem-limit``
 caps every worker's simulated memory (reproducing the paper's
@@ -46,7 +52,12 @@ from repro.core.cost import ClusterSpec
 from repro.core.report import ReportGenerator
 from repro.core.results_db import ResultsDatabase
 from repro.core.validation import OutputValidator
-from repro.core.config import load_benchmark_config
+from repro.core.config import load_benchmark_config, load_hardware_settings
+from repro.hardware.registry import (
+    DEFAULT_PROFILE,
+    available_profiles,
+    default_workers,
+)
 from repro.core.workload import Algorithm, BenchmarkRunSpec
 from repro.analysis import (
     AnalysisConfig,
@@ -102,6 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="comma-separated subset of "
                      "STATS,BFS,CONN,CD,EVO,PR,SSSP,LCC "
                      "(SSSP requires weighted graphs)")
+    run.add_argument("--hardware-profile", default=None, metavar="NAME",
+                     help="hardware profile for the distributed "
+                     f"platforms (registered: {','.join(available_profiles())};"
+                     " default: the paper's 1 GbE cluster)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker count for the distributed platforms "
+                     "(default: the profile's reference testbed)")
     run.add_argument("--time-limit", type=float, default=None,
                      help="simulated-seconds budget per run")
     run.add_argument("--mem-limit", default=None, metavar="BYTES",
@@ -255,10 +273,55 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="gate: exit non-zero when regressions are "
                          "found")
 
+    whatif = commands.add_parser(
+        "whatif",
+        help="execute one suite and re-cost it across hardware profiles",
+    )
+    whatif.add_argument("--graphs", default="graph500-12",
+                        help="comma-separated catalog names (default: "
+                        "graph500-12)")
+    whatif.add_argument("--algorithms", default="BFS,PR",
+                        help="comma-separated algorithm subset "
+                        "(default: BFS,PR)")
+    whatif.add_argument("--platforms", default=None,
+                        help="comma-separated cluster platforms "
+                        "(default: every distributed platform; "
+                        "single-machine platforms pin their own hardware)")
+    whatif.add_argument("--profiles",
+                        default="paper-1gbe,10gbe,rdma",
+                        help="comma-separated profile sweep; the suite "
+                        "executes once under the first profile and the "
+                        "rest are exact re-costs "
+                        f"(registered: {','.join(available_profiles())})")
+    whatif.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker count (default: the base profile's "
+                        "reference testbed)")
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="fit a hardware profile's free parameters to reference "
+        "runtimes",
+    )
+    calibrate.add_argument("--profile", default=DEFAULT_PROFILE,
+                           help="base profile to calibrate "
+                           f"(default: {DEFAULT_PROFILE})")
+    calibrate.add_argument("--target", action="append", default=None,
+                           metavar="PLATFORM:GRAPH:ALG=SECONDS",
+                           help="reference runtime for one cell, e.g. "
+                           "giraph:graph500-8:BFS=12.0; repeatable "
+                           "(default: the built-in Figure 4/5 proxy "
+                           "targets)")
+    calibrate.add_argument("--sweeps", type=int, default=3, metavar="N",
+                           help="coordinate-descent sweeps (default 3)")
+    calibrate.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="worker count for the calibration runs "
+                           "(default: the profile's reference testbed)")
+
     selfcheck = commands.add_parser(
         "selfcheck",
         help="chain the tier-1 test suite, quality gate, quick perf "
-        "harness, and trace-replay check in one command",
+        "harness, trace-replay check, and calibration smoke in one "
+        "command",
     )
     selfcheck.add_argument("--fast", action="store_true",
                            help="skip tests marked slow (-m 'not slow')")
@@ -272,6 +335,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="skip the quick perf stage")
     selfcheck.add_argument("--skip-trace", action="store_true",
                            help="skip the trace-replay stage")
+    selfcheck.add_argument("--skip-calibrate", action="store_true",
+                           help="skip the calibration-fitter smoke stage")
 
     leaderboard = commands.add_parser(
         "leaderboard",
@@ -339,6 +404,30 @@ def _resolve_run_selection(args: argparse.Namespace):
     return platform_names, graph_names, spec, time_limit, validate
 
 
+def _resolve_cluster(args: argparse.Namespace) -> ClusterSpec:
+    """The distributed platforms' cluster from flags and config.
+
+    With no ``--hardware-profile``/``--workers`` flag and no
+    ``[hardware]`` config section, this is exactly
+    ``ClusterSpec.paper_distributed()`` — the historical default.
+    """
+    settings = None
+    if getattr(args, "config", None):
+        settings = load_hardware_settings(args.config)
+    profile_name = args.hardware_profile or (
+        settings.profile if settings else None
+    )
+    workers = args.workers if args.workers is not None else (
+        settings.workers if settings else None
+    )
+    if profile_name is None and workers is None:
+        return ClusterSpec.paper_distributed()
+    resolved_profile = profile_name or DEFAULT_PROFILE
+    if workers is None:
+        workers = default_workers(resolved_profile)
+    return ClusterSpec.from_profile(resolved_profile, num_workers=workers)
+
+
 def _preflight_audit(spec: BenchmarkRunSpec, time_limit: float | None) -> int:
     """Audit the resolved run spec; non-zero means abort the run.
 
@@ -366,7 +455,11 @@ def _command_run(args: argparse.Namespace) -> int:
         if preflight:
             return preflight
 
-    distributed = ClusterSpec.paper_distributed()
+    try:
+        distributed = _resolve_cluster(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
     platforms = create_platform_fleet(distributed, names=platform_names)
     mem_limit = None
     if args.mem_limit:
@@ -625,6 +718,104 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 1 if args.check else 0
 
 
+def _command_whatif(args: argparse.Namespace) -> int:
+    from repro.hardware.whatif import run_whatif
+
+    profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+    graphs = [g.strip() for g in args.graphs.split(",") if g.strip()]
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    platforms = None
+    if args.platforms:
+        platforms = [p.strip() for p in args.platforms.split(",") if p.strip()]
+    try:
+        report = run_whatif(
+            graphs,
+            algorithms=algorithms,
+            platforms=platforms,
+            profiles=profiles,
+            workers=args.workers,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+    print(
+        f"suite executed once under {report.base_profile!r} "
+        f"({report.num_workers} workers); other columns are exact "
+        "re-costs of the recorded charges"
+    )
+    print(report.render())
+    return 0
+
+
+def _parse_calibration_target(raw: str) -> tuple[tuple[str, str, str], float]:
+    """Parse one ``platform:graph:ALG=seconds`` target override."""
+    cell, _, seconds = raw.partition("=")
+    parts = cell.split(":")
+    if len(parts) != 3 or not seconds:
+        raise ValueError(
+            f"bad target {raw!r}; expected platform:graph:ALG=seconds"
+        )
+    platform, graph, algorithm = (part.strip() for part in parts)
+    return (platform, graph, algorithm.upper()), float(seconds)
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    from repro.api import run_benchmark
+    from repro.hardware.calibrate import REFERENCE_TARGETS, calibrate
+    from repro.hardware.registry import get_profile
+
+    try:
+        base = get_profile(args.profile)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+    targets = dict(REFERENCE_TARGETS)
+    if args.target:
+        targets = {}
+        for raw in args.target:
+            try:
+                key, seconds = _parse_calibration_target(raw)
+            except ValueError as exc:
+                print(f"error: {exc}")
+                return 2
+            targets[key] = seconds
+    platforms = sorted({platform for platform, _, _ in targets})
+    graphs = sorted({graph for _, graph, _ in targets})
+    algorithms = sorted({algorithm for _, _, algorithm in targets})
+    workers = (
+        args.workers
+        if args.workers is not None
+        else default_workers(args.profile)
+    )
+    cluster = ClusterSpec.from_profile(base, num_workers=workers)
+    suite = run_benchmark(
+        graphs,
+        platforms=platforms,
+        algorithms=algorithms,
+        cluster=cluster,
+        validate=False,
+    )
+    runs = []
+    for result in suite.results:
+        key = (result.platform, result.graph_name, result.algorithm.value)
+        if key not in targets:
+            continue
+        if not result.succeeded:
+            print(
+                f"error: calibration cell {key} failed: "
+                f"{result.failure_reason}"
+            )
+            return 2
+        runs.append((result.run.profile, targets[key]))
+    if not runs:
+        print("error: no calibration cells executed")
+        return 2
+    result = calibrate(runs, base, sweeps=args.sweeps)
+    print(f"fitted {len(runs)} cell(s) over {workers} workers")
+    print(result.summary())
+    return 0
+
+
 #: Hard ceiling on a full-src static analysis inside selfcheck.
 _QUALITY_BUDGET_SECONDS = 30.0
 
@@ -725,16 +916,53 @@ def _selfcheck_trace() -> bool:
     return passed
 
 
+def _selfcheck_calibrate() -> bool:
+    """Smoke the calibration fitter: one cheap fit must not diverge."""
+    from repro.api import run_benchmark
+    from repro.hardware.calibrate import REFERENCE_TARGETS, calibrate
+    from repro.hardware.registry import get_profile
+
+    print("selfcheck: running calibration-fitter smoke")
+    base = get_profile(DEFAULT_PROFILE)
+    suite = run_benchmark(
+        ["graph500-8"],
+        platforms=["giraph"],
+        algorithms=["BFS", "PR"],
+        cluster=ClusterSpec.from_profile(base, num_workers=10),
+        validate=False,
+    )
+    runs = []
+    for result in suite.results:
+        if not result.succeeded:
+            print(f"  calibration run failed: {result.failure_reason}")
+            return False
+        key = (result.platform, result.graph_name, result.algorithm.value)
+        runs.append((result.run.profile, REFERENCE_TARGETS[key]))
+    fit = calibrate(runs, base, sweeps=1)
+    if fit.error_after > fit.error_before:
+        print(
+            f"  fitter diverged: {fit.error_before:.4f} -> "
+            f"{fit.error_after:.4f}"
+        )
+        return False
+    print(
+        f"  rms log error {fit.error_before:.4f} -> {fit.error_after:.4f} "
+        f"({fit.evaluations} evaluations)"
+    )
+    return True
+
+
 def _command_selfcheck(args: argparse.Namespace) -> int:
     """One command that answers "is this checkout healthy?".
 
     Chains the repo's own verification stages — tier-1 pytest suite,
     static-analysis quality gate against the checked-in baseline, the
     benchmark self-audit over the shipped configs, the quick perf
-    harness (bulk/scalar equivalence), and the trace-replay check (a
+    harness (bulk/scalar equivalence), the trace-replay check (a
     traced run's JSONL re-aggregates to the exact recorded profile and
-    self-compares clean under ``analyze --check``) — and reports a
-    pass/fail summary. ``make check`` delegates here.
+    self-compares clean under ``analyze --check``), and the
+    calibration-fitter smoke — and reports a pass/fail summary.
+    ``make check`` delegates here.
     """
     plan: list[tuple[str, bool, Callable[[], bool]]] = [
         ("tests", args.skip_tests, lambda: _selfcheck_tests(args.fast)),
@@ -742,6 +970,7 @@ def _command_selfcheck(args: argparse.Namespace) -> int:
         ("audit gate", args.skip_audit, _selfcheck_audit),
         ("perf --quick", args.skip_perf, _selfcheck_perf),
         ("trace replay", args.skip_trace, _selfcheck_trace),
+        ("calibrate smoke", args.skip_calibrate, _selfcheck_calibrate),
     ]
     stages: list[tuple[str, str]] = []
     exit_code = 0
@@ -785,6 +1014,8 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _command_perf,
         "trace": _command_trace,
         "analyze": _command_analyze,
+        "whatif": _command_whatif,
+        "calibrate": _command_calibrate,
         "selfcheck": _command_selfcheck,
         "leaderboard": _command_leaderboard,
     }

@@ -41,6 +41,12 @@ class ChokePointReport:
     # Excessive network utilization
     total_remote_bytes: float
     network_time_share: float
+    #: Share of network time that is per-message overhead (NIC latency
+    #: plus queueing delay) rather than byte transfer. This is the
+    #: hardware-sensitive half of the network choke point: swapping the
+    #: profile (1 GbE -> RDMA) collapses it while leaving the charge
+    #: counters untouched.
+    network_overhead_share: float
     # Large graph memory footprint
     peak_memory_bytes: float
     memory_budget_share: float
@@ -96,6 +102,10 @@ def analyze_profile(
     rounds = profile.rounds
     total_time = profile.simulated_seconds
     network_time = sum(r.network_seconds for r in rounds)
+    network_overhead = sum(
+        r.network_latency_seconds + r.network_queueing_seconds
+        for r in rounds
+    )
     barrier_time = sum(r.barrier_seconds for r in rounds)
 
     sequential_ops = sum(sum(r.ops_per_worker) for r in rounds)
@@ -122,6 +132,9 @@ def analyze_profile(
     return ChokePointReport(
         total_remote_bytes=profile.total_remote_bytes,
         network_time_share=network_time / total_time if total_time else 0.0,
+        network_overhead_share=(
+            network_overhead / network_time if network_time else 0.0
+        ),
         peak_memory_bytes=profile.peak_memory,
         memory_budget_share=profile.peak_memory / budget if budget else 0.0,
         random_accesses=random_accesses,

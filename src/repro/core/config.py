@@ -58,7 +58,8 @@ from pathlib import Path
 from repro.core.errors import ConfigurationError
 from repro.core.workload import Algorithm, AlgorithmParams, BenchmarkRunSpec
 
-__all__ = ["GraphConfig", "load_graph_config", "load_benchmark_config",
+__all__ = ["GraphConfig", "HardwareSettings", "load_graph_config",
+           "load_benchmark_config", "load_hardware_settings",
            "save_graph_config", "unknown_config_keys",
            "GRAPH_CONFIG_SECTIONS", "BENCHMARK_CONFIG_SECTIONS"]
 
@@ -92,6 +93,7 @@ BENCHMARK_CONFIG_SECTIONS: dict[str, frozenset[str]] = {
             "warmup",
         }
     ),
+    "hardware": frozenset({"profile", "workers"}),
 }
 
 
@@ -353,3 +355,58 @@ def load_benchmark_config(path: str | Path) -> tuple[BenchmarkRunSpec, float | N
         warmup_runs=parse_int("warmup", 0, 0),
     )
     return spec, time_limit
+
+
+@dataclass(frozen=True)
+class HardwareSettings:
+    """The optional ``[hardware]`` section of a benchmark config.
+
+    ``profile`` names a registered hardware profile for the
+    distributed platforms; ``workers`` overrides the profile's
+    reference worker count. Both ``None`` means the CLI falls back to
+    its flag values or the paper-default cluster.
+    """
+
+    profile: str | None = None
+    workers: int | None = None
+
+
+def load_hardware_settings(path: str | Path) -> HardwareSettings:
+    """Parse the ``[hardware]`` section of a benchmark config.
+
+    Validates the profile name against the registry and the worker
+    count's positivity; a config without the section (the common case)
+    yields empty settings. Warnings for unknown keys are already
+    emitted by :func:`load_benchmark_config` — this reader only pulls
+    the two known keys.
+    """
+    path = Path(path)
+    parser = configparser.ConfigParser(inline_comment_prefixes=(";", "#"))
+    if not parser.read(path):
+        raise ConfigurationError(f"cannot read benchmark config {path}")
+    if "hardware" not in parser:
+        return HardwareSettings()
+    section = parser["hardware"]
+    profile = section.get("profile")
+    if profile is not None:
+        profile = profile.strip() or None
+    if profile is not None:
+        from repro.hardware.registry import available_profiles
+
+        if profile not in available_profiles():
+            raise ConfigurationError(
+                f"{path}: unknown hardware profile {profile!r}; "
+                f"registered: {', '.join(available_profiles())}"
+            )
+    workers = None
+    raw_workers = section.get("workers")
+    if raw_workers is not None and raw_workers.strip():
+        try:
+            workers = int(raw_workers)
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: invalid workers") from exc
+        if workers < 1:
+            raise ConfigurationError(
+                f"{path}: workers must be >= 1, got {workers}"
+            )
+    return HardwareSettings(profile=profile, workers=workers)

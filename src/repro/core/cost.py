@@ -24,7 +24,11 @@ the choke-point analysis (Section 2.1) consumes:
 
 from __future__ import annotations
 
+import dataclasses
+import re
 from dataclasses import dataclass, field
+
+from repro.hardware.models import CpuModel, DiskModel, HardwareProfile, NicModel
 
 __all__ = [
     "ClusterSpec",
@@ -61,58 +65,207 @@ class MemoryBudgetExceeded(Exception):
         )
 
 
+#: Flat spec field -> (hardware sub-model attribute, model field name);
+#: sub-model ``None`` means a direct :class:`HardwareProfile` field.
+_FLAT_HARDWARE_FIELDS: dict[str, tuple[str | None, str]] = {
+    "cores_per_worker": ("cpu", "cores"),
+    "cpu_ops_per_second": ("cpu", "ops_per_second"),
+    "random_access_seconds": ("cpu", "random_access_seconds"),
+    "network_bandwidth": ("nic", "bandwidth"),
+    "nic_message_latency_seconds": ("nic", "message_latency_seconds"),
+    "nic_queueing_factor": ("nic", "queueing_factor"),
+    "disk_bandwidth": ("disk", "seq_bandwidth"),
+    "disk_random_bandwidth": ("disk", "random_bandwidth"),
+    "memory_bytes_per_worker": (None, "memory_bytes_per_worker"),
+    "memory_pressure_factor": (None, "memory_pressure_factor"),
+    "barrier_seconds": (None, "barrier_seconds"),
+    "startup_seconds": (None, "startup_seconds"),
+}
+
+#: Trailing scale suffix appended by :meth:`ClusterSpec.scaled`.
+_SCALE_SUFFIX = re.compile(r"^(?P<base>.*)/s(?P<factor>[0-9.eE+-]+)$")
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
     """The (simulated) machines a platform runs on.
 
-    Attributes
-    ----------
-    num_workers:
-        Compute machines participating in the computation.
-    cores_per_worker:
-        Cores used per machine.
-    cpu_ops_per_second:
-        Simple-operation throughput per core (edge scans, message
-        handling); roughly instructions-per-second divided by the
-        instructions one such operation costs.
-    random_access_seconds:
-        Cost of one cache-missing random memory access (the paper's
-        "poor access locality" choke point: RAM latency vs CPU speed).
-    memory_bytes_per_worker:
-        RAM budget per machine; exceeding it is a platform failure.
-    network_bandwidth:
-        Per-machine network bandwidth, bytes/second.
-    barrier_seconds:
-        Cost of one global synchronization barrier (the term that
-        dominates the "many final iterations with little work" choke
-        point).
-    disk_bandwidth:
-        Per-machine disk bandwidth, bytes/second.
-    startup_seconds:
-        Fixed job submission/scheduling overhead per algorithm run.
+    A deployment shape (``num_workers`` identical machines) bound to a
+    :class:`~repro.hardware.models.HardwareProfile` describing each
+    machine's devices. The historical flat constants
+    (``cpu_ops_per_second``, ``network_bandwidth``, ...) remain
+    available as read-only properties delegating into the profile, so
+    cost formulas and engine code read exactly as before; construction
+    sites that used the flat field list use :meth:`flat`, and
+    field-level overrides go through :meth:`replace`.
     """
 
     name: str
     num_workers: int
-    cores_per_worker: int
-    cpu_ops_per_second: float
-    random_access_seconds: float
-    memory_bytes_per_worker: float
-    network_bandwidth: float
-    barrier_seconds: float
-    disk_bandwidth: float
-    startup_seconds: float
+    hardware: HardwareProfile
 
     def __post_init__(self):
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        if self.cores_per_worker < 1:
-            raise ValueError("cores_per_worker must be >= 1")
+
+    # -- legacy flat views ------------------------------------------------
+
+    @property
+    def cores_per_worker(self) -> int:
+        """Cores used per machine."""
+        return self.hardware.cpu.cores
+
+    @property
+    def cpu_ops_per_second(self) -> float:
+        """Simple-operation throughput per core."""
+        return self.hardware.cpu.ops_per_second
+
+    @property
+    def random_access_seconds(self) -> float:
+        """Cost of one cache-missing random memory access."""
+        return self.hardware.cpu.random_access_seconds
+
+    @property
+    def memory_bytes_per_worker(self) -> float:
+        """RAM budget per machine; exceeding it is a platform failure."""
+        return self.hardware.memory_bytes_per_worker
+
+    @property
+    def network_bandwidth(self) -> float:
+        """Per-machine network bandwidth, bytes/second."""
+        return self.hardware.nic.bandwidth
+
+    @property
+    def barrier_seconds(self) -> float:
+        """Cost of one global synchronization barrier."""
+        return self.hardware.barrier_seconds
+
+    @property
+    def disk_bandwidth(self) -> float:
+        """Per-machine sequential disk bandwidth, bytes/second."""
+        return self.hardware.disk.seq_bandwidth
+
+    @property
+    def startup_seconds(self) -> float:
+        """Fixed job submission/scheduling overhead per run."""
+        return self.hardware.startup_seconds
 
     @property
     def worker_ops_per_second(self) -> float:
         """Aggregate simple-operation throughput of one worker."""
-        return self.cores_per_worker * self.cpu_ops_per_second
+        return self.hardware.cpu.worker_ops_per_second
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def flat(
+        cls,
+        name: str,
+        num_workers: int,
+        cores_per_worker: int,
+        cpu_ops_per_second: float,
+        random_access_seconds: float,
+        memory_bytes_per_worker: float,
+        network_bandwidth: float,
+        barrier_seconds: float,
+        disk_bandwidth: float,
+        startup_seconds: float,
+        nic_message_latency_seconds: float = 0.0,
+        nic_queueing_factor: float = 0.0,
+        disk_random_bandwidth: float | None = None,
+        memory_pressure_factor: float = 0.0,
+    ) -> "ClusterSpec":
+        """Build a spec from the historical flat constant list.
+
+        The positional order matches the pre-profile ``ClusterSpec``
+        fields; the keyword tail exposes the new component parameters
+        (defaults reproduce the old physics: no per-message latency,
+        no queueing, random I/O at sequential rate, no memory
+        pressure).
+        """
+        hardware = HardwareProfile(
+            name=name,
+            cpu=CpuModel(
+                cores=cores_per_worker,
+                ops_per_second=cpu_ops_per_second,
+                random_access_seconds=random_access_seconds,
+            ),
+            nic=NicModel(
+                bandwidth=network_bandwidth,
+                message_latency_seconds=nic_message_latency_seconds,
+                queueing_factor=nic_queueing_factor,
+            ),
+            disk=DiskModel(
+                seq_bandwidth=disk_bandwidth,
+                random_bandwidth=(
+                    disk_bandwidth
+                    if disk_random_bandwidth is None
+                    else disk_random_bandwidth
+                ),
+            ),
+            memory_bytes_per_worker=memory_bytes_per_worker,
+            memory_pressure_factor=memory_pressure_factor,
+            barrier_seconds=barrier_seconds,
+            startup_seconds=startup_seconds,
+        )
+        return cls(name=name, num_workers=num_workers, hardware=hardware)
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: HardwareProfile | str,
+        num_workers: int | None = None,
+        name: str | None = None,
+    ) -> "ClusterSpec":
+        """A cluster of ``num_workers`` machines of a (named) profile.
+
+        String profiles resolve through the registry, defaulting
+        ``num_workers`` to the profile's reference testbed size.
+        """
+        from repro.hardware.registry import default_workers, get_profile
+
+        if isinstance(profile, str):
+            if num_workers is None:
+                num_workers = default_workers(profile)
+            profile = get_profile(profile)
+        elif num_workers is None:
+            num_workers = 1
+        if name is None:
+            name = (
+                profile.name
+                if num_workers == 1
+                else f"{profile.name}/w{num_workers}"
+            )
+        return cls(name=name, num_workers=num_workers, hardware=profile)
+
+    def replace(self, **changes) -> "ClusterSpec":
+        """`dataclasses.replace` that also accepts flat field names.
+
+        ``spec.replace(memory_bytes_per_worker=2048.0)`` routes the
+        override into the nested hardware profile; ``name``,
+        ``num_workers`` and ``hardware`` replace directly.
+        """
+        name = changes.pop("name", self.name)
+        num_workers = changes.pop("num_workers", self.num_workers)
+        hardware = changes.pop("hardware", self.hardware)
+        if changes:
+            grouped: dict[str | None, dict[str, object]] = {}
+            for key, value in changes.items():
+                if key not in _FLAT_HARDWARE_FIELDS:
+                    raise TypeError(f"unknown ClusterSpec field {key!r}")
+                model, attribute = _FLAT_HARDWARE_FIELDS[key]
+                grouped.setdefault(model, {})[attribute] = value
+            profile_changes = grouped.pop(None, {})
+            for model, model_changes in grouped.items():
+                profile_changes[model] = dataclasses.replace(
+                    getattr(hardware, model), **model_changes
+                )
+            hardware = dataclasses.replace(hardware, **profile_changes)
+        return ClusterSpec(
+            name=name, num_workers=num_workers, hardware=hardware
+        )
+
+    # -- transformation ---------------------------------------------------
 
     def scaled(self, throughput: float, memory: float | None = None) -> "ClusterSpec":
         """Scale the testbed down alongside scaled-down graphs.
@@ -127,56 +280,65 @@ class ClusterSpec:
         ``memory`` may differ from ``throughput`` so that benchmark
         configurations can place the out-of-memory failure thresholds
         at their scaled graph sizes.
+
+        Repeated scaling composes in the name: ``spec.scaled(2)
+        .scaled(2)`` is named ``.../s4``, not ``.../s2/s2``, and
+        ``scaled(1)`` round-trips to an equal spec.
         """
         if throughput <= 0:
             raise ValueError("throughput scale must be positive")
         memory = throughput if memory is None else memory
         if memory <= 0:
             raise ValueError("memory scale must be positive")
+        base_name, factor = self.name, throughput
+        suffix = _SCALE_SUFFIX.match(self.name)
+        if suffix:
+            try:
+                previous = float(suffix.group("factor"))
+            except ValueError:
+                previous = 0.0
+            if previous > 0:
+                base_name = suffix.group("base")
+                factor = previous * throughput
+        name = base_name if factor == 1 else f"{base_name}/s{factor:g}"
         return ClusterSpec(
-            name=f"{self.name}/s{throughput:g}",
+            name=name,
             num_workers=self.num_workers,
-            cores_per_worker=self.cores_per_worker,
-            cpu_ops_per_second=self.cpu_ops_per_second / throughput,
-            random_access_seconds=self.random_access_seconds * throughput,
-            memory_bytes_per_worker=self.memory_bytes_per_worker / memory,
-            network_bandwidth=self.network_bandwidth / throughput,
-            barrier_seconds=self.barrier_seconds,
-            disk_bandwidth=self.disk_bandwidth / throughput,
-            startup_seconds=self.startup_seconds,
+            hardware=self.hardware.scaled(throughput, memory),
         )
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain nested dict (JSON-safe; traces embed it)."""
+        return {
+            "name": self.name,
+            "num_workers": self.num_workers,
+            "hardware": self.hardware.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSpec":
+        """Inverse of :meth:`to_dict`; accepts legacy flat dicts too."""
+        if "hardware" in data:
+            return cls(
+                name=data["name"],
+                num_workers=data["num_workers"],
+                hardware=HardwareProfile.from_dict(data["hardware"]),
+            )
+        return cls.flat(**data)
+
+    # -- paper testbeds ---------------------------------------------------
 
     @classmethod
     def paper_distributed(cls) -> "ClusterSpec":
         """The paper's 10-worker cluster (24 GiB, dual Xeon E5620)."""
-        return cls(
-            name="cluster-10",
-            num_workers=10,
-            cores_per_worker=8,
-            cpu_ops_per_second=25e6,
-            random_access_seconds=1e-7,
-            memory_bytes_per_worker=24 * 2 ** 30,
-            network_bandwidth=117e6,  # ~1 GbE
-            barrier_seconds=0.3,
-            disk_bandwidth=130e6,
-            startup_seconds=10.0,
-        )
+        return cls.from_profile("paper-1gbe", name="cluster-10")
 
     @classmethod
     def paper_single_node(cls) -> "ClusterSpec":
         """The paper's Neo4j machine (192 GiB, dual Xeon E5-2450 v2)."""
-        return cls(
-            name="single-192g",
-            num_workers=1,
-            cores_per_worker=16,
-            cpu_ops_per_second=40e6,
-            random_access_seconds=1e-7,
-            memory_bytes_per_worker=192 * 2 ** 30,
-            network_bandwidth=float("inf"),
-            barrier_seconds=0.0,
-            disk_bandwidth=500e6,
-            startup_seconds=2.0,
-        )
+        return cls.from_profile("paper-single-node", name="single-192g")
 
 
 @dataclass
@@ -193,12 +355,32 @@ class RoundRecord:
     local_messages: int = 0
     remote_messages: int = 0
     remote_bytes: float = 0.0
+    #: Round totals over *all* disk traffic (striped + attributed);
+    #: kept as the stable reporting/trace fields.
     disk_read_bytes: float = 0.0
     disk_write_bytes: float = 0.0
+    #: Declared-balanced (``worker=None``) disk bytes, costed at
+    #: aggregate sequential bandwidth.
+    striped_disk_read_bytes: float = 0.0
+    striped_disk_write_bytes: float = 0.0
+    #: Worker-attributed sequential disk bytes (read + write); the
+    #: round pays the max over workers.
+    disk_bytes_per_worker: list[float] = field(default_factory=list)
+    #: Worker-attributed seek-dominated bytes, paid at the disk's
+    #: random bandwidth.
+    disk_random_bytes_per_worker: list[float] = field(default_factory=list)
     active_vertices: int = 0
     barrier: bool = True
+    #: Live-memory high-water mark across workers when the round
+    #: closed (feeds the memory-pressure model).
+    live_memory_bytes: float = 0.0
     compute_seconds: float = 0.0
     network_seconds: float = 0.0
+    #: Network breakdown: transfer + latency + queueing sums to
+    #: ``network_seconds``.
+    network_transfer_seconds: float = 0.0
+    network_latency_seconds: float = 0.0
+    network_queueing_seconds: float = 0.0
     disk_seconds: float = 0.0
     barrier_seconds: float = 0.0
 
@@ -386,6 +568,8 @@ class CostMeter:
             name=name,
             ops_per_worker=[0.0] * self.spec.num_workers,
             random_accesses_per_worker=[0.0] * self.spec.num_workers,
+            disk_bytes_per_worker=[0.0] * self.spec.num_workers,
+            disk_random_bytes_per_worker=[0.0] * self.spec.num_workers,
             barrier=barrier,
         )
 
@@ -406,17 +590,7 @@ class CostMeter:
         record = self._require_round()
         spec = self.spec
         record.active_vertices = active_vertices
-        # BSP barrier physics: the round lasts as long as its slowest
-        # worker's *combined* work (sequential ops plus cache-missing
-        # accesses). Taking max(ops) and max(random) separately would
-        # overcharge rounds where the compute-heavy and locality-heavy
-        # workers differ — no single worker pays both maxima.
-        record.compute_seconds = max(
-            ops / spec.worker_ops_per_second + rand * spec.random_access_seconds
-            for ops, rand in zip(
-                record.ops_per_worker, record.random_accesses_per_worker
-            )
-        )
+        record.live_memory_bytes = max(self._memory)
         straggler_penalty = 0.0
         if self.faults is not None:
             # An injected straggler repeats the round's barrier
@@ -427,21 +601,25 @@ class CostMeter:
                 spec.worker_ops_per_second,
                 spec.random_access_seconds,
             )
-            record.compute_seconds += straggler_penalty
-        record.network_seconds = (
-            record.remote_bytes / (spec.num_workers * spec.network_bandwidth)
-            if record.remote_bytes
-            else 0.0
+        # All per-round seconds derive from the active hardware
+        # profile; see HardwareProfile.round_times for the physics
+        # (BSP max-over-workers compute, NIC transfer + per-message
+        # latency + queueing, striped/attributed/random disk). The
+        # what-if re-coster calls the same function on the recorded
+        # charges, so re-costed profiles cannot drift from fresh runs.
+        times = spec.hardware.round_times(
+            record,
+            spec.num_workers,
+            straggler_penalty_seconds=straggler_penalty,
+            barrier_override=barrier_seconds,
         )
-        record.disk_seconds = (
-            (record.disk_read_bytes + record.disk_write_bytes)
-            / (spec.num_workers * spec.disk_bandwidth)
-        )
-        record.barrier_seconds = (
-            barrier_seconds
-            if barrier_seconds is not None
-            else (spec.barrier_seconds if record.barrier else 0.0)
-        )
+        record.compute_seconds = times.compute_seconds
+        record.network_transfer_seconds = times.network_transfer_seconds
+        record.network_latency_seconds = times.network_latency_seconds
+        record.network_queueing_seconds = times.network_queueing_seconds
+        record.network_seconds = times.network_seconds
+        record.disk_seconds = times.disk_seconds
+        record.barrier_seconds = times.barrier_seconds
         self.profile.rounds.append(record)
         self._current = None
         if self.sinks:
@@ -551,36 +729,79 @@ class CostMeter:
         injector's channel-loss decision too — ``--inject`` message
         loss is uniform across BSP messaging *and* MapReduce/dataflow/
         RDD shuffles. Empty shuffles (no bytes) and single-worker
-        clusters stay on the lossless local path.
+        clusters stay on the lossless local path: with one worker
+        nothing crosses a machine boundary, so the records count as
+        local messages and no remote traffic is charged (mirroring
+        ``charge_message`` with ``src == dst``).
         """
         record = self._require_round()
-        if (
-            self.faults is not None
-            and num_bytes
-            and self.spec.num_workers > 1
-        ):
-            # Byte-only shuffles (count=0) still move at least one
-            # record's worth of remote traffic for the loss decision.
-            self._consult_faults(
-                self.faults.on_messages,
-                0, 1, len(self.profile.rounds), max(count, 1),
-            )
-        record.remote_messages += count
-        record.remote_bytes += num_bytes
+        if self.spec.num_workers == 1:
+            record.local_messages += count
+        else:
+            if self.faults is not None and num_bytes:
+                # Byte-only shuffles (count=0) still move at least one
+                # record's worth of remote traffic for the loss decision.
+                self._consult_faults(
+                    self.faults.on_messages,
+                    0, 1, len(self.profile.rounds), max(count, 1),
+                )
+            record.remote_messages += count
+            record.remote_bytes += num_bytes
         if self.sinks:
             self._emit_charge("shuffle", num_bytes=num_bytes, count=count)
 
-    def charge_disk_read(self, worker: int, num_bytes: float) -> None:
-        """Bytes read from disk during this round."""
-        self._require_round().disk_read_bytes += num_bytes
+    def charge_disk_read(self, worker: int | None, num_bytes: float) -> None:
+        """Bytes read from disk during this round.
+
+        ``worker=None`` declares evenly striped I/O (HDFS-style block
+        placement), costed at the cluster's aggregate sequential
+        bandwidth. An integer attributes the bytes to that worker;
+        worker-attributed disk time is max-over-workers in
+        ``end_round``, so skewed I/O creates a straggler exactly like
+        skewed compute.
+        """
+        record = self._require_round()
+        record.disk_read_bytes += num_bytes
+        if worker is None:
+            record.striped_disk_read_bytes += num_bytes
+        else:
+            record.disk_bytes_per_worker[worker] += num_bytes
         if self.sinks:
             self._emit_charge("disk-read", worker=worker, num_bytes=num_bytes)
 
-    def charge_disk_write(self, worker: int, num_bytes: float) -> None:
-        """Bytes written to disk during this round."""
-        self._require_round().disk_write_bytes += num_bytes
+    def charge_disk_write(self, worker: int | None, num_bytes: float) -> None:
+        """Bytes written to disk during this round.
+
+        Same worker semantics as :meth:`charge_disk_read`.
+        """
+        record = self._require_round()
+        record.disk_write_bytes += num_bytes
+        if worker is None:
+            record.striped_disk_write_bytes += num_bytes
+        else:
+            record.disk_bytes_per_worker[worker] += num_bytes
         if self.sinks:
             self._emit_charge("disk-write", worker=worker, num_bytes=num_bytes)
+
+    def charge_disk_random(
+        self, worker: int, num_bytes: float, write: bool = False
+    ) -> None:
+        """Seek-dominated I/O, paid at the disk's *random* bandwidth.
+
+        Always worker-attributed (seek storms are inherently local to
+        one spindle); the bytes also land in the round's read/write
+        totals so traces and reports see all disk traffic.
+        """
+        record = self._require_round()
+        if write:
+            record.disk_write_bytes += num_bytes
+        else:
+            record.disk_read_bytes += num_bytes
+        record.disk_random_bytes_per_worker[worker] += num_bytes
+        if self.sinks:
+            self._emit_charge(
+                "disk-random", worker=worker, num_bytes=num_bytes, write=write
+            )
 
     # -- memory ----------------------------------------------------------
 

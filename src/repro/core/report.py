@@ -181,11 +181,14 @@ class ReportGenerator:
             profile = result.run.profile
             max_skew = max((r.skew for r in profile.rounds), default=1.0)
             chokepoints = _cell_chokepoints(result)
-            dominant = (
-                f" dominant={chokepoints.dominant()}"
-                if chokepoints is not None
-                else ""
-            )
+            dominant = ""
+            if chokepoints is not None:
+                dominant = f" dominant={chokepoints.dominant()}"
+                if chokepoints.network_overhead_share:
+                    dominant += (
+                        " net-overhead="
+                        f"{chokepoints.network_overhead_share:.0%}"
+                    )
             lines.append(
                 f"  {result.platform:<12} {result.algorithm.value:<6} "
                 f"{result.graph_name:<16} rounds={profile.num_rounds:<4} "

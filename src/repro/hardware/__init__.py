@@ -1,0 +1,45 @@
+"""Pluggable simulated-hardware profiles (ROADMAP item 4).
+
+Component device models (:class:`CpuModel`, :class:`NicModel`,
+:class:`DiskModel`) compose into named :class:`HardwareProfile` s; the
+cost meter derives every per-round second from the active profile.
+:mod:`repro.hardware.whatif` re-costs recorded workloads under other
+profiles and :mod:`repro.hardware.calibrate` fits free parameters
+against the paper's reference runtimes.
+
+``whatif`` and ``calibrate`` are exposed lazily: they import
+``repro.core.cost``, which itself imports this package, so eager
+re-export here would create an import cycle.
+"""
+
+from repro.hardware.models import (
+    MEMORY_PRESSURE_THRESHOLD,
+    RHO_CAP,
+    CpuModel,
+    DiskModel,
+    HardwareProfile,
+    NicModel,
+    RoundTimes,
+)
+from repro.hardware.registry import (
+    DEFAULT_PROFILE,
+    available_profiles,
+    default_workers,
+    get_profile,
+    register_profile,
+)
+
+__all__ = [
+    "CpuModel",
+    "NicModel",
+    "DiskModel",
+    "HardwareProfile",
+    "RoundTimes",
+    "RHO_CAP",
+    "MEMORY_PRESSURE_THRESHOLD",
+    "DEFAULT_PROFILE",
+    "available_profiles",
+    "default_workers",
+    "get_profile",
+    "register_profile",
+]

@@ -63,6 +63,8 @@ class TraceAttempt:
 
 
 def _record_from_span(span: dict) -> RoundRecord:
+    # Hardware-layer fields use ``.get`` defaults so traces written
+    # before the HardwareProfile refactor still replay.
     record = RoundRecord(
         name=span["name"],
         ops_per_worker=list(span["ops_per_worker"]),
@@ -72,6 +74,13 @@ def _record_from_span(span: dict) -> RoundRecord:
         remote_bytes=span["remote_bytes"],
         disk_read_bytes=span["disk_read_bytes"],
         disk_write_bytes=span["disk_write_bytes"],
+        striped_disk_read_bytes=span.get("striped_disk_read_bytes", 0.0),
+        striped_disk_write_bytes=span.get("striped_disk_write_bytes", 0.0),
+        disk_bytes_per_worker=list(span.get("disk_bytes_per_worker", [])),
+        disk_random_bytes_per_worker=list(
+            span.get("disk_random_bytes_per_worker", [])
+        ),
+        live_memory_bytes=span.get("live_memory_bytes", 0.0),
         active_vertices=span["active_vertices"],
         barrier=span["barrier"],
     )
@@ -79,6 +88,13 @@ def _record_from_span(span: dict) -> RoundRecord:
     # record of what the meter charged, straggler penalties included.
     record.compute_seconds = span["compute_seconds"]
     record.network_seconds = span["network_seconds"]
+    record.network_transfer_seconds = span.get(
+        "network_transfer_seconds", span["network_seconds"]
+    )
+    record.network_latency_seconds = span.get("network_latency_seconds", 0.0)
+    record.network_queueing_seconds = span.get(
+        "network_queueing_seconds", 0.0
+    )
     record.disk_seconds = span["disk_seconds"]
     record.barrier_seconds = span["barrier_seconds"]
     return record
@@ -108,7 +124,7 @@ def parse_trace(events: list[dict]) -> list[TraceAttempt]:
                 algorithm=event.get("algorithm", "?"),
                 attempt=event.get("attempt", len(attempts) + 1),
                 cluster=(
-                    ClusterSpec(**event["cluster"])
+                    ClusterSpec.from_dict(event["cluster"])
                     if "cluster" in event
                     else None
                 ),
@@ -166,10 +182,18 @@ def profile_fingerprint(profile: RunProfile) -> tuple:
                 r.remote_bytes,
                 r.disk_read_bytes,
                 r.disk_write_bytes,
+                r.striped_disk_read_bytes,
+                r.striped_disk_write_bytes,
+                tuple(r.disk_bytes_per_worker),
+                tuple(r.disk_random_bytes_per_worker),
+                r.live_memory_bytes,
                 r.active_vertices,
                 r.barrier,
                 r.compute_seconds,
                 r.network_seconds,
+                r.network_transfer_seconds,
+                r.network_latency_seconds,
+                r.network_queueing_seconds,
                 r.disk_seconds,
                 r.barrier_seconds,
             )

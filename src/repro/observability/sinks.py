@@ -21,7 +21,6 @@ keeps cheap running totals for tests and live dashboards.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 
 from repro.core.cost import ClusterSpec, RoundRecord, RunProfile
@@ -134,7 +133,7 @@ class JsonlTraceWriter(TraceSink):
                 "platform": platform,
                 "graph": graph,
                 "algorithm": algorithm,
-                "cluster": asdict(spec),
+                "cluster": spec.to_dict(),
             }
         )
 
@@ -158,10 +157,20 @@ class JsonlTraceWriter(TraceSink):
             "remote_bytes": record.remote_bytes,
             "disk_read_bytes": record.disk_read_bytes,
             "disk_write_bytes": record.disk_write_bytes,
+            "striped_disk_read_bytes": record.striped_disk_read_bytes,
+            "striped_disk_write_bytes": record.striped_disk_write_bytes,
+            "disk_bytes_per_worker": list(record.disk_bytes_per_worker),
+            "disk_random_bytes_per_worker": list(
+                record.disk_random_bytes_per_worker
+            ),
+            "live_memory_bytes": record.live_memory_bytes,
             "active_vertices": record.active_vertices,
             "barrier": record.barrier,
             "compute_seconds": record.compute_seconds,
             "network_seconds": record.network_seconds,
+            "network_transfer_seconds": record.network_transfer_seconds,
+            "network_latency_seconds": record.network_latency_seconds,
+            "network_queueing_seconds": record.network_queueing_seconds,
             "disk_seconds": record.disk_seconds,
             "barrier_seconds": record.barrier_seconds,
         }

@@ -39,18 +39,7 @@ STATE_BYTES_PER_VERTEX = 24.0
 
 def paper_dbms_spec() -> ClusterSpec:
     """The paper's DBMS machine: 12-core/24-thread Xeon E5-2630, 2.3 GHz."""
-    return ClusterSpec(
-        name="dbms-24t",
-        num_workers=1,
-        cores_per_worker=24,  # hyperthreads; the paper counts 2400% max
-        cpu_ops_per_second=30e6,
-        random_access_seconds=1e-7,
-        memory_bytes_per_worker=256 * 2 ** 30,
-        network_bandwidth=float("inf"),
-        barrier_seconds=0.0,
-        disk_bandwidth=500e6,
-        startup_seconds=0.5,  # a SQL statement, not a YARN job
-    )
+    return ClusterSpec.from_profile("paper-dbms", name="dbms-24t")
 
 
 class VirtuosoPlatform(Platform):

@@ -45,18 +45,7 @@ def gpu_device_spec() -> ClusterSpec:
     2496 CUDA cores; modest per-core scalar rate; 5 GB device memory
     (the hard wall the paper's GPU study keeps hitting); no network.
     """
-    return ClusterSpec(
-        name="gpu-k20",
-        num_workers=1,
-        cores_per_worker=2496,
-        cpu_ops_per_second=0.7e6,
-        random_access_seconds=4e-7,  # uncoalesced device accesses
-        memory_bytes_per_worker=5 * 2 ** 30,
-        network_bandwidth=float("inf"),
-        barrier_seconds=0.0,
-        disk_bandwidth=6e9,  # PCIe gen2 x16 effective
-        startup_seconds=1.0,  # context + module load
-    )
+    return ClusterSpec.from_profile("gpu-k20")
 
 
 class _GPUVertexContext:

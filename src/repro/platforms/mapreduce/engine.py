@@ -235,7 +235,7 @@ class MapReduceEngine:
         # ---- map phase ---------------------------------------------------
         meter.begin_round(f"map-{job.name}")
         input_bytes = self._records_bytes(input_records)
-        meter.charge_disk_read(0, input_bytes)
+        meter.charge_disk_read(None, input_bytes)
 
         intermediate: list[tuple[Any, Any]] = []
         if self.bulk:
@@ -269,7 +269,7 @@ class MapReduceEngine:
                 combined.append((key, value))
         map_output_bytes = self._records_bytes(combined)
         # Spill to local disk, then reducers fetch.
-        meter.charge_disk_write(0, map_output_bytes)
+        meter.charge_disk_write(None, map_output_bytes)
         meter.end_round(active_vertices=len(input_records))
 
         # ---- shuffle + sort ------------------------------------------------
@@ -278,7 +278,7 @@ class MapReduceEngine:
             (spec.num_workers - 1) / spec.num_workers if spec.num_workers > 1 else 0.0
         )
         meter.charge_shuffle(map_output_bytes * remote_fraction, count=len(combined))
-        meter.charge_disk_read(0, map_output_bytes)
+        meter.charge_disk_read(None, map_output_bytes)
         if combined:
             sort_ops = len(combined) * max(1.0, math.log2(len(combined))) * 2.0
             for worker in range(spec.num_workers):
@@ -316,7 +316,7 @@ class MapReduceEngine:
                 meter.charge_compute(worker, records * RECORD_CPU_OPS)
         output_bytes = self._records_bytes(output)
         # HDFS write with replication; replicas cross the network.
-        meter.charge_disk_write(0, output_bytes * HDFS_REPLICATION)
+        meter.charge_disk_write(None, output_bytes * HDFS_REPLICATION)
         meter.charge_shuffle(output_bytes * (HDFS_REPLICATION - 1))
         meter.end_round()
 
@@ -354,7 +354,7 @@ class MapReduceEngine:
         input_bytes = (
             RECORD_BYTES * num_records + ELEMENT_BYTES * input_elements
         )
-        meter.charge_disk_read(0, input_bytes)
+        meter.charge_disk_read(None, input_bytes)
 
         emitters = job.batch_emitters(batch)
         message_counts = degrees * emitters
@@ -385,7 +385,7 @@ class MapReduceEngine:
         map_output_bytes = (
             RECORD_BYTES * combined_count + ELEMENT_BYTES * combined_elements
         )
-        meter.charge_disk_write(0, map_output_bytes)
+        meter.charge_disk_write(None, map_output_bytes)
         meter.end_round(active_vertices=num_records)
 
         # ---- shuffle + sort ------------------------------------------------
@@ -396,7 +396,7 @@ class MapReduceEngine:
         meter.charge_shuffle(
             map_output_bytes * remote_fraction, count=combined_count
         )
-        meter.charge_disk_read(0, map_output_bytes)
+        meter.charge_disk_read(None, map_output_bytes)
         if combined_count:
             sort_ops = (
                 combined_count * max(1.0, math.log2(combined_count)) * 2.0
@@ -428,7 +428,7 @@ class MapReduceEngine:
             RECORD_BYTES * num_records + ELEMENT_BYTES * output_elements
         )
         # HDFS write with replication; replicas cross the network.
-        meter.charge_disk_write(0, output_bytes * HDFS_REPLICATION)
+        meter.charge_disk_write(None, output_bytes * HDFS_REPLICATION)
         meter.charge_shuffle(output_bytes * (HDFS_REPLICATION - 1))
         meter.end_round()
 

@@ -27,7 +27,6 @@ before the BSP platform.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 
 from repro.graph.graph import Graph
@@ -189,7 +188,7 @@ def apply_mem_limit(platform, mem_limit_bytes: float):
     """
     if mem_limit_bytes <= 0:
         raise ValueError("mem limit must be positive")
-    platform.cluster = dataclasses.replace(
-        platform.cluster, memory_bytes_per_worker=float(mem_limit_bytes)
+    platform.cluster = platform.cluster.replace(
+        memory_bytes_per_worker=float(mem_limit_bytes)
     )
     return platform

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 
 import pytest
 
@@ -50,6 +49,6 @@ def single_node_spec() -> ClusterSpec:
 @pytest.fixture
 def tiny_memory_spec() -> ClusterSpec:
     """A cluster whose memory budget nothing realistic fits into."""
-    return dataclasses.replace(
-        ClusterSpec.paper_distributed(), memory_bytes_per_worker=2048.0
+    return ClusterSpec.paper_distributed().replace(
+        memory_bytes_per_worker=2048.0
     )

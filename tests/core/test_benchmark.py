@@ -1,6 +1,5 @@
 """Unit and integration tests for the Benchmark Core."""
 
-import dataclasses
 import pickle
 
 import pytest
@@ -180,8 +179,8 @@ class TestFailurePaths:
         assert all(r.failure_reason == "time-limit" for r in suite.results)
 
     def test_out_of_memory_failure_end_to_end(self, graphs):
-        spec = dataclasses.replace(
-            ClusterSpec.paper_distributed(), memory_bytes_per_worker=64.0
+        spec = ClusterSpec.paper_distributed().replace(
+            memory_bytes_per_worker=64.0
         )
         core = BenchmarkCore([GiraphPlatform(spec)], graphs)
         suite = core.run()

@@ -15,9 +15,9 @@ class TestClusterSpec:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ClusterSpec("x", 0, 1, 1.0, 1e-7, 1.0, 1.0, 0.0, 1.0, 0.0)
+            ClusterSpec.flat("x", 0, 1, 1.0, 1e-7, 1.0, 1.0, 0.0, 1.0, 0.0)
         with pytest.raises(ValueError):
-            ClusterSpec("x", 1, 0, 1.0, 1e-7, 1.0, 1.0, 0.0, 1.0, 0.0)
+            ClusterSpec.flat("x", 1, 0, 1.0, 1e-7, 1.0, 1.0, 0.0, 1.0, 0.0)
 
     def test_scaled_divides_throughputs(self):
         base = ClusterSpec.paper_distributed()
@@ -241,6 +241,142 @@ class TestRunProfile:
         assert profile.simulated_seconds == pytest.approx(
             sum(r.seconds for r in profile.rounds)
         )
+
+
+class TestScaledNaming:
+    def test_repeated_scaling_composes_in_the_name(self):
+        base = ClusterSpec.paper_distributed()
+        twice = base.scaled(2.0).scaled(2.0)
+        assert twice.name == f"{base.name}/s4"
+        # And the physics composes with the name.
+        assert twice.cpu_ops_per_second == base.cpu_ops_per_second / 4
+
+    def test_scaled_identity_round_trips(self):
+        base = ClusterSpec.paper_distributed()
+        assert base.scaled(1.0) == base
+        # Identity after a real scaling keeps the composed name too.
+        assert base.scaled(2.0).scaled(1.0) == base.scaled(2.0)
+
+    def test_fractional_factors_compose(self):
+        base = ClusterSpec.paper_distributed()
+        assert base.scaled(4.0).scaled(0.5).name == f"{base.name}/s2"
+        # Scaling back to 1x drops the suffix entirely.
+        assert base.scaled(4.0).scaled(0.25).name == base.name
+
+
+class TestHardwarePhysicsFixes:
+    """Dedicated tests for the three cost-model physics fixes.
+
+    Each pins the new, correct value; the differential suite pins that
+    *only* these paths moved historical simulated seconds.
+    """
+
+    def test_remote_messages_pay_nic_latency(self, cluster_spec):
+        # Bug 1: remote messages were free apart from their bytes. On
+        # paper-1gbe each one now costs 2 microseconds, injected in
+        # parallel across the ten workers.
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("msgs", barrier=False)
+        meter.charge_messages_bulk(0, 1, 1000, 84.0)
+        record = meter.end_round()
+        nic = cluster_spec.hardware.nic
+        workers = cluster_spec.num_workers
+        assert record.network_latency_seconds == (
+            1000 * nic.message_latency_seconds / workers
+        )
+        transfer = record.remote_bytes / (workers * nic.bandwidth)
+        assert record.network_transfer_seconds == transfer
+        # Pure-communication round: utilization sits at the cap.
+        service = transfer + record.network_latency_seconds
+        expected_queueing = (
+            service * nic.queueing_factor * 0.95 / (1.0 - 0.95)
+        )
+        assert record.network_queueing_seconds == pytest.approx(
+            expected_queueing
+        )
+        assert record.network_seconds == (
+            record.network_transfer_seconds
+            + record.network_latency_seconds
+            + record.network_queueing_seconds
+        )
+
+    def test_queueing_shrinks_when_compute_overlaps(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("congested", barrier=False)
+        meter.charge_shuffle(1e8, count=1000)
+        congested = meter.end_round()
+        meter.begin_round("overlapped", barrier=False)
+        meter.charge_shuffle(1e8, count=1000)
+        for worker in range(cluster_spec.num_workers):
+            meter.charge_compute(worker, 1e9)
+        overlapped = meter.end_round()
+        assert (
+            overlapped.network_queueing_seconds
+            < congested.network_queueing_seconds
+        )
+        # Transfer and latency depend only on the charges, not rho.
+        assert (
+            overlapped.network_transfer_seconds
+            == congested.network_transfer_seconds
+        )
+
+    def test_single_worker_shuffle_stays_local(self):
+        # Bug 2: one-worker clusters charged shuffles as remote
+        # traffic, paying network time no wire would ever see.
+        spec = ClusterSpec.from_profile("paper-1gbe", num_workers=1)
+        meter = CostMeter(spec)
+        meter.begin_round("shuffle", barrier=False)
+        meter.charge_shuffle(10_000.0, count=7)
+        record = meter.end_round()
+        assert record.local_messages == 7
+        assert record.remote_messages == 0
+        assert record.remote_bytes == 0.0
+        assert record.network_seconds == 0.0
+
+    def test_striped_disk_pays_aggregate_bandwidth(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("striped", barrier=False)
+        meter.charge_disk_read(None, 1e9)
+        meter.charge_disk_write(None, 5e8)
+        record = meter.end_round()
+        assert record.striped_disk_read_bytes == 1e9
+        assert record.striped_disk_write_bytes == 5e8
+        assert record.disk_seconds == (1e9 + 5e8) / (
+            cluster_spec.num_workers * cluster_spec.disk_bandwidth
+        )
+
+    def test_skewed_disk_worker_is_a_straggler(self, cluster_spec):
+        # Bug 3: all disk bytes were pooled at aggregate bandwidth, so
+        # one worker spilling 10x its share looked as cheap as a
+        # balanced write. Worker-attributed bytes now pay the max.
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("skewed", barrier=False)
+        meter.charge_disk_write(0, 1e9)
+        meter.charge_disk_write(1, 1e8)
+        skewed = meter.end_round()
+        assert skewed.disk_seconds == 1e9 / cluster_spec.disk_bandwidth
+        # The same total striped would be nearly num_workers cheaper.
+        meter.begin_round("balanced", barrier=False)
+        meter.charge_disk_write(None, 1.1e9)
+        balanced = meter.end_round()
+        assert balanced.disk_seconds < skewed.disk_seconds
+        # Round totals are identical either way: replay and reports
+        # keep seeing all traffic.
+        assert skewed.disk_write_bytes == balanced.disk_write_bytes
+
+    def test_random_disk_bytes_pay_random_bandwidth(self, cluster_spec):
+        meter = CostMeter(cluster_spec)
+        meter.begin_round("seeks", barrier=False)
+        meter.charge_disk_random(2, 1e6)
+        record = meter.end_round()
+        random_bw = cluster_spec.hardware.disk.random_bandwidth
+        assert record.disk_seconds == 1e6 / random_bw
+        assert record.disk_read_bytes == 1e6
+        meter.begin_round("seek-writes", barrier=False)
+        meter.charge_disk_random(2, 1e6, write=True)
+        writes = meter.end_round()
+        assert writes.disk_write_bytes == 1e6
+        assert writes.disk_seconds == record.disk_seconds
 
 
 class TestBarrierPhysics:

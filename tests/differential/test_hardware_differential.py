@@ -1,0 +1,146 @@
+"""Differential pinning of the hardware-profile refactor.
+
+``golden_pre_hardware.json`` snapshots the full 8-platform x 3-algorithm
+suite on graph500-8 as the flat-constant cost model produced it, one
+commit before hardware profiles landed. The refactor's contract:
+
+* **Charges are invariant** — every counter (messages, bytes, disk
+  traffic, round counts) matches the golden bit-for-bit. Profiles
+  change how charges are *priced*, never what is charged.
+* **Local-only platforms are bit-identical** — with no remote traffic
+  the NIC latency/queueing fix cannot fire, and no other term moved.
+* **The legacy reconstruction is exact** — re-summing each run as
+  ``startup + sum(compute + transfer + disk + barrier)`` (the old
+  model's terms, in the old accumulation order) reproduces the golden
+  seconds bit-for-bit on *every* cell, proving the only change to
+  priced time is the deliberate per-message overhead.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import run_benchmark
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_pre_hardware.json").read_text()
+)
+
+CHARGE_FIELDS = (
+    "remote_bytes",
+    "remote_messages",
+    "local_messages",
+    "disk_read_bytes",
+    "disk_write_bytes",
+    "num_rounds",
+)
+
+
+@pytest.fixture(scope="module")
+def suite_by_cell():
+    suite = run_benchmark(
+        ["graph500-8"], algorithms=["BFS", "CONN", "PR"], validate=False
+    )
+    cells = {}
+    for result in suite.results:
+        assert result.succeeded, (result.platform, result.error)
+        cells[(result.platform, result.algorithm.value)] = result.run.profile
+    return cells
+
+
+def golden_cells():
+    for platform, algorithms in GOLDEN.items():
+        for algorithm, expected in algorithms.items():
+            yield platform, algorithm, expected
+
+
+def test_golden_covers_the_full_matrix():
+    assert len(list(golden_cells())) == 24
+
+
+def test_charges_are_hardware_invariant(suite_by_cell):
+    for platform, algorithm, expected in golden_cells():
+        profile = suite_by_cell[(platform, algorithm)]
+        observed = {
+            "remote_bytes": profile.total_remote_bytes,
+            "remote_messages": sum(
+                r.remote_messages for r in profile.rounds
+            ),
+            "local_messages": sum(r.local_messages for r in profile.rounds),
+            "disk_read_bytes": sum(
+                r.disk_read_bytes for r in profile.rounds
+            ),
+            "disk_write_bytes": sum(
+                r.disk_write_bytes for r in profile.rounds
+            ),
+            "num_rounds": profile.num_rounds,
+        }
+        for field in CHARGE_FIELDS:
+            assert observed[field] == expected[field], (
+                platform,
+                algorithm,
+                field,
+            )
+
+
+def test_startup_seconds_unchanged(suite_by_cell):
+    for platform, algorithm, expected in golden_cells():
+        profile = suite_by_cell[(platform, algorithm)]
+        assert profile.startup_seconds == expected["startup_seconds"], (
+            platform,
+            algorithm,
+        )
+
+
+def test_local_only_cells_bit_identical(suite_by_cell):
+    checked = 0
+    for platform, algorithm, expected in golden_cells():
+        if expected["remote_messages"] or expected["remote_bytes"]:
+            continue
+        profile = suite_by_cell[(platform, algorithm)]
+        assert profile.simulated_seconds == expected["simulated_seconds"], (
+            platform,
+            algorithm,
+        )
+        checked += 1
+    # The three single-machine platforms, three algorithms each.
+    assert checked == 9
+
+
+def test_legacy_reconstruction_is_exact(suite_by_cell):
+    # The old model's network time was the transfer term alone and its
+    # disk formula pooled all bytes at aggregate bandwidth — which the
+    # striped path reproduces for the balanced charges these workloads
+    # make. Re-summing the old terms in the old order must therefore
+    # hit the golden float on every cell, remote traffic included.
+    for platform, algorithm, expected in golden_cells():
+        profile = suite_by_cell[(platform, algorithm)]
+        legacy = profile.startup_seconds + sum(
+            r.compute_seconds
+            + r.network_transfer_seconds
+            + r.disk_seconds
+            + r.barrier_seconds
+            for r in profile.rounds
+        )
+        assert legacy == expected["simulated_seconds"], (platform, algorithm)
+
+
+def test_remote_cells_gain_only_message_overhead(suite_by_cell):
+    checked = 0
+    for platform, algorithm, expected in golden_cells():
+        if not expected["remote_messages"]:
+            continue
+        profile = suite_by_cell[(platform, algorithm)]
+        overhead = sum(
+            r.network_latency_seconds + r.network_queueing_seconds
+            for r in profile.rounds
+        )
+        assert overhead > 0.0, (platform, algorithm)
+        assert profile.simulated_seconds > expected["simulated_seconds"]
+        assert profile.simulated_seconds == pytest.approx(
+            expected["simulated_seconds"] + overhead, rel=1e-12
+        ), (platform, algorithm)
+        checked += 1
+    # The five distributed platforms, three algorithms each.
+    assert checked == 15

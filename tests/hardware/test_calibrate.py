@@ -1,0 +1,148 @@
+"""Tests for the calibration fitter.
+
+Synthetic compute-dominated runs make the objective hand-computable:
+a profile whose CPU constant was halved must be recovered exactly
+(the factor grid contains the inverse step), driving the RMS log
+error to zero.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cost import ClusterSpec, RoundRecord, RunProfile
+from repro.hardware.calibrate import (
+    FREE_PARAMETERS,
+    REFERENCE_TARGETS,
+    apply_factors,
+    calibrate,
+    rms_log_error,
+)
+from repro.hardware.registry import get_profile
+from repro.hardware.whatif import recost
+
+PAPER = get_profile("paper-1gbe")
+
+
+@pytest.fixture()
+def compute_run() -> RunProfile:
+    """A two-worker run whose time is pure compute plus one barrier."""
+    spec = ClusterSpec.from_profile(PAPER, num_workers=2)
+    record = RoundRecord(
+        name="r0",
+        ops_per_worker=[4e8, 4e8],
+        random_accesses_per_worker=[0.0, 0.0],
+        disk_bytes_per_worker=[0.0, 0.0],
+        disk_random_bytes_per_worker=[0.0, 0.0],
+    )
+    return RunProfile(
+        cluster=spec,
+        rounds=[record],
+        peak_memory_per_worker=[0.0, 0.0],
+        startup_seconds=0.0,
+    )
+
+
+class TestApplyFactors:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown free parameter"):
+            apply_factors(PAPER, {"cpu.cores": 2.0})
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            apply_factors(PAPER, {"nic.bandwidth": 0.0})
+
+    def test_identity_factors_return_the_profile(self):
+        assert apply_factors(PAPER, {p: 1.0 for p in FREE_PARAMETERS}) is PAPER
+
+    def test_nested_and_top_level_routing(self):
+        fitted = apply_factors(
+            PAPER,
+            {
+                "cpu.ops_per_second": 1.25,
+                "nic.bandwidth": 2.0,
+                "disk.random_bandwidth": 0.5,
+                "barrier_seconds": 2.0,
+            },
+        )
+        assert fitted.cpu.ops_per_second == PAPER.cpu.ops_per_second * 1.25
+        assert fitted.nic.bandwidth == PAPER.nic.bandwidth * 2.0
+        assert (
+            fitted.disk.random_bandwidth == PAPER.disk.random_bandwidth * 0.5
+        )
+        assert fitted.barrier_seconds == PAPER.barrier_seconds * 2.0
+        # Untouched parameters survive exactly.
+        assert fitted.cpu.cores == PAPER.cpu.cores
+        assert (
+            fitted.nic.message_latency_seconds
+            == PAPER.nic.message_latency_seconds
+        )
+        assert fitted.startup_seconds == PAPER.startup_seconds
+
+
+class TestRmsLogError:
+    def test_exact_fit_scores_zero(self, compute_run):
+        target = recost(compute_run, PAPER).simulated_seconds
+        assert rms_log_error([(compute_run, target)], PAPER) == 0.0
+
+    def test_factor_of_two_miss_scores_log_two(self, compute_run):
+        simulated = recost(compute_run, PAPER).simulated_seconds
+        error = rms_log_error([(compute_run, simulated * 2)], PAPER)
+        assert error == pytest.approx(math.log(2.0))
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            rms_log_error([], PAPER)
+
+    def test_nonpositive_target_rejected(self, compute_run):
+        with pytest.raises(ValueError, match="positive"):
+            rms_log_error([(compute_run, 0.0)], PAPER)
+
+
+class TestCalibrate:
+    def test_recovers_a_halved_cpu_exactly(self, compute_run):
+        target = recost(compute_run, PAPER).simulated_seconds
+        perturbed = apply_factors(PAPER, {"cpu.ops_per_second": 0.5})
+        result = calibrate(
+            [(compute_run, target)],
+            perturbed,
+            parameters=("cpu.ops_per_second",),
+        )
+        # The grid contains the exact inverse step, and 25e6 * 0.5 * 2
+        # is binary-exact, so the fit lands on zero error.
+        assert result.factors["cpu.ops_per_second"] == 2.0
+        assert result.improved
+        assert result.error_after == 0.0
+        assert (
+            result.profile.cpu.ops_per_second == PAPER.cpu.ops_per_second
+        )
+
+    def test_perfect_base_makes_no_move(self, compute_run):
+        target = recost(compute_run, PAPER).simulated_seconds
+        result = calibrate([(compute_run, target)], PAPER)
+        assert not result.improved
+        assert result.error_before == 0.0
+        assert all(factor == 1.0 for factor in result.factors.values())
+
+    def test_is_deterministic(self, compute_run):
+        target = recost(compute_run, PAPER).simulated_seconds * 1.7
+        first = calibrate([(compute_run, target)], PAPER, sweeps=2)
+        second = calibrate([(compute_run, target)], PAPER, sweeps=2)
+        assert first.factors == second.factors
+        assert first.error_after == second.error_after
+        assert first.evaluations == second.evaluations
+
+    def test_summary_mentions_the_error_trajectory(self, compute_run):
+        target = recost(compute_run, PAPER).simulated_seconds
+        result = calibrate([(compute_run, target)], PAPER, sweeps=1)
+        assert "rms log error" in result.summary()
+
+
+def test_reference_targets_name_runnable_cells():
+    # The selfcheck stage executes these cells; keep them on catalog
+    # graphs and registered platforms.
+    for (platform, graph, algorithm), seconds in REFERENCE_TARGETS.items():
+        assert platform in {"giraph", "mapreduce"}
+        assert graph.startswith("graph500-")
+        assert algorithm in {"BFS", "PR"}
+        assert seconds > 0

@@ -1,0 +1,121 @@
+"""Tests for the named hardware-profile registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.models import CpuModel, DiskModel, HardwareProfile, NicModel
+from repro.hardware.registry import (
+    DEFAULT_PROFILE,
+    available_profiles,
+    default_workers,
+    get_profile,
+    register_profile,
+)
+
+EXPECTED_NAMES = {
+    "paper-1gbe",
+    "paper-single-node",
+    "paper-dbms",
+    "gpu-k20",
+    "10gbe",
+    "rdma",
+    "hdd",
+    "nvme",
+}
+
+
+def test_all_expected_profiles_registered():
+    assert EXPECTED_NAMES <= set(available_profiles())
+    assert available_profiles() == sorted(available_profiles())
+
+
+def test_default_profile_is_the_paper_cluster():
+    assert DEFAULT_PROFILE == "paper-1gbe"
+    profile = get_profile(DEFAULT_PROFILE)
+    assert profile.cpu == CpuModel(
+        cores=8, ops_per_second=25e6, random_access_seconds=1e-7
+    )
+    assert profile.nic.bandwidth == 117e6
+    assert profile.nic.message_latency_seconds == 2e-6
+    assert profile.nic.queueing_factor == 0.25
+    assert profile.memory_bytes_per_worker == 24 * 2**30
+
+
+def test_unknown_profile_raises_helpful_keyerror():
+    with pytest.raises(KeyError, match="registered"):
+        get_profile("quantum-fabric")
+    with pytest.raises(KeyError, match="registered"):
+        default_workers("quantum-fabric")
+
+
+def test_default_workers_match_reference_testbeds():
+    assert default_workers("paper-1gbe") == 10
+    assert default_workers("10gbe") == 10
+    assert default_workers("rdma") == 10
+    assert default_workers("paper-single-node") == 1
+    assert default_workers("paper-dbms") == 1
+    assert default_workers("gpu-k20") == 1
+
+
+def test_duplicate_registration_rejected():
+    existing = get_profile("paper-1gbe")
+    with pytest.raises(ValueError, match="already registered"):
+        register_profile(existing, workers=10)
+
+
+def test_register_rejects_nonpositive_workers():
+    probe = HardwareProfile(
+        name="probe-not-registered",
+        cpu=CpuModel(cores=1, ops_per_second=1e6, random_access_seconds=1e-7),
+        nic=NicModel(bandwidth=1e6),
+        disk=DiskModel(seq_bandwidth=1e6, random_bandwidth=1e6),
+        memory_bytes_per_worker=1e9,
+    )
+    with pytest.raises(ValueError, match="workers"):
+        register_profile(probe, workers=0)
+    # The failed registration must not leave a partial entry behind.
+    assert "probe-not-registered" not in available_profiles()
+
+
+def test_hdd_aliases_the_paper_cluster_disk_axis():
+    # hdd exists so hdd-vs-nvme sweeps isolate storage: it must stay
+    # exactly the paper cluster under another name.
+    paper = get_profile("paper-1gbe")
+    hdd = get_profile("hdd")
+    assert dataclasses.replace(hdd, name=paper.name) == paper
+
+
+def test_nvme_differs_from_hdd_only_in_disk():
+    hdd = get_profile("hdd")
+    nvme = get_profile("nvme")
+    assert nvme.disk.seq_bandwidth > hdd.disk.seq_bandwidth
+    assert nvme.disk.random_bandwidth > hdd.disk.random_bandwidth
+    assert dataclasses.replace(nvme, name=hdd.name, disk=hdd.disk) == hdd
+
+
+def test_network_variants_get_monotonically_faster():
+    chain = [get_profile(n) for n in ("paper-1gbe", "10gbe", "rdma")]
+    for slower, faster in zip(chain, chain[1:]):
+        assert faster.nic.bandwidth > slower.nic.bandwidth
+        assert (
+            faster.nic.message_latency_seconds
+            < slower.nic.message_latency_seconds
+        )
+        assert faster.barrier_seconds < slower.barrier_seconds
+
+
+def test_single_machine_profiles_have_no_network():
+    for name in ("paper-single-node", "paper-dbms", "gpu-k20"):
+        nic = get_profile(name).nic
+        assert nic.bandwidth == float("inf")
+        assert nic.message_latency_seconds == 0.0
+        assert nic.queueing_factor == 0.0
+
+
+def test_registered_profiles_keep_memory_pressure_disabled():
+    # Bit-compat guarantee: no registered profile may switch on the
+    # memory-pressure term — it would silently change historical
+    # simulated seconds (the differential suite pins them).
+    for name in available_profiles():
+        assert get_profile(name).memory_pressure_factor == 0.0

@@ -1,6 +1,5 @@
 """Unit tests for the GPU BSP engine (Medusa model)."""
 
-import dataclasses
 
 import pytest
 
@@ -55,9 +54,7 @@ class TestEngine:
         assert costs["hub"] > 1.5 * costs["ring"]
 
     def test_device_memory_enforced(self):
-        tiny = dataclasses.replace(
-            gpu_device_spec(), memory_bytes_per_worker=512.0
-        )
+        tiny = gpu_device_spec().replace(memory_bytes_per_worker=512.0)
         graph = rmat_graph(7, seed=1)
         engine = GPUEngine(graph, tiny)
         with pytest.raises(MemoryBudgetExceeded):
@@ -91,9 +88,7 @@ class TestDriver:
                 validator.validate(small_rmat, algorithm, params, run.output)
 
     def test_oom_surfaces_as_platform_failure(self, small_rmat):
-        tiny = dataclasses.replace(
-            gpu_device_spec(), memory_bytes_per_worker=1024.0
-        )
+        tiny = gpu_device_spec().replace(memory_bytes_per_worker=1024.0)
         platform = MedusaPlatform(tiny)
         with pytest.raises(PlatformFailure, match="out-of-memory"):
             platform.upload_graph("g", small_rmat)

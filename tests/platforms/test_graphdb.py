@@ -59,10 +59,7 @@ class TestStore:
         assert meter.memory_in_use(0) == 0.0
 
     def test_memory_budget_enforced(self):
-        import dataclasses
-
-        spec = dataclasses.replace(
-            ClusterSpec.paper_single_node(),
+        spec = ClusterSpec.paper_single_node().replace(
             memory_bytes_per_worker=NODE_RECORD_BYTES * 2,
         )
         db = GraphStore(CostMeter(spec))

@@ -189,11 +189,16 @@ class TestShuffleFaultPath:
         assert record.remote_bytes == 0.0
 
     def test_single_worker_shuffle_is_lossless(self, single_node_spec):
+        # One-worker clusters never put shuffle traffic on the wire:
+        # the messages stay local, so the loss injector is never
+        # consulted and nothing is charged as remote.
         meter = self._armed_meter(single_node_spec)
         meter.begin_round("scan")
         meter.charge_shuffle(10_000.0, count=100)
         record = meter.end_round()
-        assert record.remote_bytes == 10_000.0
+        assert record.remote_bytes == 0.0
+        assert record.remote_messages == 0
+        assert record.local_messages == 100
 
     def test_zero_rate_shuffle_charges_normally(self, cluster_spec):
         meter = self._armed_meter(cluster_spec, rate=0.0)

@@ -433,6 +433,7 @@ def test_selfcheck_smoke(capsys):
     assert "audit gate     ok" in out
     assert "perf --quick   ok" in out
     assert "trace replay   ok" in out
+    assert "calibrate smoke ok" in out
     assert "selfcheck: PASS" in out
 
 
@@ -440,7 +441,7 @@ def test_selfcheck_all_stages_skippable(capsys):
     code = main(
         [
             "selfcheck", "--skip-tests", "--skip-quality", "--skip-audit",
-            "--skip-perf", "--skip-trace",
+            "--skip-perf", "--skip-trace", "--skip-calibrate",
         ]
     )
     assert code == 0
