@@ -30,7 +30,8 @@ quality:
 	$(PYTHON) -m repro.cli quality --check --baseline .quality-baseline.json
 
 # Regenerate the expected-findings goldens for the analysis fixture
-# corpus; review the diff like any golden update.
+# corpus, including auto-discovered sub-corpora (audit/, units/) that
+# ship their own regen.py; review the diff like any golden update.
 quality-fixtures:
 	$(PYTHON) tests/analysis/fixtures/regen.py
 

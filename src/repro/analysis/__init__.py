@@ -57,7 +57,11 @@ from repro.analysis.model import (
     severity_rank,
 )
 from repro.analysis.audit import audit_artifacts, audit_paths, audit_spec
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_rule_profile,
+    render_text,
+)
 from repro.analysis.targets import (
     ArtifactContext,
     ArtifactRule,
@@ -105,6 +109,7 @@ __all__ = [
     "quality_gate",
     "render_text",
     "render_json",
+    "render_rule_profile",
     "ArtifactContext",
     "ArtifactRule",
     "AuditContext",

@@ -14,8 +14,15 @@ engine's ``# quality: ignore[...]``::
     [benchmark]
     validate = false   ; audit: ignore[validation-off]
 
-and rot the same way: a suppression comment that silences nothing is
-itself reported as ``stale-ignore``.
+A *standalone* comment line attaches to the next content line, which
+is how JSONL artifacts (whose records cannot carry inline comments)
+sanction a finding::
+
+    # audit: ignore[single-run]
+    {"platform": "giraph", "graph": "graph500-22", ...}
+
+and both forms rot the same way: a suppression that silences nothing
+is itself reported as ``stale-ignore``, anchored on the comment.
 """
 
 from __future__ import annotations
@@ -44,8 +51,8 @@ from repro.core.workload import BenchmarkRunSpec
 __all__ = ["audit_paths", "audit_artifacts", "audit_spec"]
 
 #: ``; audit: ignore`` / ``# audit: ignore[rule-a, rule-b]`` anywhere
-#: in a line (INI inline comments use ``;`` or ``#``; JSONL artifacts
-#: have no comments, so suppressions only apply to config files).
+#: in a line (INI inline comments use ``;`` or ``#``; in JSONL only
+#: whole comment lines exist, and those attach to the next record).
 _AUDIT_SUPPRESSION = re.compile(
     r"[;#]\s*audit:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
 )
@@ -53,21 +60,49 @@ _AUDIT_SUPPRESSION = re.compile(
 _ALL_RULES = "*"
 
 
-def _suppressions(lines: list[str]) -> dict[int, set[str]]:
-    """Map 1-based line numbers to the audit rule ids suppressed there."""
+def _parse_rules(match: re.Match) -> set[str]:
+    rules = match.group("rules")
+    if rules is None or not rules.strip():
+        return {_ALL_RULES}
+    return {rule.strip() for rule in rules.split(",") if rule.strip()}
+
+
+def _suppressions(
+    lines: list[str],
+) -> tuple[dict[int, set[str]], dict[int, int]]:
+    """Map effective line numbers to suppressed audit rule ids.
+
+    An inline suppression applies to its own line. A suppression on a
+    *standalone* comment line applies to the next content line — the
+    only way to sanction a JSONL record, whose syntax admits no inline
+    comment. The second mapping gives each effective line the comment
+    line it came from, so stale-suppression reports anchor on the
+    comment the user should delete.
+    """
     suppressed: dict[int, set[str]] = {}
+    anchors: dict[int, int] = {}
+    pending: list[tuple[int, set[str]]] = []
     for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        is_comment = stripped.startswith((";", "#"))
         match = _AUDIT_SUPPRESSION.search(line)
-        if match is None:
-            continue
-        rules = match.group("rules")
-        if rules is None or not rules.strip():
-            suppressed[number] = {_ALL_RULES}
-        else:
-            suppressed[number] = {
-                rule.strip() for rule in rules.split(",") if rule.strip()
-            }
-    return suppressed
+        if match is not None:
+            if is_comment:
+                pending.append((number, _parse_rules(match)))
+                continue
+            suppressed.setdefault(number, set()).update(_parse_rules(match))
+            anchors.setdefault(number, number)
+        if stripped and not is_comment:
+            for anchor, rules in pending:
+                suppressed.setdefault(number, set()).update(rules)
+                anchors.setdefault(number, anchor)
+            pending = []
+    for anchor, rules in pending:
+        # Trailing comments with no content line to guard: keep them
+        # addressable so the stale postpass can still report them.
+        suppressed.setdefault(anchor, set()).update(rules)
+        anchors.setdefault(anchor, anchor)
+    return suppressed, anchors
 
 
 class _ArtifactAnalysis:
@@ -75,7 +110,7 @@ class _ArtifactAnalysis:
 
     def __init__(self, artifact: ArtifactContext):
         self.artifact = artifact
-        self.suppressions = _suppressions(artifact.lines)
+        self.suppressions, self.anchors = _suppressions(artifact.lines)
         self.findings: list[Finding] = []
         self.suppressed_count = 0
         self.used_lines: set[int] = set()
@@ -121,7 +156,7 @@ class _ArtifactAnalysis:
                         f"suppression 'audit: ignore[{label}]' no longer "
                         "suppresses any finding; delete it or re-justify it"
                     ),
-                    line=line,
+                    line=self.anchors.get(line, line),
                     severity=WARNING,
                     category="maintainability",
                 )

@@ -31,6 +31,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -58,6 +59,8 @@ __all__ = [
     "default_rules",
     "default_project_rules",
     "function_anchor",
+    "statement_anchors",
+    "rule_pattern_matches",
     "STALE_IGNORE_RULE",
     "analyze_source",
     "analyze_file",
@@ -82,8 +85,10 @@ _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 #: ``# quality: ignore`` or ``# quality: ignore[rule-a, rule-b]``.
 #: Anchored at the start of the comment: a suppression is the comment
 #: itself, not a mention of the syntax inside one (or inside prose).
+#: Entries may name a whole rule family with a trailing wildcard
+#: (``cost-units.*``), hence the dot and star in the character class.
 _SUPPRESSION = re.compile(
-    r"^#\s*quality:\s*ignore(?:\[(?P<rules>[\w\-, ]*)\])?"
+    r"^#\s*quality:\s*ignore(?:\[(?P<rules>[\w\-.*, ]*)\])?"
 )
 
 #: Sentinel meaning "every rule is suppressed on this line".
@@ -91,6 +96,20 @@ _ALL_RULES = "*"
 
 #: Rule id of the engine-owned stale-suppression postpass.
 STALE_IGNORE_RULE = "stale-ignore"
+
+
+def rule_pattern_matches(pattern: str, rule_id: str) -> bool:
+    """Whether a rule pattern names a rule id.
+
+    A pattern is either an exact rule id or a family wildcard with a
+    trailing ``.*`` (``cost-units.*`` matches every ``cost-units.x``
+    sub-rule). Used uniformly by suppression comments, the
+    ``disabled``/``enabled_only`` config sets, and the stale-ignore
+    postpass, so the three never disagree about what a name covers.
+    """
+    if pattern == rule_id:
+        return True
+    return pattern.endswith(".*") and rule_id.startswith(pattern[:-1])
 
 
 def function_anchor(node: ast.AST) -> int:
@@ -106,6 +125,50 @@ def function_anchor(node: ast.AST) -> int:
     for decorator in getattr(node, "decorator_list", []):
         line = max(line, getattr(decorator, "end_lineno", decorator.lineno) + 1)
     return line
+
+
+#: Expression nodes whose bodies execute lazily, detached from the
+#: statement that builds them.
+_DEFERRED_EXPRS = (
+    ast.Lambda,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def statement_anchors(tree: ast.AST) -> dict[int, int]:
+    """Map ``id(node)`` to the enclosing statement's line for every
+    node inside a ``lambda`` or comprehension body.
+
+    A multi-line lambda or nested comprehension places its body on
+    continuation lines; a finding anchored there points at a line no
+    suppression comment or editor jump naturally targets. Rules look
+    their flagged node up here (``anchors.get(id(node), node.lineno)``)
+    so such findings land on the statement that builds the deferred
+    expression instead.
+    """
+    anchors: dict[int, int] = {}
+    for stmt in ast.walk(tree):
+        if not isinstance(stmt, ast.stmt):
+            continue
+        # Only the statement's own expressions: nested statements own
+        # theirs, and ast.walk visits outer statements first, so the
+        # setdefault keeps the innermost enclosing statement's line.
+        stack = [
+            child
+            for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.expr)
+        ]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _DEFERRED_EXPRS):
+                for sub in ast.walk(node):
+                    anchors.setdefault(id(sub), stmt.lineno)
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+    return anchors
 
 
 @dataclass(frozen=True)
@@ -124,11 +187,17 @@ class AnalysisConfig:
     min_repetitions: int = 3
 
     def is_enabled(self, rule_id: str) -> bool:
-        """Whether a rule id participates in this run."""
-        if rule_id in self.disabled:
+        """Whether a rule id participates in this run.
+
+        Both sets accept family wildcards: disabling ``cost-units.*``
+        switches off every sub-rule of the family at once.
+        """
+        if any(rule_pattern_matches(p, rule_id) for p in self.disabled):
             return False
         if self.enabled_only is not None:
-            return rule_id in self.enabled_only
+            return any(
+                rule_pattern_matches(p, rule_id) for p in self.enabled_only
+            )
         return True
 
 
@@ -270,6 +339,7 @@ def _load_builtin_rules() -> None:
     from repro.analysis import rules_generic  # noqa: F401
     from repro.analysis.dataflow import taint  # noqa: F401
     from repro.analysis.dataflow import typestate  # noqa: F401
+    from repro.analysis.dataflow import units  # noqa: F401
 
 
 # -- metrics ---------------------------------------------------------------
@@ -386,7 +456,9 @@ def _is_suppressed(finding: Finding, suppressed: dict[int, set[str]]) -> bool:
         # A suppression comment cannot wildcard-silence the report
         # that it is itself dead; only an explicit opt-out counts.
         return STALE_IGNORE_RULE in rules
-    return _ALL_RULES in rules or finding.rule in rules
+    return _ALL_RULES in rules or any(
+        rule_pattern_matches(pattern, finding.rule) for pattern in rules
+    )
 
 
 # -- analysis entry points -------------------------------------------------
@@ -411,11 +483,22 @@ class _ModuleAnalysis:
         else:
             self.findings.append(finding)
 
-    def run_module_rules(self) -> None:
-        """Apply every enabled per-module rule."""
+    def run_module_rules(
+        self, timings: dict[str, float] | None = None
+    ) -> None:
+        """Apply every enabled per-module rule.
+
+        With ``timings``, each rule's wall-clock (including generator
+        consumption) is accumulated under its rule id.
+        """
         for rule in default_rules(self.module.config):
+            started = time.perf_counter()
             for finding in rule.check(self.module):
                 self.record(finding)
+            if timings is not None:
+                timings[rule.id] = (
+                    timings.get(rule.id, 0.0) + time.perf_counter() - started
+                )
 
     def run_stale_ignore_postpass(self) -> None:
         """Report suppression comments that silenced nothing this run.
@@ -429,11 +512,20 @@ class _ModuleAnalysis:
             return
         known = set(registered_rules()) | set(registered_project_rules())
         known.add(STALE_IGNORE_RULE)
+
+        def vouched(pattern: str) -> bool:
+            # The pattern names at least one registered, enabled rule
+            # (a family wildcard counts when any member is live).
+            return any(
+                rule_pattern_matches(pattern, rule) and config.is_enabled(rule)
+                for rule in known
+            )
+
         for line, rules in sorted(self.suppressions.items()):
             if line in self.used_lines:
                 continue
             named = rules - {_ALL_RULES}
-            if any(rule not in known or not config.is_enabled(rule) for rule in named):
+            if any(not vouched(pattern) for pattern in named):
                 continue
             label = ", ".join(sorted(named)) if named else _ALL_RULES
             self.record(
@@ -505,15 +597,22 @@ def _build_module(
 
 
 def _run_project_rules(
-    project: ProjectContext, analyses: dict[int, _ModuleAnalysis]
+    project: ProjectContext,
+    analyses: dict[int, _ModuleAnalysis],
+    timings: dict[str, float] | None = None,
 ) -> None:
     """Run every enabled project rule, routing findings to their files."""
     by_identity = {id(a.module): a for a in analyses.values()}
     for rule in default_project_rules(project.config):
+        started = time.perf_counter()
         for module, finding in rule.check(project):
             analysis = by_identity.get(id(module))
             if analysis is not None:
                 analysis.record(finding)
+        if timings is not None:
+            timings[rule.id] = (
+                timings.get(rule.id, 0.0) + time.perf_counter() - started
+            )
 
 
 def analyze_source(
@@ -552,8 +651,44 @@ def analyze_file(
     return analyze_source(source, str(path), config)
 
 
+def _prepare_file(
+    file_path: str,
+    config: AnalysisConfig,
+    timings: dict[str, float] | None = None,
+) -> FileReport | _ModuleAnalysis:
+    """Read, parse, and run the per-module rules over one file.
+
+    The per-file half of :func:`analyze_tree` — everything that needs
+    no sight of the other modules, so it can run in a worker process.
+    """
+    try:
+        source = Path(file_path).read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return _parse_error_report(file_path, "file is not valid UTF-8", 1)
+    except OSError as error:
+        return _parse_error_report(file_path, f"unreadable file: {error}", 1)
+    module = _build_module(source, file_path, config)
+    if isinstance(module, FileReport):
+        return module
+    analysis = _ModuleAnalysis(module)
+    analysis.run_module_rules(timings)
+    return analysis
+
+
+def _prepare_file_worker(
+    item: tuple[str, AnalysisConfig, bool],
+) -> tuple[FileReport | _ModuleAnalysis, dict[str, float]]:
+    """Process-pool entry point: one file plus its rule timings."""
+    file_path, config, profile = item
+    timings: dict[str, float] = {}
+    return _prepare_file(file_path, config, timings if profile else None), timings
+
+
 def analyze_tree(
-    root: str | Path, config: AnalysisConfig | None = None
+    root: str | Path,
+    config: AnalysisConfig | None = None,
+    jobs: int = 1,
+    rule_timings: dict[str, float] | None = None,
 ) -> QualityReport:
     """Analyze every ``*.py`` file under a directory.
 
@@ -562,38 +697,45 @@ def analyze_tree(
     ``cost-protocol`` and ``nondeterminism-flow`` follow calls across
     module boundaries), and finally the stale-suppression postpass
     runs with the complete used-suppression picture.
+
+    ``jobs > 1`` fans the per-file half out over a process pool (the
+    project rules stay in this process: they need every module at
+    once). Pass a dict as ``rule_timings`` to collect per-rule
+    wall-clock seconds; note the interprocedural families that share
+    one cached analysis bill the whole computation to whichever member
+    runs first.
     """
     config = config or AnalysisConfig()
     root = Path(root)
+    paths = [str(path) for path in sorted(root.rglob("*.py"))]
     ordered: list[FileReport | _ModuleAnalysis] = []
-    analyses: dict[int, _ModuleAnalysis] = {}
-    for file_path in sorted(root.rglob("*.py")):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except UnicodeDecodeError:
-            ordered.append(
-                _parse_error_report(str(file_path), "file is not valid UTF-8", 1)
-            )
-            continue
-        except OSError as error:
-            ordered.append(
-                _parse_error_report(
-                    str(file_path), f"unreadable file: {error}", 1
-                )
-            )
-            continue
-        module = _build_module(source, str(file_path), config)
-        if isinstance(module, FileReport):
-            ordered.append(module)
-            continue
-        analysis = _ModuleAnalysis(module)
-        analysis.run_module_rules()
-        analyses[len(analyses)] = analysis
-        ordered.append(analysis)
+    if jobs > 1 and len(paths) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for entry, timings in pool.map(
+                _prepare_file_worker,
+                [(path, config, rule_timings is not None) for path in paths],
+                chunksize=4,
+            ):
+                ordered.append(entry)
+                if rule_timings is not None:
+                    for rule_id, seconds in timings.items():
+                        rule_timings[rule_id] = (
+                            rule_timings.get(rule_id, 0.0) + seconds
+                        )
+    else:
+        for path in paths:
+            ordered.append(_prepare_file(path, config, rule_timings))
+    analyses = {
+        index: entry
+        for index, entry in enumerate(ordered)
+        if isinstance(entry, _ModuleAnalysis)
+    }
     project = ProjectContext(
         modules=[a.module for a in analyses.values()], config=config
     )
-    _run_project_rules(project, analyses)
+    _run_project_rules(project, analyses, rule_timings)
     report = QualityReport()
     for entry in ordered:
         if isinstance(entry, _ModuleAnalysis):

@@ -12,7 +12,7 @@ import json
 from repro.analysis.baseline import snapshot
 from repro.analysis.model import QualityReport, severity_rank
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_rule_profile"]
 
 
 def render_text(report: QualityReport, worst_files: int = 5) -> str:
@@ -45,6 +45,26 @@ def render_text(report: QualityReport, worst_files: int = 5) -> str:
             f"  ({report.total_suppressed} finding(s) suppressed by "
             "'# quality: ignore' comments)"
         )
+    return "\n".join(lines)
+
+
+def render_rule_profile(timings: dict[str, float]) -> str:
+    """Per-rule wall-clock table (``quality --profile-rules``).
+
+    Sorted slowest first, with each rule's share of the total. Rule
+    families that compute once and fan results out to sub-rules bill
+    the shared computation to whichever member ran first.
+    """
+    if not timings:
+        return "rule profile: no rules ran"
+    total = sum(timings.values())
+    width = max(len(rule_id) for rule_id in timings)
+    lines = [f"rule profile ({total:.2f}s total):"]
+    for rule_id, seconds in sorted(
+        timings.items(), key=lambda item: (-item[1], item[0])
+    ):
+        share = 100.0 * seconds / total if total else 0.0
+        lines.append(f"  {rule_id:<{width}}  {seconds:8.3f}s  {share:5.1f}%")
     return "\n".join(lines)
 
 

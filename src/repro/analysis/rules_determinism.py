@@ -17,7 +17,12 @@ import ast
 from pathlib import Path
 from typing import Iterator
 
-from repro.analysis.engine import ModuleContext, Rule, register_rule
+from repro.analysis.engine import (
+    ModuleContext,
+    Rule,
+    register_rule,
+    statement_anchors,
+)
 from repro.analysis.model import ERROR, Finding
 
 __all__ = ["DeterminismRule", "CostAccountingRule"]
@@ -89,22 +94,29 @@ class DeterminismRule(Rule):
         if not module.in_scope(DETERMINISM_SCOPE):
             return
         aliases = _import_aliases(module.tree)
+        # Calls inside lambda/comprehension bodies anchor on the
+        # enclosing statement, where the suppression comment can live.
+        anchors = statement_anchors(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = _dotted_name(node.func, aliases)
             if name is None:
                 continue
-            finding = self._classify(name, node)
+            finding = self._classify(
+                name, node, anchors.get(id(node), node.lineno)
+            )
             if finding is not None:
                 yield finding
 
-    def _classify(self, name: str, node: ast.Call) -> Finding | None:
+    def _classify(
+        self, name: str, node: ast.Call, line: int
+    ) -> Finding | None:
         if name in _BANNED_CLOCKS:
             return self.finding(
                 f"wall-clock call {name}(); simulated time must come "
                 "from the CostMeter",
-                node.lineno,
+                line,
             )
         has_args = bool(node.args or node.keywords)
         if name.startswith("random."):
@@ -114,7 +126,7 @@ class DeterminismRule(Rule):
             return self.finding(
                 f"unseeded randomness {name}(); inject a seeded RNG "
                 "instead of module-level random state",
-                node.lineno,
+                line,
             )
         if name.startswith("numpy.random."):
             tail = name[len("numpy.random."):]
@@ -123,7 +135,7 @@ class DeterminismRule(Rule):
             return self.finding(
                 f"unseeded randomness {name}(); pass an explicit seed "
                 "or inject a seeded Generator",
-                node.lineno,
+                line,
             )
         return None
 

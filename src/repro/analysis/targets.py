@@ -297,7 +297,8 @@ def _load_jsonl(path: Path, lines: list[str]) -> ArtifactContext:
     is_trace = False
     for number, raw in enumerate(lines, start=1):
         stripped = raw.strip()
-        if not stripped:
+        # Comment lines hold audit suppressions for the next record.
+        if not stripped or stripped.startswith("#"):
             continue
         try:
             record = json.loads(stripped)

@@ -43,6 +43,7 @@ budget, and ``--inject`` activates seeded fault injection
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Callable
@@ -68,6 +69,7 @@ from repro.analysis import (
     load_baseline,
     quality_gate,
     render_json,
+    render_rule_profile,
     render_text,
     save_baseline,
 )
@@ -200,6 +202,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the current analysis as the new baseline")
     quality.add_argument("--disable", default=None, metavar="RULES",
                          help="comma-separated rule ids to disable")
+    quality.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run per-file rules across N worker "
+                         "processes (project rules stay in-process)")
+    quality.add_argument("--profile-rules", action="store_true",
+                         help="print a per-rule wall-clock table after "
+                         "the report")
 
     audit = commands.add_parser(
         "audit",
@@ -592,8 +600,14 @@ def _disabled_rules(raw: str | None) -> frozenset[str]:
 
 def _command_quality(args: argparse.Namespace) -> int:
     config = AnalysisConfig(disabled=_disabled_rules(args.disable))
-    report = analyze_tree(args.root, config)
+    timings: dict[str, float] | None = {} if args.profile_rules else None
+    report = analyze_tree(
+        args.root, config, jobs=max(1, args.jobs), rule_timings=timings
+    )
     print(render_text(report))
+    if timings is not None:
+        print()
+        print(render_rule_profile(timings))
     return _gate_report(report, args, ".quality-baseline.json", "quality gate")
 
 
@@ -850,7 +864,10 @@ def _selfcheck_quality() -> bool:
 
     print("selfcheck: running quality gate")
     quality_start = _time.perf_counter()
-    report = analyze_tree("src")
+    # Fan the per-file rules out over a few workers; the growing rule
+    # set must not push the full-src analysis past its budget.
+    jobs = max(1, min(4, (os.cpu_count() or 1) - 1))
+    report = analyze_tree("src", jobs=jobs)
     quality_seconds = _time.perf_counter() - quality_start
     passed = _selfcheck_gate(report, ".quality-baseline.json")
     # The interprocedural rules (call graph + fixpoints) must stay

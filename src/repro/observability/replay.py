@@ -106,7 +106,9 @@ def read_trace(path: str | Path) -> list[dict]:
     with open(Path(path), encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            # Comment lines carry audit suppressions; they are not
+            # events (the trace writer never emits them).
+            if line and not line.startswith("#"):
                 events.append(json.loads(line))
     return events
 

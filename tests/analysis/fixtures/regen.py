@@ -15,6 +15,7 @@ disappeared finding usually means a rule regressed.
 from __future__ import annotations
 
 import json
+import runpy
 import sys
 from pathlib import Path
 
@@ -49,6 +50,16 @@ def main(argv: list[str]) -> int:
     )
     for name in names:
         regenerate(FIXTURE_DIR / name)
+    if not argv:
+        # Sub-corpora (audit/, units/, ...) ship their own regen.py
+        # with corpus-specific defaults; discover and run each so
+        # `make quality-fixtures` covers every golden in one pass.
+        for sub_regen in sorted(FIXTURE_DIR.glob("*/regen.py")):
+            try:
+                runpy.run_path(str(sub_regen), run_name="__main__")
+            except SystemExit as exit_status:
+                if exit_status.code:
+                    raise
     return 0
 
 

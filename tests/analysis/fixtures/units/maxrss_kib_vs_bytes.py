@@ -1,0 +1,30 @@
+"""Pre-fix host-resource monitor: the PR 4 ``ru_maxrss`` regression.
+
+Linux ``getrusage`` reports ``ru_maxrss`` in kibibytes; the seed
+recorded the raw figure as bytes, understating peak memory by 1024x
+until a golden test caught it. This fixture freezes that pre-fix
+shape so the ``cost-units`` pass must re-derive the bug statically:
+``sample`` (the bug) yields two ``cost-units.unconverted`` findings,
+``sample_fixed`` (the PR 4 repair, converting at the rusage boundary)
+yields none.
+"""
+
+import resource
+
+
+class HostMonitor:
+    """Samples process resource usage into a benchmark cost record."""
+
+    def sample(self, record):
+        """The pre-fix sampler: records kibibytes as bytes."""
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        peak_bytes = float(usage.ru_maxrss)
+        record.peak_memory_bytes = peak_bytes
+        return peak_bytes
+
+    def sample_fixed(self, record):
+        """The repaired sampler: converts at the rusage boundary."""
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        peak_bytes = float(usage.ru_maxrss) * 1024
+        record.peak_memory_bytes = peak_bytes
+        return peak_bytes

@@ -1,0 +1,46 @@
+"""Pre-fix NIC costing: the PR 9 "free message latency" physics bug.
+
+Before the hardware-profile refactor the network model charged no
+per-message latency at all — and the two natural one-line repairs are
+both dimensionally wrong in ways the ``cost-units`` pass catches:
+
+* charging the NIC's 2 us/message figure as if it were seconds
+  (``cost-units.unconverted``: the constant was never scaled), and
+* multiplying the transferred bytes by the bandwidth instead of
+  dividing (``cost-units.rate-inversion``: bytes^2/second is not a
+  time).
+
+``network_seconds_buggy`` commits both; ``network_seconds_fixed`` is
+the physics PR 9 actually shipped and must analyze clean.
+"""
+
+NIC_MESSAGE_LATENCY = 2.0  # units: microseconds/message
+NIC_MESSAGE_LATENCY_SECONDS = 2.0e-6  # units: seconds/message
+
+
+class PreFixNic:
+    """The pre-PR 9 network cost model with its candidate repairs."""
+
+    def __init__(self, bandwidth):
+        """Remember the per-worker NIC bandwidth (bytes/second)."""
+        self.bandwidth = bandwidth
+
+    def network_seconds_buggy(self, record, num_workers):
+        """Both natural-but-wrong repairs of the free-latency bug."""
+        transfer_seconds = (
+            record.remote_bytes * self.bandwidth / num_workers
+        )
+        latency_seconds = (
+            record.remote_messages * NIC_MESSAGE_LATENCY / num_workers
+        )
+        return transfer_seconds + latency_seconds
+
+    def network_seconds_fixed(self, record, num_workers):
+        """The dimensionally sound physics PR 9 shipped."""
+        transfer_seconds = record.remote_bytes / (
+            num_workers * self.bandwidth
+        )
+        latency_seconds = (
+            record.remote_messages * NIC_MESSAGE_LATENCY_SECONDS / num_workers
+        )
+        return transfer_seconds + latency_seconds

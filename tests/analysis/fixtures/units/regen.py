@@ -1,0 +1,61 @@
+"""Regenerate goldens for the dimensional-analysis fixture corpus.
+
+Usage::
+
+    PYTHONPATH=src python tests/analysis/fixtures/units/regen.py [name.py ...]
+
+Same contract as the parent corpus regenerator (which discovers and
+runs this one): the virtual analysis path is kept from the existing
+``.expected.json``; first-time fixtures default to a path inside the
+``cost-units`` scope so the dimensional rules actually run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_source
+
+#: First-generation virtual paths, chosen to land each fixture in the
+#: part of the cost plumbing it re-enacts.
+DEFAULT_PATHS = {
+    "maxrss_kib_vs_bytes.py": "src/repro/core/monitor_pre_fix.py",
+    "pr9_message_latency_physics.py": "src/repro/hardware/nic_pre_fix.py",
+}
+DEFAULT_PATH = "src/repro/hardware/fixture_units.py"
+FIXTURE_DIR = Path(__file__).parent
+
+
+def regenerate(fixture: Path) -> None:
+    expected_file = fixture.with_suffix(".expected.json")
+    virtual_path = DEFAULT_PATHS.get(fixture.name, DEFAULT_PATH)
+    if expected_file.exists():
+        virtual_path = json.loads(expected_file.read_text())["path"]
+    report = analyze_source(fixture.read_text(), virtual_path)
+    payload = {
+        "path": virtual_path,
+        "findings": [
+            {"rule": finding.rule, "line": finding.line}
+            for finding in sorted(
+                report.findings, key=lambda f: (f.line, f.rule)
+            )
+        ],
+    }
+    expected_file.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote units/{expected_file.name}: "
+          f"{len(payload['findings'])} finding(s)")
+
+
+def main(argv: list[str]) -> int:
+    names = argv or sorted(
+        p.name for p in FIXTURE_DIR.glob("*.py") if p.name != "regen.py"
+    )
+    for name in names:
+        regenerate(FIXTURE_DIR / name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -180,3 +180,45 @@ class TestRegistry:
 
         with pytest.raises(ValueError, match="no rule id"):
             register_rule(Anonymous)
+
+
+class TestParallelAndProfile:
+    """``analyze_tree(jobs=N)`` and per-rule timing collection."""
+
+    @staticmethod
+    def _seed_tree(tmp_path):
+        (tmp_path / "clean.py").write_text(
+            '"""A module."""\n\nX = 1\n', encoding="utf-8"
+        )
+        (tmp_path / "buggy.py").write_text(
+            '"""A module."""\n\n\ndef f(x=[]):\n    """Doc."""\n'
+            "    try:\n        return x\n    except:\n        pass\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "broken.py").write_text("def (", encoding="utf-8")
+
+    @staticmethod
+    def _snapshot(report):
+        return [
+            (f.path, [(x.rule, x.line) for x in f.findings], f.suppressed)
+            for f in report.files
+        ]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        self._seed_tree(tmp_path)
+        serial = analyze_tree(tmp_path)
+        parallel = analyze_tree(tmp_path, jobs=2)
+        assert self._snapshot(serial) == self._snapshot(parallel)
+
+    def test_rule_timings_collected(self, tmp_path):
+        self._seed_tree(tmp_path)
+        timings = {}
+        analyze_tree(tmp_path, rule_timings=timings)
+        assert "bare-except" in timings
+        assert all(seconds >= 0.0 for seconds in timings.values())
+
+    def test_rule_timings_collected_in_parallel(self, tmp_path):
+        self._seed_tree(tmp_path)
+        timings = {}
+        analyze_tree(tmp_path, jobs=2, rule_timings=timings)
+        assert "bare-except" in timings

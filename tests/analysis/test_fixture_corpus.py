@@ -18,23 +18,33 @@ import pytest
 from repro.analysis import analyze_source
 
 FIXTURE_DIR = Path(__file__).parent / "fixtures"
+#: Top-level fixtures plus golden sub-corpora (units/, ...); the
+#: audit/ tree is a different artifact format with its own runner.
 FIXTURES = sorted(
-    path for path in FIXTURE_DIR.glob("*.py") if path.name != "regen.py"
+    path
+    for path in FIXTURE_DIR.glob("**/*.py")
+    if path.name != "regen.py" and "audit" not in path.parts
 )
 
 
+def _fixture_id(path: Path) -> str:
+    return path.relative_to(FIXTURE_DIR).with_suffix("").as_posix()
+
+
 def test_corpus_covers_required_scenarios() -> None:
-    names = {path.stem for path in FIXTURES}
+    names = {_fixture_id(path) for path in FIXTURES}
     assert {
         "gpu_post_close_mutation",
         "begin_round_exception_leak",
         "dict_iteration_to_message",
         "cross_function_taint",
         "clean_engine",
+        "units/maxrss_kib_vs_bytes",
+        "units/pr9_message_latency_physics",
     } <= names
 
 
-@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("fixture", FIXTURES, ids=_fixture_id)
 def test_fixture_matches_golden(fixture: Path) -> None:
     golden_path = fixture.with_suffix(".expected.json")
     assert golden_path.exists(), (
@@ -55,8 +65,14 @@ def test_fixture_matches_golden(fixture: Path) -> None:
 
 @pytest.mark.parametrize(
     "golden_path",
-    sorted(FIXTURE_DIR.glob("*.expected.json")),
-    ids=lambda p: p.stem.replace(".expected", ""),
+    sorted(
+        path
+        for path in FIXTURE_DIR.glob("**/*.expected.json")
+        if "audit" not in path.parts
+    ),
+    ids=lambda p: p.relative_to(FIXTURE_DIR).as_posix().replace(
+        ".expected.json", ""
+    ),
 )
 def test_golden_has_fixture(golden_path: Path) -> None:
     source = golden_path.with_name(golden_path.name.replace(".expected.json", ".py"))

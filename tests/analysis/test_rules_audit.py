@@ -72,6 +72,45 @@ class TestSuppressions:
         report = _audit_text(tmp_path, text, config=config)
         assert "no-warmup" not in _rules(report)
 
+    def test_standalone_comment_attaches_to_next_line(self, tmp_path):
+        text = RIGOROUS.replace(
+            "validate = true",
+            "; audit: ignore[validation-off]\nvalidate = false",
+        )
+        report = _audit_text(tmp_path, text)
+        assert "validation-off" not in _rules(report)
+        assert report.total_suppressed == 1
+
+    def test_jsonl_comment_suppresses_record_finding(self, tmp_path):
+        (tmp_path / "results.jsonl").write_text(
+            "# audit: ignore[unexplained-failure]\n"
+            '{"platform": "giraph", "graph": "graph500-12",'
+            ' "algorithm": "BFS", "status": "failed"}\n',
+            encoding="utf-8",
+        )
+        report = _audit_text(tmp_path, RIGOROUS)
+        assert "unexplained-failure" not in _rules(report)
+        assert report.total_suppressed == 1
+
+    def test_stale_jsonl_comment_anchors_on_comment_line(self, tmp_path):
+        (tmp_path / "results.jsonl").write_text(
+            "# audit: ignore[unexplained-failure]\n"
+            '{"platform": "giraph", "graph": "graph500-12",'
+            ' "algorithm": "BFS", "status": "success",'
+            ' "makespan_seconds": 1.0}\n',
+            encoding="utf-8",
+        )
+        report = _audit_text(tmp_path, RIGOROUS)
+        stale = [
+            (artifact, finding)
+            for artifact, finding in report.iter_findings()
+            if finding.rule == "stale-ignore"
+        ]
+        assert len(stale) == 1
+        file_report, finding = stale[0]
+        assert file_report.path.endswith("results.jsonl")
+        assert finding.line == 1
+
 
 class TestShapeBias:
     def test_single_dataset_flagged(self, tmp_path):
